@@ -1,0 +1,39 @@
+//! Criterion bench for **Figure 10**: optimization cost (the search
+//! itself) as the number of columns grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_bench::harness::{sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::widened_lineitem;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let mut group = c.benchmark_group("fig10_optimize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for columns in [12usize, 24, 36] {
+        let table = widened_lineitem(scale.base_rows / 2, columns, 10 + columns as u64);
+        let names: Vec<String> = table
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let workload = Workload::single_columns("wide", &table, &refs).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(columns), &columns, |b, _| {
+            b.iter(|| {
+                let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+                GbMqo::with_config(SearchConfig::pruned())
+                    .optimize(&workload, &mut model)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

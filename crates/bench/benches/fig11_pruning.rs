@@ -1,0 +1,43 @@
+//! Criterion bench for **Figure 11**: optimization cost under each
+//! pruning configuration (None / M / S / S+M) on the TC workload, where
+//! pruning matters most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::{sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows / 2, 0.0, 111);
+    let workload = Workload::two_columns("lineitem", &table, &LINEITEM_SC_COLUMNS[..8]).unwrap();
+
+    let mut group = c.benchmark_group("fig11_optimize_tc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, s, m) in [
+        ("none", false, false),
+        ("m", false, true),
+        ("s", true, false),
+        ("s_m", true, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+                GbMqo::with_config(SearchConfig {
+                    subsumption_pruning: s,
+                    monotonicity_pruning: m,
+                    ..Default::default()
+                })
+                .optimize(&workload, &mut model)
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

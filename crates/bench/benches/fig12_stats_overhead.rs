@@ -1,0 +1,34 @@
+//! Criterion bench for **Figure 12**: the cost of building sampled
+//! statistics (per-column-set distinct estimates) — the quantity §6.7
+//! compares against the plan's run-time savings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::Scale;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+use gbmqo_stats::{CardinalitySource, DistinctEstimator, SampledSource};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows, 0.0, 120);
+    let ords: Vec<usize> = LINEITEM_SC_COLUMNS
+        .iter()
+        .map(|n| table.schema().index_of(n).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("fig12_stats");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("create_sc_statistics", |b| {
+        b.iter(|| {
+            let mut src =
+                SampledSource::new(&table, scale.sample_rows, DistinctEstimator::Hybrid, 7);
+            let total: f64 = ords.iter().map(|&c| src.distinct(&[c])).sum();
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for **Figure 13**: GB-MQO execution at two skew
+//! extremes (z = 0 vs z = 2.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let mut group = c.benchmark_group("fig13_skew");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for z in [0.0f64, 2.5] {
+        let table = lineitem(scale.base_rows, z, 130);
+        let workload = Workload::single_columns("lineitem", &table, &LINEITEM_SC_COLUMNS).unwrap();
+        let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+        let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
+        let naive = LogicalPlan::naive(&workload);
+        let mut engine = engine_for(table, "lineitem");
+        group.bench_with_input(BenchmarkId::new("naive", z), &z, |b, _| {
+            b.iter(|| execute_plan(&naive, &workload, &mut engine, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gbmqo", z), &z, |b, _| {
+            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for **Figure 14**: GB-MQO execution with no
+//! non-clustered indexes vs the fully indexed design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::experiments::fig14::INDEX_ORDER;
+use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+use gbmqo_storage::IndexKind;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows, 0.0, 140);
+    let workload = Workload::single_columns("lineitem", &table, &LINEITEM_SC_COLUMNS).unwrap();
+
+    let mut group = c.benchmark_group("fig14_design");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // no indexes
+    {
+        let mut engine = engine_for(table.clone(), "lineitem");
+        let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+        let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
+        group.bench_function("no_indexes", |b| {
+            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+        });
+    }
+    // fully indexed
+    {
+        let mut engine = engine_for(table.clone(), "lineitem");
+        for col in INDEX_ORDER {
+            let ord = table.schema().index_of(col).unwrap();
+            engine
+                .catalog_mut()
+                .create_index(
+                    "lineitem",
+                    format!("nc_{col}"),
+                    IndexKind::NonClustered,
+                    vec![ord],
+                )
+                .unwrap();
+        }
+        let snapshot = IndexSnapshot::capture(engine.catalog(), "lineitem");
+        let mut model = sampled_optimizer_model(&table, &scale, snapshot);
+        let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
+        group.bench_function("ten_nc_indexes", |b| {
+            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

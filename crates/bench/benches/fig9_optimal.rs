@@ -1,0 +1,48 @@
+//! Criterion bench for **Figure 9**: executing the greedy plan vs the
+//! exhaustive-optimal plan vs naive on a 7-column workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::{engine_for, exact_optimizer_model, optimize_timed, Scale};
+use gbmqo_core::optimal_plan;
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::lineitem;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows, 0.0, 9);
+    let cols = [
+        "l_linenumber",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "l_shipmode",
+    ];
+    let workload = Workload::single_columns("lineitem", &table, &cols).unwrap();
+    let mut m1 = exact_optimizer_model(&table, IndexSnapshot::none());
+    let (greedy, _, _) = optimize_timed(&workload, &mut m1, SearchConfig::default());
+    let mut m2 = exact_optimizer_model(&table, IndexSnapshot::none());
+    let (optimal, _) = optimal_plan(&workload, &mut m2).unwrap();
+    let naive = LogicalPlan::naive(&workload);
+    let mut engine = engine_for(table, "lineitem");
+
+    let mut group = c.benchmark_group("fig9_q");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, plan) in [
+        ("naive", &naive),
+        ("greedy", &greedy),
+        ("optimal", &optimal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| execute_plan(plan, &workload, &mut engine, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

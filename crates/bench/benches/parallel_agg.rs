@@ -1,0 +1,37 @@
+//! Ablation bench: sequential vs hash-partitioned parallel aggregation
+//! (the Partitioned-Cube idea of the paper's reference [16], applied
+//! across threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_datagen::lineitem;
+use gbmqo_exec::{hash_group_by, parallel_hash_group_by, AggSpec, ExecMetrics};
+
+fn bench(c: &mut Criterion) {
+    let table = lineitem(200_000, 0.0, 77);
+    let cols = vec![
+        table.schema().index_of("l_orderkey").unwrap(),
+        table.schema().index_of("l_linenumber").unwrap(),
+    ];
+    let mut group = c.benchmark_group("parallel_agg_highcard");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::new();
+            hash_group_by(&table, &cols, &[AggSpec::count()], &mut m).unwrap()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut m = ExecMetrics::new();
+                parallel_hash_group_by(&table, &cols, &[AggSpec::count()], t, &mut m).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for **§6.5**: the search with all merge types vs the
+//! binary-tree restriction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::{sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows, 0.0, 65);
+    let workload = Workload::single_columns("lineitem", &table, &LINEITEM_SC_COLUMNS).unwrap();
+
+    let mut group = c.benchmark_group("sec65_optimize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, binary_only) in [("all_merges", false), ("binary_only", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+                GbMqo::with_config(SearchConfig {
+                    binary_only,
+                    ..Default::default()
+                })
+                .optimize(&workload, &mut model)
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for **Table 2**: executing the SC workload under the
+//! simulated-commercial GROUPING SETS plan vs the GB-MQO plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_core::grouping_sets_plan;
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    let table = lineitem(scale.base_rows, 0.0, 2005);
+    let workload = Workload::single_columns("lineitem", &table, &LINEITEM_SC_COLUMNS).unwrap();
+    let (gs_plan, _) = grouping_sets_plan(&workload);
+    let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
+    let (our_plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
+    let mut engine = engine_for(table, "lineitem");
+
+    let mut group = c.benchmark_group("table2_sc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("grouping_sets", |b| {
+        b.iter(|| execute_plan(&gs_plan, &workload, &mut engine, None).unwrap())
+    });
+    group.bench_function("gbmqo", |b| {
+        b.iter(|| execute_plan(&our_plan, &workload, &mut engine, None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

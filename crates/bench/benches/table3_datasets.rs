@@ -1,0 +1,60 @@
+//! Criterion bench for **Table 3**: naive vs GB-MQO execution on each
+//! dataset's SC workload (TC at bench scale would dominate `cargo bench`
+//! wall time; the `experiments` binary covers it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_core::prelude::*;
+use gbmqo_cost::IndexSnapshot;
+use gbmqo_datagen::{
+    lineitem, neighboring_seq, sales, LINEITEM_SC_COLUMNS, NREF_COLUMNS, SALES_COLUMNS,
+};
+use gbmqo_storage::Table;
+
+fn bench_dataset(c: &mut Criterion, name: &str, table: Table, cols: &[&str], scale: &Scale) {
+    let workload = Workload::single_columns(name, &table, cols).unwrap();
+    let mut model = sampled_optimizer_model(&table, scale, IndexSnapshot::none());
+    let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
+    let naive = LogicalPlan::naive(&workload);
+    let mut engine = engine_for(table, name);
+
+    let mut group = c.benchmark_group(format!("table3_{name}_sc"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("naive", |b| {
+        b.iter(|| execute_plan(&naive, &workload, &mut engine, None).unwrap())
+    });
+    group.bench_function("gbmqo", |b| {
+        b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::small();
+    bench_dataset(
+        c,
+        "lineitem",
+        lineitem(scale.base_rows, 0.0, 31),
+        &LINEITEM_SC_COLUMNS,
+        &scale,
+    );
+    bench_dataset(
+        c,
+        "sales",
+        sales(scale.base_rows, 33),
+        &SALES_COLUMNS,
+        &scale,
+    );
+    bench_dataset(
+        c,
+        "nref",
+        neighboring_seq(scale.base_rows, 34),
+        &NREF_COLUMNS,
+        &scale,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! A small, dependency-free CSV reader with type inference.
+//!
+//! Supports RFC-4180-style quoting (`"a, b"`, doubled quotes), a header
+//! row, empty fields as NULL, and per-column type inference over
+//! `Int64 → Float64 → Date32 (YYYY-MM-DD) → Utf8`.
+
+use gbmqo_storage::{DataType, Field, Schema, StorageError, Table, TableBuilder, Value};
+
+/// Parse one CSV line into fields, honoring double-quote escaping.
+pub fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Parse `YYYY-MM-DD` into days since 1970-01-01 (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let (y, m, d) = (
+        it.next()?.parse::<i32>().ok()?,
+        it.next()?.parse::<u32>().ok()?,
+        it.next()?.parse::<u32>().ok()?,
+    );
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // days from civil (Howard Hinnant's algorithm)
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era as i64 * 146_097 + doe - 719_468) as i32)
+}
+
+/// Infer the narrowest type that fits every non-empty sample of a column.
+fn infer_type(samples: &[&str]) -> DataType {
+    let mut ty = DataType::Int64;
+    for s in samples {
+        if s.is_empty() {
+            continue;
+        }
+        ty = match ty {
+            DataType::Int64 if s.parse::<i64>().is_ok() => DataType::Int64,
+            DataType::Int64 | DataType::Float64 if s.parse::<f64>().is_ok() => DataType::Float64,
+            DataType::Int64 | DataType::Float64 | DataType::Date32 if parse_date(s).is_some() => {
+                DataType::Date32
+            }
+            _ => return DataType::Utf8,
+        };
+    }
+    ty
+}
+
+/// Load a CSV string (header row required) into a [`Table`].
+pub fn table_from_csv(content: &str) -> Result<Table, StorageError> {
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Malformed("empty CSV".to_string()))?;
+    let names = split_line(header);
+    let rows: Vec<Vec<String>> = lines.map(split_line).collect();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != names.len() {
+            return Err(StorageError::Malformed(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                r.len(),
+                names.len()
+            )));
+        }
+    }
+
+    let types: Vec<DataType> = (0..names.len())
+        .map(|c| {
+            let samples: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+            infer_type(&samples)
+        })
+        .collect();
+
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&types)
+            .map(|(n, &t)| Field::new(n.trim(), t))
+            .collect(),
+    )?;
+    let mut builder = TableBuilder::with_capacity(schema, rows.len());
+    for row in &rows {
+        let values: Vec<Value> = row
+            .iter()
+            .zip(&types)
+            .map(|(s, &t)| {
+                if s.is_empty() {
+                    return Value::Null;
+                }
+                match t {
+                    DataType::Int64 => Value::Int(s.parse().expect("inferred")),
+                    DataType::Float64 => Value::Float(s.parse().expect("inferred")),
+                    DataType::Date32 => Value::Date(parse_date(s).expect("inferred")),
+                    DataType::Utf8 => Value::str(s),
+                }
+            })
+            .collect();
+        builder.push_row(&values)?;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_quoted_fields() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_line(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(split_line("a,,c"), vec!["a", "", "c"]);
+        assert_eq!(split_line(""), vec![""]);
+    }
+
+    #[test]
+    fn date_parsing_matches_epoch() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("2000-03-01"), Some(11017));
+        assert_eq!(parse_date("1992-01-02"), Some(8036));
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("1992-13-02"), None);
+        assert_eq!(parse_date("1992-01"), None);
+    }
+
+    #[test]
+    fn infers_types_and_loads() {
+        let csv =
+            "id,price,day,name\n1,1.5,2020-01-02,alice\n2,2.0,2020-01-03,bob\n3,,2020-01-04,\n";
+        let t = table_from_csv(csv).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let s = t.schema();
+        assert_eq!(s.field(0).data_type, DataType::Int64);
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+        assert_eq!(s.field(2).data_type, DataType::Date32);
+        assert_eq!(s.field(3).data_type, DataType::Utf8);
+        assert_eq!(t.value(0, 3), Value::str("alice"));
+        assert!(t.value(2, 1).is_null());
+        assert!(t.value(2, 3).is_null());
+    }
+
+    #[test]
+    fn int_column_with_float_falls_back() {
+        let csv = "x\n1\n2.5\n3\n";
+        let t = table_from_csv(csv).unwrap();
+        assert_eq!(t.schema().field(0).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_utf8() {
+        let csv = "x\n1\nhello\n";
+        let t = table_from_csv(csv).unwrap();
+        assert_eq!(t.schema().field(0).data_type, DataType::Utf8);
+        assert_eq!(t.value(0, 0), Value::str("1"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(table_from_csv("a,b\n1\n").is_err());
+        assert!(table_from_csv("").is_err());
+    }
+}

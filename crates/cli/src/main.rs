@@ -1,0 +1,77 @@
+//! `gbmqo` — profile a CSV dataset with optimized multi-Group-By
+//! execution (the paper's §1 data-quality scenario as a tool).
+//!
+//! ```text
+//! gbmqo profile data.csv                      # all single-column distributions
+//! gbmqo profile data.csv --sets "((a),(b),(a,c))"
+//! gbmqo profile data.csv --sql                # print the plan's SQL script
+//! gbmqo profile data.csv --naive              # skip optimization (comparison)
+//! ```
+
+mod advise;
+mod csv;
+mod profile;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gbmqo — optimized multi-Group-By data profiling
+
+USAGE:
+    gbmqo profile <file.csv> [OPTIONS]
+    gbmqo advise  <file.csv> [--sets <spec>] [--max <n>]
+
+OPTIONS:
+    --sets <spec>    GROUPING SETS to compute, e.g. \"((a),(b),(a,c))\" or
+                     \"a,b,c\"; default: every column as a single-column set
+    --sql            print the optimized plan's SQL script and exit
+    --naive          execute the naive plan instead of optimizing
+    --plan           print the chosen logical plan
+    --top <n>        show the n most frequent values per set (default 3)
+    --save-plan <f>  write the chosen logical plan to a file
+    --load-plan <f>  replay a previously saved plan instead of optimizing
+    --explain        print per-query cost estimates (EXPLAIN)
+
+`advise` recommends single-column indexes for the workload via what-if
+re-optimization (--max: number of indexes, default 3).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("profile") => match profile::Options::parse(&args[1..]) {
+            Ok(opts) => match profile::run(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("advise") => match advise::Options::parse(&args[1..]) {
+            Ok(opts) => match advise::run(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! High-level GROUPING SETS API: optimize + execute + assemble the
+//! union-all result in one call (§5's two integration paths).
+//!
+//! A `GROUPING SETS` query returns one result set — the UNION ALL of its
+//! member Group Bys, distinguishable by a `Grp-Tag` (§5.1.1). This module
+//! provides that semantics on top of the optimizer:
+//!
+//! * [`ExecutionMode::ClientSide`] — §5.2: the plan runs as a sequence of
+//!   separate SQL-like queries (`SELECT … INTO`, `SUM(cnt)`), exactly
+//!   what an application can do against a stock DBMS.
+//! * [`ExecutionMode::ServerSide`] — §5.1: the plan runs inside the
+//!   engine, where queries that read the same table can share one scan
+//!   (PipeHash-style; the paper: "when implemented inside the server our
+//!   approach can also potentially benefit from shared sorts … even
+//!   greater speedup").
+
+use crate::colset::ColSet;
+use crate::error::Result;
+use crate::executor::{execute_plan, temp_name};
+use crate::greedy::{GbMqo, SearchConfig, SearchStats};
+use crate::plan::{LogicalPlan, NodeKind, SubNode};
+use crate::workload::Workload;
+use gbmqo_cost::CostModel;
+use gbmqo_exec::{union_all_tagged, AggSpec, Engine, ExecMetrics};
+use gbmqo_storage::Table;
+
+/// How the optimized plan is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One engine query per plan edge (§5.2).
+    ClientSide,
+    /// Shared scans across queries reading the same table (§5.1).
+    ServerSide,
+}
+
+/// The result of a GROUPING SETS execution.
+#[derive(Debug)]
+pub struct GroupingSetsResult {
+    /// The UNION ALL of all member results, tagged by `grp_tag`
+    /// (comma-joined column names of the member set).
+    pub table: Table,
+    /// The logical plan that was executed.
+    pub plan: LogicalPlan,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// Execution metrics.
+    pub metrics: ExecMetrics,
+}
+
+/// Optimize and execute `workload` as one GROUPING SETS query.
+pub fn execute_grouping_sets(
+    engine: &mut Engine,
+    workload: &Workload,
+    model: &mut dyn CostModel,
+    config: SearchConfig,
+    mode: ExecutionMode,
+) -> Result<GroupingSetsResult> {
+    let (plan, stats) = GbMqo::with_config(config).optimize(workload, model)?;
+    let (results, metrics) = match mode {
+        ExecutionMode::ClientSide => {
+            let report = execute_plan(&plan, workload, engine, None)?;
+            (report.results, report.metrics)
+        }
+        ExecutionMode::ServerSide => execute_server_side(&plan, workload, engine)?,
+    };
+
+    let mut tagged: Vec<(String, Table)> = Vec::with_capacity(results.len());
+    for (set, table) in results {
+        tagged.push((workload.col_names(set).join(","), table));
+    }
+    let refs: Vec<(&str, &Table)> = tagged.iter().map(|(t, tb)| (t.as_str(), tb)).collect();
+    let mut m2 = metrics;
+    let table = union_all_tagged(&refs, "grp_tag", &mut m2)?;
+    Ok(GroupingSetsResult {
+        table,
+        plan,
+        stats,
+        metrics: m2,
+    })
+}
+
+/// Server-side execution: all queries that read the same table run in one
+/// shared scan. Sub-plan roots share the base-relation scan; each
+/// materialized node's children share a scan of its temp table.
+fn execute_server_side(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
+    plan.validate(workload)?;
+    engine.reset_metrics();
+    let mut results: Vec<(ColSet, Table)> = Vec::new();
+
+    // Level order: (source table name, source aggs, nodes to compute).
+    let mut frontier: Vec<(String, Vec<AggSpec>, Vec<&SubNode>)> = vec![(
+        workload.table.clone(),
+        workload.aggregates.clone(),
+        plan.subplans.iter().collect(),
+    )];
+
+    while let Some((source, aggs, nodes)) = frontier.pop() {
+        // ROLLUP/CUBE nodes keep their dedicated execution path; plain
+        // nodes share one scan of `source`.
+        let (plain, special): (Vec<&SubNode>, Vec<&SubNode>) =
+            nodes.into_iter().partition(|n| n.kind == NodeKind::GroupBy);
+        if !plain.is_empty() {
+            let groupings: Vec<Vec<String>> = plain
+                .iter()
+                .map(|n| {
+                    workload
+                        .col_names(n.cols)
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
+                })
+                .collect();
+            let tables = engine.run_shared_group_bys(&source, &groupings, &aggs)?;
+            for (node, table) in plain.iter().zip(tables) {
+                if node.required {
+                    results.push((node.cols, table.clone()));
+                }
+                if node.is_materialized() {
+                    engine.materialize_temp(&temp_name(node.cols), table)?;
+                    frontier.push((
+                        temp_name(node.cols),
+                        aggs.iter().map(AggSpec::reaggregate).collect(),
+                        node.children.iter().collect(),
+                    ));
+                }
+            }
+        }
+        for node in special {
+            // Fall back to the client-side executor for CUBE/ROLLUP
+            // nodes: wrap the node in a one-subplan plan.
+            let sub = LogicalPlan {
+                subplans: vec![(*node).clone()],
+            };
+            // The sub-plan reads `source`; only base-relation sources are
+            // supported here (plan validation enforces child ⊂ parent, so
+            // special nodes under temps would need node-local workloads).
+            debug_assert_eq!(source, workload.table, "CUBE/ROLLUP under a temp");
+            let report = execute_plan(&sub, &sub_workload(workload, node), engine, None)?;
+            results.extend(report.results);
+        }
+    }
+
+    // Drop any temps that still linger (children consumed them already,
+    // but required-internal nodes may remain).
+    for name in engine.catalog().temp_names() {
+        engine.drop_temp(&name)?;
+    }
+    Ok((results, engine.metrics()))
+}
+
+/// A workload whose requests are exactly the required sets inside `node`
+/// (used to execute a single CUBE/ROLLUP sub-plan).
+fn sub_workload(workload: &Workload, node: &SubNode) -> Workload {
+    let mut required = Vec::new();
+    node.collect_required(&mut required);
+    Workload {
+        table: workload.table.clone(),
+        column_names: workload.column_names.clone(),
+        base_ordinals: workload.base_ordinals.clone(),
+        requests: required,
+        aggregates: workload.aggregates.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_cost::CardinalityCostModel;
+    use gbmqo_stats::ExactSource;
+    use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Value};
+
+    fn setup() -> (Engine, Table) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..120).map(|i| i % 3).collect()),
+                Column::from_i64((0..120).map(|i| (i % 3) * 10).collect()),
+                Column::from_i64((0..120).map(|i| i % 5).collect()),
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("r", t.clone()).unwrap();
+        (Engine::new(cat), t)
+    }
+
+    fn tag_counts(table: &Table) -> Vec<(String, usize)> {
+        let tag_col = table.schema().index_of("grp_tag").unwrap();
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for r in 0..table.num_rows() {
+            *counts
+                .entry(table.value(r, tag_col).as_str().unwrap().to_string())
+                .or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    #[test]
+    fn client_and_server_side_agree() {
+        let (mut engine, t) = setup();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut m1 = CardinalityCostModel::new(ExactSource::new(&t));
+        let client = execute_grouping_sets(
+            &mut engine,
+            &w,
+            &mut m1,
+            SearchConfig::pruned(),
+            ExecutionMode::ClientSide,
+        )
+        .unwrap();
+        let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
+        let server = execute_grouping_sets(
+            &mut engine,
+            &w,
+            &mut m2,
+            SearchConfig::pruned(),
+            ExecutionMode::ServerSide,
+        )
+        .unwrap();
+        assert_eq!(tag_counts(&client.table), tag_counts(&server.table));
+        // a and b are perfectly correlated (3 groups each), c has 5
+        assert_eq!(
+            tag_counts(&client.table),
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 3),
+                ("c".to_string(), 5)
+            ]
+        );
+        // no temp tables leak
+        assert!(engine.catalog().temp_names().is_empty());
+    }
+
+    #[test]
+    fn server_side_shares_scans() {
+        let (mut engine, t) = setup();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let server = execute_grouping_sets(
+            &mut engine,
+            &w,
+            &mut model,
+            SearchConfig::pruned(),
+            ExecutionMode::ServerSide,
+        )
+        .unwrap();
+        // With the plan (a,b) merged: one shared scan of R computes the
+        // (a,b) node and the c leaf; one scan of the temp computes a and b.
+        assert!(
+            server.metrics.rows_scanned <= 120 * 2 + 10,
+            "rows scanned {} suggests scans were not shared",
+            server.metrics.rows_scanned
+        );
+    }
+
+    #[test]
+    fn grouping_sets_result_has_union_all_shape() {
+        let (mut engine, t) = setup();
+        let w = Workload::new("r", &t, &["a", "c"], &[vec!["a"], vec!["a", "c"]]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let out = execute_grouping_sets(
+            &mut engine,
+            &w,
+            &mut model,
+            SearchConfig::default(),
+            ExecutionMode::ClientSide,
+        )
+        .unwrap();
+        // columns: a, c, cnt, grp_tag — with NULL-padded c for the (a) rows
+        assert_eq!(out.table.num_columns(), 4);
+        let tags = tag_counts(&out.table);
+        assert_eq!(tags.len(), 2);
+        let a_rows = tags.iter().find(|(t, _)| t == "a").unwrap().1;
+        assert_eq!(a_rows, 3);
+        // the (a)-tagged rows have NULL in the c column
+        let c_col = out.table.schema().index_of("c").unwrap();
+        let tag_col = out.table.schema().index_of("grp_tag").unwrap();
+        for r in 0..out.table.num_rows() {
+            if out.table.value(r, tag_col) == Value::str("a") {
+                assert!(out.table.value(r, c_col).is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn selection_pushdown_via_run_filter() {
+        use gbmqo_exec::Predicate;
+        let (mut engine, _) = setup();
+        // §5.1.1: push the selection below GROUPING SETS by materializing
+        // the filtered relation once.
+        engine
+            .run_filter(
+                "r",
+                &Predicate::Ge("c".into(), Value::Int(2)),
+                Some("r_filtered"),
+            )
+            .unwrap();
+        let filtered = engine.catalog().table("r_filtered").unwrap().clone();
+        assert!(filtered.num_rows() < 120);
+        let w = Workload::single_columns("r_filtered", &filtered, &["a", "c"]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&filtered));
+        let out = execute_grouping_sets(
+            &mut engine,
+            &w,
+            &mut model,
+            SearchConfig::default(),
+            ExecutionMode::ClientSide,
+        )
+        .unwrap();
+        // counts reflect only the filtered rows
+        let cnt_col = out.table.schema().index_of("cnt").unwrap();
+        let tag_col = out.table.schema().index_of("grp_tag").unwrap();
+        let total_a: i64 = (0..out.table.num_rows())
+            .filter(|&r| out.table.value(r, tag_col) == Value::str("a"))
+            .map(|r| out.table.value(r, cnt_col).as_int().unwrap())
+            .sum();
+        assert_eq!(total_a as usize, filtered.num_rows());
+        engine.drop_temp("r_filtered").unwrap();
+    }
+}

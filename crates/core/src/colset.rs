@@ -1,0 +1,198 @@
+//! Column sets as 128-bit bitsets.
+//!
+//! Every node of the paper's Search DAG (§3.1) is identified by the set of
+//! grouping columns. All subsumption tests in SubPlanMerge and the pruning
+//! techniques (§4.3) reduce to bitwise operations on these sets. 128 bits
+//! comfortably covers the paper's widest experiment (48 columns, §6.4).
+
+use std::fmt;
+
+/// A set of column ordinals (0..127) packed into a `u128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ColSet(pub u128);
+
+/// The maximum column ordinal a [`ColSet`] can hold.
+pub const MAX_COLUMNS: usize = 128;
+
+impl ColSet {
+    /// The empty set.
+    pub const EMPTY: ColSet = ColSet(0);
+
+    /// A singleton set.
+    pub fn single(col: usize) -> Self {
+        assert!(col < MAX_COLUMNS, "column ordinal {col} out of range");
+        ColSet(1u128 << col)
+    }
+
+    /// Build from column ordinals.
+    pub fn from_cols<I: IntoIterator<Item = usize>>(cols: I) -> Self {
+        let mut s = ColSet::EMPTY;
+        for c in cols {
+            s = s.insert(c);
+        }
+        s
+    }
+
+    /// Set with `col` added.
+    pub fn insert(self, col: usize) -> Self {
+        assert!(col < MAX_COLUMNS, "column ordinal {col} out of range");
+        ColSet(self.0 | (1u128 << col))
+    }
+
+    /// Union.
+    pub fn union(self, other: ColSet) -> Self {
+        ColSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: ColSet) -> Self {
+        ColSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(self, other: ColSet) -> Self {
+        ColSet(self.0 & !other.0)
+    }
+
+    /// True if `col` is a member.
+    pub fn contains(self, col: usize) -> bool {
+        col < MAX_COLUMNS && (self.0 >> col) & 1 == 1
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(self, other: ColSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if `self ⊊ other`.
+    pub fn is_strict_subset_of(self, other: ColSet) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// True if the sets share no columns.
+    pub fn is_disjoint(self, other: ColSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of columns.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate member ordinals ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(c)
+            }
+        })
+    }
+
+    /// Member ordinals as a vector (ascending).
+    pub fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Render with column names, e.g. `(a, c)`.
+    pub fn display<'a>(self, names: &'a [String]) -> ColSetDisplay<'a> {
+        ColSetDisplay { set: self, names }
+    }
+}
+
+impl FromIterator<usize> for ColSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        ColSet::from_cols(iter)
+    }
+}
+
+/// Helper rendering a [`ColSet`] with names.
+pub struct ColSetDisplay<'a> {
+    set: ColSet,
+    names: &'a [String],
+}
+
+impl fmt::Display for ColSetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.names.get(c) {
+                Some(n) => write!(f, "{n}")?,
+                None => write!(f, "#{c}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = ColSet::from_cols([0, 3, 127]);
+        assert!(s.contains(0) && s.contains(3) && s.contains(127));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 3, 127]);
+        assert_eq!(ColSet::single(5), ColSet::from_cols([5]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ColSet::from_cols([0, 1, 2]);
+        let b = ColSet::from_cols([2, 3]);
+        assert_eq!(a.union(b), ColSet::from_cols([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), ColSet::single(2));
+        assert_eq!(a.difference(b), ColSet::from_cols([0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(ColSet::from_cols([4, 5])));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = ColSet::from_cols([1, 2]);
+        let ab = ColSet::from_cols([1, 2, 3]);
+        assert!(a.is_subset_of(ab));
+        assert!(a.is_strict_subset_of(ab));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_strict_subset_of(a));
+        assert!(!ab.is_subset_of(a));
+        assert!(ColSet::EMPTY.is_subset_of(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_ordinal_panics() {
+        ColSet::single(128);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let s = ColSet::from_cols([0, 2]);
+        assert_eq!(s.display(&names).to_string(), "(a, c)");
+        assert_eq!(ColSet::EMPTY.display(&names).to_string(), "()");
+        let oob = ColSet::single(5);
+        assert_eq!(oob.display(&names).to_string(), "(#5)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: ColSet = [2usize, 2, 4].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

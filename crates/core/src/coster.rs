@@ -1,0 +1,151 @@
+//! Cached edge costing over a [`CostModel`].
+//!
+//! §4.2's running-time analysis relies on storing previously computed
+//! sub-plan costs so the greedy search issues only `O(n²)` optimizer
+//! calls. This cache is that memo: each distinct plan edge
+//! `(source, target, materialize)` is priced by the underlying model at
+//! most once; the model's own call counter therefore reports the paper's
+//! "number of calls to the query optimizer" metric.
+
+use crate::colset::ColSet;
+use gbmqo_cost::{CostModel, CostNode, EdgeQuery};
+use rustc_hash::FxHashMap;
+
+/// A memoizing wrapper around a cost model, translating [`ColSet`]s to
+/// base-table ordinals.
+pub struct EdgeCoster<'m> {
+    model: &'m mut dyn CostModel,
+    /// Universe bit → base-table ordinal.
+    base_ordinals: Vec<usize>,
+    edge_cache: FxHashMap<(u128, u128, bool), f64>,
+    card_cache: FxHashMap<u128, f64>,
+    bytes_cache: FxHashMap<u128, f64>,
+}
+
+impl<'m> EdgeCoster<'m> {
+    /// Wrap `model`; `base_ordinals` maps universe bits to base-table
+    /// schema ordinals (see [`crate::workload::Workload::base_ordinals`]).
+    pub fn new(model: &'m mut dyn CostModel, base_ordinals: Vec<usize>) -> Self {
+        EdgeCoster {
+            model,
+            base_ordinals,
+            edge_cache: FxHashMap::default(),
+            card_cache: FxHashMap::default(),
+            bytes_cache: FxHashMap::default(),
+        }
+    }
+
+    fn cols_of(&self, set: ColSet) -> Vec<usize> {
+        set.iter().map(|b| self.base_ordinals[b]).collect()
+    }
+
+    /// Cost of computing the Group By on `target` from `source`
+    /// (`None` = the base relation), optionally materializing.
+    pub fn edge(&mut self, source: Option<ColSet>, target: ColSet, materialize: bool) -> f64 {
+        let key = (source.map_or(u128::MAX, |s| s.0), target.0, materialize);
+        if let Some(&c) = self.edge_cache.get(&key) {
+            return c;
+        }
+        let target_cols = self.cols_of(target);
+        let source_cols = source.map(|s| self.cols_of(s));
+        let q = EdgeQuery {
+            source: match &source_cols {
+                None => CostNode::Base,
+                Some(cols) => CostNode::GroupBy(cols),
+            },
+            target_cols: &target_cols,
+            materialize,
+        };
+        let c = self.model.edge_cost(&q);
+        self.edge_cache.insert(key, c);
+        c
+    }
+
+    /// Estimated result rows of the Group By on `set`.
+    pub fn cardinality(&mut self, set: ColSet) -> f64 {
+        if let Some(&c) = self.card_cache.get(&set.0) {
+            return c;
+        }
+        let cols = self.cols_of(set);
+        let c = self.model.cardinality(&cols);
+        self.card_cache.insert(set.0, c);
+        c
+    }
+
+    /// Estimated materialized bytes of the Group By on `set`.
+    pub fn result_bytes(&mut self, set: ColSet) -> f64 {
+        if let Some(&b) = self.bytes_cache.get(&set.0) {
+            return b;
+        }
+        let cols = self.cols_of(set);
+        let b = self.model.result_bytes(&cols);
+        self.bytes_cache.insert(set.0, b);
+        b
+    }
+
+    /// Rows of the base relation.
+    pub fn base_rows(&self) -> f64 {
+        self.model.base_rows()
+    }
+
+    /// Optimizer calls issued by the underlying model so far.
+    pub fn model_calls(&self) -> u64 {
+        self.model.calls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_cost::CardinalityCostModel;
+    use gbmqo_stats::ExactSource;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 1, 2, 3]),
+                Column::from_i64(vec![0, 0, 0, 1]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_are_cached() {
+        let t = table();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let mut coster = EdgeCoster::new(&mut model, vec![0, 1]);
+        let a = ColSet::single(0);
+        let c1 = coster.edge(None, a, true);
+        let c2 = coster.edge(None, a, true);
+        assert_eq!(c1, 4.0);
+        assert_eq!(c2, 4.0);
+        assert_eq!(coster.model_calls(), 1, "second lookup must hit the cache");
+        // different materialize flag is a different edge
+        let _ = coster.edge(None, a, false);
+        assert_eq!(coster.model_calls(), 2);
+    }
+
+    #[test]
+    fn source_colsets_map_to_base_ordinals() {
+        let t = table();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        // universe reversed: bit0 → base col 1 (b), bit1 → base col 0 (a)
+        let mut coster = EdgeCoster::new(&mut model, vec![1, 0]);
+        // cardinality of bit0 = column b = {0,1} → 2
+        assert_eq!(coster.cardinality(ColSet::single(0)), 2.0);
+        assert_eq!(coster.cardinality(ColSet::single(1)), 3.0);
+        // edge from (bit1) to (bit1): source card = |a| = 3
+        let c = coster.edge(Some(ColSet::single(1)), ColSet::single(1), false);
+        assert_eq!(c, 3.0);
+        assert_eq!(coster.base_rows(), 4.0);
+        assert!(coster.result_bytes(ColSet::single(0)) > 0.0);
+    }
+}

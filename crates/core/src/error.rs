@@ -1,0 +1,63 @@
+//! Error type for the GB-MQO optimizer.
+
+use std::fmt;
+
+/// Errors produced by the optimizer and plan executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A storage-layer error.
+    Storage(gbmqo_storage::StorageError),
+    /// An execution-engine error.
+    Exec(gbmqo_exec::ExecError),
+    /// A malformed workload.
+    InvalidWorkload(String),
+    /// A malformed or unsupported plan.
+    InvalidPlan(String),
+    /// The exhaustive search was asked for an unsupported instance.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
+            CoreError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<gbmqo_storage::StorageError> for CoreError {
+    fn from(e: gbmqo_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<gbmqo_exec::ExecError> for CoreError {
+    fn from(e: gbmqo_exec::ExecError) -> Self {
+        CoreError::Exec(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = gbmqo_storage::StorageError::TableNotFound("x".into()).into();
+        assert!(e.to_string().contains("table not found"));
+        let e: CoreError = gbmqo_exec::ExecError::Invalid("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(CoreError::InvalidPlan("p".into())
+            .to_string()
+            .contains("invalid plan"));
+    }
+}

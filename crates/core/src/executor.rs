@@ -1,0 +1,455 @@
+//! Plan execution: turning a [`LogicalPlan`] into Group By queries against
+//! the engine, exactly as the paper's client-side implementation does
+//! (§5.2): intermediates become `SELECT … INTO tmp`, queries over
+//! intermediates replace `COUNT(*)` with `SUM(cnt)`, and temp tables are
+//! dropped per the storage-minimizing schedule (§4.4).
+
+use crate::colset::ColSet;
+use crate::error::{CoreError, Result};
+use crate::plan::{LogicalPlan, NodeKind, SubNode};
+use crate::schedule::{schedule_plan, Step};
+use crate::workload::Workload;
+use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
+use gbmqo_storage::Table;
+use rustc_hash::FxHashMap;
+
+/// The outcome of executing a plan.
+#[derive(Debug)]
+pub struct ExecutionReport {
+    /// One result table per requested query.
+    pub results: Vec<(ColSet, Table)>,
+    /// Work performed.
+    pub metrics: ExecMetrics,
+    /// Peak bytes held in temp tables during execution.
+    pub peak_temp_bytes: usize,
+}
+
+/// Name of the temp table materializing a node.
+pub fn temp_name(cols: ColSet) -> String {
+    format!("__gbmqo_tmp_{:x}", cols.0)
+}
+
+/// Execute `plan` for `workload` against `engine`.
+///
+/// `size_estimate` guides the breadth-first/depth-first scheduling choice
+/// (§4.4.1); pass a cost model's `result_bytes` for faithful behaviour, or
+/// `None` for a neutral default.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
+) -> Result<ExecutionReport> {
+    plan.validate(workload)?;
+    engine.reset_metrics();
+
+    // Collect ROLLUP/CUBE nodes so their single step can deliver child
+    // results.
+    let mut special: FxHashMap<u128, &SubNode> = FxHashMap::default();
+    fn collect<'p>(n: &'p SubNode, out: &mut FxHashMap<u128, &'p SubNode>) {
+        if n.kind != NodeKind::GroupBy {
+            out.insert(n.cols.0, n);
+        }
+        for c in &n.children {
+            collect(c, out);
+        }
+    }
+    for sp in &plan.subplans {
+        collect(sp, &mut special);
+    }
+
+    let mut neutral = |_: ColSet| 1.0;
+    let d: &mut dyn FnMut(ColSet) -> f64 = match size_estimate {
+        Some(f) => f,
+        None => &mut neutral,
+    };
+    let steps = schedule_plan(plan, d);
+
+    let mut results: Vec<(ColSet, Table)> = Vec::new();
+    let mut extra = ExecMetrics::new();
+
+    for step in &steps {
+        match step {
+            Step::Drop(cols) => {
+                engine.drop_temp(&temp_name(*cols))?;
+            }
+            Step::Query {
+                source,
+                target,
+                materialize,
+                required,
+                kind,
+            } => {
+                let (input, aggs): (String, Vec<AggSpec>) = match source {
+                    None => (workload.table.clone(), workload.aggregates.clone()),
+                    Some(s) => (
+                        temp_name(*s),
+                        workload
+                            .aggregates
+                            .iter()
+                            .map(AggSpec::reaggregate)
+                            .collect(),
+                    ),
+                };
+                match kind {
+                    NodeKind::GroupBy => {
+                        let q = GroupByQuery {
+                            input,
+                            group_cols: workload
+                                .col_names(*target)
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
+                            aggs,
+                            into: materialize.then(|| temp_name(*target)),
+                        };
+                        let out = engine.run_group_by(&q)?;
+                        if *required {
+                            results.push((*target, out));
+                        }
+                    }
+                    NodeKind::Rollup => {
+                        let node = special
+                            .get(&target.0)
+                            .ok_or_else(|| CoreError::InvalidPlan("unknown rollup".into()))?;
+                        run_rollup(
+                            node,
+                            &input,
+                            workload,
+                            engine,
+                            &aggs,
+                            &mut results,
+                            &mut extra,
+                        )?;
+                    }
+                    NodeKind::Cube => {
+                        let node = special
+                            .get(&target.0)
+                            .ok_or_else(|| CoreError::InvalidPlan("unknown cube".into()))?;
+                        run_cube(
+                            node,
+                            &input,
+                            workload,
+                            engine,
+                            &aggs,
+                            &mut results,
+                            &mut extra,
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut metrics = engine.metrics();
+    metrics += extra;
+    Ok(ExecutionReport {
+        results,
+        metrics,
+        peak_temp_bytes: engine.catalog().accounting().peak_temp_bytes,
+    })
+}
+
+/// Column order over `node.cols` such that every child is a prefix
+/// (children must form a nested chain — validated by the plan).
+fn rollup_order(node: &SubNode) -> Vec<usize> {
+    let mut chain: Vec<ColSet> = node.children.iter().map(|c| c.cols).collect();
+    chain.sort_by_key(|s| s.len());
+    let mut order: Vec<usize> = Vec::with_capacity(node.cols.len());
+    let mut covered = ColSet::EMPTY;
+    for s in chain {
+        for b in s.difference(covered).iter() {
+            order.push(b);
+        }
+        covered = covered.union(s);
+    }
+    for b in node.cols.difference(covered).iter() {
+        order.push(b);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rollup(
+    node: &SubNode,
+    input: &str,
+    workload: &Workload,
+    engine: &mut Engine,
+    aggs: &[AggSpec],
+    results: &mut Vec<(ColSet, Table)>,
+    extra: &mut ExecMetrics,
+) -> Result<()> {
+    let order_bits = rollup_order(node);
+    let table = engine.catalog().table(input)?.clone();
+    let cols: Vec<usize> = order_bits
+        .iter()
+        .map(|&b| table.schema().index_of(&workload.column_names[b]))
+        .collect::<gbmqo_storage::Result<_>>()?;
+    let levels = rollup(&table, &cols, aggs, extra)?;
+    extra.queries_executed += 1;
+    // level i groups by order_bits[.. len-i]
+    let deliver = |cols_kept: usize| ColSet::from_cols(order_bits[..cols_kept].iter().copied());
+    if node.required {
+        results.push((node.cols, levels[0].clone()));
+    }
+    for child in &node.children {
+        debug_assert!(child.required);
+        let kept = child.cols.len();
+        let level_idx = order_bits.len() - kept;
+        debug_assert_eq!(deliver(kept), child.cols);
+        results.push((child.cols, levels[level_idx].clone()));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cube(
+    node: &SubNode,
+    input: &str,
+    workload: &Workload,
+    engine: &mut Engine,
+    aggs: &[AggSpec],
+    results: &mut Vec<(ColSet, Table)>,
+    extra: &mut ExecMetrics,
+) -> Result<()> {
+    let bits: Vec<usize> = node.cols.iter().collect();
+    let table = engine.catalog().table(input)?.clone();
+    let cols: Vec<usize> = bits
+        .iter()
+        .map(|&b| table.schema().index_of(&workload.column_names[b]))
+        .collect::<gbmqo_storage::Result<_>>()?;
+    let subsets = cube(&table, &cols, aggs, extra)?;
+    extra.queries_executed += 1;
+    let lookup = |set: ColSet| -> u32 {
+        let mut mask = 0u32;
+        for (i, &b) in bits.iter().enumerate() {
+            if set.contains(b) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+    if node.required {
+        let full = lookup(node.cols);
+        let t = &subsets
+            .iter()
+            .find(|(m, _)| *m == full)
+            .expect("full cube")
+            .1;
+        results.push((node.cols, t.clone()));
+    }
+    for child in &node.children {
+        let m = lookup(child.cols);
+        let t = &subsets
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .expect("cube subset")
+            .1;
+        results.push((child.cols, t.clone()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SubNode;
+    use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Value};
+
+    fn setup() -> (Engine, Workload) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..60).map(|i| i % 3).collect()),
+                Column::from_i64((0..60).map(|i| i % 6).collect()),
+                Column::from_i64((0..60).map(|i| i % 4).collect()),
+            ],
+        )
+        .unwrap();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("r", t).unwrap();
+        (Engine::new(cat), w)
+    }
+
+    fn norm(t: &Table) -> Vec<(Vec<Value>, i64)> {
+        let n = t.num_columns();
+        let mut v: Vec<(Vec<Value>, i64)> = (0..t.num_rows())
+            .map(|r| {
+                (
+                    (0..n - 1).map(|c| t.value(r, c)).collect(),
+                    t.value(r, n - 1).as_int().unwrap(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn naive_plan_produces_all_results() {
+        let (mut engine, w) = setup();
+        let plan = LogicalPlan::naive(&w);
+        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.peak_temp_bytes, 0);
+        // counts of (a): 3 groups of 20
+        let (_, ta) = report
+            .results
+            .iter()
+            .find(|(s, _)| *s == ColSet::single(0))
+            .unwrap();
+        assert_eq!(ta.num_rows(), 3);
+        assert_eq!(ta.value(0, 1), Value::Int(20));
+    }
+
+    #[test]
+    fn merged_plan_matches_naive_results() {
+        let (mut engine, w) = setup();
+        let naive = LogicalPlan::naive(&w);
+        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+
+        // merged: (a,b) → {a, b}; c direct
+        let merged = LogicalPlan {
+            subplans: vec![
+                SubNode::internal(
+                    ColSet::from_cols([0, 1]),
+                    vec![
+                        SubNode::leaf(ColSet::single(0)),
+                        SubNode::leaf(ColSet::single(1)),
+                    ],
+                ),
+                SubNode::leaf(ColSet::single(2)),
+            ],
+        };
+        let mr = execute_plan(&merged, &w, &mut engine, None).unwrap();
+        assert!(mr.peak_temp_bytes > 0);
+        // temp table is gone afterwards
+        assert_eq!(engine.catalog().accounting().current_temp_bytes, 0);
+        assert!(engine.catalog().temp_names().is_empty());
+
+        for (set, nt) in &nr.results {
+            let mt = &mr
+                .results
+                .iter()
+                .find(|(s, _)| s == set)
+                .expect("result present")
+                .1;
+            assert_eq!(norm(nt), norm(mt), "results differ for {set:?}");
+        }
+    }
+
+    #[test]
+    fn rollup_node_delivers_chain_results() {
+        let (mut engine, w0) = setup();
+        let w = Workload::new(
+            "r",
+            engine.catalog().table("r").unwrap(),
+            &["a", "b", "c"],
+            &[vec!["a"], vec!["a", "b"], vec!["a", "b", "c"]],
+        )
+        .unwrap();
+        drop(w0);
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1, 2]),
+                required: true,
+                kind: NodeKind::Rollup,
+                children: vec![
+                    SubNode::leaf(ColSet::from_cols([0, 1])),
+                    SubNode::leaf(ColSet::single(0)),
+                ],
+            }],
+        };
+        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        assert_eq!(report.results.len(), 3);
+        // verify (a) counts equal direct computation
+        let naive = LogicalPlan::naive(&w);
+        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+        for (set, nt) in &nr.results {
+            let rt = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
+            assert_eq!(norm(nt), norm(rt), "rollup result differs for {set:?}");
+        }
+    }
+
+    #[test]
+    fn cube_node_delivers_subset_results() {
+        let (mut engine, _) = setup();
+        let w = Workload::new(
+            "r",
+            engine.catalog().table("r").unwrap(),
+            &["a", "b"],
+            &[vec!["a"], vec!["b"], vec!["a", "b"]],
+        )
+        .unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1]),
+                required: true,
+                kind: NodeKind::Cube,
+                children: vec![
+                    SubNode::leaf(ColSet::single(0)),
+                    SubNode::leaf(ColSet::single(1)),
+                ],
+            }],
+        };
+        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        assert_eq!(report.results.len(), 3);
+        let naive = LogicalPlan::naive(&w);
+        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+        for (set, nt) in &nr.results {
+            let ct = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
+            assert_eq!(norm(nt), norm(ct), "cube result differs for {set:?}");
+        }
+    }
+
+    #[test]
+    fn deep_plans_reaggregate_transitively() {
+        // R → (a,b,c*) → (a,b) → (a); checks SUM(cnt) chains.
+        let (mut engine, _) = setup();
+        let w = Workload::new(
+            "r",
+            engine.catalog().table("r").unwrap(),
+            &["a", "b", "c"],
+            &[vec!["a"], vec!["a", "b", "c"]],
+        )
+        .unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1, 2]),
+                required: true,
+                kind: NodeKind::GroupBy,
+                children: vec![SubNode::internal(
+                    ColSet::from_cols([0, 1]),
+                    vec![SubNode::leaf(ColSet::single(0))],
+                )],
+            }],
+        };
+        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let (_, ta) = report
+            .results
+            .iter()
+            .find(|(s, _)| *s == ColSet::single(0))
+            .unwrap();
+        let total: i64 = (0..ta.num_rows())
+            .map(|r| ta.value(r, ta.num_columns() - 1).as_int().unwrap())
+            .sum();
+        assert_eq!(total, 60, "counts must sum to the table size");
+        assert_eq!(engine.catalog().accounting().current_temp_bytes, 0);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_before_execution() {
+        let (mut engine, w) = setup();
+        let bad = LogicalPlan {
+            subplans: vec![SubNode::leaf(ColSet::single(0))],
+        };
+        assert!(execute_plan(&bad, &w, &mut engine, None).is_err());
+    }
+}

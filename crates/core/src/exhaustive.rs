@@ -1,0 +1,290 @@
+//! Exhaustive optimal search for small instances (§6.3's oracle).
+//!
+//! For pairwise-disjoint inputs (the SC case), every useful logical plan
+//! is a laminar forest over the inputs: each internal node's column set is
+//! the union of the inputs below it (adding extra columns only raises the
+//! node's cardinality, and under both cost models that never helps), and
+//! each input appears as exactly one leaf. The optimal plan is therefore a
+//! minimum-cost recursive partition of the input set, found by a
+//! subset-partition dynamic program in `O(3^n)` — feasible for the
+//! paper's 7-column instances, far beyond that infeasible (which is the
+//! paper's point about exhaustive methods).
+
+use crate::colset::ColSet;
+use crate::coster::EdgeCoster;
+use crate::error::{CoreError, Result};
+use crate::plan::{LogicalPlan, SubNode};
+use crate::workload::Workload;
+use gbmqo_cost::CostModel;
+
+/// Maximum number of inputs the DP accepts (3^16 subproblem pairs).
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 16;
+
+/// Find the provably optimal logical plan for a workload of pairwise
+/// disjoint requests. Returns the plan and its cost.
+pub fn optimal_plan(workload: &Workload, model: &mut dyn CostModel) -> Result<(LogicalPlan, f64)> {
+    let n = workload.requests.len();
+    if n > MAX_EXHAUSTIVE_INPUTS {
+        return Err(CoreError::Unsupported(format!(
+            "exhaustive search supports at most {MAX_EXHAUSTIVE_INPUTS} inputs, got {n}"
+        )));
+    }
+    if !workload.is_non_overlapping() {
+        return Err(CoreError::Unsupported(
+            "exhaustive search requires pairwise-disjoint inputs".to_string(),
+        ));
+    }
+    let mut coster = EdgeCoster::new(model, workload.base_ordinals.clone());
+    let inputs = workload.requests.clone();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    let mut dp = Dp {
+        inputs,
+        node_memo: vec![None; (full as usize) + 1],
+        cover_memo: Default::default(),
+    };
+
+    // Top level: partition all inputs into sub-plans hanging off R.
+    let (cost, parts) = dp.best_cover(None, full, &mut coster);
+    let subplans: Vec<SubNode> = parts
+        .into_iter()
+        .map(|p| dp.build_node(p, &mut coster))
+        .collect();
+    let plan = LogicalPlan { subplans };
+    plan.validate(workload)?;
+    Ok((plan, cost))
+}
+
+struct Dp {
+    inputs: Vec<ColSet>,
+    /// `node_memo[mask]` = best cost of the subtree rooted at ∪(mask),
+    /// *excluding* the edge into the root. Only masks with ≥2 bits used.
+    node_memo: Vec<Option<(f64, Vec<u32>)>>,
+    /// `(parent colset or u128::MAX for base, remaining)` → best cost +
+    /// chosen parts.
+    cover_memo: rustc_hash::FxHashMap<(u128, u32), (f64, Vec<u32>)>,
+}
+
+impl Dp {
+    fn union_of(&self, mask: u32) -> ColSet {
+        let mut s = ColSet::EMPTY;
+        for (i, inp) in self.inputs.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                s = s.union(*inp);
+            }
+        }
+        s
+    }
+
+    /// Cost of hanging the part `p` off `parent` (`None` = base).
+    fn part_cost(&mut self, parent: Option<ColSet>, p: u32, coster: &mut EdgeCoster<'_>) -> f64 {
+        let cols = self.union_of(p);
+        if p.count_ones() == 1 {
+            coster.edge(parent, cols, false)
+        } else {
+            coster.edge(parent, cols, true) + self.node_cost(p, coster)
+        }
+    }
+
+    /// Best cost of the internal node ∪(mask) (≥2 inputs), excluding its
+    /// incoming edge: minimum over partitions of `mask` into ≥2 parts.
+    fn node_cost(&mut self, mask: u32, coster: &mut EdgeCoster<'_>) -> f64 {
+        if let Some((c, _)) = &self.node_memo[mask as usize] {
+            return *c;
+        }
+        let parent = self.union_of(mask);
+        let low = mask & mask.wrapping_neg();
+        let rest = mask & !low;
+        // First part: any submask containing `low`, strictly smaller than
+        // `mask` (a single part equal to the whole node is degenerate).
+        let mut best = f64::INFINITY;
+        let mut best_parts: Vec<u32> = Vec::new();
+        let mut sub = rest;
+        loop {
+            // first part = low | sub', where sub' ⊆ rest and ≠ rest
+            let first = low | sub;
+            if first != mask {
+                let remaining = mask & !first;
+                let c_first = self.part_cost(Some(parent), first, coster);
+                let (c_rest, mut parts) = self.best_cover(Some(parent), remaining, coster);
+                let total = c_first + c_rest;
+                if total < best {
+                    parts.insert(0, first);
+                    best = total;
+                    best_parts = parts;
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        self.node_memo[mask as usize] = Some((best, best_parts));
+        best
+    }
+
+    /// Best cost of covering `remaining` inputs with any number (≥1) of
+    /// parts hanging off `parent`.
+    fn best_cover(
+        &mut self,
+        parent: Option<ColSet>,
+        remaining: u32,
+        coster: &mut EdgeCoster<'_>,
+    ) -> (f64, Vec<u32>) {
+        if remaining == 0 {
+            return (0.0, Vec::new());
+        }
+        let key = (parent.map_or(u128::MAX, |p| p.0), remaining);
+        if let Some(v) = self.cover_memo.get(&key) {
+            return v.clone();
+        }
+        let low = remaining & remaining.wrapping_neg();
+        let rest = remaining & !low;
+        let mut best = f64::INFINITY;
+        let mut best_parts: Vec<u32> = Vec::new();
+        let mut sub = rest;
+        loop {
+            let part = low | sub;
+            let c_part = self.part_cost(parent, part, coster);
+            let (c_rest, mut parts) = self.best_cover(parent, remaining & !part, coster);
+            let total = c_part + c_rest;
+            if total < best {
+                parts.insert(0, part);
+                best = total;
+                best_parts = parts;
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        let result = (best, best_parts);
+        self.cover_memo.insert(key, result.clone());
+        result
+    }
+
+    /// Materialize the chosen structure for part `p` as a plan node.
+    fn build_node(&mut self, p: u32, coster: &mut EdgeCoster<'_>) -> SubNode {
+        if p.count_ones() == 1 {
+            let idx = p.trailing_zeros() as usize;
+            return SubNode::leaf(self.inputs[idx]);
+        }
+        // ensure memo is filled
+        self.node_cost(p, coster);
+        let parts = self.node_memo[p as usize]
+            .as_ref()
+            .expect("memo filled")
+            .1
+            .clone();
+        let children = parts
+            .into_iter()
+            .map(|q| self.build_node(q, coster))
+            .collect();
+        SubNode::internal(self.union_of(p), children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{GbMqo, SearchConfig};
+    use gbmqo_cost::CardinalityCostModel;
+    use gbmqo_stats::ExactSource;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn correlated_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let a: Vec<i64> = (0..200).map(|i| i % 4).collect();
+        let b: Vec<i64> = (0..200).map(|i| (i % 4) + 100).collect();
+        let c: Vec<i64> = (0..200).collect();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64(a),
+                Column::from_i64(b),
+                Column::from_i64(c),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimal_matches_hand_computed_plan() {
+        let t = correlated_table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let (plan, cost) = optimal_plan(&w, &mut model).unwrap();
+        // best: (a,b) from R [200], a,b from it [4+4], c from R [200] = 408
+        assert_eq!(cost, 408.0);
+        assert_eq!(plan.subplans.len(), 2);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..8 {
+            // random 5-column table with varied cardinalities
+            let n_rows = 300usize;
+            let cards = [2usize, 5, 10, 50, 300];
+            let cols: Vec<Column> = cards
+                .iter()
+                .map(|&c| {
+                    Column::from_i64((0..n_rows).map(|_| rng.gen_range(0..c as i64)).collect())
+                })
+                .collect();
+            let names = ["a", "b", "c", "d", "e"];
+            let schema = Schema::new(
+                names
+                    .iter()
+                    .map(|n| Field::new(*n, DataType::Int64))
+                    .collect(),
+            )
+            .unwrap();
+            let t = Table::new(schema, cols).unwrap();
+            let w = Workload::single_columns("r", &t, &names).unwrap();
+
+            let mut m1 = CardinalityCostModel::new(ExactSource::new(&t));
+            let (_, opt_cost) = optimal_plan(&w, &mut m1).unwrap();
+
+            let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
+            let (_, stats) = GbMqo::with_config(SearchConfig::default())
+                .optimize(&w, &mut m2)
+                .unwrap();
+
+            assert!(
+                opt_cost <= stats.final_cost + 1e-6,
+                "trial {trial}: optimal {opt_cost} > greedy {}",
+                stats.final_cost
+            );
+            assert!(opt_cost <= stats.naive_cost + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_overlapping_or_oversized_inputs() {
+        let t = correlated_table();
+        let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["a", "b"]]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        assert!(matches!(
+            optimal_plan(&w, &mut model),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn single_input_is_a_leaf() {
+        let t = correlated_table();
+        let w = Workload::single_columns("r", &t, &["a"]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let (plan, cost) = optimal_plan(&w, &mut model).unwrap();
+        assert_eq!(plan.node_count(), 1);
+        assert_eq!(cost, 200.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! §7.1: considering CUBE and ROLLUP nodes in the plan, as a cost-based
+//! post-pass over the greedy search's output.
+//!
+//! The paper proposes considering `CUBE(v1 ∪ v2)` / `ROLLUP(v1 ∪ v2)` as
+//! additional SubPlanMerge alternatives. We apply the equivalent
+//! transformation after the search converges: for every internal node
+//! whose children are leaves, compare the plain Group By tree against a
+//! ROLLUP (children form a nested chain) or CUBE (otherwise) evaluation
+//! of the same node, and keep whichever the cost model prefers.
+
+use crate::coster::EdgeCoster;
+use crate::plan::{LogicalPlan, NodeKind, SubNode};
+use crate::workload::Workload;
+use gbmqo_cost::CostModel;
+
+/// Maximum node width for which a CUBE alternative is considered
+/// (costing a cube enumerates all 2^k subsets).
+const MAX_CUBE_WIDTH: usize = 10;
+
+/// Apply the §7.1 rewriting. Returns the (possibly) rewritten plan and
+/// how many nodes were converted.
+pub fn cube_rollup_pass(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    model: &mut dyn CostModel,
+) -> (LogicalPlan, usize) {
+    let mut coster = EdgeCoster::new(model, workload.base_ordinals.clone());
+    let mut converted = 0usize;
+    let subplans = plan
+        .subplans
+        .iter()
+        .map(|sp| rewrite(sp, &mut coster, &mut converted))
+        .collect();
+    (LogicalPlan { subplans }, converted)
+}
+
+fn chain_nested(node: &SubNode) -> bool {
+    let mut sets: Vec<_> = node.children.iter().map(|c| c.cols).collect();
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut prev = node.cols;
+    for s in sets {
+        if !s.is_strict_subset_of(prev) {
+            return false;
+        }
+        prev = s;
+    }
+    true
+}
+
+fn rewrite(node: &SubNode, coster: &mut EdgeCoster<'_>, converted: &mut usize) -> SubNode {
+    let mut node = node.clone();
+    node.children = node
+        .children
+        .iter()
+        .map(|c| rewrite(c, coster, converted))
+        .collect();
+
+    let eligible = node.kind == NodeKind::GroupBy
+        && !node.children.is_empty()
+        && node
+            .children
+            .iter()
+            .all(|c| c.children.is_empty() && c.required);
+    if !eligible {
+        return node;
+    }
+
+    let plain_cost = node.subtree_cost(None, coster);
+    let mut best = node.clone();
+    let mut best_cost = plain_cost;
+
+    if chain_nested(&node) {
+        let mut alt = node.clone();
+        alt.kind = NodeKind::Rollup;
+        let c = alt.subtree_cost(None, coster);
+        if c < best_cost {
+            best = alt;
+            best_cost = c;
+        }
+    } else if node.cols.len() <= MAX_CUBE_WIDTH {
+        let mut alt = node.clone();
+        alt.kind = NodeKind::Cube;
+        let c = alt.subtree_cost(None, coster);
+        if c < best_cost {
+            best = alt;
+            best_cost = c;
+        }
+    }
+    if best.kind != NodeKind::GroupBy {
+        *converted += 1;
+    }
+    let _ = best_cost;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colset::ColSet;
+    use gbmqo_cost::IndexSnapshot;
+    use gbmqo_cost::{CostConstants, OptimizerCostModel};
+    use gbmqo_stats::ExactSource;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..500).map(|i| i % 5).collect()),
+                Column::from_i64((0..500).map(|i| i % 7).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_becomes_rollup_when_cheaper() {
+        // (a,b)* with required child (a): a classic ROLLUP A,B shape.
+        let t = table();
+        let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["a", "b"]]).unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1]),
+                required: true,
+                kind: NodeKind::GroupBy,
+                children: vec![SubNode::leaf(ColSet::single(0))],
+            }],
+        };
+        // Make materialization expensive so ROLLUP's pipelined levels win.
+        let constants = CostConstants {
+            byte_write: 10.0,
+            ..Default::default()
+        };
+        let mut model = OptimizerCostModel::new(ExactSource::new(&t), IndexSnapshot::none())
+            .with_constants(constants);
+        let (rewritten, converted) = cube_rollup_pass(&plan, &w, &mut model);
+        assert_eq!(converted, 1);
+        assert_eq!(rewritten.subplans[0].kind, NodeKind::Rollup);
+        rewritten.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn non_chain_considers_cube() {
+        // (a,b) with children (a) and (b): not nested → CUBE candidate.
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b"]).unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode::internal(
+                ColSet::from_cols([0, 1]),
+                vec![
+                    SubNode::leaf(ColSet::single(0)),
+                    SubNode::leaf(ColSet::single(1)),
+                ],
+            )],
+        };
+        let constants = CostConstants {
+            byte_write: 50.0,
+            ..Default::default()
+        };
+        let mut model = OptimizerCostModel::new(ExactSource::new(&t), IndexSnapshot::none())
+            .with_constants(constants);
+        let (rewritten, converted) = cube_rollup_pass(&plan, &w, &mut model);
+        if converted == 1 {
+            assert_eq!(rewritten.subplans[0].kind, NodeKind::Cube);
+        }
+        rewritten.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn cheap_materialization_keeps_group_by() {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b"]).unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode::internal(
+                ColSet::from_cols([0, 1]),
+                vec![
+                    SubNode::leaf(ColSet::single(0)),
+                    SubNode::leaf(ColSet::single(1)),
+                ],
+            )],
+        };
+        // Default constants: materialization of 35 rows is nearly free,
+        // while CUBE recomputes subsets — plain Group By should stay.
+        let mut model = OptimizerCostModel::new(ExactSource::new(&t), IndexSnapshot::none());
+        let (rewritten, _) = cube_rollup_pass(&plan, &w, &mut model);
+        rewritten.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn leaves_and_deep_nodes_untouched() {
+        let t = table();
+        let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["b"]]).unwrap();
+        let plan = LogicalPlan::naive(&w);
+        let mut model = OptimizerCostModel::new(ExactSource::new(&t), IndexSnapshot::none());
+        let (rewritten, converted) = cube_rollup_pass(&plan, &w, &mut model);
+        assert_eq!(converted, 0);
+        assert_eq!(rewritten, plan);
+    }
+}

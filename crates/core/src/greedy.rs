@@ -1,0 +1,431 @@
+//! The GB-MQO search algorithm (§4.2, Figure 5): greedy hill-climbing
+//! over sub-plan merges, with memoized pair evaluations and the two
+//! pruning techniques of §4.3.
+
+use crate::colset::ColSet;
+use crate::coster::EdgeCoster;
+use crate::error::Result;
+use crate::merge::sub_plan_merge;
+use crate::plan::{LogicalPlan, SubNode};
+use crate::schedule::min_storage;
+use crate::workload::Workload;
+use gbmqo_cost::CostModel;
+use rustc_hash::FxHashMap;
+
+/// Knobs of the search (each maps to a paper section/experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Restrict SubPlanMerge to type (b) — binary trees (§4.2, §6.5).
+    pub binary_only: bool,
+    /// Subsumption-based pruning (§4.3.1).
+    pub subsumption_pruning: bool,
+    /// Monotonicity-based pruning (§4.3.2).
+    pub monotonicity_pruning: bool,
+    /// Reject merges whose sub-plan needs more intermediate storage than
+    /// this many bytes (§4.4.2's constrained search).
+    pub max_intermediate_bytes: Option<f64>,
+    /// Minimum cost improvement to accept a merge.
+    pub epsilon: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            binary_only: false,
+            subsumption_pruning: false,
+            monotonicity_pruning: false,
+            max_intermediate_bytes: None,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The configuration the paper's main experiments run with: all merge
+    /// types, both pruning techniques on.
+    pub fn pruned() -> Self {
+        SearchConfig {
+            subsumption_pruning: true,
+            monotonicity_pruning: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Hill-climbing rounds until the local minimum.
+    pub rounds: u64,
+    /// Pair merges actually evaluated (cache misses).
+    pub merges_evaluated: u64,
+    /// Pairs skipped by subsumption pruning.
+    pub pruned_subsumption: u64,
+    /// Pairs skipped by monotonicity pruning.
+    pub pruned_monotonicity: u64,
+    /// Calls issued to the underlying cost model — the paper's "number of
+    /// calls to the query optimizer".
+    pub optimizer_calls: u64,
+    /// Cost of the naive plan.
+    pub naive_cost: f64,
+    /// Cost of the returned plan.
+    pub final_cost: f64,
+}
+
+struct Entry {
+    id: u64,
+    node: SubNode,
+    cost: f64,
+}
+
+/// The GB-MQO optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct GbMqo {
+    config: SearchConfig,
+}
+
+impl GbMqo {
+    /// Optimizer with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Optimizer with an explicit configuration.
+    pub fn with_config(config: SearchConfig) -> Self {
+        GbMqo { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Run the search of Figure 5: start from the naive plan and keep
+    /// applying the best cost-improving SubPlanMerge until none improves.
+    pub fn optimize(
+        &self,
+        workload: &Workload,
+        model: &mut dyn CostModel,
+    ) -> Result<(LogicalPlan, SearchStats)> {
+        let mut coster = EdgeCoster::new(model, workload.base_ordinals.clone());
+        let mut stats = SearchStats::default();
+
+        let mut next_id: u64 = 0;
+        let mut alloc_id = || {
+            let id = next_id;
+            next_id += 1;
+            id
+        };
+
+        // Step 1-2: the naive plan and its cost.
+        let mut entries: Vec<Entry> = workload
+            .requests
+            .iter()
+            .map(|&cols| {
+                let node = SubNode::leaf(cols);
+                let cost = node.subtree_cost(None, &mut coster);
+                Entry {
+                    id: alloc_id(),
+                    node,
+                    cost,
+                }
+            })
+            .collect();
+        stats.naive_cost = entries.iter().map(|e| e.cost).sum();
+
+        // Memo: best merge candidate per (id, id) pair. `None` = the pair
+        // has no admissible candidate.
+        let mut pair_cache: FxHashMap<(u64, u64), Option<(SubNode, f64)>> = FxHashMap::default();
+        // Monotonicity state: unions whose merge failed to improve.
+        let mut failed_unions: Vec<ColSet> = Vec::new();
+
+        loop {
+            stats.rounds += 1;
+            let unions: Vec<Vec<ColSet>> = if self.config.subsumption_pruning {
+                // For pruning we need all live pair unions.
+                let mut per_i = Vec::with_capacity(entries.len());
+                for i in 0..entries.len() {
+                    let mut row = Vec::with_capacity(entries.len());
+                    for j in 0..entries.len() {
+                        row.push(entries[i].node.cols.union(entries[j].node.cols));
+                    }
+                    per_i.push(row);
+                }
+                per_i
+            } else {
+                Vec::new()
+            };
+
+            let mut best: Option<(usize, usize, SubNode, f64)> = None;
+            for i in 0..entries.len() {
+                for j in i + 1..entries.len() {
+                    let key = pair_key(entries[i].id, entries[j].id);
+                    let cached = pair_cache.contains_key(&key);
+                    if !cached {
+                        let union = entries[i].node.cols.union(entries[j].node.cols);
+                        // Both pruning techniques reason about *introduced*
+                        // union nodes; a subsumption pair (one root contains
+                        // the other) introduces no new node and is always
+                        // evaluated (its merge is the CONT-style rewrite the
+                        // paper's §6.1 relies on).
+                        let subsuming = entries[i].node.cols.is_subset_of(entries[j].node.cols)
+                            || entries[j].node.cols.is_subset_of(entries[i].node.cols);
+                        if !subsuming {
+                            if self.config.monotonicity_pruning
+                                && failed_unions.iter().any(|f| f.is_subset_of(union))
+                            {
+                                stats.pruned_monotonicity += 1;
+                                continue;
+                            }
+                            if self.config.subsumption_pruning
+                                && dominated(&unions, i, j, union, entries.len())
+                            {
+                                stats.pruned_subsumption += 1;
+                                continue;
+                            }
+                        }
+                        let cand = self.evaluate_pair(
+                            &entries[i].node,
+                            &entries[j].node,
+                            &mut coster,
+                            &mut stats,
+                        );
+                        if self.config.monotonicity_pruning && !subsuming {
+                            let improves = cand.as_ref().is_some_and(|(_, cost)| {
+                                *cost < entries[i].cost + entries[j].cost - self.config.epsilon
+                            });
+                            if !improves {
+                                failed_unions.push(union);
+                            }
+                        }
+                        pair_cache.insert(key, cand);
+                    }
+                    if let Some(Some((node, cost))) = pair_cache.get(&key) {
+                        // Accept the pair with the largest cost improvement
+                        // (step 5 of Figure 5 picks the lowest-cost plan in
+                        // MP, which is the same thing).
+                        let improvement = (entries[i].cost + entries[j].cost) - cost;
+                        if improvement > self.config.epsilon {
+                            let current_best = best
+                                .as_ref()
+                                .map(|(bi, bj, _, bcost)| {
+                                    (entries[*bi].cost + entries[*bj].cost) - bcost
+                                })
+                                .unwrap_or(f64::NEG_INFINITY);
+                            if improvement > current_best {
+                                best = Some((i, j, node.clone(), *cost));
+                            }
+                        }
+                    }
+                }
+            }
+
+            match best {
+                None => break,
+                Some((i, j, node, cost)) => {
+                    // Replace entries i and j with the merged sub-plan.
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    entries.swap_remove(hi);
+                    entries.swap_remove(lo);
+                    entries.push(Entry {
+                        id: alloc_id(),
+                        node,
+                        cost,
+                    });
+                }
+            }
+        }
+
+        let plan = LogicalPlan {
+            subplans: entries.into_iter().map(|e| e.node).collect(),
+        };
+        // Edge costs are cached, so this recomputation issues no new
+        // optimizer calls.
+        stats.final_cost = plan.cost(&mut coster);
+        stats.optimizer_calls = coster.model_calls();
+        plan.validate(workload)?;
+        Ok((plan, stats))
+    }
+
+    /// Evaluate all merge candidates for a pair, returning the cheapest
+    /// admissible one and its cost.
+    fn evaluate_pair(
+        &self,
+        a: &SubNode,
+        b: &SubNode,
+        coster: &mut EdgeCoster<'_>,
+        stats: &mut SearchStats,
+    ) -> Option<(SubNode, f64)> {
+        stats.merges_evaluated += 1;
+        let mut best: Option<(SubNode, f64)> = None;
+        for cand in sub_plan_merge(a, b, self.config.binary_only) {
+            if let Some(limit) = self.config.max_intermediate_bytes {
+                let mut d = |s: ColSet| coster.result_bytes(s);
+                if min_storage(&cand, &mut d) > limit {
+                    continue;
+                }
+            }
+            let cost = cand.subtree_cost(None, coster);
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((cand, cost));
+            }
+        }
+        best
+    }
+}
+
+fn pair_key(a: u64, b: u64) -> (u64, u64) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Subsumption pruning (§4.3.1): pair (i,j) is dominated if some other
+/// live pair's union is a strict subset of (i,j)'s union.
+#[allow(clippy::needless_range_loop)] // index pairs are the clearer idiom here
+fn dominated(unions: &[Vec<ColSet>], i: usize, j: usize, union_ij: ColSet, n: usize) -> bool {
+    for x in 0..n {
+        for y in x + 1..n {
+            if (x, y) == (i, j) {
+                continue;
+            }
+            if unions[x][y].is_strict_subset_of(union_ij) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_cost::CardinalityCostModel;
+    use gbmqo_stats::ExactSource;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+
+    /// 100 rows; a,b correlated (joint distinct 5), c independent dense.
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let a: Vec<i64> = (0..100).map(|i| i % 5).collect();
+        let b: Vec<i64> = (0..100).map(|i| (i % 5) * 2).collect();
+        let c: Vec<i64> = (0..100).collect();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64(a),
+                Column::from_i64(b),
+                Column::from_i64(c),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn optimize(config: SearchConfig) -> (LogicalPlan, SearchStats, Workload) {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let (plan, stats) = GbMqo::with_config(config).optimize(&w, &mut model).unwrap();
+        (plan, stats, w)
+    }
+
+    #[test]
+    fn merges_correlated_columns_and_leaves_dense_alone() {
+        let (plan, stats, w) = optimize(SearchConfig::default());
+        plan.validate(&w).unwrap();
+        // Expected: (a,b) merged (joint 5 ≪ 100), c computed from R.
+        assert!(stats.final_cost < stats.naive_cost);
+        let merged = plan
+            .subplans
+            .iter()
+            .find(|sp| sp.cols == ColSet::from_cols([0, 1]))
+            .expect("a,b should merge: {plan:?}");
+        assert_eq!(merged.children.len(), 2);
+        assert!(plan
+            .subplans
+            .iter()
+            .any(|sp| sp.cols == ColSet::single(2) && sp.children.is_empty()));
+        // naive = 300 (3 scans); merged = 100 + 5 + 5 + 100 = 210
+        assert_eq!(stats.naive_cost, 300.0);
+        assert_eq!(stats.final_cost, 210.0);
+    }
+
+    #[test]
+    fn local_minimum_terminates() {
+        let (plan, stats, _) = optimize(SearchConfig::default());
+        assert!(stats.rounds >= 2);
+        assert!(plan.node_count() >= 3);
+    }
+
+    #[test]
+    fn binary_only_still_finds_the_merge() {
+        let (plan, stats, w) = optimize(SearchConfig {
+            binary_only: true,
+            ..Default::default()
+        });
+        plan.validate(&w).unwrap();
+        assert_eq!(stats.final_cost, 210.0);
+    }
+
+    #[test]
+    fn pruning_preserves_result_on_disjoint_single_columns() {
+        // §4.3 soundness: with the cardinality model and binary merges,
+        // pruning must not change the found plan's cost.
+        let base = SearchConfig {
+            binary_only: true,
+            ..Default::default()
+        };
+        let (_, stats_plain, _) = optimize(base.clone());
+        let (_, stats_pruned, _) = optimize(SearchConfig {
+            subsumption_pruning: true,
+            monotonicity_pruning: true,
+            ..base
+        });
+        assert_eq!(stats_plain.final_cost, stats_pruned.final_cost);
+        assert!(stats_pruned.merges_evaluated <= stats_plain.merges_evaluated);
+    }
+
+    #[test]
+    fn optimizer_call_counting() {
+        let (_, stats, _) = optimize(SearchConfig::default());
+        assert!(stats.optimizer_calls > 0);
+        assert!(stats.merges_evaluated > 0);
+    }
+
+    #[test]
+    fn storage_constraint_forbids_merging() {
+        // With a zero-byte budget no intermediate can be materialized:
+        // the search must return the naive plan.
+        let (plan, stats, w) = optimize(SearchConfig {
+            max_intermediate_bytes: Some(0.0),
+            ..Default::default()
+        });
+        plan.validate(&w).unwrap();
+        assert_eq!(plan.node_count(), 3);
+        assert_eq!(stats.final_cost, stats.naive_cost);
+    }
+
+    #[test]
+    fn subsumption_inputs_collapse() {
+        // requests: (a), (a,b) → optimizer should compute (a) from (a,b)
+        let t = table();
+        let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["a", "b"]]).unwrap();
+        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
+        let (plan, stats) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        plan.validate(&w).unwrap();
+        assert_eq!(plan.subplans.len(), 1);
+        let root = &plan.subplans[0];
+        assert_eq!(root.cols, ColSet::from_cols([0, 1]));
+        assert!(root.required);
+        assert_eq!(root.children.len(), 1);
+        // naive: 200; merged: R→ab (100) + ab→a (5) = 105
+        assert_eq!(stats.final_cost, 105.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! # gbmqo-core
+//!
+//! A from-scratch Rust reproduction of **"Efficient Computation of
+//! Multiple Group By Queries"** (Zhimin Chen & Vivek Narasayya, SIGMOD
+//! 2005): cost-based multi-query optimization for sets of Group By
+//! queries over one relation (the **GB-MQO** problem).
+//!
+//! The problem: given a relation `R` and requested Group Bys
+//! `S = {s1..sn}`, find a tree of Group By queries rooted at `R`
+//! (intermediate results materialized as temp tables) that computes all
+//! of `S` at minimum cost. Even the all-single-column case is
+//! NP-complete, and the search DAG is exponential — so the paper's
+//! algorithm climbs bottom-up from the naive plan by greedily merging
+//! sub-plans, never building the full lattice.
+//!
+//! Map of the crate (paper section → module):
+//!
+//! * §3.1 search DAG nodes → [`colset`], problem input → [`workload`],
+//!   logical plans → [`plan`]
+//! * §3.2 cost models → the `gbmqo-cost` crate, adapted via [`coster`]
+//! * §4.1 SubPlanMerge → [`merge`]
+//! * §4.2 greedy algorithm → [`greedy`] ([`GbMqo`])
+//! * §4.3 pruning → [`greedy::SearchConfig`] flags
+//! * §4.4 storage-minimizing scheduling → [`schedule`]
+//! * §5.1 server-side execution (shared scans) and the GROUPING SETS
+//!   union-all facade → [`api`]
+//! * §5.1.1 GROUPING SETS over joins (Grp-Tag) → [`join_pushdown`]
+//! * §5.2 client-side execution → [`executor`], SQL rendering → [`sql`]
+//! * §6.1 commercial GROUPING SETS baseline → [`grouping_sets`]
+//! * §6.3 exhaustive optimum → [`exhaustive`]
+//! * §7.1 CUBE/ROLLUP nodes → [`extensions`]
+//! * §7.2 other aggregates → [`workload::Workload::with_aggregates`]
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gbmqo_core::prelude::*;
+//! use gbmqo_cost::CardinalityCostModel;
+//! use gbmqo_stats::ExactSource;
+//! use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Table};
+//!
+//! // a tiny relation R(a, b, c)
+//! let schema = Schema::new(vec![
+//!     Field::new("a", DataType::Int64),
+//!     Field::new("b", DataType::Int64),
+//!     Field::new("c", DataType::Int64),
+//! ]).unwrap();
+//! let table = Table::new(schema, vec![
+//!     Column::from_i64((0..100).map(|i| i % 4).collect()),
+//!     Column::from_i64((0..100).map(|i| (i % 4) * 10).collect()),
+//!     Column::from_i64((0..100).collect()),
+//! ]).unwrap();
+//!
+//! // ask for every single-column Group By (the paper's SC workload)
+//! let workload = Workload::single_columns("r", &table, &["a", "b", "c"]).unwrap();
+//!
+//! // optimize under the cardinality cost model with exact statistics
+//! let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+//! let (plan, stats) = GbMqo::new().optimize(&workload, &mut model).unwrap();
+//! assert!(stats.final_cost <= stats.naive_cost);
+//!
+//! // run it
+//! let mut catalog = Catalog::new();
+//! catalog.register("r", table).unwrap();
+//! let mut engine = gbmqo_exec::Engine::new(catalog);
+//! let report = execute_plan(&plan, &workload, &mut engine, None).unwrap();
+//! assert_eq!(report.results.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod api;
+pub mod colset;
+pub mod coster;
+pub mod error;
+pub mod executor;
+pub mod exhaustive;
+pub mod explain;
+pub mod extensions;
+pub mod greedy;
+pub mod grouping_sets;
+pub mod join_pushdown;
+pub mod merge;
+pub mod parse;
+pub mod plan;
+pub mod schedule;
+pub mod serialize;
+pub mod sql;
+pub mod workload;
+
+pub use advisor::{recommend_indexes, IndexRecommendation};
+pub use api::{execute_grouping_sets, ExecutionMode, GroupingSetsResult};
+pub use colset::ColSet;
+pub use error::{CoreError, Result};
+pub use executor::{execute_plan, ExecutionReport};
+pub use exhaustive::optimal_plan;
+pub use explain::{explain, render_explain, ExplainedEdge};
+pub use extensions::cube_rollup_pass;
+pub use greedy::{GbMqo, SearchConfig, SearchStats};
+pub use grouping_sets::{grouping_sets_plan, BaselineKind};
+pub use join_pushdown::grouping_sets_over_join;
+pub use parse::parse_grouping_sets;
+pub use plan::{LogicalPlan, NodeKind, SubNode};
+pub use serialize::{plan_from_text, plan_to_text};
+pub use sql::render_sql;
+pub use workload::Workload;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::colset::ColSet;
+    pub use crate::executor::{execute_plan, ExecutionReport};
+    pub use crate::greedy::{GbMqo, SearchConfig, SearchStats};
+    pub use crate::plan::{LogicalPlan, SubNode};
+    pub use crate::workload::Workload;
+}

@@ -1,0 +1,256 @@
+//! The SubPlanMerge operator (§4.1, Figure 4).
+//!
+//! Merging two sub-plans rooted at `v1` and `v2` introduces the node
+//! `v1 ∪ v2` — "the smallest relation from which both v1 and v2 can be
+//! computed" — and yields up to four alternatives:
+//!
+//! * **(a)** drop both roots: the children of `v1` and `v2` hang directly
+//!   off `v1 ∪ v2` (legal only when neither root is required),
+//! * **(b)** keep both roots as children of `v1 ∪ v2`,
+//! * **(c)** keep `v1`, drop `v2` (legal when `v2` is not required),
+//! * **(d)** keep `v2`, drop `v1` (legal when `v1` is not required).
+//!
+//! When one root subsumes the other (`v2 ⊆ v1`), (b)–(d) degenerate into
+//! computing `v2` from `v1` (keeping or dropping `v2`'s node). The
+//! binary-tree restriction of §4.2 corresponds to producing only type (b).
+
+use crate::colset::ColSet;
+use crate::plan::{NodeKind, SubNode};
+
+/// Append `node` to `children`, merging with an existing child that has
+/// the same column set (required flags OR; children union recursively).
+fn merge_into_children(children: &mut Vec<SubNode>, node: SubNode) {
+    if let Some(existing) = children.iter_mut().find(|c| c.cols == node.cols) {
+        existing.required |= node.required;
+        for ch in node.children {
+            merge_into_children(&mut existing.children, ch);
+        }
+    } else {
+        children.push(node);
+    }
+}
+
+fn with_children(cols: ColSet, required: bool, parts: Vec<Vec<SubNode>>) -> SubNode {
+    let mut children: Vec<SubNode> = Vec::new();
+    for part in parts {
+        for node in part {
+            merge_into_children(&mut children, node);
+        }
+    }
+    SubNode {
+        cols,
+        required,
+        kind: NodeKind::GroupBy,
+        children,
+    }
+}
+
+/// Candidate merged sub-plans for the pair `(p1, p2)`.
+///
+/// With `binary_only` set, only the type-(b) alternative (or its
+/// subsumption degeneration) is produced — the restricted search space of
+/// §4.2 whose impact §6.5 measures.
+pub fn sub_plan_merge(p1: &SubNode, p2: &SubNode, binary_only: bool) -> Vec<SubNode> {
+    let mut out: Vec<SubNode> = Vec::new();
+
+    // Identical roots: one node carrying both sub-plans.
+    if p1.cols == p2.cols {
+        out.push(with_children(
+            p1.cols,
+            p1.required || p2.required,
+            vec![p1.children.clone(), p2.children.clone()],
+        ));
+        return out;
+    }
+
+    // Subsumption: compute the smaller root from the larger.
+    if p2.cols.is_strict_subset_of(p1.cols) || p1.cols.is_strict_subset_of(p2.cols) {
+        let (big, small) = if p2.cols.is_strict_subset_of(p1.cols) {
+            (p1, p2)
+        } else {
+            (p2, p1)
+        };
+        // Degenerate (b): small becomes a child of big.
+        out.push(with_children(
+            big.cols,
+            big.required,
+            vec![big.children.clone(), vec![small.clone()]],
+        ));
+        // Degenerate (a/c): drop small's node, its children hang off big.
+        if !binary_only && !small.required && !small.children.is_empty() {
+            out.push(with_children(
+                big.cols,
+                big.required,
+                vec![big.children.clone(), small.children.clone()],
+            ));
+        }
+        return out;
+    }
+
+    let union = p1.cols.union(p2.cols);
+    // (b) keep both.
+    out.push(with_children(
+        union,
+        false,
+        vec![vec![p1.clone()], vec![p2.clone()]],
+    ));
+    if binary_only {
+        return out;
+    }
+    // (a) drop both.
+    if !p1.required && !p2.required {
+        out.push(with_children(
+            union,
+            false,
+            vec![p1.children.clone(), p2.children.clone()],
+        ));
+    }
+    // (c) keep v1, drop v2.
+    if !p2.required {
+        out.push(with_children(
+            union,
+            false,
+            vec![vec![p1.clone()], p2.children.clone()],
+        ));
+    }
+    // (d) keep v2, drop v1.
+    if !p1.required {
+        out.push(with_children(
+            union,
+            false,
+            vec![vec![p2.clone()], p1.children.clone()],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SubNode;
+
+    fn leaf(bits: &[usize]) -> SubNode {
+        SubNode::leaf(ColSet::from_cols(bits.iter().copied()))
+    }
+
+    fn internal(bits: &[usize], children: Vec<SubNode>) -> SubNode {
+        SubNode::internal(ColSet::from_cols(bits.iter().copied()), children)
+    }
+
+    #[test]
+    fn disjoint_leaves_produce_only_type_b() {
+        let a = leaf(&[0]);
+        let b = leaf(&[1]);
+        // both roots required ⇒ (a)/(c)/(d) are illegal, only (b) remains
+        let cands = sub_plan_merge(&a, &b, false);
+        assert_eq!(cands.len(), 1);
+        let m = &cands[0];
+        assert_eq!(m.cols, ColSet::from_cols([0, 1]));
+        assert!(!m.required);
+        assert_eq!(m.children.len(), 2);
+        assert!(m.children.iter().all(|c| c.required));
+    }
+
+    #[test]
+    fn non_required_roots_enable_a_c_d() {
+        // p1 = internal (0,1) with leaves 0,1 ; p2 = internal (2,3) with leaves 2,3
+        let p1 = internal(&[0, 1], vec![leaf(&[0]), leaf(&[1])]);
+        let p2 = internal(&[2, 3], vec![leaf(&[2]), leaf(&[3])]);
+        let cands = sub_plan_merge(&p1, &p2, false);
+        // (b), (a), (c), (d)
+        assert_eq!(cands.len(), 4);
+        let union = ColSet::from_cols([0, 1, 2, 3]);
+        assert!(cands.iter().all(|c| c.cols == union));
+        let child_counts: Vec<usize> = cands.iter().map(|c| c.children.len()).collect();
+        // (b): 2 children; (a): 4 leaves; (c): p1 + 2 leaves = 3; (d): 3
+        assert!(child_counts.contains(&2));
+        assert!(child_counts.contains(&4));
+        assert_eq!(child_counts.iter().filter(|&&c| c == 3).count(), 2);
+    }
+
+    #[test]
+    fn binary_only_restricts_to_b() {
+        let p1 = internal(&[0, 1], vec![leaf(&[0]), leaf(&[1])]);
+        let p2 = internal(&[2, 3], vec![leaf(&[2]), leaf(&[3])]);
+        let cands = sub_plan_merge(&p1, &p2, true);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].children.len(), 2);
+    }
+
+    #[test]
+    fn subsumption_degenerates() {
+        // v1 = (0,1) required, v2 = (0) required: compute (0) from (0,1)
+        let big = leaf(&[0, 1]);
+        let small = leaf(&[0]);
+        let cands = sub_plan_merge(&big, &small, false);
+        assert_eq!(cands.len(), 1);
+        let m = &cands[0];
+        assert_eq!(m.cols, ColSet::from_cols([0, 1]));
+        assert!(m.required, "the subsuming root stays required");
+        assert_eq!(m.children.len(), 1);
+        assert_eq!(m.children[0].cols, ColSet::single(0));
+
+        // argument order must not matter
+        let cands2 = sub_plan_merge(&small, &big, false);
+        assert_eq!(cands, cands2);
+    }
+
+    #[test]
+    fn subsumption_with_droppable_inner_node() {
+        // big = (0,1,2) required; small = internal (0,1) with leaves 0,1
+        let big = leaf(&[0, 1, 2]);
+        let small = internal(&[0, 1], vec![leaf(&[0]), leaf(&[1])]);
+        let cands = sub_plan_merge(&big, &small, false);
+        assert_eq!(cands.len(), 2);
+        // keep: (0,1) child with its 2 leaves
+        assert!(cands.iter().any(|c| c.children.len() == 1
+            && c.children[0].cols == ColSet::from_cols([0, 1])
+            && c.children[0].children.len() == 2));
+        // drop: leaves 0,1 directly under (0,1,2)
+        assert!(cands
+            .iter()
+            .any(|c| c.children.len() == 2 && c.children.iter().all(|x| x.children.is_empty())));
+    }
+
+    #[test]
+    fn equal_roots_merge_children_and_requiredness() {
+        let p1 = internal(&[0, 1], vec![leaf(&[0])]);
+        let mut p2 = internal(&[0, 1], vec![leaf(&[1])]);
+        p2.required = true;
+        let cands = sub_plan_merge(&p1, &p2, false);
+        assert_eq!(cands.len(), 1);
+        let m = &cands[0];
+        assert!(m.required);
+        assert_eq!(m.children.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_children_are_coalesced() {
+        // both sub-plans carry a leaf (0): merging must not duplicate it
+        let p1 = internal(&[0, 1], vec![leaf(&[0]), leaf(&[1])]);
+        let p2 = internal(&[0, 2], vec![leaf(&[0]), leaf(&[2])]);
+        let cands = sub_plan_merge(&p1, &p2, false);
+        // type (a) exists (both roots unrequired): children = {0,1,0,2} → 3
+        let a = cands
+            .iter()
+            .find(|c| c.children.iter().all(|x| x.children.is_empty()))
+            .expect("type (a) candidate");
+        assert_eq!(a.children.len(), 3);
+    }
+
+    #[test]
+    fn merge_preserves_required_below() {
+        let p1 = internal(&[0, 1], vec![leaf(&[0]), leaf(&[1])]);
+        let p2 = leaf(&[2]);
+        for cand in sub_plan_merge(&p1, &p2, false) {
+            let mut req = Vec::new();
+            cand.collect_required(&mut req);
+            req.sort();
+            assert_eq!(
+                req,
+                vec![ColSet::single(0), ColSet::single(1), ColSet::single(2)],
+                "candidate lost required nodes: {cand:?}"
+            );
+        }
+    }
+}

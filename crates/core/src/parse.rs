@@ -1,0 +1,233 @@
+//! A small parser for GROUPING SETS specifications.
+//!
+//! Lets applications (and the CLI) state workloads the way the paper's
+//! §1 examples do:
+//!
+//! ```text
+//! GROUPING SETS ((a), (b), (c), (a, c))
+//! ((a), (b), (a, c))
+//! a, b, c                 — shorthand for all single-column sets
+//! ```
+
+use crate::error::{CoreError, Result};
+
+/// Parse a GROUPING SETS specification into lists of column names.
+///
+/// Accepted forms (case-insensitive keyword, whitespace-insensitive):
+/// * `GROUPING SETS ((a), (b,c))` — the SQL construct,
+/// * `((a), (b,c))` — just the set list,
+/// * `a, b, c` — bare names, shorthand for single-column sets.
+///
+/// ```
+/// let sets = gbmqo_core::parse_grouping_sets("GROUPING SETS ((a), (b, c))").unwrap();
+/// assert_eq!(sets, vec![vec!["a".to_string()], vec!["b".into(), "c".into()]]);
+/// ```
+pub fn parse_grouping_sets(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut s = input.trim();
+    let upper = s.to_ascii_uppercase();
+    if let Some(rest) = upper.strip_prefix("GROUPING") {
+        let rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("SETS") {
+            let skip = s.len() - after.len();
+            s = s[skip..].trim();
+        } else {
+            return Err(CoreError::InvalidWorkload(
+                "expected `SETS` after `GROUPING`".to_string(),
+            ));
+        }
+    }
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(CoreError::InvalidWorkload(
+            "empty grouping sets".to_string(),
+        ));
+    }
+
+    if !s.starts_with('(') {
+        // Bare column list: one single-column set per name.
+        return s
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                if name.is_empty() || !is_identifier(name) {
+                    Err(CoreError::InvalidWorkload(format!(
+                        "invalid column name: {name:?}"
+                    )))
+                } else {
+                    Ok(vec![name.to_string()])
+                }
+            })
+            .collect();
+    }
+
+    // Outer parenthesized list of parenthesized sets.
+    let inner = strip_outer_parens(s)?;
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut saw_set = false;
+    for ch in inner.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                if depth == 1 {
+                    current.clear();
+                    saw_set = true;
+                    continue;
+                }
+                return Err(CoreError::InvalidWorkload(
+                    "nested parentheses inside a grouping set".to_string(),
+                ));
+            }
+            ')' => {
+                if depth == 0 {
+                    return Err(CoreError::InvalidWorkload("unbalanced `)`".to_string()));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let cols: Vec<String> = current
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|c| !c.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if cols.is_empty() {
+                        return Err(CoreError::InvalidWorkload(
+                            "empty grouping set `()`".to_string(),
+                        ));
+                    }
+                    for c in &cols {
+                        if !is_identifier(c) {
+                            return Err(CoreError::InvalidWorkload(format!(
+                                "invalid column name: {c:?}"
+                            )));
+                        }
+                    }
+                    sets.push(cols);
+                }
+            }
+            ',' if depth == 0 => {}
+            c if depth == 1 => current.push(c),
+            c if c.is_whitespace() => {}
+            c => {
+                return Err(CoreError::InvalidWorkload(format!(
+                    "unexpected character {c:?} between grouping sets"
+                )))
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(CoreError::InvalidWorkload("unbalanced `(`".to_string()));
+    }
+    if !saw_set || sets.is_empty() {
+        return Err(CoreError::InvalidWorkload(
+            "no grouping sets found".to_string(),
+        ));
+    }
+    Ok(sets)
+}
+
+fn strip_outer_parens(s: &str) -> Result<&str> {
+    let s = s.trim();
+    if !s.starts_with('(') || !s.ends_with(')') {
+        return Err(CoreError::InvalidWorkload(
+            "grouping sets must be parenthesized".to_string(),
+        ));
+    }
+    // Confirm the first '(' matches the final ')'.
+    let mut depth = 0i64;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 && i != s.len() - 1 {
+                    return Err(CoreError::InvalidWorkload(
+                        "expected a single parenthesized list of sets".to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(CoreError::InvalidWorkload(
+            "unbalanced parentheses".to_string(),
+        ));
+    }
+    Ok(&s[1..s.len() - 1])
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(sets: &[&[&str]]) -> Vec<Vec<String>> {
+        sets.iter()
+            .map(|s| s.iter().map(|c| c.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parses_full_grouping_sets_syntax() {
+        let got = parse_grouping_sets("GROUPING SETS ((a), (b), (c), (a, c))").unwrap();
+        assert_eq!(got, owned(&[&["a"], &["b"], &["c"], &["a", "c"]]));
+    }
+
+    #[test]
+    fn parses_bare_set_list_and_keyword_case() {
+        let got = parse_grouping_sets("grouping sets ((x,y))").unwrap();
+        assert_eq!(got, owned(&[&["x", "y"]]));
+        let got = parse_grouping_sets("((a),(b))").unwrap();
+        assert_eq!(got, owned(&[&["a"], &["b"]]));
+    }
+
+    #[test]
+    fn parses_bare_column_shorthand() {
+        let got = parse_grouping_sets("a, b, l_shipdate").unwrap();
+        assert_eq!(got, owned(&[&["a"], &["b"], &["l_shipdate"]]));
+    }
+
+    #[test]
+    fn whitespace_is_irrelevant() {
+        let got = parse_grouping_sets("  (( a ,b ) , ( c ))  ").unwrap();
+        assert_eq!(got, owned(&[&["a", "b"], &["c"]]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "GROUPING ((a))",
+            "((a)",
+            "((a)))",
+            "(())",
+            "((a,(b)))",
+            "((a)) extra",
+            "((1abc))",
+            "((a b))",
+            "a,,b",
+        ] {
+            assert!(
+                parse_grouping_sets(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn identifier_rules() {
+        assert!(is_identifier("l_shipdate"));
+        assert!(is_identifier("t.col"));
+        assert!(!is_identifier("1col"));
+        assert!(!is_identifier("a b"));
+        assert!(!is_identifier(""));
+    }
+}

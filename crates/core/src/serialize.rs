@@ -1,0 +1,233 @@
+//! A compact, dependency-free text format for logical plans, so
+//! applications can persist an optimized plan and replay it later
+//! (e.g. the nightly data-quality job re-runs yesterday's plan without
+//! re-optimizing).
+//!
+//! Format: one node per line, `<depth> <kind> <required> <colset-hex>`,
+//! pre-order; a header line carries the format version.
+//!
+//! ```
+//! use gbmqo_core::plan::{LogicalPlan, SubNode};
+//! use gbmqo_core::ColSet;
+//!
+//! let plan = LogicalPlan {
+//!     subplans: vec![SubNode::internal(
+//!         ColSet::from_cols([0, 1]),
+//!         vec![SubNode::leaf(ColSet::single(0)), SubNode::leaf(ColSet::single(1))],
+//!     )],
+//! };
+//! let text = gbmqo_core::serialize::plan_to_text(&plan);
+//! let back = gbmqo_core::serialize::plan_from_text(&text).unwrap();
+//! assert_eq!(plan, back);
+//! ```
+
+use crate::colset::ColSet;
+use crate::error::{CoreError, Result};
+use crate::plan::{LogicalPlan, NodeKind, SubNode};
+use std::fmt::Write as _;
+
+const HEADER: &str = "gbmqo-plan v1";
+
+/// Serialize a plan to the compact text format.
+pub fn plan_to_text(plan: &LogicalPlan) -> String {
+    fn emit(n: &SubNode, depth: usize, out: &mut String) {
+        let kind = match n.kind {
+            NodeKind::GroupBy => "g",
+            NodeKind::Rollup => "r",
+            NodeKind::Cube => "c",
+        };
+        let _ = writeln!(
+            out,
+            "{depth} {kind} {} {:x}",
+            u8::from(n.required),
+            n.cols.0
+        );
+        for c in &n.children {
+            emit(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for sp in &plan.subplans {
+        emit(sp, 0, &mut out);
+    }
+    out
+}
+
+/// Parse a plan from the compact text format.
+pub fn plan_from_text(text: &str) -> Result<LogicalPlan> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => {
+            return Err(CoreError::InvalidPlan(format!(
+                "bad plan header: {other:?} (expected {HEADER:?})"
+            )))
+        }
+    }
+
+    struct Parsed {
+        depth: usize,
+        node: SubNode,
+    }
+    let mut flat: Vec<Parsed> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let mut parts = line.split_whitespace();
+        let (depth, kind, required, cols) =
+            (parts.next(), parts.next(), parts.next(), parts.next());
+        let (Some(depth), Some(kind), Some(required), Some(cols), None) =
+            (depth, kind, required, cols, parts.next())
+        else {
+            return Err(CoreError::InvalidPlan(format!(
+                "line {}: expected `<depth> <kind> <required> <colset>`",
+                i + 2
+            )));
+        };
+        let depth: usize = depth
+            .parse()
+            .map_err(|e| CoreError::InvalidPlan(format!("line {}: depth: {e}", i + 2)))?;
+        let kind = match kind {
+            "g" => NodeKind::GroupBy,
+            "r" => NodeKind::Rollup,
+            "c" => NodeKind::Cube,
+            other => {
+                return Err(CoreError::InvalidPlan(format!(
+                    "line {}: unknown node kind {other:?}",
+                    i + 2
+                )))
+            }
+        };
+        let required = match required {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(CoreError::InvalidPlan(format!(
+                    "line {}: required flag {other:?}",
+                    i + 2
+                )))
+            }
+        };
+        let cols = u128::from_str_radix(cols, 16)
+            .map_err(|e| CoreError::InvalidPlan(format!("line {}: colset: {e}", i + 2)))?;
+        flat.push(Parsed {
+            depth,
+            node: SubNode {
+                cols: ColSet(cols),
+                required,
+                kind,
+                children: Vec::new(),
+            },
+        });
+    }
+
+    // Rebuild the forest from the pre-order depth sequence.
+    let mut plan = LogicalPlan {
+        subplans: Vec::new(),
+    };
+    // stack of (depth, path index within the tree being built)
+    let mut stack: Vec<usize> = Vec::new(); // depths currently open
+    let mut paths: Vec<Vec<usize>> = Vec::new(); // child-index path per open depth
+    for p in flat {
+        if p.depth > stack.len() {
+            return Err(CoreError::InvalidPlan(format!(
+                "node at depth {} follows depth {}",
+                p.depth,
+                stack.len().saturating_sub(1)
+            )));
+        }
+        stack.truncate(p.depth);
+        paths.truncate(p.depth);
+        if p.depth == 0 {
+            plan.subplans.push(p.node);
+            stack.push(0);
+            paths.push(vec![plan.subplans.len() - 1]);
+        } else {
+            // walk to the parent via the recorded path
+            let path = paths[p.depth - 1].clone();
+            let mut node: &mut SubNode = &mut plan.subplans[path[0]];
+            for &ix in &path[1..] {
+                node = &mut node.children[ix];
+            }
+            node.children.push(p.node);
+            let mut child_path = path;
+            child_path.push(node.children.len() - 1);
+            stack.push(p.depth);
+            paths.push(child_path);
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> LogicalPlan {
+        LogicalPlan {
+            subplans: vec![
+                SubNode {
+                    cols: ColSet::from_cols([0, 1, 2]),
+                    required: true,
+                    kind: NodeKind::GroupBy,
+                    children: vec![
+                        SubNode::internal(
+                            ColSet::from_cols([0, 1]),
+                            vec![SubNode::leaf(ColSet::single(0))],
+                        ),
+                        SubNode::leaf(ColSet::single(2)),
+                    ],
+                },
+                SubNode {
+                    cols: ColSet::from_cols([3, 4]),
+                    required: false,
+                    kind: NodeKind::Rollup,
+                    children: vec![SubNode::leaf(ColSet::single(3))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let plan = sample_plan();
+        let text = plan_to_text(&plan);
+        let back = plan_from_text(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(plan_from_text("").is_err());
+        assert!(plan_from_text("wrong header\n0 g 1 1\n").is_err());
+        for bad_line in [
+            "0 g 1",    // missing colset
+            "0 x 1 1",  // bad kind
+            "0 g 2 1",  // bad required
+            "0 g 1 zz", // bad hex
+            "2 g 1 1",  // depth jump
+            "0 g 1 1 extra",
+        ] {
+            let text = format!("gbmqo-plan v1\n{bad_line}\n");
+            assert!(plan_from_text(&text).is_err(), "{bad_line:?}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = LogicalPlan { subplans: vec![] };
+        assert_eq!(plan_from_text(&plan_to_text(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn deep_chains_roundtrip() {
+        // R → (0..4) → (0..3) → (0..2) → (0,1) → (0)
+        let mut node = SubNode::leaf(ColSet::single(0));
+        for d in 1..5usize {
+            node = SubNode::internal(ColSet::from_cols(0..=d), vec![node]);
+        }
+        let plan = LogicalPlan {
+            subplans: vec![node],
+        };
+        assert_eq!(plan_from_text(&plan_to_text(&plan)).unwrap(), plan);
+    }
+}

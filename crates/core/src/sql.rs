@@ -1,0 +1,134 @@
+//! SQL-script rendering — the client-side implementation of §5.2.
+//!
+//! Any logical plan can be executed against a stock SQL DBMS by issuing
+//! one statement per plan edge: intermediates become
+//! `SELECT … INTO tmp`, queries over intermediates replace `COUNT(*)`
+//! with `SUM(cnt)`, and temp tables are dropped as soon as all their
+//! children are computed.
+
+use crate::colset::ColSet;
+use crate::executor::temp_name;
+use crate::plan::{LogicalPlan, NodeKind};
+use crate::schedule::{schedule_plan, Step};
+use crate::workload::Workload;
+
+/// Render `plan` as an ordered SQL script (one statement per entry).
+pub fn render_sql(plan: &LogicalPlan, workload: &Workload) -> Vec<String> {
+    let mut d = |_: ColSet| 1.0;
+    let steps = schedule_plan(plan, &mut d);
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Drop(cols) => format!("DROP TABLE {};", temp_name(*cols)),
+            Step::Query {
+                source,
+                target,
+                materialize,
+                kind,
+                ..
+            } => {
+                let cols = workload.col_names(*target).join(", ");
+                let (from, agg) = match source {
+                    None => (workload.table.clone(), "COUNT(*)".to_string()),
+                    Some(s) => (temp_name(*s), "SUM(cnt)".to_string()),
+                };
+                let into = match materialize {
+                    true => format!(" INTO {}", temp_name(*target)),
+                    false => String::new(),
+                };
+                let grouping = match kind {
+                    NodeKind::GroupBy => format!("GROUP BY {cols}"),
+                    NodeKind::Rollup => format!("GROUP BY ROLLUP ({cols})"),
+                    NodeKind::Cube => format!("GROUP BY CUBE ({cols})"),
+                };
+                format!("SELECT {cols}, {agg} AS cnt{into} FROM {from} {grouping};")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SubNode;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+
+    fn workload() -> Workload {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])],
+        )
+        .unwrap();
+        Workload::single_columns("lineitem", &t, &["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn naive_plan_renders_plain_queries() {
+        let w = workload();
+        let sql = render_sql(&LogicalPlan::naive(&w), &w);
+        assert_eq!(sql.len(), 2);
+        assert_eq!(
+            sql[0],
+            "SELECT a, COUNT(*) AS cnt FROM lineitem GROUP BY a;"
+        );
+    }
+
+    #[test]
+    fn merged_plan_renders_into_sum_cnt_and_drop() {
+        let w = workload();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode::internal(
+                ColSet::from_cols([0, 1]),
+                vec![
+                    SubNode::leaf(ColSet::single(0)),
+                    SubNode::leaf(ColSet::single(1)),
+                ],
+            )],
+        };
+        let sql = render_sql(&plan, &w);
+        assert_eq!(sql.len(), 4);
+        assert!(sql[0].contains("INTO"));
+        assert!(sql[0].contains("COUNT(*)"));
+        assert!(sql[1].contains("SUM(cnt)"), "{}", sql[1]);
+        assert!(sql.iter().any(|s| s.starts_with("DROP TABLE")));
+        // drop comes only after both children are computed
+        let drop_pos = sql.iter().position(|s| s.starts_with("DROP")).unwrap();
+        assert!(drop_pos >= 3 || sql[..drop_pos].iter().filter(|s| s.contains("SUM")).count() == 2);
+    }
+
+    #[test]
+    fn rollup_node_renders_rollup_syntax() {
+        let w = workload();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1]),
+                required: true,
+                kind: NodeKind::Rollup,
+                children: vec![SubNode::leaf(ColSet::single(0))],
+            }],
+        };
+        let w2 = Workload::new(
+            "lineitem",
+            &Table::new(
+                Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("b", DataType::Int64),
+                ])
+                .unwrap(),
+                vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])],
+            )
+            .unwrap(),
+            &["a", "b"],
+            &[vec!["a"], vec!["a", "b"]],
+        )
+        .unwrap();
+        drop(w);
+        let sql = render_sql(&plan, &w2);
+        assert!(sql[0].contains("GROUP BY ROLLUP"), "{}", sql[0]);
+    }
+}

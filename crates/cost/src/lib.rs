@@ -1,0 +1,28 @@
+//! # gbmqo-cost
+//!
+//! Cost models for the GB-MQO optimizer, mirroring §3.2 of the paper:
+//!
+//! * [`cardinality::CardinalityCostModel`] — §3.2.1: the cost of an edge
+//!   `u → v` is `|u|`, the row count of the source. Simple, analyzable,
+//!   and the model under which the paper's pruning techniques are proved
+//!   sound.
+//! * [`optimizer::OptimizerCostModel`] — §3.2.2: a simulated query
+//!   optimizer that prices scan, aggregation, and `SELECT INTO`
+//!   materialization, is aware of the physical design (indexes → cheap
+//!   streaming aggregation), and derives cardinalities from a
+//!   [`gbmqo_stats::CardinalitySource`] (the what-if-API analog).
+//!
+//! Both models count how often they are invoked — the paper's "number of
+//! calls to the query optimizer" metric (Figures 10 and 11).
+
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod model;
+pub mod optimizer;
+pub mod physical;
+
+pub use cardinality::CardinalityCostModel;
+pub use model::{CostModel, CostNode, EdgeQuery};
+pub use optimizer::{CostConstants, OptimizerCostModel};
+pub use physical::IndexSnapshot;

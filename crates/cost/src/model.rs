@@ -1,0 +1,75 @@
+//! The cost-model interface shared by the optimizer.
+//!
+//! Every query in a logical plan is an edge `u → v` of the search DAG
+//! (§3.1): compute the Group By on `v`'s columns from `u`, optionally
+//! materializing the result. Because every node is a Group By over the one
+//! base relation, a node is fully described by its column set, and the
+//! base relation itself by [`CostNode::Base`].
+
+/// The source of a plan edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostNode<'a> {
+    /// The base relation `R`.
+    Base,
+    /// A (possibly hypothetical, i.e. not-yet-materialized) Group By result
+    /// over the base relation on these column ordinals.
+    GroupBy(&'a [usize]),
+}
+
+/// One plan edge to be priced: `SELECT target_cols, agg FROM source GROUP
+/// BY target_cols [INTO temp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeQuery<'a> {
+    /// What the query reads from.
+    pub source: CostNode<'a>,
+    /// The grouping columns of the result (base-relation ordinals).
+    pub target_cols: &'a [usize],
+    /// Whether the result is materialized into a temp table
+    /// (`SELECT … INTO`), i.e. the target is an intermediate node.
+    pub materialize: bool,
+}
+
+/// A cost model: prices plan edges and exposes the cardinality/size
+/// estimates the scheduler (§4.4) needs.
+pub trait CostModel {
+    /// Estimated cost of executing `q`, in model-specific units.
+    fn edge_cost(&mut self, q: &EdgeQuery<'_>) -> f64;
+
+    /// Estimated number of rows of a Group By on `cols` over the base
+    /// relation (`d(v)` in the paper's notation, measured in rows).
+    fn cardinality(&mut self, cols: &[usize]) -> f64;
+
+    /// Estimated materialized size in bytes of a Group By result on
+    /// `cols` — the `d(u)` used by the storage-minimizing scheduler.
+    fn result_bytes(&mut self, cols: &[usize]) -> f64;
+
+    /// Rows in the base relation.
+    fn base_rows(&self) -> f64;
+
+    /// How many times `edge_cost` has been invoked — the paper's
+    /// "number of calls to the query optimizer" metric.
+    fn calls(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_query_is_copy_and_eq() {
+        let cols = [1usize, 2];
+        let a = EdgeQuery {
+            source: CostNode::Base,
+            target_cols: &cols,
+            materialize: true,
+        };
+        let b = a;
+        assert_eq!(a, b);
+        let c = EdgeQuery {
+            source: CostNode::GroupBy(&cols),
+            target_cols: &cols[..1],
+            materialize: false,
+        };
+        assert_ne!(a, c);
+    }
+}

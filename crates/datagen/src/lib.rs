@@ -1,0 +1,33 @@
+//! # gbmqo-datagen
+//!
+//! Synthetic dataset generators standing in for the paper's evaluation
+//! data (§6, Table 1):
+//!
+//! | Paper dataset | Rows (paper) | Here |
+//! |---|---|---|
+//! | TPC-H `lineitem` 1 G / 10 G | 6 M / 60 M | [`tpch::lineitem`], scaled row count, same 16-column shape, Zipf-skew parameter (§6.8) |
+//! | SALES warehouse | 24 M, 15 cols | [`sales::sales`] |
+//! | PIR-NREF `neighboring_seq` | 78 M, 10 cols | [`nref::neighboring_seq`] |
+//!
+//! Column counts, types, per-column distinct-value ratios and cross-column
+//! correlations (ship/commit/receipt dates move together; flag columns are
+//! tiny; comments are almost unique) are modeled on the originals so that
+//! *relative* experiment outcomes carry over to scaled-down row counts.
+//!
+//! The building blocks — [`zipf::ZipfSampler`] and the declarative
+//! [`spec::TableSpec`] generator — are public so tests and benchmarks can
+//! assemble ad-hoc tables with controlled cardinality and correlation.
+
+#![warn(missing_docs)]
+
+pub mod nref;
+pub mod sales;
+pub mod spec;
+pub mod tpch;
+pub mod zipf;
+
+pub use nref::{neighboring_seq, NREF_COLUMNS};
+pub use sales::{sales, SALES_COLUMNS};
+pub use spec::{ColumnGen, TableSpec};
+pub use tpch::{lineitem, widened_lineitem, LINEITEM_SC_COLUMNS};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,116 @@
+//! A synthetic stand-in for PIR-NREF's `neighboring_seq` relation
+//! (78 M rows, 10 columns used in the paper): protein-neighborhood pairs
+//! with two high-cardinality id columns and several small categorical
+//! attributes.
+
+use crate::spec::{ColumnGen, TableSpec};
+use gbmqo_storage::Table;
+
+/// Column names of the neighboring_seq table.
+pub const NREF_COLUMNS: [&str; 10] = [
+    "seq_id",
+    "neighbor_id",
+    "organism",
+    "source_db",
+    "method",
+    "score_bucket",
+    "length_bucket",
+    "identity_bucket",
+    "taxon_group",
+    "cluster_id",
+];
+
+/// Generation spec for a neighboring_seq table of `rows` rows.
+pub fn neighboring_seq_spec(rows: usize, seed: u64) -> TableSpec {
+    TableSpec::new(
+        vec![
+            (
+                "seq_id".into(),
+                ColumnGen::IntCat {
+                    distinct: (rows / 6).max(8),
+                },
+            ),
+            (
+                "neighbor_id".into(),
+                ColumnGen::IntCat {
+                    distinct: (rows / 4).max(8),
+                },
+            ),
+            (
+                "organism".into(),
+                ColumnGen::Text {
+                    distinct: 900,
+                    avg_len: 14,
+                },
+            ),
+            (
+                "source_db".into(),
+                ColumnGen::Text {
+                    distinct: 6,
+                    avg_len: 5,
+                },
+            ),
+            (
+                "method".into(),
+                ColumnGen::Text {
+                    distinct: 3,
+                    avg_len: 6,
+                },
+            ),
+            ("score_bucket".into(), ColumnGen::IntCat { distinct: 20 }),
+            ("length_bucket".into(), ColumnGen::IntCat { distinct: 30 }),
+            ("identity_bucket".into(), ColumnGen::IntCat { distinct: 10 }),
+            (
+                "taxon_group".into(),
+                ColumnGen::Text {
+                    distinct: 40,
+                    avg_len: 10,
+                },
+            ),
+            (
+                "cluster_id".into(),
+                ColumnGen::IntCat {
+                    distinct: (rows / 50).max(4),
+                },
+            ),
+        ],
+        seed,
+    )
+    // Biological databases are heavily skewed toward model organisms.
+    .with_skew(0.8)
+}
+
+/// Generate a scaled neighboring_seq table.
+pub fn neighboring_seq(rows: usize, seed: u64) -> Table {
+    neighboring_seq_spec(rows, seed).generate(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::Value;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = neighboring_seq(3000, 1);
+        assert_eq!(t.num_columns(), 10);
+        for c in NREF_COLUMNS {
+            assert!(t.schema().index_of(c).is_ok(), "{c}");
+        }
+    }
+
+    #[test]
+    fn id_columns_are_high_cardinality() {
+        let t = neighboring_seq(3000, 2);
+        let distinct = |name: &str| {
+            let c = t.schema().index_of(name).unwrap();
+            let mut v: Vec<Value> = (0..t.num_rows()).map(|r| t.value(r, c)).collect();
+            v.sort();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct("neighbor_id") > 300);
+        assert!(distinct("method") == 3);
+        assert!(distinct("identity_bucket") <= 10);
+    }
+}

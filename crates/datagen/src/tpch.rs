@@ -1,0 +1,248 @@
+//! A scaled synthetic TPC-H `lineitem` with the original's 16-column shape,
+//! per-column cardinality ratios and date correlations.
+//!
+//! The paper's SC workload is "all single column Group By queries except on
+//! the floating point columns", i.e. 12 queries ([`LINEITEM_SC_COLUMNS`]).
+
+use crate::spec::{ColumnGen, TableSpec};
+use gbmqo_storage::Table;
+
+/// The 12 non-floating-point lineitem columns the paper's SC workloads use.
+pub const LINEITEM_SC_COLUMNS: [&str; 12] = [
+    "l_orderkey",
+    "l_partkey",
+    "l_suppkey",
+    "l_linenumber",
+    "l_returnflag",
+    "l_linestatus",
+    "l_shipdate",
+    "l_commitdate",
+    "l_receiptdate",
+    "l_shipinstruct",
+    "l_shipmode",
+    "l_comment",
+];
+
+/// Build the generation spec for a lineitem of `rows` rows with Zipf
+/// exponent `skew` (0 = TPC-H-like uniform).
+///
+/// Cardinality ratios follow TPC-H: ~4 lines per order, parts ≈ rows/30,
+/// suppliers ≈ rows/120, 7 line numbers, 50 quantities, 11 discounts,
+/// 9 taxes, flags {R,A,N}, status {O,F}, ~2500 ship dates with commit and
+/// receipt dates trailing them, 4 ship instructions, 7 ship modes, and a
+/// nearly unique comment.
+pub fn lineitem_spec(rows: usize, skew: f64, seed: u64) -> TableSpec {
+    let dates = 2526usize.min(rows.max(8));
+    TableSpec::new(
+        vec![
+            ("l_orderkey".into(), ColumnGen::IntKey { rows_per_key: 4 }),
+            (
+                "l_partkey".into(),
+                ColumnGen::IntCat {
+                    distinct: (rows / 30).max(2),
+                },
+            ),
+            (
+                "l_suppkey".into(),
+                ColumnGen::IntCat {
+                    distinct: (rows / 120).max(2),
+                },
+            ),
+            ("l_linenumber".into(), ColumnGen::IntCat { distinct: 7 }),
+            (
+                "l_quantity".into(),
+                ColumnGen::Float {
+                    distinct: 50,
+                    step: 1.0,
+                },
+            ),
+            (
+                "l_extendedprice".into(),
+                ColumnGen::Float {
+                    distinct: (rows / 10).max(10),
+                    step: 0.01,
+                },
+            ),
+            (
+                "l_discount".into(),
+                ColumnGen::Float {
+                    distinct: 11,
+                    step: 0.01,
+                },
+            ),
+            (
+                "l_tax".into(),
+                ColumnGen::Float {
+                    distinct: 9,
+                    step: 0.01,
+                },
+            ),
+            (
+                "l_returnflag".into(),
+                ColumnGen::Text {
+                    distinct: 3,
+                    avg_len: 1,
+                },
+            ),
+            (
+                "l_linestatus".into(),
+                ColumnGen::Text {
+                    distinct: 2,
+                    avg_len: 1,
+                },
+            ),
+            (
+                "l_shipdate".into(),
+                ColumnGen::Date {
+                    base: 8036, // 1992-01-02 in days since epoch
+                    distinct: dates,
+                },
+            ),
+            (
+                "l_commitdate".into(),
+                ColumnGen::DateOffset {
+                    source: 10,
+                    max_offset: 30,
+                },
+            ),
+            (
+                // Receipt trails the commit date closely; this keeps the
+                // (commitdate, receiptdate) joint distinct count far below
+                // the row count, which is what makes the paper's §1 example
+                // merge those two columns.
+                "l_receiptdate".into(),
+                ColumnGen::DateOffset {
+                    source: 11,
+                    max_offset: 7,
+                },
+            ),
+            (
+                "l_shipinstruct".into(),
+                ColumnGen::Text {
+                    distinct: 4,
+                    avg_len: 12,
+                },
+            ),
+            (
+                "l_shipmode".into(),
+                ColumnGen::Text {
+                    distinct: 7,
+                    avg_len: 5,
+                },
+            ),
+            (
+                "l_comment".into(),
+                ColumnGen::TextUnique {
+                    avg_len: 27,
+                    dup_fraction: 0.02,
+                },
+            ),
+        ],
+        seed,
+    )
+    .with_skew(skew)
+}
+
+/// Generate a scaled lineitem table.
+pub fn lineitem(rows: usize, skew: f64, seed: u64) -> Table {
+    lineitem_spec(rows, skew, seed).generate(rows)
+}
+
+/// The §6.4 scaling workload: lineitem's 12 non-float columns repeated
+/// until the table has `num_columns` columns (column `i` repeats SC column
+/// `i % 12` with a fresh random stream), so "we widen it by repeating all
+/// 12 columns".
+pub fn widened_lineitem(rows: usize, num_columns: usize, seed: u64) -> Table {
+    let base = lineitem_spec(rows, 0.0, seed);
+    let sc: Vec<(String, ColumnGen)> = base
+        .columns
+        .iter()
+        .filter(|(n, _)| LINEITEM_SC_COLUMNS.contains(&n.as_str()))
+        .cloned()
+        .collect();
+    assert_eq!(sc.len(), 12);
+    let mut columns: Vec<(String, ColumnGen)> = Vec::with_capacity(num_columns);
+    // Date-offset sources must point at the copy of l_shipdate in the same
+    // repetition block.
+    for i in 0..num_columns {
+        let (name, mut gen) = sc[i % 12].clone();
+        if let ColumnGen::DateOffset { source, .. } = &mut gen {
+            // Within each repetition block, l_commitdate (SC index 7)
+            // chains off l_shipdate (6) and l_receiptdate (8) off
+            // l_commitdate (7).
+            let block_start = (i / 12) * 12;
+            *source = block_start + if i % 12 == 7 { 6 } else { 7 };
+            debug_assert!(*source < i, "date sources precede their offsets");
+        }
+        columns.push((format!("{name}_{}", i / 12), gen));
+    }
+    TableSpec::new(columns, seed).generate(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::Value;
+
+    fn distinct_of(t: &Table, name: &str) -> usize {
+        let c = t.schema().index_of(name).unwrap();
+        let mut v: Vec<Value> = (0..t.num_rows()).map(|r| t.value(r, c)).collect();
+        v.sort();
+        v.dedup();
+        v.len()
+    }
+
+    #[test]
+    fn lineitem_shape() {
+        let t = lineitem(3000, 0.0, 1);
+        assert_eq!(t.num_columns(), 16);
+        assert_eq!(t.num_rows(), 3000);
+        for name in LINEITEM_SC_COLUMNS {
+            assert!(t.schema().index_of(name).is_ok(), "{name}");
+        }
+        assert_eq!(distinct_of(&t, "l_returnflag"), 3);
+        assert_eq!(distinct_of(&t, "l_linestatus"), 2);
+        assert_eq!(distinct_of(&t, "l_linenumber"), 7);
+        assert!(distinct_of(&t, "l_comment") > 2500);
+        assert_eq!(distinct_of(&t, "l_orderkey"), 750);
+    }
+
+    #[test]
+    fn dates_are_correlated() {
+        let t = lineitem(1000, 0.0, 2);
+        let ship = t.schema().index_of("l_shipdate").unwrap();
+        let receipt = t.schema().index_of("l_receiptdate").unwrap();
+        for r in 0..1000 {
+            let s = t.value(r, ship).as_date().unwrap();
+            let rc = t.value(r, receipt).as_date().unwrap();
+            assert!(rc > s && rc - s <= 37);
+        }
+    }
+
+    #[test]
+    fn skew_reduces_effective_distincts() {
+        let flat = lineitem(5000, 0.0, 3);
+        let skewed = lineitem(5000, 2.5, 3);
+        assert!(
+            distinct_of(&skewed, "l_partkey") < distinct_of(&flat, "l_partkey"),
+            "skew should concentrate part keys"
+        );
+    }
+
+    #[test]
+    fn widened_table_repeats_columns() {
+        let t = widened_lineitem(500, 24, 4);
+        assert_eq!(t.num_columns(), 24);
+        // two copies of each SC column, suffixed _0/_1
+        assert!(t.schema().index_of("l_shipdate_0").is_ok());
+        assert!(t.schema().index_of("l_shipdate_1").is_ok());
+        assert_eq!(distinct_of(&t, "l_returnflag_0"), 3);
+        assert_eq!(distinct_of(&t, "l_returnflag_1"), 3);
+    }
+
+    #[test]
+    fn widened_partial_block() {
+        let t = widened_lineitem(200, 15, 5);
+        assert_eq!(t.num_columns(), 15);
+    }
+}

@@ -1,0 +1,107 @@
+//! Zipfian sampling over a finite domain.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+///
+/// `s = 0` is uniform; the paper's §6.8 experiment sweeps
+/// `s ∈ {0, 0.5, 1, 1.5, 2, 2.5, 3}`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // First index whose cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(s: f64, n: usize, draws: usize) -> Vec<usize> {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let h = histogram(0.0, 10, 50_000);
+        for &c in &h {
+            assert!((4_000..=6_000).contains(&c), "uniform bucket {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_large() {
+        let h = histogram(2.0, 10, 50_000);
+        assert!(h[0] > h[1] && h[1] > h[2], "{h:?}");
+        assert!(
+            h[0] as f64 / 50_000.0 > 0.5,
+            "rank 0 should dominate at s=2: {h:?}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = ZipfSampler::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.domain(), 3);
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = ZipfSampler::new(1, 3.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

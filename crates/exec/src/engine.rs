@@ -1,0 +1,343 @@
+//! The engine: runs named Group By queries against a catalog, the way the
+//! paper's client-side implementation (§5.2) issues
+//! `SELECT … INTO tmp FROM … GROUP BY …` statements against a DBMS.
+
+use crate::agg::AggSpec;
+use crate::error::Result;
+use crate::group_by::group_by;
+use crate::metrics::ExecMetrics;
+use gbmqo_storage::{Catalog, Table};
+use std::time::Instant;
+
+/// A Group By query over a catalog table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupByQuery {
+    /// Input table name.
+    pub input: String,
+    /// Grouping column names.
+    pub group_cols: Vec<String>,
+    /// Aggregates to compute.
+    pub aggs: Vec<AggSpec>,
+    /// `Some(name)`: materialize the result as temp table `name`
+    /// (`SELECT … INTO name`); `None`: return the rows to the client.
+    pub into: Option<String>,
+}
+
+impl GroupByQuery {
+    /// `SELECT cols, COUNT(*) FROM input GROUP BY cols` returned to client.
+    pub fn count_star(input: &str, group_cols: &[&str]) -> Self {
+        GroupByQuery {
+            input: input.to_string(),
+            group_cols: group_cols.iter().map(|s| s.to_string()).collect(),
+            aggs: vec![AggSpec::count()],
+            into: None,
+        }
+    }
+
+    /// Materialize into `name`.
+    pub fn into_temp(mut self, name: &str) -> Self {
+        self.into = Some(name.to_string());
+        self
+    }
+}
+
+/// Executes queries against a [`Catalog`], accumulating [`ExecMetrics`].
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Catalog,
+    metrics: ExecMetrics,
+    io_ns_per_byte: f64,
+}
+
+impl Engine {
+    /// Wrap a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            metrics: ExecMetrics::new(),
+            io_ns_per_byte: 0.0,
+        }
+    }
+
+    /// Configure disk-based row-store emulation (see [`crate::rowstore`]):
+    /// when `ns_per_byte > 0`, un-indexed scans read the full width of
+    /// their input table and pay a simulated transfer time of
+    /// `bytes × ns_per_byte`; index-served scans pay I/O only for the key
+    /// columns; materializing a temp table pays write I/O. `0.0` (the
+    /// default) disables the emulation.
+    pub fn set_io_ns_per_byte(&mut self, ns_per_byte: f64) {
+        self.io_ns_per_byte = ns_per_byte;
+    }
+
+    /// Current simulated I/O cost (0 = off).
+    pub fn io_ns_per_byte(&self) -> f64 {
+        self.io_ns_per_byte
+    }
+
+    /// Borrow the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutably borrow the catalog (index management, table registration).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> ExecMetrics {
+        self.metrics
+    }
+
+    /// Zero the metrics (and the peak-storage watermark).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = ExecMetrics::new();
+        self.catalog.reset_peak();
+    }
+
+    /// Run one Group By query. The result is returned either way; when
+    /// `q.into` is set it is also materialized as a temp table.
+    ///
+    /// If the input table has an index whose order serves the grouping,
+    /// the engine streams over it instead of hashing — the executor-level
+    /// counterpart of the paper's observation that its plans "automatically
+    /// benefit from the addition of indices" (§6.9).
+    pub fn run_group_by(&mut self, q: &GroupByQuery) -> Result<Table> {
+        let start = Instant::now();
+        let entry = self.catalog.get(&q.input)?;
+        let table = &entry.table;
+        let cols: Vec<usize> = q
+            .group_cols
+            .iter()
+            .map(|n| table.schema().index_of(n))
+            .collect::<gbmqo_storage::Result<_>>()?;
+
+        let order = self
+            .catalog
+            .index_serving(&q.input, &cols)
+            .map(|idx| idx.perm.clone());
+
+        let result = {
+            let table = self.catalog.table(&q.input)?;
+            // Row-store emulation: an index-order scan pays I/O only for
+            // its key columns; everything else reads (and waits out) the
+            // full width of the input.
+            if self.io_ns_per_byte > 0.0 {
+                let bytes = match self.catalog.index_serving(&q.input, &cols) {
+                    Some(idx) => idx
+                        .key_cols
+                        .iter()
+                        .map(|&c| table.column(c).byte_size() as u64)
+                        .sum(),
+                    None => {
+                        std::hint::black_box(crate::rowstore::full_scan_tax(table));
+                        table.byte_size() as u64
+                    }
+                };
+                crate::rowstore::simulated_io_wait(bytes, self.io_ns_per_byte);
+                self.metrics.bytes_scanned += bytes;
+            }
+            group_by(table, &cols, &q.aggs, order.as_deref(), &mut self.metrics)?
+        };
+        self.metrics.queries_executed += 1;
+
+        if let Some(name) = &q.into {
+            if self.io_ns_per_byte > 0.0 {
+                // Write I/O for the temp table.
+                crate::rowstore::simulated_io_wait(result.byte_size() as u64, self.io_ns_per_byte);
+            }
+            self.catalog.create_temp(name.clone(), result.clone())?;
+            self.metrics.tables_materialized += 1;
+        }
+        self.metrics.add_elapsed(start.elapsed());
+        Ok(result)
+    }
+
+    /// Run several Group Bys over the same input in **one shared scan**
+    /// (the server-side execution style of §5.1: PipeHash-like shared
+    /// scans across the members of a GROUPING SETS). Under row-store
+    /// emulation the input's scan I/O is paid once, not once per query.
+    /// Results are returned in order and are not materialized.
+    pub fn run_shared_group_bys(
+        &mut self,
+        input: &str,
+        groupings: &[Vec<String>],
+        aggs: &[crate::agg::AggSpec],
+    ) -> Result<Vec<Table>> {
+        let start = Instant::now();
+        let table = self.catalog.table(input)?.clone();
+        let ords: Vec<Vec<usize>> = groupings
+            .iter()
+            .map(|cols| {
+                cols.iter()
+                    .map(|n| table.schema().index_of(n))
+                    .collect::<gbmqo_storage::Result<_>>()
+            })
+            .collect::<gbmqo_storage::Result<_>>()?;
+        if self.io_ns_per_byte > 0.0 {
+            std::hint::black_box(crate::rowstore::full_scan_tax(&table));
+            let bytes = table.byte_size() as u64;
+            crate::rowstore::simulated_io_wait(bytes, self.io_ns_per_byte);
+            self.metrics.bytes_scanned += bytes;
+        }
+        let results = crate::shared::shared_scan_group_by(&table, &ords, aggs, &mut self.metrics)?;
+        self.metrics.queries_executed += groupings.len() as u64;
+        self.metrics.add_elapsed(start.elapsed());
+        Ok(results)
+    }
+
+    /// Materialize `table` as a temp table, charging simulated write I/O
+    /// when row-store emulation is active.
+    pub fn materialize_temp(&mut self, name: &str, table: Table) -> Result<()> {
+        if self.io_ns_per_byte > 0.0 {
+            crate::rowstore::simulated_io_wait(table.byte_size() as u64, self.io_ns_per_byte);
+        }
+        self.catalog.create_temp(name.to_string(), table)?;
+        self.metrics.tables_materialized += 1;
+        Ok(())
+    }
+
+    /// Run a selection over a table (§5.1.1's pushed-down selection),
+    /// optionally materializing the result. Charges scan (and write) I/O
+    /// under row-store emulation.
+    pub fn run_filter(
+        &mut self,
+        input: &str,
+        predicate: &crate::filter::Predicate,
+        into: Option<&str>,
+    ) -> Result<Table> {
+        let start = Instant::now();
+        let table = self.catalog.table(input)?.clone();
+        if self.io_ns_per_byte > 0.0 {
+            std::hint::black_box(crate::rowstore::full_scan_tax(&table));
+            let bytes = table.byte_size() as u64;
+            crate::rowstore::simulated_io_wait(bytes, self.io_ns_per_byte);
+            self.metrics.bytes_scanned += bytes;
+        }
+        let result = crate::filter::filter(&table, predicate, &mut self.metrics)?;
+        self.metrics.queries_executed += 1;
+        if let Some(name) = into {
+            self.materialize_temp(name, result.clone())?;
+        }
+        self.metrics.add_elapsed(start.elapsed());
+        Ok(result)
+    }
+
+    /// Drop a temp table produced by an earlier `INTO`.
+    pub fn drop_temp(&mut self, name: &str) -> Result<()> {
+        Ok(self.catalog.drop_temp(name)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{Column, DataType, Field, IndexKind, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 1, 2, 2, 2]),
+                Column::from_i64(vec![7, 8, 7, 7, 9]),
+            ],
+        )
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("r", t).unwrap();
+        c
+    }
+
+    #[test]
+    fn run_returns_results() {
+        let mut e = Engine::new(catalog());
+        let r = e
+            .run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(e.metrics().queries_executed, 1);
+        assert_eq!(e.metrics().tables_materialized, 0);
+    }
+
+    #[test]
+    fn into_materializes_temp_table() {
+        let mut e = Engine::new(catalog());
+        let q = GroupByQuery::count_star("r", &["a", "b"]).into_temp("t_ab");
+        e.run_group_by(&q).unwrap();
+        assert!(e.catalog().contains("t_ab"));
+        assert_eq!(e.metrics().tables_materialized, 1);
+        assert!(e.catalog().accounting().current_temp_bytes > 0);
+
+        // re-aggregate from the temp
+        let r = e
+            .run_group_by(&GroupByQuery {
+                input: "t_ab".into(),
+                group_cols: vec!["b".into()],
+                aggs: vec![AggSpec::sum_count()],
+                into: None,
+            })
+            .unwrap();
+        let direct = e
+            .run_group_by(&GroupByQuery::count_star("r", &["b"]))
+            .unwrap();
+        let norm = |t: &Table| {
+            let mut v: Vec<(Value, i64)> = (0..t.num_rows())
+                .map(|i| (t.value(i, 0), t.value(i, 1).as_int().unwrap()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&r), norm(&direct));
+
+        e.drop_temp("t_ab").unwrap();
+        assert!(!e.catalog().contains("t_ab"));
+        assert_eq!(e.catalog().accounting().current_temp_bytes, 0);
+    }
+
+    #[test]
+    fn index_is_used_when_it_serves() {
+        let mut e = Engine::new(catalog());
+        e.catalog_mut()
+            .create_index("r", "ix_a", IndexKind::NonClustered, vec![0])
+            .unwrap();
+        let with_index = e
+            .run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap();
+        let mut v: Vec<(i64, i64)> = (0..with_index.num_rows())
+            .map(|i| {
+                (
+                    with_index.value(i, 0).as_int().unwrap(),
+                    with_index.value(i, 1).as_int().unwrap(),
+                )
+            })
+            .collect();
+        v.sort();
+        assert_eq!(v, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn missing_table_and_column_error() {
+        let mut e = Engine::new(catalog());
+        assert!(e
+            .run_group_by(&GroupByQuery::count_star("ghost", &["a"]))
+            .is_err());
+        assert!(e
+            .run_group_by(&GroupByQuery::count_star("r", &["ghost"]))
+            .is_err());
+    }
+
+    #[test]
+    fn reset_metrics_clears_counters() {
+        let mut e = Engine::new(catalog());
+        e.run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap();
+        assert!(e.metrics().queries_executed > 0);
+        e.reset_metrics();
+        assert_eq!(e.metrics(), ExecMetrics::new());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the execution engine.
+
+use gbmqo_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by operators and the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A storage-layer error.
+    Storage(StorageError),
+    /// An operator was given inconsistent inputs.
+    Invalid(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            ExecError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.to_string().contains("table not found"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ExecError::Invalid("nope".into());
+        assert_eq!(e.to_string(), "invalid operation: nope");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! # gbmqo-exec
+//!
+//! The relational execution engine underneath the GB-MQO optimizer — the
+//! role Microsoft SQL Server's executor plays in the SIGMOD 2005 paper.
+//!
+//! Operators:
+//!
+//! * [`group_by`] / [`hash_group_by`] / [`stream_group_by`] — hash
+//!   aggregation and sort-order (index) streaming aggregation with
+//!   COUNT(\*), SUM(cnt) re-aggregation, SUM/MIN/MAX (§7.2),
+//! * [`rollup`] and [`cube`] — §7.1's alternative plan nodes, computed by
+//!   lattice descent (each level re-aggregated from the previous),
+//! * [`filter`], [`join`], [`union_all`] — the relational plumbing for
+//!   §5.1.1's GROUPING SETS over selections and joins with `Grp-Tag`,
+//! * [`engine::Engine`] — runs named Group By queries against a
+//!   [`gbmqo_storage::Catalog`], materializing `SELECT … INTO` temp tables
+//!   and collecting [`metrics::ExecMetrics`].
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cube;
+pub mod engine;
+pub mod error;
+pub mod filter;
+pub mod group_by;
+pub mod join;
+pub mod metrics;
+pub mod parallel;
+pub mod rollup;
+pub mod rowstore;
+pub mod shared;
+pub mod sort_agg;
+pub mod union_all;
+
+pub use agg::{AggFunc, AggSpec};
+pub use cube::cube;
+pub use engine::{Engine, GroupByQuery};
+pub use error::{ExecError, Result};
+pub use filter::{filter, Predicate};
+pub use group_by::{group_by, hash_group_by, stream_group_by};
+pub use join::hash_join;
+pub use metrics::ExecMetrics;
+pub use parallel::parallel_hash_group_by;
+pub use rollup::rollup;
+pub use rowstore::full_scan_tax;
+pub use shared::shared_scan_group_by;
+pub use sort_agg::sort_group_by;
+pub use union_all::union_all_tagged;

@@ -1,0 +1,92 @@
+//! Execution metrics collected by operators and the engine.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Counters describing the work one or more operators performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Input rows read by scans.
+    pub rows_scanned: u64,
+    /// Rows produced.
+    pub rows_output: u64,
+    /// Approximate bytes read. This aggregates heterogeneous layers
+    /// (key-column bytes in operators, full-width bytes under row-store
+    /// emulation), so treat it as an order-of-magnitude indicator rather
+    /// than an exact byte count.
+    pub bytes_scanned: u64,
+    /// Queries (operator pipelines) executed.
+    pub queries_executed: u64,
+    /// Temp tables materialized.
+    pub tables_materialized: u64,
+    /// Wall time spent in operators, nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl ExecMetrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elapsed wall time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos)
+    }
+
+    /// Record elapsed time.
+    pub fn add_elapsed(&mut self, d: Duration) {
+        self.elapsed_nanos += d.as_nanos() as u64;
+    }
+}
+
+impl AddAssign for ExecMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.rows_scanned += rhs.rows_scanned;
+        self.rows_output += rhs.rows_output;
+        self.bytes_scanned += rhs.bytes_scanned;
+        self.queries_executed += rhs.queries_executed;
+        self.tables_materialized += rhs.tables_materialized;
+        self.elapsed_nanos += rhs.elapsed_nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = ExecMetrics {
+            rows_scanned: 10,
+            rows_output: 2,
+            bytes_scanned: 80,
+            queries_executed: 1,
+            tables_materialized: 1,
+            elapsed_nanos: 100,
+        };
+        let b = ExecMetrics {
+            rows_scanned: 5,
+            rows_output: 1,
+            bytes_scanned: 40,
+            queries_executed: 1,
+            tables_materialized: 0,
+            elapsed_nanos: 50,
+        };
+        a += b;
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.rows_output, 3);
+        assert_eq!(a.bytes_scanned, 120);
+        assert_eq!(a.queries_executed, 2);
+        assert_eq!(a.tables_materialized, 1);
+        assert_eq!(a.elapsed(), Duration::from_nanos(150));
+    }
+
+    #[test]
+    fn add_elapsed() {
+        let mut m = ExecMetrics::new();
+        m.add_elapsed(Duration::from_micros(3));
+        m.add_elapsed(Duration::from_micros(2));
+        assert_eq!(m.elapsed(), Duration::from_micros(5));
+    }
+}

@@ -1,0 +1,194 @@
+//! Parallel hash aggregation by key partitioning.
+//!
+//! The partitioned-cube line of work the paper cites (\[16\]:
+//! Partitioned-Cube, Memory-Cube) splits the input by grouping key so
+//! that partitions can be aggregated independently. This module applies
+//! the same idea across threads: every worker scans the input and owns
+//! the rows whose key hashes into its partition, so group sets are
+//! disjoint across workers and the final result is a simple
+//! concatenation — no merge phase.
+
+use crate::agg::{Accumulator, AggSpec};
+use crate::error::Result;
+use crate::metrics::ExecMetrics;
+use gbmqo_storage::{Column, ColumnBuilder, Field, KeyEncoder, RowKey, Schema, Table};
+use rustc_hash::FxHashMap;
+use std::hash::BuildHasher;
+use std::time::Instant;
+
+/// Concatenate result tables with identical schemas.
+fn concat(parts: Vec<Table>) -> Result<Table> {
+    let schema = parts
+        .first()
+        .map(|t| t.schema().clone())
+        .expect("at least one partition");
+    let total: usize = parts.iter().map(Table::num_rows).sum();
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::with_capacity(f.data_type, total))
+        .collect();
+    for part in &parts {
+        for row in 0..part.num_rows() {
+            for (c, b) in builders.iter_mut().enumerate() {
+                b.push(&part.value(row, c))?;
+            }
+        }
+    }
+    let columns: Vec<Column> = builders.into_iter().map(ColumnBuilder::finish).collect();
+    Ok(Table::new(schema, columns)?)
+}
+
+/// Hash-partitioned parallel Group By: semantically identical to
+/// [`crate::hash_group_by`] (up to row order), computed by `threads`
+/// workers that each own a disjoint key partition.
+pub fn parallel_hash_group_by(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    threads: usize,
+    metrics: &mut ExecMetrics,
+) -> Result<Table> {
+    let threads = threads.max(1);
+    if threads == 1 || input.num_rows() < 2 * threads {
+        return crate::group_by::hash_group_by(input, group_cols, aggs, metrics);
+    }
+    let start = Instant::now();
+    let hasher = rustc_hash::FxBuildHasher;
+
+    let partials: Vec<Result<Table>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let hasher = &hasher;
+                scope.spawn(move || -> Result<Table> {
+                    let key_cols: Vec<&Column> =
+                        group_cols.iter().map(|&c| input.column(c)).collect();
+                    let mut enc = KeyEncoder::new();
+                    let mut groups: FxHashMap<RowKey, u32> = FxHashMap::default();
+                    let mut representatives: Vec<u32> = Vec::new();
+                    let mut accumulators: Vec<Accumulator> = aggs
+                        .iter()
+                        .map(|a| Accumulator::build(a, input))
+                        .collect::<Result<_>>()?;
+                    for row in 0..input.num_rows() {
+                        let key = enc.encode(&key_cols, row);
+
+                        if (hasher.hash_one(&key) as usize) % threads != tid {
+                            continue;
+                        }
+                        let next_gid = representatives.len() as u32;
+                        let gid = *groups.entry(key).or_insert_with(|| {
+                            representatives.push(row as u32);
+                            next_gid
+                        }) as usize;
+                        for acc in &mut accumulators {
+                            acc.ensure_group(gid);
+                            acc.update(input, gid, row);
+                        }
+                    }
+                    // materialize this partition's slice
+                    let num_groups = representatives.len();
+                    let mut fields: Vec<Field> = Vec::new();
+                    let mut columns: Vec<Column> = Vec::new();
+                    for &c in group_cols {
+                        fields.push(input.schema().field(c).clone());
+                        columns.push(input.column(c).gather(&representatives));
+                    }
+                    for (acc, spec) in accumulators.into_iter().zip(aggs) {
+                        let (field, col) = acc.finish(spec, input, num_groups);
+                        fields.push(field);
+                        columns.push(col);
+                    }
+                    Ok(Table::new(Schema::new(fields)?, columns)?)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut parts = Vec::with_capacity(threads);
+    for p in partials {
+        parts.push(p?);
+    }
+    let result = concat(parts)?;
+    metrics.rows_scanned += input.num_rows() as u64;
+    metrics.rows_output += result.num_rows() as u64;
+    metrics.add_elapsed(start.elapsed());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_by::hash_group_by;
+    use gbmqo_storage::{DataType, Value};
+
+    fn table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let mut tb = gbmqo_storage::TableBuilder::new(schema);
+        for i in 0..rows as i64 {
+            tb.push_row(&[
+                Value::Int(i % 97),
+                Value::str(if i % 3 == 0 { "x" } else { "y" }),
+                Value::Int(i),
+            ])
+            .unwrap();
+        }
+        tb.finish().unwrap()
+    }
+
+    fn norm(t: &Table) -> Vec<Vec<Value>> {
+        let mut v: Vec<Vec<Value>> = (0..t.num_rows())
+            .map(|r| (0..t.num_columns()).map(|c| t.value(r, c)).collect())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = table(5_000);
+        let aggs = [
+            AggSpec::count(),
+            AggSpec::min("v", "mn"),
+            AggSpec::max("v", "mx"),
+        ];
+        let mut m = ExecMetrics::new();
+        let seq = hash_group_by(&t, &[0, 1], &aggs, &mut m).unwrap();
+        for threads in [2, 3, 8] {
+            let par = parallel_hash_group_by(&t, &[0, 1], &aggs, threads, &mut m).unwrap();
+            assert_eq!(norm(&par), norm(&seq), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn single_thread_and_tiny_inputs_fall_back() {
+        let t = table(4);
+        let mut m = ExecMetrics::new();
+        let par = parallel_hash_group_by(&t, &[1], &[AggSpec::count()], 8, &mut m).unwrap();
+        let seq = hash_group_by(&t, &[1], &[AggSpec::count()], &mut m).unwrap();
+        assert_eq!(norm(&par), norm(&seq));
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        // Every group appears exactly once in the parallel result.
+        let t = table(3_000);
+        let mut m = ExecMetrics::new();
+        let par = parallel_hash_group_by(&t, &[0], &[AggSpec::count()], 4, &mut m).unwrap();
+        let mut keys: Vec<Value> = (0..par.num_rows()).map(|r| par.value(r, 0)).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate groups across partitions");
+        assert_eq!(before, 97);
+    }
+}

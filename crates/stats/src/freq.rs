@@ -1,0 +1,135 @@
+//! Sample frequency profiles: the `f_i` statistics that distinct-value
+//! estimators consume.
+
+use gbmqo_storage::{KeyEncoder, RowKey, Table};
+use rustc_hash::FxHashMap;
+
+/// Frequency profile of a sample of rows projected on a set of columns.
+///
+/// `f[i]` (1-based, exposed through [`FrequencyProfile::f`]) is the number
+/// of distinct values that occur exactly `i` times in the sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyProfile {
+    counts: Vec<usize>, // counts[i-1] = f_i
+    sample_size: usize,
+    distinct_in_sample: usize,
+}
+
+impl FrequencyProfile {
+    /// Build a profile of `sample_rows` of `table`, projected on `cols`.
+    pub fn build(table: &Table, cols: &[usize], sample_rows: &[u32]) -> Self {
+        let key_cols: Vec<&gbmqo_storage::Column> = cols.iter().map(|&c| table.column(c)).collect();
+        let mut enc = KeyEncoder::new();
+        let mut per_value: FxHashMap<RowKey, usize> = FxHashMap::default();
+        for &row in sample_rows {
+            *per_value
+                .entry(enc.encode(&key_cols, row as usize))
+                .or_insert(0) += 1;
+        }
+        let mut counts: Vec<usize> = Vec::new();
+        for (_, c) in per_value.iter() {
+            if *c > counts.len() {
+                counts.resize(*c, 0);
+            }
+            counts[*c - 1] += 1;
+        }
+        FrequencyProfile {
+            counts,
+            sample_size: sample_rows.len(),
+            distinct_in_sample: per_value.len(),
+        }
+    }
+
+    /// `f_i`: distinct values occurring exactly `i` times (i ≥ 1).
+    pub fn f(&self, i: usize) -> usize {
+        if i == 0 || i > self.counts.len() {
+            0
+        } else {
+            self.counts[i - 1]
+        }
+    }
+
+    /// Highest frequency observed.
+    pub fn max_frequency(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sample size `r`.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Distinct values in the sample, `d = Σ f_i`.
+    pub fn distinct_in_sample(&self) -> usize {
+        self.distinct_in_sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::DataType;
+    use gbmqo_storage::{Column, Field, Schema, Table};
+
+    fn table(vals: Vec<i64>) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        Table::new(schema, vec![Column::from_i64(vals)]).unwrap()
+    }
+
+    #[test]
+    fn profile_counts_frequencies() {
+        // values: 1,1,1,2,2,3 → f1=1 (3), f2=1 (2), f3=1 (1)
+        let t = table(vec![1, 1, 1, 2, 2, 3]);
+        let rows: Vec<u32> = (0..6).collect();
+        let p = FrequencyProfile::build(&t, &[0], &rows);
+        assert_eq!(p.sample_size(), 6);
+        assert_eq!(p.distinct_in_sample(), 3);
+        assert_eq!(p.f(1), 1);
+        assert_eq!(p.f(2), 1);
+        assert_eq!(p.f(3), 1);
+        assert_eq!(p.f(4), 0);
+        assert_eq!(p.f(0), 0);
+        assert_eq!(p.max_frequency(), 3);
+    }
+
+    #[test]
+    fn profile_respects_sample_subset() {
+        let t = table(vec![1, 1, 2, 3, 3, 3]);
+        let p = FrequencyProfile::build(&t, &[0], &[0, 2, 3]);
+        // sampled values: 1,2,3 → all singletons
+        assert_eq!(p.distinct_in_sample(), 3);
+        assert_eq!(p.f(1), 3);
+    }
+
+    #[test]
+    fn multi_column_profile() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 1, 1, 2]),
+                Column::from_i64(vec![5, 5, 6, 5]),
+            ],
+        )
+        .unwrap();
+        let rows: Vec<u32> = (0..4).collect();
+        let p = FrequencyProfile::build(&t, &[0, 1], &rows);
+        // pairs: (1,5)x2, (1,6), (2,5)
+        assert_eq!(p.distinct_in_sample(), 3);
+        assert_eq!(p.f(1), 2);
+        assert_eq!(p.f(2), 1);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let t = table(vec![1, 2, 3]);
+        let p = FrequencyProfile::build(&t, &[0], &[]);
+        assert_eq!(p.sample_size(), 0);
+        assert_eq!(p.distinct_in_sample(), 0);
+        assert_eq!(p.max_frequency(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Equi-depth histograms over sampled column values.
+
+use gbmqo_storage::{Table, Value};
+
+/// An equi-depth histogram: bucket boundaries chosen so each bucket holds
+/// (approximately) the same number of sampled rows.
+#[derive(Debug, Clone)]
+pub struct EquiDepthHistogram {
+    /// Upper-inclusive bucket boundaries, ascending.
+    boundaries: Vec<Value>,
+    /// Rows per bucket (same length as `boundaries`).
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Build a histogram with up to `buckets` buckets over `sample_rows` of
+    /// column `col` in `table`. NULLs are excluded (tracked separately by
+    /// [`crate::column_stats::ColumnStats`]).
+    pub fn build(table: &Table, col: usize, sample_rows: &[u32], buckets: usize) -> Self {
+        let column = table.column(col);
+        let mut vals: Vec<Value> = sample_rows
+            .iter()
+            .map(|&r| column.value(r as usize))
+            .filter(|v| !v.is_null())
+            .collect();
+        vals.sort();
+        let total = vals.len();
+        if total == 0 || buckets == 0 {
+            return EquiDepthHistogram {
+                boundaries: Vec::new(),
+                counts: Vec::new(),
+                total: 0,
+            };
+        }
+        let buckets = buckets.min(total);
+        let per = total.div_ceil(buckets);
+        let mut boundaries = Vec::with_capacity(buckets);
+        let mut counts = Vec::with_capacity(buckets);
+        let mut start = 0usize;
+        while start < total {
+            let mut end = (start + per).min(total);
+            // Extend the bucket so equal values never straddle a boundary.
+            while end < total && vals[end] == vals[end - 1] {
+                end += 1;
+            }
+            boundaries.push(vals[end - 1].clone());
+            counts.push(end - start);
+            start = end;
+        }
+        EquiDepthHistogram {
+            boundaries,
+            counts,
+            total,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Total (non-null) sampled rows.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Estimated fraction of rows with value ≤ `v`.
+    ///
+    /// Buckets store only upper boundaries, so a probe below the sampled
+    /// minimum is estimated at half the first bucket rather than 0 — a
+    /// deliberate coarse approximation (half-bucket rule).
+    pub fn selectivity_le(&self, v: &Value) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut cum = 0usize;
+        for (b, c) in self.boundaries.iter().zip(&self.counts) {
+            if v >= b {
+                cum += c;
+            } else {
+                // assume half the straddling bucket qualifies
+                cum += c / 2;
+                break;
+            }
+        }
+        (cum as f64 / self.total as f64).min(1.0)
+    }
+
+    /// Bucket boundaries (for diagnostics).
+    pub fn boundaries(&self) -> &[Value] {
+        &self.boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{Column, DataType, Field, Schema};
+
+    fn table(vals: Vec<i64>) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        Table::new(schema, vec![Column::from_i64(vals)]).unwrap()
+    }
+
+    #[test]
+    fn buckets_are_balanced() {
+        let t = table((0..100).collect());
+        let rows: Vec<u32> = (0..100).collect();
+        let h = EquiDepthHistogram::build(&t, 0, &rows, 4);
+        assert_eq!(h.num_buckets(), 4);
+        assert_eq!(h.total(), 100);
+        assert!(h.counts.iter().all(|&c| c == 25), "{:?}", h.counts);
+        assert_eq!(h.boundaries.last().unwrap(), &Value::Int(99));
+    }
+
+    #[test]
+    fn duplicates_do_not_straddle() {
+        let t = table(vec![1, 1, 1, 1, 1, 2, 3, 4]);
+        let rows: Vec<u32> = (0..8).collect();
+        let h = EquiDepthHistogram::build(&t, 0, &rows, 4);
+        // first bucket must swallow all the 1s
+        assert_eq!(h.boundaries[0], Value::Int(1));
+        assert_eq!(h.counts[0], 5);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let t = table((0..100).collect());
+        let rows: Vec<u32> = (0..100).collect();
+        let h = EquiDepthHistogram::build(&t, 0, &rows, 10);
+        let s = h.selectivity_le(&Value::Int(49));
+        assert!((0.35..=0.65).contains(&s), "sel {s}");
+        assert_eq!(h.selectivity_le(&Value::Int(1_000)), 1.0);
+    }
+
+    #[test]
+    fn empty_and_null_handling() {
+        let t = table(vec![]);
+        let h = EquiDepthHistogram::build(&t, 0, &[], 8);
+        assert_eq!(h.num_buckets(), 0);
+        assert_eq!(h.selectivity_le(&Value::Int(5)), 0.0);
+    }
+}

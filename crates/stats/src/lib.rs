@@ -1,0 +1,38 @@
+//! # gbmqo-stats
+//!
+//! The statistics subsystem standing in for a commercial DBMS's statistics
+//! and what-if analysis machinery, which the paper's query-optimizer cost
+//! model (§3.2.2) depends on:
+//!
+//! * [`sample`] — reservoir sampling of row ids (one shared sample per
+//!   table; the paper notes "the optimizer can create multiple statistics
+//!   from one sample"),
+//! * [`freq`] — sample frequency profiles (`f_i` = number of values seen
+//!   exactly `i` times),
+//! * [`distinct`] — sampling-based distinct-value estimators (GEE,
+//!   Shlosser, first-order jackknife, and the Haas et al. hybrid the paper
+//!   cites as \[3\]), plus exact counting,
+//! * [`histogram`] — equi-depth histograms,
+//! * [`column_stats`] — per-column summaries,
+//! * [`store`] — a [`store::StatsStore`] caching per-column-set cardinality
+//!   estimates with creation-cost accounting (experiment §6.7 / Figure 12),
+//! * [`source`] — the [`source::CardinalitySource`] trait (the what-if API
+//!   analog) with sampled and exact implementations.
+
+#![warn(missing_docs)]
+
+pub mod column_stats;
+pub mod distinct;
+pub mod freq;
+pub mod histogram;
+pub mod sample;
+pub mod source;
+pub mod store;
+
+pub use column_stats::ColumnStats;
+pub use distinct::{exact_distinct, DistinctEstimator};
+pub use freq::FrequencyProfile;
+pub use histogram::EquiDepthHistogram;
+pub use sample::reservoir_sample;
+pub use source::{CardinalitySource, ExactSource, SampledSource};
+pub use store::{StatsCreationLog, StatsStore};

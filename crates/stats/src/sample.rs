@@ -1,0 +1,70 @@
+//! Reservoir sampling of row ids.
+
+use rand::Rng;
+
+/// Draw a uniform random sample (without replacement) of `sample_size` row
+/// ids from `0..num_rows` using Algorithm R. If `sample_size >= num_rows`
+/// the full range is returned (in order).
+pub fn reservoir_sample<R: Rng>(num_rows: usize, sample_size: usize, rng: &mut R) -> Vec<u32> {
+    if sample_size >= num_rows {
+        return (0..num_rows as u32).collect();
+    }
+    let mut reservoir: Vec<u32> = (0..sample_size as u32).collect();
+    for i in sample_size..num_rows {
+        let j = rng.gen_range(0..=i);
+        if j < sample_size {
+            reservoir[j] = i as u32;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_sample_when_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = reservoir_sample(5, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        let s = reservoir_sample(5, 5, &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sample_is_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = reservoir_sample(10_000, 500, &mut rng);
+        assert_eq!(s.len(), 500);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 500, "sample contains duplicates");
+        assert!(sorted.iter().all(|&r| (r as usize) < 10_000));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each row id should appear with probability k/n; check the mean of
+        // sampled ids is near n/2 over repetitions.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total: f64 = 0.0;
+        let reps = 50;
+        for _ in 0..reps {
+            let s = reservoir_sample(1000, 100, &mut rng);
+            total += s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+        }
+        let mean = total / reps as f64;
+        assert!((mean - 499.5).abs() < 40.0, "mean {mean} not near 499.5");
+    }
+
+    #[test]
+    fn zero_rows_and_zero_sample() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(reservoir_sample(0, 10, &mut rng).is_empty());
+        assert!(reservoir_sample(10, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Caching of per-column-set cardinality estimates and accounting for the
+//! cost of creating statistics (experiment §6.7 / Figure 12).
+
+use rustc_hash::FxHashMap;
+use std::time::Duration;
+
+/// One statistics-creation event: which column set, and how long building
+/// the statistic took.
+#[derive(Debug, Clone)]
+pub struct StatsCreationEvent {
+    /// Sorted column ordinals the statistic covers.
+    pub cols: Vec<usize>,
+    /// Wall time spent building it.
+    pub elapsed: Duration,
+}
+
+/// Log of statistics created so far.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCreationLog {
+    /// All creation events in order.
+    pub events: Vec<StatsCreationEvent>,
+}
+
+impl StatsCreationLog {
+    /// Total time spent creating statistics.
+    pub fn total(&self) -> Duration {
+        self.events.iter().map(|e| e.elapsed).sum()
+    }
+
+    /// Number of statistics created.
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// A cache of column-set → distinct-count estimates for one table.
+///
+/// The paper amortizes statistics: a statistic is created the first time a
+/// Group By over its columns is encountered and reused afterwards. The
+/// store mirrors that behaviour and records what each creation cost.
+#[derive(Debug, Default)]
+pub struct StatsStore {
+    cache: FxHashMap<Vec<usize>, f64>,
+    log: StatsCreationLog,
+}
+
+impl StatsStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the cached estimate for `cols` (sorted internally), or build it
+    /// with `build` and record the creation cost.
+    pub fn get_or_create(&mut self, cols: &[usize], build: impl FnOnce() -> f64) -> f64 {
+        let key = sorted(cols);
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let start = std::time::Instant::now();
+        let v = build();
+        let elapsed = start.elapsed();
+        self.log.events.push(StatsCreationEvent {
+            cols: key.clone(),
+            elapsed,
+        });
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Peek without creating.
+    pub fn get(&self, cols: &[usize]) -> Option<f64> {
+        self.cache.get(&sorted(cols)).copied()
+    }
+
+    /// Insert or overwrite an estimate without logging a creation.
+    pub fn put(&mut self, cols: &[usize], value: f64) {
+        self.cache.insert(sorted(cols), value);
+    }
+
+    /// The creation log.
+    pub fn creation_log(&self) -> &StatsCreationLog {
+        &self.log
+    }
+
+    /// Number of cached column sets.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+fn sorted(cols: &[usize]) -> Vec<usize> {
+    let mut v = cols.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_caches() {
+        let mut s = StatsStore::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v = s.get_or_create(&[2, 1], || {
+                builds += 1;
+                42.0
+            });
+            assert_eq!(v, 42.0);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(s.creation_log().count(), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn key_is_order_insensitive() {
+        let mut s = StatsStore::new();
+        s.get_or_create(&[3, 1], || 7.0);
+        assert_eq!(s.get(&[1, 3]), Some(7.0));
+        assert_eq!(s.get(&[3, 1, 1]), Some(7.0)); // dedup
+        assert_eq!(s.get(&[1]), None);
+    }
+
+    #[test]
+    fn put_does_not_log() {
+        let mut s = StatsStore::new();
+        s.put(&[0], 5.0);
+        assert_eq!(s.get(&[0]), Some(5.0));
+        assert_eq!(s.creation_log().count(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn creation_log_totals() {
+        let mut s = StatsStore::new();
+        s.get_or_create(&[0], || 1.0);
+        s.get_or_create(&[1], || 2.0);
+        let log = s.creation_log();
+        assert_eq!(log.count(), 2);
+        assert!(log.total() >= Duration::ZERO);
+        assert_eq!(log.events[0].cols, vec![0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the statistics subsystem.
+
+use gbmqo_stats::{
+    exact_distinct, reservoir_sample, CardinalitySource, DistinctEstimator, ExactSource,
+    FrequencyProfile, SampledSource,
+};
+use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn int_table(vals: Vec<i64>) -> Table {
+    let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+    Table::new(schema, vec![Column::from_i64(vals)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every estimator's output lies in [distinct-in-sample, table rows].
+    #[test]
+    fn estimates_are_bounded(
+        vals in prop::collection::vec(0i64..40, 1..300),
+        sample_frac in 0.1f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let n = vals.len();
+        let table = int_table(vals);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = ((n as f64 * sample_frac) as usize).max(1);
+        let sample = reservoir_sample(n, k, &mut rng);
+        let profile = FrequencyProfile::build(&table, &[0], &sample);
+        let d_sample = profile.distinct_in_sample() as f64;
+        for est in [
+            DistinctEstimator::Gee,
+            DistinctEstimator::Shlosser,
+            DistinctEstimator::Jackknife,
+            DistinctEstimator::Hybrid,
+        ] {
+            let e = est.estimate(&profile, n);
+            prop_assert!(e >= d_sample - 1e-9, "{est:?}: {e} < sample distinct {d_sample}");
+            prop_assert!(e <= n as f64 + 1e-9, "{est:?}: {e} > n {n}");
+        }
+    }
+
+    /// The frequency profile is a partition of the sample:
+    /// Σ i·f_i = sample size and Σ f_i = distinct-in-sample.
+    #[test]
+    fn frequency_profile_sums(
+        vals in prop::collection::vec(0i64..20, 1..200),
+        k in 1usize..200,
+    ) {
+        let n = vals.len();
+        let table = int_table(vals);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = reservoir_sample(n, k.min(n), &mut rng);
+        let p = FrequencyProfile::build(&table, &[0], &sample);
+        let total: usize = (1..=p.max_frequency()).map(|i| i * p.f(i)).sum();
+        prop_assert_eq!(total, p.sample_size());
+        let distinct: usize = (1..=p.max_frequency()).map(|i| p.f(i)).sum();
+        prop_assert_eq!(distinct, p.distinct_in_sample());
+    }
+
+    /// Exact distinct of a subset of columns never exceeds the joint
+    /// distinct, and the joint never exceeds the row count.
+    #[test]
+    fn distinct_monotonicity(
+        a in prop::collection::vec(0i64..10, 1..150),
+    ) {
+        let n = a.len();
+        let b: Vec<i64> = (0..n as i64).map(|i| i % 7).collect();
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(schema, vec![Column::from_i64(a), Column::from_i64(b)]).unwrap();
+        let da = exact_distinct(&t, &[0]);
+        let db = exact_distinct(&t, &[1]);
+        let dab = exact_distinct(&t, &[0, 1]);
+        prop_assert!(dab >= da.max(db));
+        prop_assert!(dab <= da * db);
+        prop_assert!(dab <= n);
+    }
+
+    /// SampledSource respects the cap: joint ≤ min(n, Π singles),
+    /// and ExactSource agrees with exact_distinct.
+    #[test]
+    fn sources_respect_caps(vals in prop::collection::vec(0i64..6, 10..200)) {
+        let n = vals.len();
+        let doubled: Vec<i64> = vals.iter().map(|v| v * 3).collect();
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::from_i64(vals), Column::from_i64(doubled)],
+        )
+        .unwrap();
+
+        let mut exact = ExactSource::new(&t);
+        prop_assert_eq!(exact.distinct(&[0]), exact_distinct(&t, &[0]) as f64);
+
+        let mut sampled = SampledSource::new(&t, n / 2 + 1, DistinctEstimator::Hybrid, 3);
+        let ja = sampled.distinct(&[0]);
+        let jb = sampled.distinct(&[1]);
+        let joint = sampled.distinct(&[0, 1]);
+        prop_assert!(joint <= ja * jb + 1e-6);
+        prop_assert!(joint <= n as f64 + 1e-6);
+    }
+
+    /// Reservoir samples are uniform-without-replacement draws: right
+    /// size, no duplicates, in range.
+    #[test]
+    fn reservoir_is_sane(n in 0usize..500, k in 0usize..600, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = reservoir_sample(n, k, &mut rng);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&r| (r as usize) < n));
+    }
+}

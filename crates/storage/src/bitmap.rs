@@ -1,0 +1,174 @@
+//! A packed validity bitmap (1 = valid, 0 = null).
+
+/// A simple packed bitmap used as a column validity mask.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![word; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        let bit = self.len;
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        if value {
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        if value {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset (null) bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// True if every bit is set (no nulls).
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Bytes used by the bitmap's backing store.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+        assert_eq!(bm.count_zeros(), 200 - bm.count_ones());
+    }
+
+    #[test]
+    fn filled_true_and_false() {
+        let t = Bitmap::filled(70, true);
+        assert_eq!(t.count_ones(), 70);
+        assert!(t.all_set());
+        let f = Bitmap::filled(70, false);
+        assert_eq!(f.count_ones(), 0);
+        assert!(!f.all_set());
+    }
+
+    #[test]
+    fn filled_true_masks_tail_bits() {
+        // count_ones must not count garbage beyond `len`.
+        let t = Bitmap::filled(1, true);
+        assert_eq!(t.count_ones(), 1);
+        let t = Bitmap::filled(65, true);
+        assert_eq!(t.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut bm = Bitmap::filled(10, false);
+        bm.set(3, true);
+        bm.set(9, true);
+        assert!(bm.get(3) && bm.get(9));
+        bm.set(3, false);
+        assert!(!bm.get(3));
+        assert_eq!(bm.count_ones(), 1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bm: Bitmap = [true, false, true].into_iter().collect();
+        assert_eq!(bm.len(), 3);
+        assert!(bm.get(0) && !bm.get(1) && bm.get(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::filled(4, true).get(4);
+    }
+
+    #[test]
+    fn byte_size_rounds_up() {
+        assert_eq!(Bitmap::filled(1, true).byte_size(), 8);
+        assert_eq!(Bitmap::filled(64, true).byte_size(), 8);
+        assert_eq!(Bitmap::filled(65, true).byte_size(), 16);
+        assert_eq!(Bitmap::new().byte_size(), 0);
+    }
+}

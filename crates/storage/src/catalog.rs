@@ -1,0 +1,296 @@
+//! The catalog: named base tables, temporary tables and their indexes,
+//! with byte-accurate storage accounting for the paper's §4.4
+//! intermediate-storage analysis.
+
+use crate::error::{Result, StorageError};
+use crate::index::{Index, IndexKind};
+use crate::table::Table;
+use rustc_hash::FxHashMap;
+
+/// A catalog entry: a table plus its indexes and temp-ness.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// The table data.
+    pub table: Table,
+    /// True for temporary (materialized intermediate) tables.
+    pub is_temp: bool,
+    /// Indexes built over the table.
+    pub indexes: Vec<Index>,
+}
+
+/// Running + peak bytes consumed by temporary tables.
+///
+/// This is the quantity the paper's `Storage(u)` recursion (§4.4.1)
+/// minimizes; the executor checks its scheduling predictions against it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageAccounting {
+    /// Bytes currently held by temp tables.
+    pub current_temp_bytes: usize,
+    /// Highest value `current_temp_bytes` ever reached.
+    pub peak_temp_bytes: usize,
+}
+
+impl StorageAccounting {
+    fn add(&mut self, bytes: usize) {
+        self.current_temp_bytes += bytes;
+        self.peak_temp_bytes = self.peak_temp_bytes.max(self.current_temp_bytes);
+    }
+
+    fn sub(&mut self, bytes: usize) {
+        self.current_temp_bytes = self.current_temp_bytes.saturating_sub(bytes);
+    }
+}
+
+/// A named collection of tables. Base tables persist; temp tables are
+/// created/dropped by plan execution and tracked by [`StorageAccounting`].
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: FxHashMap<String, TableEntry>,
+    accounting: StorageAccounting,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a base table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(
+            name,
+            TableEntry {
+                table,
+                is_temp: false,
+                indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Materialize a temporary table under `name`, updating accounting.
+    pub fn create_temp(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.accounting.add(table.byte_size());
+        self.tables.insert(
+            name,
+            TableEntry {
+                table,
+                is_temp: true,
+                indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a temporary table, releasing its bytes. Dropping a base table
+    /// is an error.
+    pub fn drop_temp(&mut self, name: &str) -> Result<()> {
+        match self.tables.get(name) {
+            None => Err(StorageError::TableNotFound(name.to_string())),
+            Some(e) if !e.is_temp => Err(StorageError::Malformed(format!(
+                "cannot drop base table {name}"
+            ))),
+            Some(_) => {
+                let e = self.tables.remove(name).expect("checked above");
+                self.accounting.sub(e.table.byte_size());
+                Ok(())
+            }
+        }
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Look up just the table data.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        Ok(&self.get(name)?.table)
+    }
+
+    /// True if `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Build and attach an index to table `name`.
+    pub fn create_index(
+        &mut self,
+        table_name: &str,
+        index_name: impl Into<String>,
+        kind: IndexKind,
+        key_cols: Vec<usize>,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        let entry = self
+            .tables
+            .get_mut(table_name)
+            .ok_or_else(|| StorageError::TableNotFound(table_name.to_string()))?;
+        if entry.indexes.iter().any(|i| i.name == index_name) {
+            return Err(StorageError::Malformed(format!(
+                "index {index_name} already exists on {table_name}"
+            )));
+        }
+        let index = Index::build(index_name, kind, &entry.table, key_cols);
+        entry.indexes.push(index);
+        Ok(())
+    }
+
+    /// Drop all indexes from a table.
+    pub fn drop_indexes(&mut self, table_name: &str) -> Result<()> {
+        let entry = self
+            .tables
+            .get_mut(table_name)
+            .ok_or_else(|| StorageError::TableNotFound(table_name.to_string()))?;
+        entry.indexes.clear();
+        Ok(())
+    }
+
+    /// The best index of `table_name` whose order serves a grouping on
+    /// `cols` (non-clustered preferred — it is narrower).
+    pub fn index_serving(&self, table_name: &str, cols: &[usize]) -> Option<&Index> {
+        let entry = self.tables.get(table_name)?;
+        let mut best: Option<&Index> = None;
+        for idx in &entry.indexes {
+            if idx.serves_grouping(cols) {
+                match (best, idx.kind) {
+                    (None, _) => best = Some(idx),
+                    (Some(b), IndexKind::NonClustered) if b.kind == IndexKind::Clustered => {
+                        best = Some(idx)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    /// Storage accounting snapshot.
+    pub fn accounting(&self) -> StorageAccounting {
+        self.accounting
+    }
+
+    /// Reset the peak-storage watermark to the current level.
+    pub fn reset_peak(&mut self) {
+        self.accounting.peak_temp_bytes = self.accounting.current_temp_bytes;
+    }
+
+    /// Names of all temp tables (for cleanup in tests).
+    pub fn temp_names(&self) -> Vec<String> {
+        self.tables
+            .iter()
+            .filter(|(_, e)| e.is_temp)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn tiny(n: i64) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        Table::new(schema, vec![Column::from_i64((0..n).collect())]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(3)).unwrap();
+        assert!(c.contains("t"));
+        assert_eq!(c.table("t").unwrap().num_rows(), 3);
+        assert!(matches!(
+            c.table("missing"),
+            Err(StorageError::TableNotFound(_))
+        ));
+        assert!(matches!(
+            c.register("t", tiny(1)),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn temp_lifecycle_updates_accounting() {
+        let mut c = Catalog::new();
+        c.register("base", tiny(10)).unwrap();
+        assert_eq!(c.accounting().current_temp_bytes, 0);
+
+        let t1 = tiny(100);
+        let t1_bytes = t1.byte_size();
+        c.create_temp("tmp1", t1).unwrap();
+        assert_eq!(c.accounting().current_temp_bytes, t1_bytes);
+
+        let t2 = tiny(50);
+        let t2_bytes = t2.byte_size();
+        c.create_temp("tmp2", t2).unwrap();
+        assert_eq!(c.accounting().current_temp_bytes, t1_bytes + t2_bytes);
+        assert_eq!(c.accounting().peak_temp_bytes, t1_bytes + t2_bytes);
+
+        c.drop_temp("tmp1").unwrap();
+        assert_eq!(c.accounting().current_temp_bytes, t2_bytes);
+        // peak is sticky
+        assert_eq!(c.accounting().peak_temp_bytes, t1_bytes + t2_bytes);
+
+        c.drop_temp("tmp2").unwrap();
+        assert_eq!(c.accounting().current_temp_bytes, 0);
+        assert_eq!(c.temp_names().len(), 0);
+    }
+
+    #[test]
+    fn cannot_drop_base_table() {
+        let mut c = Catalog::new();
+        c.register("base", tiny(1)).unwrap();
+        assert!(c.drop_temp("base").is_err());
+        assert!(c.drop_temp("ghost").is_err());
+    }
+
+    #[test]
+    fn index_creation_and_selection() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(5)).unwrap();
+        c.create_index("t", "cx", IndexKind::Clustered, vec![0])
+            .unwrap();
+        assert!(c.index_serving("t", &[0]).is_some());
+        assert_eq!(
+            c.index_serving("t", &[0]).unwrap().kind,
+            IndexKind::Clustered
+        );
+        // non-clustered on same column is preferred (narrower)
+        c.create_index("t", "ncx", IndexKind::NonClustered, vec![0])
+            .unwrap();
+        assert_eq!(
+            c.index_serving("t", &[0]).unwrap().kind,
+            IndexKind::NonClustered
+        );
+        assert!(c.index_serving("t", &[1]).is_none());
+        assert!(c
+            .create_index("t", "cx", IndexKind::Clustered, vec![0])
+            .is_err());
+        c.drop_indexes("t").unwrap();
+        assert!(c.index_serving("t", &[0]).is_none());
+    }
+
+    #[test]
+    fn reset_peak() {
+        let mut c = Catalog::new();
+        c.create_temp("a", tiny(100)).unwrap();
+        c.drop_temp("a").unwrap();
+        assert!(c.accounting().peak_temp_bytes > 0);
+        c.reset_peak();
+        assert_eq!(c.accounting().peak_temp_bytes, 0);
+    }
+}

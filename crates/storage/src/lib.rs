@@ -1,0 +1,43 @@
+//! # gbmqo-storage
+//!
+//! A small columnar, in-memory storage engine that plays the role Microsoft
+//! SQL Server's storage layer plays in the SIGMOD 2005 paper *"Efficient
+//! Computation of Multiple Group By Queries"* (Chen & Narasayya).
+//!
+//! It provides:
+//!
+//! * typed [`Column`]s (`Int64`, `Float64`, dictionary-encoded `Utf8`,
+//!   `Date32`) with validity bitmaps,
+//! * [`Table`]s with [`Schema`]s and builders,
+//! * a [`Catalog`] holding base and temporary tables with byte-accurate
+//!   storage accounting (needed for the paper's §4.4 intermediate-storage
+//!   experiments),
+//! * clustered / non-clustered [`Index`]es, modeled as sort permutations
+//!   (needed for the paper's §6.9 physical-design experiment),
+//! * compact per-row [`RowKey`] encodings used by hash aggregation.
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod dictionary;
+pub mod error;
+pub mod index;
+pub mod key;
+pub mod schema;
+pub mod sort;
+pub mod table;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use catalog::{Catalog, StorageAccounting, TableEntry};
+pub use column::{Column, ColumnBuilder};
+pub use dictionary::Dictionary;
+pub use error::{Result, StorageError};
+pub use index::{Index, IndexKind};
+pub use key::{KeyEncoder, RowKey};
+pub use schema::{Field, Schema};
+pub use sort::sort_permutation;
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};

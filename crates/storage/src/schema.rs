@@ -1,0 +1,150 @@
+//! Schemas: ordered lists of named, typed fields.
+
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+use std::sync::Arc;
+
+/// A named, typed field of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether the column may contain NULLs.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Create a nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// Create a non-nullable field.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered collection of fields; cheap to clone (Arc inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Create a schema from fields. Names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(StorageError::Malformed(format!(
+                    "duplicate column name: {}",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema {
+            fields: fields.into(),
+        })
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// A new schema containing the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        let fields: Vec<Field> = indices.iter().map(|&i| self.fields[i].clone()).collect();
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::not_null("b", DataType::Utf8),
+            Field::new("c", DataType::Date32),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = abc();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("zzz"),
+            Err(StorageError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("x", DataType::Utf8),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Malformed(_)));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = abc();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(p.field(0).data_type, DataType::Date32);
+    }
+
+    #[test]
+    fn nullability_is_tracked() {
+        let s = abc();
+        assert!(s.field(0).nullable);
+        assert!(!s.field(1).nullable);
+    }
+}

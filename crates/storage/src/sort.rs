@@ -1,0 +1,99 @@
+//! Sort permutations over tables.
+
+use crate::table::Table;
+use std::cmp::Ordering;
+
+/// Compute a stable permutation of row ids that orders `table` by the given
+/// key column ordinals (ascending, NULLS FIRST).
+///
+/// The permutation is the backbone of non-clustered indexes and of
+/// sort-based (streaming) aggregation.
+pub fn sort_permutation(table: &Table, key_cols: &[usize]) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..table.num_rows() as u32).collect();
+    let cols: Vec<&crate::column::Column> = key_cols.iter().map(|&c| table.column(c)).collect();
+    perm.sort_by(|&a, &b| {
+        for col in &cols {
+            match col.cmp_rows(a as usize, b as usize) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    });
+    perm
+}
+
+/// True if `perm` orders `table` by `key_cols` (ascending, NULLS FIRST).
+pub fn is_sorted_by(table: &Table, key_cols: &[usize], perm: &[u32]) -> bool {
+    let cols: Vec<&crate::column::Column> = key_cols.iter().map(|&c| table.column(c)).collect();
+    perm.windows(2).all(|w| {
+        cols.iter()
+            .map(|c| c.cmp_rows(w[0] as usize, w[1] as usize))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+            != Ordering::Greater
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for (a, b) in [
+            (Value::Int(3), Value::str("z")),
+            (Value::Int(1), Value::str("y")),
+            (Value::Null, Value::str("x")),
+            (Value::Int(1), Value::str("a")),
+        ] {
+            tb.push_row(&[a, b]).unwrap();
+        }
+        tb.finish().unwrap()
+    }
+
+    #[test]
+    fn single_key_sort_nulls_first() {
+        let t = table();
+        let p = sort_permutation(&t, &[0]);
+        assert_eq!(p[0], 2); // NULL first
+        let vals: Vec<Value> = p.iter().map(|&i| t.value(i as usize, 0)).collect();
+        assert_eq!(
+            vals,
+            vec![Value::Null, Value::Int(1), Value::Int(1), Value::Int(3)]
+        );
+        assert!(is_sorted_by(&t, &[0], &p));
+    }
+
+    #[test]
+    fn multi_key_sort_is_lexicographic() {
+        let t = table();
+        let p = sort_permutation(&t, &[0, 1]);
+        // (NULL,x), (1,a), (1,y), (3,z)
+        assert_eq!(p, vec![2, 3, 1, 0]);
+        assert!(is_sorted_by(&t, &[0, 1], &p));
+        assert!(!is_sorted_by(&t, &[0, 1], &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let t = table();
+        let p = sort_permutation(&t, &[]);
+        assert_eq!(p, vec![0, 1, 2, 3]); // no keys: identity (stable)
+    }
+
+    #[test]
+    fn empty_table_sorts() {
+        let t = Table::empty(table().schema().clone());
+        assert!(sort_permutation(&t, &[0]).is_empty());
+        assert!(is_sorted_by(&t, &[0], &[]));
+    }
+}

@@ -1,0 +1,305 @@
+//! Scalar values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The data types supported by the engine.
+///
+/// This is the minimal set needed to model the paper's evaluation datasets:
+/// TPC-H `lineitem` (integers, decimals, dates, fixed/variable text), the
+/// Sales warehouse and NREF `neighboring_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float (TPC-H decimals are modeled as floats, and are the
+    /// columns the paper *excludes* from its SC workloads).
+    Float64,
+    /// Dictionary-encoded UTF-8 string.
+    Utf8,
+    /// Days since an arbitrary epoch, like Arrow's `Date32`.
+    Date32,
+}
+
+impl DataType {
+    /// Bytes a single value of this type occupies in a row-oriented
+    /// materialization. Used for storage accounting and cost estimation.
+    /// `Utf8` is accounted via the column's average string length instead.
+    pub fn fixed_width(&self) -> Option<usize> {
+        match self {
+            DataType::Int64 | DataType::Float64 => Some(8),
+            DataType::Date32 => Some(4),
+            DataType::Utf8 => None,
+        }
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Value` is used at the API boundary (building tables, reading results);
+/// the hot paths operate on typed column vectors directly.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An `Int64` value.
+    Int(i64),
+    /// A `Float64` value.
+    Float(f64),
+    /// A `Utf8` value.
+    Str(Arc<str>),
+    /// A `Date32` value.
+    Date(i32),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type of the value, if not null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Date(_) => Some(DataType::Date32),
+        }
+    }
+
+    /// Extract an integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float, if this is one.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract a date, if this is one.
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // Bit-pattern equality so NaN == NaN (one group per SQL GROUP
+            // BY), with -0.0 normalized to equal 0.0.
+            (Value::Float(a), Value::Float(b)) => {
+                a.to_bits() == b.to_bits() || (*a == 0.0 && *b == 0.0)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULL first, then by type tag, then by value.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Date(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => {
+                // keep Ord consistent with Eq: -0.0 compares equal to 0.0
+                let na = if *a == 0.0 { 0.0 } else { *a };
+                let nb = if *b == 0.0 { 0.0 } else { *b };
+                na.total_cmp(&nb)
+            }
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            _ => tag(self).cmp(&tag(other)),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(v) => {
+                state.write_u8(1);
+                state.write_i64(*v);
+            }
+            Value::Float(v) => {
+                state.write_u8(2);
+                // match PartialEq: -0.0 hashes like 0.0
+                let bits = if *v == 0.0 { 0 } else { v.to_bits() };
+                state.write_u64(bits);
+            }
+            Value::Str(v) => {
+                state.write_u8(3);
+                v.hash(state);
+            }
+            Value::Date(v) => {
+                state.write_u8(4);
+                state.write_i32(*v);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date#{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_and_hash_agree() {
+        let pairs = [
+            (Value::Int(3), Value::Int(3)),
+            (Value::Float(1.5), Value::Float(1.5)),
+            (Value::str("abc"), Value::str("abc")),
+            (Value::Date(10), Value::Date(10)),
+            (Value::Null, Value::Null),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn nan_groups_with_itself() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn cross_type_values_are_unequal() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Date(1), Value::Int(1));
+    }
+
+    #[test]
+    fn ordering_is_total_and_null_first() {
+        let mut vals = [
+            Value::str("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Int(1),
+            Value::str("a"),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+        assert_eq!(vals[2], Value::Int(2));
+        assert_eq!(vals[3], Value::str("a"));
+    }
+
+    #[test]
+    fn negative_zero_is_consistent_across_eq_ord_hash() {
+        let a = Value::Float(0.0);
+        let b = Value::Float(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Date(9).as_date(), Some(9));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int64));
+    }
+
+    #[test]
+    fn fixed_widths() {
+        assert_eq!(DataType::Int64.fixed_width(), Some(8));
+        assert_eq!(DataType::Float64.fixed_width(), Some(8));
+        assert_eq!(DataType::Date32.fixed_width(), Some(4));
+        assert_eq!(DataType::Utf8.fixed_width(), None);
+    }
+}

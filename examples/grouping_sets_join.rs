@@ -1,0 +1,137 @@
+//! GROUPING SETS over a join, with Group By pushdown and `Grp-Tag`
+//! (§5.1.1 / Figure 8 of the paper).
+//!
+//! ```sh
+//! cargo run --release -p gbmqo-examples --bin grouping_sets_join
+//! ```
+//!
+//! A lineitem-like fact table joins a small supplier dimension. The
+//! analyst asks for GROUPING SETS over fact columns; the example pushes
+//! the grouping below the join (sharing work across the pushed-down
+//! Group Bys via the GB-MQO optimizer), tags and unions the partial
+//! results, joins once, and verifies against the join-then-group plan.
+
+use gbmqo_core::grouping_sets_over_join;
+use gbmqo_datagen::{ColumnGen, TableSpec};
+use gbmqo_exec::{hash_group_by, hash_join, AggSpec, Engine, ExecMetrics};
+use gbmqo_storage::{Catalog, DataType, Field, Schema, Table, TableBuilder, Value};
+use std::time::Instant;
+
+fn fact(rows: usize) -> Table {
+    TableSpec::new(
+        vec![
+            ("suppkey".into(), ColumnGen::IntCat { distinct: 100 }),
+            (
+                "returnflag".into(),
+                ColumnGen::Text {
+                    distinct: 3,
+                    avg_len: 1,
+                },
+            ),
+            (
+                "shipmode".into(),
+                ColumnGen::Text {
+                    distinct: 7,
+                    avg_len: 5,
+                },
+            ),
+            (
+                "linestatus".into(),
+                ColumnGen::Text {
+                    distinct: 2,
+                    avg_len: 1,
+                },
+            ),
+        ],
+        11,
+    )
+    .generate(rows)
+}
+
+fn dimension() -> Table {
+    let schema = Schema::new(vec![
+        Field::new("suppkey", DataType::Int64),
+        Field::new("nation", DataType::Utf8),
+    ])
+    .unwrap();
+    let mut tb = TableBuilder::new(schema);
+    for i in 0..100i64 {
+        tb.push_row(&[Value::Int(i), Value::str(&format!("nation{}", i % 25))])
+            .unwrap();
+    }
+    tb.finish().unwrap()
+}
+
+fn main() {
+    let rows = 150_000;
+    let mut catalog = Catalog::new();
+    catalog.register("fact", fact(rows)).unwrap();
+    catalog.register("supplier", dimension()).unwrap();
+    let mut engine = Engine::new(catalog);
+    println!("fact: {rows} rows; supplier: 100 rows (keyed by suppkey)\n");
+
+    let requests = [
+        vec!["returnflag"],
+        vec!["shipmode"],
+        vec!["linestatus"],
+        vec!["returnflag", "shipmode"],
+    ];
+
+    let start = Instant::now();
+    let pushed =
+        grouping_sets_over_join(&mut engine, "fact", "supplier", "suppkey", &requests).unwrap();
+    let t_pushed = start.elapsed().as_secs_f64();
+
+    println!("pushed-down plan (§5.1.1):");
+    println!(
+        "  tagged UNION ALL below the join: {} rows (vs {} fact rows)",
+        pushed.tagged_union_rows, rows
+    );
+    for (tag, result) in &pushed.results {
+        println!("  GROUPING SET ({tag:<22}) → {} groups", result.num_rows());
+    }
+
+    // Reference: join first, then one Group By per set.
+    let fact_t = engine.catalog().table("fact").unwrap().clone();
+    let supp_t = engine.catalog().table("supplier").unwrap().clone();
+    let mut m = ExecMetrics::new();
+    let start = Instant::now();
+    let joined = hash_join(&fact_t, &supp_t, &[0], &[0], &mut m).unwrap();
+    for req in &requests {
+        let cols: Vec<usize> = req
+            .iter()
+            .map(|c| joined.schema().index_of(c).unwrap())
+            .collect();
+        let _ = hash_group_by(&joined, &cols, &[AggSpec::count()], &mut m).unwrap();
+    }
+    let t_direct = start.elapsed().as_secs_f64();
+
+    println!(
+        "\npushed-down: {t_pushed:.3}s   join-then-group: {t_direct:.3}s   ({:.2}×)",
+        t_direct / t_pushed
+    );
+
+    // Verify one set end-to-end.
+    let cols = vec![joined.schema().index_of("returnflag").unwrap()];
+    let direct = hash_group_by(&joined, &cols, &[AggSpec::count()], &mut m).unwrap();
+    let ours = &pushed
+        .results
+        .iter()
+        .find(|(t, _)| t == "returnflag")
+        .unwrap()
+        .1;
+    let norm = |t: &Table| {
+        let mut v: Vec<(Value, i64)> = (0..t.num_rows())
+            .map(|r| {
+                (
+                    t.value(r, 0),
+                    t.value(r, t.num_columns() - 1).as_int().unwrap(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(ours), norm(&direct));
+    println!("verified: pushed-down results match join-then-group ✓");
+}

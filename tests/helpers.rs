@@ -1,0 +1,83 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use gbmqo_core::prelude::*;
+use gbmqo_exec::Engine;
+use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Table, Value};
+
+/// Normalize a Group By result to sorted `(key values, count)` rows so
+/// results from different plans can be compared irrespective of row or
+/// column order (columns are matched by name).
+pub fn normalize(t: &Table, key_names: &[&str]) -> Vec<(Vec<Value>, i64)> {
+    let cnt = t.num_columns() - 1;
+    let idx: Vec<usize> = key_names
+        .iter()
+        .map(|n| t.schema().index_of(n).expect("key column present"))
+        .collect();
+    let mut rows: Vec<(Vec<Value>, i64)> = (0..t.num_rows())
+        .map(|r| {
+            (
+                idx.iter().map(|&c| t.value(r, c)).collect(),
+                t.value(r, cnt).as_int().expect("count column"),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Assert two execution reports agree on every requested set.
+pub fn assert_same_results(
+    workload: &Workload,
+    a: &ExecutionReport,
+    b: &ExecutionReport,
+    context: &str,
+) {
+    assert_eq!(a.results.len(), b.results.len(), "{context}: result counts");
+    for (set, ta) in &a.results {
+        let names = workload.col_names(*set);
+        let tb = &b
+            .results
+            .iter()
+            .find(|(s, _)| s == set)
+            .unwrap_or_else(|| panic!("{context}: missing result for {names:?}"))
+            .1;
+        assert_eq!(
+            normalize(ta, &names),
+            normalize(tb, &names),
+            "{context}: results differ for {names:?}"
+        );
+    }
+}
+
+/// Build an engine holding one base table.
+pub fn engine_with(table: Table, name: &str) -> Engine {
+    let mut catalog = Catalog::new();
+    catalog.register(name, table).expect("fresh catalog");
+    Engine::new(catalog)
+}
+
+/// A small synthetic table with controllable per-column cardinalities;
+/// column `i` is named `c{i}` and holds `values[row] % card[i]` with a
+/// per-column stride so columns with equal cardinality still differ.
+pub fn modular_table(rows: usize, cards: &[usize]) -> Table {
+    let fields: Vec<Field> = (0..cards.len())
+        .map(|i| Field::new(format!("c{i}"), DataType::Int64))
+        .collect();
+    let columns: Vec<Column> = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &card)| {
+            Column::from_i64(
+                (0..rows)
+                    .map(|r| ((r * (i + 1)) % card.max(1)) as i64)
+                    .collect(),
+            )
+        })
+        .collect();
+    Table::new(Schema::new(fields).unwrap(), columns).unwrap()
+}
+
+/// Column-name slice `["c0", "c1", ...]` for [`modular_table`].
+pub fn col_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("c{i}")).collect()
+}

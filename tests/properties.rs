@@ -1,0 +1,194 @@
+//! Property-based tests over the optimizer's core invariants.
+
+use gbmqo_core::prelude::*;
+use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak};
+use gbmqo_core::{optimal_plan, render_sql};
+use gbmqo_cost::CardinalityCostModel;
+use gbmqo_integration::{assert_same_results, col_names, engine_with, modular_table};
+use gbmqo_stats::ExactSource;
+use proptest::prelude::*;
+
+/// Strategy: 2–6 columns with cardinalities from tiny to row count.
+fn cards_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(
+        prop::sample::select(vec![2usize, 3, 7, 20, 100, 400]),
+        2..=6,
+    )
+}
+
+fn workload_of(table: &gbmqo_storage::Table, n: usize) -> Workload {
+    let names = col_names(n);
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    Workload::single_columns("t", table, &refs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any plan the greedy search returns (any configuration) computes
+    /// exactly the same results as the naive plan.
+    #[test]
+    fn optimized_plan_is_semantically_equivalent(
+        cards in cards_strategy(),
+        binary in any::<bool>(),
+        sub in any::<bool>(),
+        mono in any::<bool>(),
+    ) {
+        let table = modular_table(400, &cards);
+        let w = workload_of(&table, cards.len());
+        let config = SearchConfig {
+            binary_only: binary,
+            subsumption_pruning: sub,
+            monotonicity_pruning: mono,
+            ..Default::default()
+        };
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, stats) = GbMqo::with_config(config).optimize(&w, &mut model).unwrap();
+        plan.validate(&w).unwrap();
+        prop_assert!(stats.final_cost <= stats.naive_cost + 1e-9);
+
+        let mut engine = engine_with(table, "t");
+        let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+        assert_same_results(&w, &naive, &optimized, "prop");
+        // counts in every result sum to the row count
+        for (_, t) in &optimized.results {
+            let cnt = t.num_columns() - 1;
+            let total: i64 = (0..t.num_rows()).map(|r| t.value(r, cnt).as_int().unwrap()).sum();
+            prop_assert_eq!(total, 400);
+        }
+    }
+
+    /// The exhaustive optimum never costs more than the greedy plan, and
+    /// the greedy plan never costs more than naive.
+    #[test]
+    fn cost_ordering_optimal_greedy_naive(cards in cards_strategy()) {
+        let table = modular_table(300, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut m1 = CardinalityCostModel::new(ExactSource::new(&table));
+        let (_, opt_cost) = optimal_plan(&w, &mut m1).unwrap();
+        let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
+        let (_, stats) = GbMqo::new().optimize(&w, &mut m2).unwrap();
+        prop_assert!(opt_cost <= stats.final_cost + 1e-6);
+        prop_assert!(stats.final_cost <= stats.naive_cost + 1e-6);
+    }
+
+    /// §4.3 soundness: with the cardinality model, binary merges, and
+    /// disjoint single-column inputs, pruning does not change the final
+    /// plan cost.
+    #[test]
+    fn pruning_soundness_under_cardinality_model(cards in cards_strategy()) {
+        let table = modular_table(500, &cards);
+        let w = workload_of(&table, cards.len());
+        let binary = SearchConfig { binary_only: true, ..Default::default() };
+        let run = |cfg: SearchConfig| {
+            let mut m = CardinalityCostModel::new(ExactSource::new(&table));
+            GbMqo::with_config(cfg).optimize(&w, &mut m).unwrap().1.final_cost
+        };
+        let plain = run(binary.clone());
+        let pruned = run(SearchConfig {
+            subsumption_pruning: true,
+            monotonicity_pruning: true,
+            ..binary
+        });
+        prop_assert!((plain - pruned).abs() < 1e-6, "plain {} pruned {}", plain, pruned);
+    }
+
+    /// The storage recursion is an upper bound the emitted schedule meets:
+    /// simulating the schedule never exceeds the predicted peak.
+    #[test]
+    fn schedule_peak_matches_recursion(cards in cards_strategy()) {
+        let table = modular_table(300, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
+        let mut coster = gbmqo_core::coster::EdgeCoster::new(&mut m2, w.base_ordinals.clone());
+        let mut d = |s: ColSet| coster.result_bytes(s);
+        let predicted = plan_min_storage(&plan, &mut d);
+        let steps = schedule_plan(&plan, &mut d);
+        let simulated = simulate_peak(&steps, &mut d);
+        prop_assert!(simulated <= predicted + 1e-6,
+            "simulated {} > predicted {}", simulated, predicted);
+    }
+
+    /// A storage constraint is respected by the chosen plan's predicted
+    /// peak (and zero budget forces the naive plan).
+    #[test]
+    fn storage_constraint_is_respected(cards in cards_strategy(), budget in 0.0f64..50_000.0) {
+        let table = modular_table(300, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, _) = GbMqo::with_config(SearchConfig {
+            max_intermediate_bytes: Some(budget),
+            ..Default::default()
+        })
+        .optimize(&w, &mut model)
+        .unwrap();
+        let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
+        let mut coster = gbmqo_core::coster::EdgeCoster::new(&mut m2, w.base_ordinals.clone());
+        let mut d = |s: ColSet| coster.result_bytes(s);
+        let predicted = plan_min_storage(&plan, &mut d);
+        prop_assert!(predicted <= budget + 1e-6,
+            "plan needs {} bytes over budget {}", predicted, budget);
+    }
+
+    /// The compact plan text format roundtrips every plan the optimizer
+    /// can produce.
+    #[test]
+    fn plan_text_roundtrip(cards in cards_strategy(), binary in any::<bool>()) {
+        let table = modular_table(250, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, _) = GbMqo::with_config(SearchConfig {
+            binary_only: binary,
+            ..Default::default()
+        })
+        .optimize(&w, &mut model)
+        .unwrap();
+        let text = gbmqo_core::plan_to_text(&plan);
+        let back = gbmqo_core::plan_from_text(&text).unwrap();
+        prop_assert_eq!(&plan, &back);
+        // and the deserialized plan still validates + executes identically
+        back.validate(&w).unwrap();
+        let mut engine = engine_with(table, "t");
+        let a = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let b = execute_plan(&back, &w, &mut engine, None).unwrap();
+        assert_same_results(&w, &a, &b, "roundtrip");
+    }
+
+    /// SQL rendering is structurally consistent for arbitrary plans.
+    #[test]
+    fn sql_script_is_consistent(cards in cards_strategy()) {
+        let table = modular_table(200, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let sql = render_sql(&plan, &w);
+        let selects = sql.iter().filter(|s| s.starts_with("SELECT")).count();
+        let intos = sql.iter().filter(|s| s.contains(" INTO ")).count();
+        let drops = sql.iter().filter(|s| s.starts_with("DROP")).count();
+        prop_assert_eq!(selects, plan.node_count());
+        prop_assert_eq!(intos, drops);
+        prop_assert_eq!(intos, plan.materialized_count());
+    }
+}
+
+/// Non-proptest regression: overlapping (TC-style) workloads also satisfy
+/// the semantic-equivalence invariant.
+#[test]
+fn overlapping_workloads_equivalent() {
+    let table = modular_table(400, &[3, 5, 8, 13]);
+    let names = col_names(4);
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let w = Workload::two_columns("t", &table, &refs).unwrap();
+    let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+    let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
+        .optimize(&w, &mut model)
+        .unwrap();
+    plan.validate(&w).unwrap();
+    let mut engine = engine_with(table, "t");
+    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
+    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    assert_same_results(&w, &naive, &optimized, "TC overlap");
+}
