@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
                 GbMqo::with_config(SearchConfig::pruned())
-                    .optimize(&workload, &mut model)
+                    .plan(&workload, &mut model)
                     .unwrap()
             })
         });

@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                     monotonicity_pruning: m,
                     ..Default::default()
                 })
-                .optimize(&workload, &mut model)
+                .plan(&workload, &mut model)
                 .unwrap()
             })
         });

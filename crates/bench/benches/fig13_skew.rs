@@ -2,7 +2,9 @@
 //! extremes (z = 0 vs z = 2.5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_bench::harness::{
+    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+};
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
 use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
@@ -21,10 +23,10 @@ fn bench(c: &mut Criterion) {
         let naive = LogicalPlan::naive(&workload);
         let mut engine = engine_for(table, "lineitem");
         group.bench_with_input(BenchmarkId::new("naive", z), &z, |b, _| {
-            b.iter(|| execute_plan(&naive, &workload, &mut engine, None).unwrap())
+            b.iter(|| run_plan_serial(&naive, &workload, &mut engine))
         });
         group.bench_with_input(BenchmarkId::new("gbmqo", z), &z, |b, _| {
-            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
         });
     }
     group.finish();

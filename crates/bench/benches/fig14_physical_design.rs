@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_bench::experiments::fig14::INDEX_ORDER;
-use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_bench::harness::{
+    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+};
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
 use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
@@ -25,7 +27,7 @@ fn bench(c: &mut Criterion) {
         let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
         let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
         group.bench_function("no_indexes", |b| {
-            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
         });
     }
     // fully indexed
@@ -47,7 +49,7 @@ fn bench(c: &mut Criterion) {
         let mut model = sampled_optimizer_model(&table, &scale, snapshot);
         let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
         group.bench_function("ten_nc_indexes", |b| {
-            b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
         });
     }
     group.finish();

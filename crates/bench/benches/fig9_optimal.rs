@@ -2,7 +2,9 @@
 //! exhaustive-optimal plan vs naive on a 7-column workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gbmqo_bench::harness::{engine_for, exact_optimizer_model, optimize_timed, Scale};
+use gbmqo_bench::harness::{
+    engine_for, exact_optimizer_model, optimize_timed, run_plan_serial, Scale,
+};
 use gbmqo_core::optimal_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -38,7 +40,7 @@ fn bench(c: &mut Criterion) {
         ("optimal", &optimal),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| execute_plan(plan, &workload, &mut engine, None).unwrap())
+            b.iter(|| run_plan_serial(plan, &workload, &mut engine))
         });
     }
     group.finish();

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                     binary_only,
                     ..Default::default()
                 })
-                .optimize(&workload, &mut model)
+                .plan(&workload, &mut model)
                 .unwrap()
             })
         });

@@ -2,7 +2,9 @@
 //! simulated-commercial GROUPING SETS plan vs the GB-MQO plan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_bench::harness::{
+    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+};
 use gbmqo_core::grouping_sets_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -22,10 +24,10 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("grouping_sets", |b| {
-        b.iter(|| execute_plan(&gs_plan, &workload, &mut engine, None).unwrap())
+        b.iter(|| run_plan_serial(&gs_plan, &workload, &mut engine))
     });
     group.bench_function("gbmqo", |b| {
-        b.iter(|| execute_plan(&our_plan, &workload, &mut engine, None).unwrap())
+        b.iter(|| run_plan_serial(&our_plan, &workload, &mut engine))
     });
     group.finish();
 }

@@ -3,7 +3,9 @@
 //! wall time; the `experiments` binary covers it).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gbmqo_bench::harness::{engine_for, optimize_timed, sampled_optimizer_model, Scale};
+use gbmqo_bench::harness::{
+    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+};
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
 use gbmqo_datagen::{
@@ -23,10 +25,10 @@ fn bench_dataset(c: &mut Criterion, name: &str, table: Table, cols: &[&str], sca
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("naive", |b| {
-        b.iter(|| execute_plan(&naive, &workload, &mut engine, None).unwrap())
+        b.iter(|| run_plan_serial(&naive, &workload, &mut engine))
     });
     group.bench_function("gbmqo", |b| {
-        b.iter(|| execute_plan(&plan, &workload, &mut engine, None).unwrap())
+        b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
     });
     group.finish();
 }

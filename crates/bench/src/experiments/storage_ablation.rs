@@ -3,7 +3,9 @@
 //! temp-table bytes during actual execution. Not a paper figure; it
 //! quantifies the design choice §4.4.1 argues for.
 
-use crate::harness::{engine_for, optimize_timed, sampled_optimizer_model, Report, Scale};
+use crate::harness::{
+    engine_for, optimize_timed, run_plan_scheduled, sampled_optimizer_model, Report, Scale,
+};
 use gbmqo_core::prelude::*;
 use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak, Step};
 use gbmqo_cost::{CostModel, IndexSnapshot};
@@ -125,7 +127,7 @@ pub fn run(scale: &Scale) -> (Report, Outcome) {
             m.result_bytes(&cols)
         }
     };
-    let exec = execute_plan(&plan, &w, &mut engine, Some(&mut d2)).unwrap();
+    let exec = run_plan_scheduled(&plan, &w, &mut engine, &mut d2);
 
     let outcome = Outcome {
         marked_peak,

@@ -120,11 +120,25 @@ pub fn time_plan(plan: &LogicalPlan, workload: &Workload, engine: &mut Engine, r
     (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
-            let report = execute_plan(plan, workload, engine, None).expect("plan executes");
+            let report = run_plan_serial(plan, workload, engine);
             std::hint::black_box(&report);
             start.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Execute `plan` once through the serial §5.2 client-side driver.
+///
+/// The experiment suite pins this code path on purpose — the paper's
+/// numbers are for sequential execution — so it goes through the
+/// compatibility shim rather than a (parallel-capable) [`Session`].
+#[allow(deprecated)]
+pub fn run_plan_serial(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+) -> ExecutionReport {
+    gbmqo_core::executor::execute_plan(plan, workload, engine, None).expect("plan executes")
 }
 
 /// Time several plans for the same workload with interleaved rounds
@@ -183,9 +197,22 @@ pub fn optimize_timed(
 ) -> (LogicalPlan, SearchStats, f64) {
     let start = Instant::now();
     let (plan, stats) = GbMqo::with_config(config)
-        .optimize(workload, model)
+        .plan(workload, model)
         .expect("optimization succeeds");
     (plan, stats, start.elapsed().as_secs_f64())
+}
+
+/// Execute `plan` once through the serial driver with a §4.4 storage
+/// schedule guided by `size_estimate`.
+#[allow(deprecated)]
+pub fn run_plan_scheduled(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    size_estimate: &mut dyn FnMut(ColSet) -> f64,
+) -> ExecutionReport {
+    gbmqo_core::executor::execute_plan(plan, workload, engine, Some(size_estimate))
+        .expect("plan executes")
 }
 
 /// Result-bytes size estimator for scheduling, backed by a fresh exact

@@ -5,9 +5,8 @@ use crate::csv::table_from_csv;
 use gbmqo_core::prelude::*;
 use gbmqo_core::{parse_grouping_sets, render_sql};
 use gbmqo_cost::{IndexSnapshot, OptimizerCostModel};
-use gbmqo_exec::Engine;
 use gbmqo_stats::{DistinctEstimator, SampledSource};
-use gbmqo_storage::{Catalog, Table};
+use gbmqo_storage::Table;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -36,7 +35,7 @@ pub struct Options {
 
 impl Options {
     /// Parse `profile` arguments.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    pub fn parse(args: &[String]) -> std::result::Result<Self, String> {
         let mut opts = Options {
             file: String::new(),
             sets: None,
@@ -98,7 +97,7 @@ impl Options {
 }
 
 /// Build the workload for a table from an optional `--sets` spec.
-pub fn build_workload(table: &Table, sets: Option<&str>) -> Result<Workload, String> {
+pub fn build_workload(table: &Table, sets: Option<&str>) -> std::result::Result<Workload, String> {
     let all_names: Vec<String> = table
         .schema()
         .names()
@@ -151,7 +150,7 @@ pub fn summarize(set_names: &[&str], result: &Table, total_rows: usize, top: usi
 }
 
 /// Run the subcommand.
-pub fn run(opts: &Options) -> Result<(), String> {
+pub fn run(opts: &Options) -> std::result::Result<(), String> {
     let content =
         std::fs::read_to_string(&opts.file).map_err(|e| format!("reading {}: {e}", opts.file))?;
     let table = table_from_csv(&content).map_err(|e| e.to_string())?;
@@ -166,6 +165,18 @@ pub fn run(opts: &Options) -> Result<(), String> {
     let workload = build_workload(&table, opts.sets.as_deref())?;
     println!("{} Group By queries requested\n", workload.len());
 
+    let sample = (rows / 20).clamp(100, 20_000);
+    let mut session = Session::builder()
+        .table("data", table.clone())
+        .cost_model(CostModelSpec::Optimizer {
+            sample_size: sample,
+            estimator: DistinctEstimator::Hybrid,
+            seed: 7,
+        })
+        .search(SearchConfig::pruned())
+        .build()
+        .map_err(|e| e.to_string())?;
+
     let plan = if let Some(path) = &opts.load_plan {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let plan = gbmqo_core::plan_from_text(&text).map_err(|e| e.to_string())?;
@@ -175,12 +186,7 @@ pub fn run(opts: &Options) -> Result<(), String> {
     } else if opts.naive {
         LogicalPlan::naive(&workload)
     } else {
-        let sample = (rows / 20).clamp(100, 20_000);
-        let source = SampledSource::new(&table, sample, DistinctEstimator::Hybrid, 7);
-        let mut model = OptimizerCostModel::new(source, IndexSnapshot::none());
-        let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-            .optimize(&workload, &mut model)
-            .map_err(|e| e.to_string())?;
+        let (plan, stats) = session.plan(&workload).map_err(|e| e.to_string())?;
         if stats.final_cost < stats.naive_cost {
             println!(
                 "optimizer: estimated {:.2}× cheaper than naive ({} cost-model calls)",
@@ -199,7 +205,6 @@ pub fn run(opts: &Options) -> Result<(), String> {
         println!("{}", plan.render(&workload.column_names));
     }
     if opts.explain {
-        let sample = (rows / 20).clamp(100, 20_000);
         let source = SampledSource::new(&table, sample, DistinctEstimator::Hybrid, 7);
         let mut model = OptimizerCostModel::new(source, IndexSnapshot::none());
         println!(
@@ -214,13 +219,10 @@ pub fn run(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let mut catalog = Catalog::new();
-    catalog
-        .register("data", table.clone())
-        .map_err(|e| e.to_string())?;
-    let mut engine = Engine::new(catalog);
     let start = Instant::now();
-    let report = execute_plan(&plan, &workload, &mut engine, None).map_err(|e| e.to_string())?;
+    let report = session
+        .run_plan(&plan, &workload)
+        .map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64();
 
     for (set, result) in &report.results {

@@ -56,8 +56,7 @@ pub fn recommend_indexes<S: CardinalitySource>(
             .collect();
         let mut model = OptimizerCostModel::new(source, IndexSnapshot::from_keys(keys))
             .with_constants(constants);
-        let (_, stats) =
-            GbMqo::with_config(SearchConfig::pruned()).optimize(workload, &mut model)?;
+        let (_, stats) = GbMqo::with_config(SearchConfig::pruned()).plan(workload, &mut model)?;
         Ok(stats.final_cost)
     };
 

@@ -16,7 +16,7 @@
 
 use crate::colset::ColSet;
 use crate::error::Result;
-use crate::executor::{execute_plan, temp_name};
+use crate::executor::{execute_plan_parallel, run_plan, temp_name, ParallelOptions};
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::workload::Workload;
@@ -25,12 +25,17 @@ use gbmqo_exec::{union_all_tagged, AggSpec, Engine, ExecMetrics};
 use gbmqo_storage::Table;
 
 /// How the optimized plan is executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
     /// One engine query per plan edge (§5.2).
+    #[default]
     ClientSide,
     /// Shared scans across queries reading the same table (§5.1).
     ServerSide,
+    /// Dependency-parallel waves: independent plan edges run
+    /// concurrently on scoped threads
+    /// (see [`crate::executor::execute_plan_parallel`]).
+    Parallel,
 }
 
 /// The result of a GROUPING SETS execution.
@@ -47,7 +52,30 @@ pub struct GroupingSetsResult {
     pub metrics: ExecMetrics,
 }
 
+impl GroupingSetsResult {
+    /// Number of distinct grouping sets present in the union (the
+    /// distinct `grp_tag` values).
+    pub fn grouping_set_count(&self) -> usize {
+        let Ok(tag_col) = self.table.schema().index_of("grp_tag") else {
+            return 0;
+        };
+        let mut tags = std::collections::BTreeSet::new();
+        for r in 0..self.table.num_rows() {
+            if let Some(s) = self.table.value(r, tag_col).as_str() {
+                tags.insert(s.to_string());
+            }
+        }
+        tags.len()
+    }
+}
+
 /// Optimize and execute `workload` as one GROUPING SETS query.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::builder()…build()` and `Session::grouping_sets`, which add plan \
+            caching and dependency-parallel execution; this shim optimizes from scratch \
+            on every call"
+)]
 pub fn execute_grouping_sets(
     engine: &mut Engine,
     workload: &Workload,
@@ -55,15 +83,42 @@ pub fn execute_grouping_sets(
     config: SearchConfig,
     mode: ExecutionMode,
 ) -> Result<GroupingSetsResult> {
-    let (plan, stats) = GbMqo::with_config(config).optimize(workload, model)?;
-    let (results, metrics) = match mode {
+    let (plan, stats) = GbMqo::with_config(config).plan(workload, model)?;
+    let (results, metrics) = run_mode(&plan, workload, engine, mode, ParallelOptions::default())?;
+    assemble_union(workload, plan, stats, results, metrics)
+}
+
+/// Execute an optimized plan under `mode` (shared by the deprecated free
+/// function and [`crate::session::Session`]).
+pub(crate) fn run_mode(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    mode: ExecutionMode,
+    parallel: ParallelOptions,
+) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
+    Ok(match mode {
         ExecutionMode::ClientSide => {
-            let report = execute_plan(&plan, workload, engine, None)?;
+            let report = run_plan(plan, workload, engine, None)?;
             (report.results, report.metrics)
         }
-        ExecutionMode::ServerSide => execute_server_side(&plan, workload, engine)?,
-    };
+        ExecutionMode::ServerSide => execute_server_side(plan, workload, engine)?,
+        ExecutionMode::Parallel => {
+            let report = execute_plan_parallel(plan, workload, engine, parallel)?;
+            (report.results, report.metrics)
+        }
+    })
+}
 
+/// Tag each member result with its grouping columns and UNION ALL them
+/// into the single GROUPING SETS result table (§5.1.1's `Grp-Tag`).
+pub(crate) fn assemble_union(
+    workload: &Workload,
+    plan: LogicalPlan,
+    stats: SearchStats,
+    results: Vec<(ColSet, Table)>,
+    metrics: ExecMetrics,
+) -> Result<GroupingSetsResult> {
     let mut tagged: Vec<(String, Table)> = Vec::with_capacity(results.len());
     for (set, table) in results {
         tagged.push((workload.col_names(set).join(","), table));
@@ -139,7 +194,7 @@ fn execute_server_side(
             // supported here (plan validation enforces child ⊂ parent, so
             // special nodes under temps would need node-local workloads).
             debug_assert_eq!(source, workload.table, "CUBE/ROLLUP under a temp");
-            let report = execute_plan(&sub, &sub_workload(workload, node), engine, None)?;
+            let report = run_plan(&sub, &sub_workload(workload, node), engine, None)?;
             results.extend(report.results);
         }
     }
@@ -167,6 +222,8 @@ fn sub_workload(workload: &Workload, node: &SubNode) -> Workload {
 }
 
 #[cfg(test)]
+// These tests deliberately exercise the deprecated compatibility shim.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use gbmqo_cost::CardinalityCostModel;

@@ -1,0 +1,343 @@
+//! Workload plan cache: skip the O(n²)-per-round merge search when the
+//! same GROUPING SETS request comes back.
+//!
+//! A serving system sees the same analytic workloads again and again
+//! (dashboards re-issuing the same CUBE, report suites re-running the
+//! same batch of Group Bys). The search of §4.2 is cheap next to
+//! execution but not free — it issues one cost-model ("query optimizer")
+//! call per candidate edge — so [`PlanCache`] memoizes finished plans
+//! under a canonical [`WorkloadFingerprint`]. A hit returns the plan
+//! with zero optimizer calls and [`SearchStats::cache_hit`] set.
+//!
+//! The fingerprint covers everything the search result depends on:
+//!
+//! * the base table name and its column universe (in order — column
+//!   sets are bitmasks over it),
+//! * the requested column sets, sorted (request order cannot change
+//!   which plans are valid, so it must not change the key),
+//! * the aggregate list,
+//! * the [`SearchConfig`] (pruning flags change the search trajectory),
+//! * a caller-supplied *statistics version* and *cost-model tag*, so
+//!   plans are invalidated when the stats or the model they were
+//!   optimized under change.
+
+use crate::greedy::{SearchConfig, SearchStats};
+use crate::plan::LogicalPlan;
+use crate::workload::Workload;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+
+/// Canonical identity of a (workload, configuration, statistics) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadFingerprint(u64);
+
+impl WorkloadFingerprint {
+    /// Compute the fingerprint of `workload` optimized under `config`
+    /// with statistics at `stats_version` and the cost model identified
+    /// by `cost_model_tag`.
+    pub fn compute(
+        workload: &Workload,
+        config: &SearchConfig,
+        stats_version: u64,
+        cost_model_tag: u64,
+    ) -> Self {
+        let mut h = rustc_hash::FxHasher::default();
+        workload.table.hash(&mut h);
+        // The column universe in order: ColSet bits index into it.
+        workload.column_names.hash(&mut h);
+        workload.base_ordinals.hash(&mut h);
+        // Requests normalized by sorting — {a}, {b} and {b}, {a} are the
+        // same GROUPING SETS.
+        let mut requests: Vec<u128> = workload.requests.iter().map(|s| s.0).collect();
+        requests.sort_unstable();
+        requests.hash(&mut h);
+        for agg in &workload.aggregates {
+            format!("{agg:?}").hash(&mut h);
+        }
+        config.binary_only.hash(&mut h);
+        config.subsumption_pruning.hash(&mut h);
+        config.monotonicity_pruning.hash(&mut h);
+        config.max_intermediate_bytes.map(f64::to_bits).hash(&mut h);
+        config.epsilon.to_bits().hash(&mut h);
+        stats_version.hash(&mut h);
+        cost_model_tag.hash(&mut h);
+        WorkloadFingerprint(h.finish())
+    }
+
+    /// The raw 64-bit key.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hit/miss/eviction counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+struct CachedPlan {
+    plan: LogicalPlan,
+    stats: SearchStats,
+}
+
+/// An LRU cache of optimized plans keyed by [`WorkloadFingerprint`].
+///
+/// Capacity 0 disables caching (every lookup is a miss and inserts are
+/// dropped), so a `PlanCache` can be carried unconditionally.
+pub struct PlanCache {
+    capacity: usize,
+    map: FxHashMap<u64, CachedPlan>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding up to `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a plan. A hit refreshes the entry's recency and returns
+    /// the cached plan together with its search stats rewritten to
+    /// report the skip: `cache_hit = true`, `optimizer_calls = 0` (no
+    /// cost-model call is made on a hit).
+    pub fn get(&mut self, key: WorkloadFingerprint) -> Option<(LogicalPlan, SearchStats)> {
+        match self.map.get(&key.0) {
+            Some(entry) => {
+                let hit = (
+                    entry.plan.clone(),
+                    SearchStats {
+                        optimizer_calls: 0,
+                        cache_hit: true,
+                        ..entry.stats
+                    },
+                );
+                self.hits += 1;
+                self.touch(key.0);
+                Some(hit)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache `plan` under `key`, evicting the least-recently-used entry
+    /// if the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, key: WorkloadFingerprint, plan: LogicalPlan, stats: SearchStats) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.0, CachedPlan { plan, stats }).is_some() {
+            self.touch(key.0);
+            return;
+        }
+        self.order.push_back(key.0);
+        if self.map.len() > self.capacity {
+            if let Some(lru) = self.order.pop_front() {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Drop all entries (the counters survive; `entries` resets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SubNode;
+    use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..10).collect()),
+                Column::from_i64((0..10).map(|i| i % 2).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn workload(requests: &[Vec<&str>]) -> Workload {
+        Workload::new("r", &table(), &["a", "b"], requests).unwrap()
+    }
+
+    fn plan_of(w: &Workload) -> LogicalPlan {
+        LogicalPlan {
+            subplans: w.requests.iter().map(|&c| SubNode::leaf(c)).collect(),
+        }
+    }
+
+    fn key_of(w: &Workload) -> WorkloadFingerprint {
+        WorkloadFingerprint::compute(w, &SearchConfig::default(), 0, 0)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_insensitive() {
+        let w1 = workload(&[vec!["a"], vec!["b"]]);
+        let w2 = workload(&[vec!["b"], vec!["a"]]);
+        assert_eq!(key_of(&w1), key_of(&w1), "same input, same key");
+        assert_eq!(
+            key_of(&w1),
+            key_of(&w2),
+            "request order must not change the key"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_inputs() {
+        let w = workload(&[vec!["a"], vec!["b"]]);
+        let base = key_of(&w);
+        let other = workload(&[vec!["a"], vec!["a", "b"]]);
+        assert_ne!(base, key_of(&other), "different requests");
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(&w, &SearchConfig::pruned(), 0, 0),
+            "different search config"
+        );
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 1, 0),
+            "different stats version"
+        );
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 0, 1),
+            "different cost model"
+        );
+    }
+
+    #[test]
+    fn hit_miss_counters_and_stats_rewrite() {
+        let w = workload(&[vec!["a"]]);
+        let mut cache = PlanCache::new(4);
+        let key = key_of(&w);
+        assert!(cache.get(key).is_none());
+        let stats = SearchStats {
+            optimizer_calls: 17,
+            rounds: 2,
+            ..Default::default()
+        };
+        cache.insert(key, plan_of(&w), stats);
+        let (plan, hit_stats) = cache.get(key).unwrap();
+        assert_eq!(plan.subplans.len(), 1);
+        assert!(hit_stats.cache_hit);
+        assert_eq!(
+            hit_stats.optimizer_calls, 0,
+            "a hit makes no optimizer calls"
+        );
+        assert_eq!(hit_stats.rounds, 2, "other stats are preserved");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let workloads: Vec<Workload> = vec![
+            workload(&[vec!["a"]]),
+            workload(&[vec!["b"]]),
+            workload(&[vec!["a", "b"]]),
+        ];
+        let keys: Vec<WorkloadFingerprint> = workloads.iter().map(key_of).collect();
+        let mut cache = PlanCache::new(2);
+        cache.insert(keys[0], plan_of(&workloads[0]), SearchStats::default());
+        cache.insert(keys[1], plan_of(&workloads[1]), SearchStats::default());
+        // touch key 0 so key 1 becomes the LRU
+        assert!(cache.get(keys[0]).is_some());
+        cache.insert(keys[2], plan_of(&workloads[2]), SearchStats::default());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(keys[1]).is_none(), "LRU entry was evicted");
+        assert!(cache.get(keys[0]).is_some());
+        assert!(cache.get(keys[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let w = workload(&[vec!["a"]]);
+        let mut cache = PlanCache::new(0);
+        cache.insert(key_of(&w), plan_of(&w), SearchStats::default());
+        assert!(cache.get(key_of(&w)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let w = workload(&[vec!["a"]]);
+        let mut cache = PlanCache::new(2);
+        cache.insert(key_of(&w), plan_of(&w), SearchStats::default());
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(key_of(&w)).is_none());
+    }
+}

@@ -3,18 +3,28 @@
 use std::fmt;
 
 /// Errors produced by the optimizer and plan executor.
+///
+/// Every sub-crate error converts into this type, so
+/// [`crate::prelude::Result`] is the single result type a caller of the
+/// public API needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
     /// A storage-layer error.
     Storage(gbmqo_storage::StorageError),
     /// An execution-engine error.
     Exec(gbmqo_exec::ExecError),
+    /// A statistics-subsystem error.
+    Stats(gbmqo_stats::StatsError),
+    /// A cost-model error.
+    Cost(gbmqo_cost::CostError),
     /// A malformed workload.
     InvalidWorkload(String),
     /// A malformed or unsupported plan.
     InvalidPlan(String),
     /// The exhaustive search was asked for an unsupported instance.
     Unsupported(String),
+    /// A session was configured inconsistently.
+    InvalidSession(String),
 }
 
 impl fmt::Display for CoreError {
@@ -22,14 +32,27 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Cost(e) => write!(f, "cost-model error: {e}"),
             CoreError::InvalidWorkload(m) => write!(f, "invalid workload: {m}"),
             CoreError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::InvalidSession(m) => write!(f, "invalid session: {m}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Exec(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Cost(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<gbmqo_storage::StorageError> for CoreError {
     fn from(e: gbmqo_storage::StorageError) -> Self {
@@ -40,6 +63,18 @@ impl From<gbmqo_storage::StorageError> for CoreError {
 impl From<gbmqo_exec::ExecError> for CoreError {
     fn from(e: gbmqo_exec::ExecError) -> Self {
         CoreError::Exec(e)
+    }
+}
+
+impl From<gbmqo_stats::StatsError> for CoreError {
+    fn from(e: gbmqo_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<gbmqo_cost::CostError> for CoreError {
+    fn from(e: gbmqo_cost::CostError) -> Self {
+        CoreError::Cost(e)
     }
 }
 

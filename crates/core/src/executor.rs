@@ -7,7 +7,7 @@
 use crate::colset::ColSet;
 use crate::error::{CoreError, Result};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
-use crate::schedule::{schedule_plan, Step};
+use crate::schedule::{level_plan, schedule_plan, PlanEdge, Step};
 use crate::workload::Workload;
 use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
 use gbmqo_storage::Table;
@@ -29,12 +29,45 @@ pub fn temp_name(cols: ColSet) -> String {
     format!("__gbmqo_tmp_{:x}", cols.0)
 }
 
+/// Input table name and aggregate list for an edge reading `source`
+/// (`None` = the base relation; temps re-aggregate with `SUM(cnt)` etc.).
+fn source_io(workload: &Workload, source: Option<ColSet>) -> (String, Vec<AggSpec>) {
+    match source {
+        None => (workload.table.clone(), workload.aggregates.clone()),
+        Some(s) => (
+            temp_name(s),
+            workload
+                .aggregates
+                .iter()
+                .map(AggSpec::reaggregate)
+                .collect(),
+        ),
+    }
+}
+
 /// Execute `plan` for `workload` against `engine`.
 ///
 /// `size_estimate` guides the breadth-first/depth-first scheduling choice
 /// (§4.4.1); pass a cost model's `result_bytes` for faithful behaviour, or
 /// `None` for a neutral default.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::grouping_sets` (or `Session::run_plan` for an explicit plan); \
+            this free function remains as a thin compatibility shim"
+)]
 pub fn execute_plan(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
+) -> Result<ExecutionReport> {
+    run_plan(plan, workload, engine, size_estimate)
+}
+
+/// Serial plan execution (the §5.2 client-side driver); internal
+/// non-deprecated implementation behind [`execute_plan`] and
+/// [`crate::session::Session`].
+pub(crate) fn run_plan(
     plan: &LogicalPlan,
     workload: &Workload,
     engine: &mut Engine,
@@ -45,18 +78,7 @@ pub fn execute_plan(
 
     // Collect ROLLUP/CUBE nodes so their single step can deliver child
     // results.
-    let mut special: FxHashMap<u128, &SubNode> = FxHashMap::default();
-    fn collect<'p>(n: &'p SubNode, out: &mut FxHashMap<u128, &'p SubNode>) {
-        if n.kind != NodeKind::GroupBy {
-            out.insert(n.cols.0, n);
-        }
-        for c in &n.children {
-            collect(c, out);
-        }
-    }
-    for sp in &plan.subplans {
-        collect(sp, &mut special);
-    }
+    let special = collect_special(plan);
 
     let mut neutral = |_: ColSet| 1.0;
     let d: &mut dyn FnMut(ColSet) -> f64 = match size_estimate {
@@ -80,17 +102,7 @@ pub fn execute_plan(
                 required,
                 kind,
             } => {
-                let (input, aggs): (String, Vec<AggSpec>) = match source {
-                    None => (workload.table.clone(), workload.aggregates.clone()),
-                    Some(s) => (
-                        temp_name(*s),
-                        workload
-                            .aggregates
-                            .iter()
-                            .map(AggSpec::reaggregate)
-                            .collect(),
-                    ),
-                };
+                let (input, aggs) = source_io(workload, *source);
                 match kind {
                     NodeKind::GroupBy => {
                         let q = GroupByQuery {
@@ -140,6 +152,217 @@ pub fn execute_plan(
             }
         }
     }
+
+    let mut metrics = engine.metrics();
+    metrics += extra;
+    Ok(ExecutionReport {
+        results,
+        metrics,
+        peak_temp_bytes: engine.catalog().accounting().peak_temp_bytes,
+    })
+}
+
+/// ROLLUP/CUBE nodes of a plan, keyed by column set: their single edge
+/// delivers all child results via lattice descent.
+fn collect_special(plan: &LogicalPlan) -> FxHashMap<u128, &SubNode> {
+    fn walk<'p>(n: &'p SubNode, out: &mut FxHashMap<u128, &'p SubNode>) {
+        if n.kind != NodeKind::GroupBy {
+            out.insert(n.cols.0, n);
+        }
+        for c in &n.children {
+            walk(c, out);
+        }
+    }
+    let mut special = FxHashMap::default();
+    for sp in &plan.subplans {
+        walk(sp, &mut special);
+    }
+    special
+}
+
+/// Options for dependency-parallel plan execution
+/// (see [`execute_plan_parallel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelOptions {
+    /// Worker threads per wave; `0` means one per available CPU.
+    pub threads: usize,
+    /// Cap on live temp-table bytes. When materializing a node would
+    /// exceed the cap, the node is left unmaterialized and its children
+    /// re-read the node's own source — more work, bounded storage (the
+    /// §4.4.2 trade, applied at run time).
+    pub memory_budget: Option<usize>,
+}
+
+impl ParallelOptions {
+    /// Use `threads` worker threads and no memory budget.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Execute `plan` by dependency waves: [`level_plan`] splits the tree
+/// into topological levels, each wave's edges run concurrently on scoped
+/// threads ([`Engine::run_group_bys_parallel`]), and temp tables are
+/// dropped the moment their last reader has executed — the run-time
+/// counterpart of the §4.4 storage-minimizing schedule, trading some
+/// peak storage for wall-clock time. A `memory_budget` bounds that trade
+/// by skipping materializations that would exceed it.
+///
+/// The results (and metrics counters other than elapsed time) match
+/// [`run_plan`]'s up to row order.
+pub fn execute_plan_parallel(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    options: ParallelOptions,
+) -> Result<ExecutionReport> {
+    plan.validate(workload)?;
+    engine.reset_metrics();
+    let threads = options.effective_threads();
+
+    let special = collect_special(plan);
+    // Direct children of every materialized Group By node — the initial
+    // reader count of its temp table.
+    let mut children: FxHashMap<u128, Vec<ColSet>> = FxHashMap::default();
+    fn walk_children(n: &SubNode, out: &mut FxHashMap<u128, Vec<ColSet>>) {
+        if n.kind == NodeKind::GroupBy && n.is_materialized() {
+            out.insert(n.cols.0, n.children.iter().map(|c| c.cols).collect());
+            for c in &n.children {
+                walk_children(c, out);
+            }
+        }
+    }
+    for sp in &plan.subplans {
+        walk_children(sp, &mut children);
+    }
+
+    let mut results: Vec<(ColSet, Table)> = Vec::new();
+    let mut extra = ExecMetrics::new();
+    // Pending readers of each live temp table.
+    let mut readers: FxHashMap<u128, usize> = FxHashMap::default();
+    // Where budget-evicted nodes' children actually read from.
+    let mut source_override: FxHashMap<u128, Option<ColSet>> = FxHashMap::default();
+
+    for wave in level_plan(plan) {
+        let mut batch: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
+        let mut specials: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
+        for edge in wave {
+            let src = source_override
+                .get(&edge.target.0)
+                .copied()
+                .unwrap_or(edge.source);
+            if edge.kind == NodeKind::GroupBy {
+                batch.push((edge, src));
+            } else {
+                specials.push((edge, src));
+            }
+        }
+
+        let queries: Vec<GroupByQuery> = batch
+            .iter()
+            .map(|(edge, src)| {
+                let (input, aggs) = source_io(workload, *src);
+                GroupByQuery {
+                    input,
+                    group_cols: workload
+                        .col_names(edge.target)
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    aggs,
+                    // Materialization is decided below, under the budget.
+                    into: None,
+                }
+            })
+            .collect();
+        let tables = engine.run_group_bys_parallel(&queries, threads)?;
+
+        for ((edge, src), table) in batch.iter().zip(tables) {
+            if edge.required {
+                results.push((edge.target, table.clone()));
+            }
+            if !edge.materialize {
+                continue;
+            }
+            let kids = &children[&edge.target.0];
+            let fits = options.memory_budget.is_none_or(|b| {
+                engine.catalog().accounting().current_temp_bytes + table.byte_size() <= b
+            });
+            if fits {
+                engine.materialize_temp(&temp_name(edge.target), table)?;
+                readers.insert(edge.target.0, kids.len());
+            } else {
+                // Reparent the children to this edge's own source; if
+                // that source is a temp, it gains their reads and must
+                // stay live accordingly.
+                for k in kids {
+                    source_override.insert(k.0, *src);
+                }
+                if let Some(s) = src {
+                    *readers.get_mut(&s.0).expect("source temp is live") += kids.len();
+                }
+            }
+        }
+
+        // ROLLUP/CUBE nodes run serially: their lattice descent already
+        // re-aggregates level-by-level internally.
+        for (edge, src) in &specials {
+            let (input, aggs) = source_io(workload, *src);
+            let node = special
+                .get(&edge.target.0)
+                .ok_or_else(|| CoreError::InvalidPlan("unknown rollup/cube node".into()))?;
+            match edge.kind {
+                NodeKind::Rollup => run_rollup(
+                    node,
+                    &input,
+                    workload,
+                    engine,
+                    &aggs,
+                    &mut results,
+                    &mut extra,
+                )?,
+                NodeKind::Cube => run_cube(
+                    node,
+                    &input,
+                    workload,
+                    engine,
+                    &aggs,
+                    &mut results,
+                    &mut extra,
+                )?,
+                NodeKind::GroupBy => unreachable!("partitioned above"),
+            }
+        }
+
+        // Every edge of this wave has read its source once: decrement
+        // reader counts and drop temps nobody will read again. This runs
+        // after the reparenting above so a temp that just inherited
+        // readers is not dropped in between.
+        for (_, src) in batch.iter().chain(specials.iter()) {
+            if let Some(s) = src {
+                let r = readers.get_mut(&s.0).expect("source temp is live");
+                *r -= 1;
+                if *r == 0 {
+                    readers.remove(&s.0);
+                    engine.drop_temp(&temp_name(*s))?;
+                }
+            }
+        }
+    }
+    debug_assert!(readers.is_empty(), "temps leaked: {readers:?}");
 
     let mut metrics = engine.metrics();
     metrics += extra;
@@ -296,7 +519,7 @@ mod tests {
     fn naive_plan_produces_all_results() {
         let (mut engine, w) = setup();
         let plan = LogicalPlan::naive(&w);
-        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
         assert_eq!(report.results.len(), 3);
         assert_eq!(report.peak_temp_bytes, 0);
         // counts of (a): 3 groups of 20
@@ -313,7 +536,7 @@ mod tests {
     fn merged_plan_matches_naive_results() {
         let (mut engine, w) = setup();
         let naive = LogicalPlan::naive(&w);
-        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
 
         // merged: (a,b) → {a, b}; c direct
         let merged = LogicalPlan {
@@ -328,7 +551,7 @@ mod tests {
                 SubNode::leaf(ColSet::single(2)),
             ],
         };
-        let mr = execute_plan(&merged, &w, &mut engine, None).unwrap();
+        let mr = run_plan(&merged, &w, &mut engine, None).unwrap();
         assert!(mr.peak_temp_bytes > 0);
         // temp table is gone afterwards
         assert_eq!(engine.catalog().accounting().current_temp_bytes, 0);
@@ -367,11 +590,11 @@ mod tests {
                 ],
             }],
         };
-        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
         assert_eq!(report.results.len(), 3);
         // verify (a) counts equal direct computation
         let naive = LogicalPlan::naive(&w);
-        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
         for (set, nt) in &nr.results {
             let rt = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(rt), "rollup result differs for {set:?}");
@@ -399,10 +622,10 @@ mod tests {
                 ],
             }],
         };
-        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
         assert_eq!(report.results.len(), 3);
         let naive = LogicalPlan::naive(&w);
-        let nr = execute_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
         for (set, nt) in &nr.results {
             let ct = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(ct), "cube result differs for {set:?}");
@@ -431,7 +654,7 @@ mod tests {
                 )],
             }],
         };
-        let report = execute_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
         let (_, ta) = report
             .results
             .iter()
@@ -450,6 +673,140 @@ mod tests {
         let bad = LogicalPlan {
             subplans: vec![SubNode::leaf(ColSet::single(0))],
         };
-        assert!(execute_plan(&bad, &w, &mut engine, None).is_err());
+        assert!(run_plan(&bad, &w, &mut engine, None).is_err());
+        assert!(execute_plan_parallel(&bad, &w, &mut engine, ParallelOptions::default()).is_err());
+    }
+
+    fn merged_plan() -> LogicalPlan {
+        LogicalPlan {
+            subplans: vec![
+                SubNode::internal(
+                    ColSet::from_cols([0, 1]),
+                    vec![
+                        SubNode::leaf(ColSet::single(0)),
+                        SubNode::leaf(ColSet::single(1)),
+                    ],
+                ),
+                SubNode::leaf(ColSet::single(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial() {
+        let (mut engine, w) = setup();
+        let plan = merged_plan();
+        let sr = run_plan(&plan, &w, &mut engine, None).unwrap();
+        for threads in [1, 2, 4] {
+            let pr = execute_plan_parallel(
+                &plan,
+                &w,
+                &mut engine,
+                ParallelOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(pr.results.len(), sr.results.len());
+            for (set, st) in &sr.results {
+                let pt = &pr.results.iter().find(|(s, _)| s == set).unwrap().1;
+                assert_eq!(norm(st), norm(pt), "parallel differs for {set:?}");
+            }
+            assert_eq!(pr.metrics.queries_executed, sr.metrics.queries_executed);
+            assert_eq!(pr.metrics.rows_scanned, sr.metrics.rows_scanned);
+            assert!(pr.peak_temp_bytes > 0);
+            assert!(engine.catalog().temp_names().is_empty(), "temps leaked");
+        }
+    }
+
+    #[test]
+    fn parallel_budget_skips_materialization_and_reparents() {
+        let (mut engine, w) = setup();
+        let plan = merged_plan();
+        let unbounded =
+            execute_plan_parallel(&plan, &w, &mut engine, ParallelOptions::with_threads(2))
+                .unwrap();
+        let opts = ParallelOptions {
+            threads: 2,
+            memory_budget: Some(0),
+        };
+        let bounded = execute_plan_parallel(&plan, &w, &mut engine, opts).unwrap();
+        assert_eq!(
+            bounded.peak_temp_bytes, 0,
+            "budget 0 must materialize nothing"
+        );
+        // reparented children re-read the base relation: strictly more work
+        assert!(bounded.metrics.rows_scanned > unbounded.metrics.rows_scanned);
+        for (set, ut) in &unbounded.results {
+            let bt = &bounded.results.iter().find(|(s, _)| s == set).unwrap().1;
+            assert_eq!(norm(ut), norm(bt), "budgeted run differs for {set:?}");
+        }
+        assert!(engine.catalog().temp_names().is_empty());
+    }
+
+    #[test]
+    fn parallel_budget_reparents_across_deep_chains() {
+        // R → (a,b,c)* → (a,b)* → (a): with budget 0 every node re-reads
+        // the base relation, exercising transitive reparenting.
+        let (mut engine, _) = setup();
+        let w = Workload::new(
+            "r",
+            engine.catalog().table("r").unwrap(),
+            &["a", "b", "c"],
+            &[vec!["a"], vec!["a", "b", "c"]],
+        )
+        .unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1, 2]),
+                required: true,
+                kind: NodeKind::GroupBy,
+                children: vec![SubNode::internal(
+                    ColSet::from_cols([0, 1]),
+                    vec![SubNode::leaf(ColSet::single(0))],
+                )],
+            }],
+        };
+        let serial = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let opts = ParallelOptions {
+            threads: 4,
+            memory_budget: Some(0),
+        };
+        let bounded = execute_plan_parallel(&plan, &w, &mut engine, opts).unwrap();
+        assert_eq!(bounded.peak_temp_bytes, 0);
+        for (set, st) in &serial.results {
+            let bt = &bounded.results.iter().find(|(s, _)| s == set).unwrap().1;
+            assert_eq!(norm(st), norm(bt), "deep budgeted run differs for {set:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_handles_rollup_nodes() {
+        let (mut engine, _) = setup();
+        let w = Workload::new(
+            "r",
+            engine.catalog().table("r").unwrap(),
+            &["a", "b", "c"],
+            &[vec!["a"], vec!["a", "b"], vec!["a", "b", "c"]],
+        )
+        .unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1, 2]),
+                required: true,
+                kind: NodeKind::Rollup,
+                children: vec![
+                    SubNode::leaf(ColSet::from_cols([0, 1])),
+                    SubNode::leaf(ColSet::single(0)),
+                ],
+            }],
+        };
+        let serial = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let parallel =
+            execute_plan_parallel(&plan, &w, &mut engine, ParallelOptions::with_threads(2))
+                .unwrap();
+        assert_eq!(parallel.results.len(), serial.results.len());
+        for (set, st) in &serial.results {
+            let pt = &parallel.results.iter().find(|(s, _)| s == set).unwrap().1;
+            assert_eq!(norm(st), norm(pt), "rollup differs for {set:?}");
+        }
     }
 }

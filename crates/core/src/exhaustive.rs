@@ -255,7 +255,7 @@ mod tests {
 
             let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
             let (_, stats) = GbMqo::with_config(SearchConfig::default())
-                .optimize(&w, &mut m2)
+                .plan(&w, &mut m2)
                 .unwrap();
 
             assert!(

@@ -70,6 +70,10 @@ pub struct SearchStats {
     pub naive_cost: f64,
     /// Cost of the returned plan.
     pub final_cost: f64,
+    /// True when the plan came out of a [`crate::cache::PlanCache`] and
+    /// the search (and all its optimizer calls) was skipped entirely. A
+    /// fresh search always reports `false`.
+    pub cache_hit: bool,
 }
 
 struct Entry {
@@ -102,7 +106,22 @@ impl GbMqo {
 
     /// Run the search of Figure 5: start from the naive plan and keep
     /// applying the best cost-improving SubPlanMerge until none improves.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::grouping_sets` (which adds plan caching), or `GbMqo::plan` \
+                for a direct search"
+    )]
     pub fn optimize(
+        &self,
+        workload: &Workload,
+        model: &mut dyn CostModel,
+    ) -> Result<(LogicalPlan, SearchStats)> {
+        self.plan(workload, model)
+    }
+
+    /// Run the search of Figure 5: start from the naive plan and keep
+    /// applying the best cost-improving SubPlanMerge until none improves.
+    pub fn plan(
         &self,
         workload: &Workload,
         model: &mut dyn CostModel,
@@ -332,7 +351,7 @@ mod tests {
         let t = table();
         let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
         let mut model = CardinalityCostModel::new(ExactSource::new(&t));
-        let (plan, stats) = GbMqo::with_config(config).optimize(&w, &mut model).unwrap();
+        let (plan, stats) = GbMqo::with_config(config).plan(&w, &mut model).unwrap();
         (plan, stats, w)
     }
 
@@ -418,7 +437,7 @@ mod tests {
         let t = table();
         let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["a", "b"]]).unwrap();
         let mut model = CardinalityCostModel::new(ExactSource::new(&t));
-        let (plan, stats) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let (plan, stats) = GbMqo::new().plan(&w, &mut model).unwrap();
         plan.validate(&w).unwrap();
         assert_eq!(plan.subplans.len(), 1);
         let root = &plan.subplans[0];

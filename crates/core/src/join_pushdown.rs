@@ -14,7 +14,7 @@
 //! (validated here).
 
 use crate::error::{CoreError, Result};
-use crate::executor::execute_plan;
+use crate::executor::run_plan;
 use crate::greedy::{GbMqo, SearchConfig};
 use crate::workload::Workload;
 use gbmqo_cost::CardinalityCostModel;
@@ -86,8 +86,8 @@ pub fn grouping_sets_over_join(
 
     // Optimize and execute the pushed-down Group Bys (work sharing!).
     let mut model = CardinalityCostModel::new(ExactSource::new(&left_table));
-    let (plan, _) = GbMqo::with_config(SearchConfig::pruned()).optimize(&workload, &mut model)?;
-    let report = execute_plan(&plan, &workload, engine, None)?;
+    let (plan, _) = GbMqo::with_config(SearchConfig::pruned()).plan(&workload, &mut model)?;
+    let report = run_plan(&plan, &workload, engine, None)?;
     let mut metrics = report.metrics;
 
     // Tag + union-all (Figure 8's Union-All below the join).

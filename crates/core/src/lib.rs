@@ -33,11 +33,14 @@
 //!
 //! ## Quickstart
 //!
+//! The entry point is a [`Session`]: it owns the engine, optimizes each
+//! workload under the configured cost model, caches plans for repeated
+//! workloads, and executes serially, via shared scans, or in
+//! dependency-parallel waves.
+//!
 //! ```
 //! use gbmqo_core::prelude::*;
-//! use gbmqo_cost::CardinalityCostModel;
-//! use gbmqo_stats::ExactSource;
-//! use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Table};
+//! use gbmqo_storage::{Column, DataType, Field, Schema, Table};
 //!
 //! // a tiny relation R(a, b, c)
 //! let schema = Schema::new(vec![
@@ -51,26 +54,35 @@
 //!     Column::from_i64((0..100).collect()),
 //! ]).unwrap();
 //!
+//! let mut session = Session::builder()
+//!     .table("r", table.clone())
+//!     .search(SearchConfig::pruned())      // §4.3 pruning on
+//!     .mode(ExecutionMode::Parallel)       // dependency-parallel waves
+//!     .plan_cache(16)                      // LRU workload→plan cache
+//!     .build()
+//!     .unwrap();
+//!
 //! // ask for every single-column Group By (the paper's SC workload)
 //! let workload = Workload::single_columns("r", &table, &["a", "b", "c"]).unwrap();
+//! let out = session.grouping_sets(&workload).unwrap();
+//! assert!(out.stats.final_cost <= out.stats.naive_cost);
+//! assert_eq!(out.grouping_set_count(), 3);
 //!
-//! // optimize under the cardinality cost model with exact statistics
-//! let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-//! let (plan, stats) = GbMqo::new().optimize(&workload, &mut model).unwrap();
-//! assert!(stats.final_cost <= stats.naive_cost);
-//!
-//! // run it
-//! let mut catalog = Catalog::new();
-//! catalog.register("r", table).unwrap();
-//! let mut engine = gbmqo_exec::Engine::new(catalog);
-//! let report = execute_plan(&plan, &workload, &mut engine, None).unwrap();
-//! assert_eq!(report.results.len(), 3);
+//! // the same workload again skips the merge search entirely
+//! let again = session.grouping_sets(&workload).unwrap();
+//! assert!(again.stats.cache_hit);
+//! assert_eq!(again.stats.optimizer_calls, 0);
 //! ```
+//!
+//! The pre-0.2 free functions ([`execute_grouping_sets`],
+//! [`executor::execute_plan`], [`GbMqo::optimize`]) still work but are
+//! deprecated shims over the same internals.
 
 #![warn(missing_docs)]
 
 pub mod advisor;
 pub mod api;
+pub mod cache;
 pub mod colset;
 pub mod coster;
 pub mod error;
@@ -86,14 +98,20 @@ pub mod parse;
 pub mod plan;
 pub mod schedule;
 pub mod serialize;
+pub mod session;
 pub mod sql;
 pub mod workload;
 
 pub use advisor::{recommend_indexes, IndexRecommendation};
-pub use api::{execute_grouping_sets, ExecutionMode, GroupingSetsResult};
+#[allow(deprecated)]
+pub use api::execute_grouping_sets;
+pub use api::{ExecutionMode, GroupingSetsResult};
+pub use cache::{CacheStats, PlanCache, WorkloadFingerprint};
 pub use colset::ColSet;
 pub use error::{CoreError, Result};
-pub use executor::{execute_plan, ExecutionReport};
+#[allow(deprecated)]
+pub use executor::execute_plan;
+pub use executor::{execute_plan_parallel, ExecutionReport, ParallelOptions};
 pub use exhaustive::optimal_plan;
 pub use explain::{explain, render_explain, ExplainedEdge};
 pub use extensions::cube_rollup_pass;
@@ -103,14 +121,19 @@ pub use join_pushdown::grouping_sets_over_join;
 pub use parse::parse_grouping_sets;
 pub use plan::{LogicalPlan, NodeKind, SubNode};
 pub use serialize::{plan_from_text, plan_to_text};
+pub use session::{CostModelSpec, Session, SessionBuilder};
 pub use sql::render_sql;
 pub use workload::Workload;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::api::{ExecutionMode, GroupingSetsResult};
+    pub use crate::cache::CacheStats;
     pub use crate::colset::ColSet;
-    pub use crate::executor::{execute_plan, ExecutionReport};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::executor::{ExecutionReport, ParallelOptions};
     pub use crate::greedy::{GbMqo, SearchConfig, SearchStats};
     pub use crate::plan::{LogicalPlan, SubNode};
+    pub use crate::session::{CostModelSpec, Session, SessionBuilder};
     pub use crate::workload::Workload;
 }

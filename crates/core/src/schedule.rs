@@ -153,6 +153,62 @@ fn emit_body(node: &SubNode, d: &mut dyn FnMut(ColSet) -> f64, steps: &mut Vec<S
     }
 }
 
+/// A plan edge annotated for wave (dependency-parallel) execution.
+///
+/// The same information as [`Step::Query`], but grouped into topological
+/// waves instead of a serial schedule — drops are decided at run time by
+/// the parallel executor's reader counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEdge {
+    /// Source node (temp table) or `None` for the base relation.
+    pub source: Option<ColSet>,
+    /// The node computed by this edge.
+    pub target: ColSet,
+    /// Whether the target is materialized as a temp table (it has
+    /// Group By children that re-aggregate from it).
+    pub materialize: bool,
+    /// Whether the target is a requested result.
+    pub required: bool,
+    /// Evaluation strategy of the target node.
+    pub kind: NodeKind,
+}
+
+/// Topologically level `plan` into dependency waves: wave 0 holds the
+/// sub-plan roots (they read the base relation), wave `k` holds the
+/// children of nodes materialized in wave `k-1`. All edges within a wave
+/// are independent — their sources were produced by earlier waves — so a
+/// wave can execute concurrently.
+///
+/// ROLLUP/CUBE nodes are emitted as single edges; their children are
+/// delivered by the node's own lattice descent, not as separate edges.
+pub fn level_plan(plan: &LogicalPlan) -> Vec<Vec<PlanEdge>> {
+    let mut waves: Vec<Vec<PlanEdge>> = Vec::new();
+    let mut frontier: Vec<(Option<ColSet>, &SubNode)> =
+        plan.subplans.iter().map(|n| (None, n)).collect();
+    while !frontier.is_empty() {
+        let mut next: Vec<(Option<ColSet>, &SubNode)> = Vec::new();
+        let mut wave: Vec<PlanEdge> = Vec::with_capacity(frontier.len());
+        for (source, node) in frontier {
+            let group_by = node.kind == NodeKind::GroupBy;
+            wave.push(PlanEdge {
+                source,
+                target: node.cols,
+                materialize: group_by && node.is_materialized(),
+                required: node.required,
+                kind: node.kind,
+            });
+            if group_by {
+                for child in &node.children {
+                    next.push((Some(node.cols), child));
+                }
+            }
+        }
+        waves.push(wave);
+        frontier = next;
+    }
+    waves
+}
+
 /// Simulate a schedule's peak storage given per-node sizes (testing aid
 /// and sanity check for the recursion).
 pub fn simulate_peak(steps: &[Step], d: &mut dyn FnMut(ColSet) -> f64) -> f64 {
@@ -347,6 +403,50 @@ mod tests {
         };
         let steps = schedule_plan(&plan, &mut d);
         assert!(simulate_peak(&steps, &mut d) <= 101.0);
+    }
+
+    #[test]
+    fn level_plan_groups_edges_into_dependency_waves() {
+        // (a,b) → {a, b} plus a direct c leaf: wave 0 = {(a,b), c} off
+        // the base relation, wave 1 = {a, b} off the (a,b) temp.
+        let ab = ColSet::from_cols([0, 1]);
+        let plan = LogicalPlan {
+            subplans: vec![
+                SubNode::internal(
+                    ab,
+                    vec![
+                        SubNode::leaf(ColSet::single(0)),
+                        SubNode::leaf(ColSet::single(1)),
+                    ],
+                ),
+                SubNode::leaf(ColSet::single(2)),
+            ],
+        };
+        let waves = level_plan(&plan);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].len(), 2);
+        assert!(waves[0].iter().all(|e| e.source.is_none()));
+        let ab_edge = waves[0].iter().find(|e| e.target == ab).unwrap();
+        assert!(ab_edge.materialize);
+        assert_eq!(waves[1].len(), 2);
+        assert!(waves[1].iter().all(|e| e.source == Some(ab)));
+        assert!(waves[1].iter().all(|e| !e.materialize && e.required));
+    }
+
+    #[test]
+    fn level_plan_keeps_special_nodes_atomic() {
+        let plan = LogicalPlan {
+            subplans: vec![SubNode {
+                cols: ColSet::from_cols([0, 1]),
+                required: true,
+                kind: NodeKind::Rollup,
+                children: vec![SubNode::leaf(ColSet::single(0))],
+            }],
+        };
+        let waves = level_plan(&plan);
+        assert_eq!(waves.len(), 1, "rollup children are delivered inline");
+        assert_eq!(waves[0].len(), 1);
+        assert!(!waves[0][0].materialize);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! The serving-oriented entry point: a [`Session`] owns an engine, a
+//! search configuration, a cost-model specification, and a
+//! [`PlanCache`], and answers GROUPING SETS requests through one method.
+//!
+//! The free functions this replaces (`execute_grouping_sets`,
+//! `execute_plan`, `GbMqo::optimize`) forced every caller to wire the
+//! optimizer, cost model, engine and executor together by hand, and to
+//! re-run the O(n²)-per-round merge search on every request. A session
+//! does that wiring once:
+//!
+//! ```
+//! use gbmqo_core::prelude::*;
+//! use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("a", DataType::Int64),
+//!     Field::new("b", DataType::Int64),
+//! ]).unwrap();
+//! let table = Table::new(schema, vec![
+//!     Column::from_i64((0..100).map(|i| i % 4).collect()),
+//!     Column::from_i64((0..100).map(|i| i % 10).collect()),
+//! ]).unwrap();
+//!
+//! let mut session = Session::builder()
+//!     .table("r", table.clone())
+//!     .search(SearchConfig::pruned())
+//!     .mode(ExecutionMode::Parallel)
+//!     .plan_cache(16)
+//!     .build()
+//!     .unwrap();
+//!
+//! let workload = Workload::single_columns("r", &table, &["a", "b"]).unwrap();
+//! let first = session.grouping_sets(&workload).unwrap();
+//! assert!(!first.stats.cache_hit);
+//! let again = session.grouping_sets(&workload).unwrap();
+//! assert!(again.stats.cache_hit, "second request reuses the cached plan");
+//! ```
+
+use crate::api::{assemble_union, run_mode, ExecutionMode, GroupingSetsResult};
+use crate::cache::{CacheStats, PlanCache, WorkloadFingerprint};
+use crate::error::{CoreError, Result};
+use crate::executor::{ExecutionReport, ParallelOptions};
+use crate::greedy::{GbMqo, SearchConfig, SearchStats};
+use crate::plan::LogicalPlan;
+use crate::workload::Workload;
+use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
+use gbmqo_exec::Engine;
+use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
+use gbmqo_storage::{Catalog, Table};
+use std::hash::{Hash, Hasher};
+
+/// Which cost model a [`Session`] optimizes under. The session builds a
+/// fresh model instance per search (they borrow catalog tables), so the
+/// spec is plain data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum CostModelSpec {
+    /// §3.2.1's cardinality model over exact statistics.
+    #[default]
+    Cardinality,
+    /// §3.2.1's cardinality model over a reservoir sample.
+    SampledCardinality {
+        /// Rows in the reservoir sample.
+        sample_size: usize,
+        /// Distinct-value estimator run over the sample.
+        estimator: DistinctEstimator,
+        /// Sampling seed (fixed for reproducible plans).
+        seed: u64,
+    },
+    /// §3.2.2's simulated query-optimizer model: sampled cardinalities
+    /// plus physical-design awareness (the session snapshots the base
+    /// table's indexes at search time).
+    Optimizer {
+        /// Rows in the reservoir sample.
+        sample_size: usize,
+        /// Distinct-value estimator run over the sample.
+        estimator: DistinctEstimator,
+        /// Sampling seed (fixed for reproducible plans).
+        seed: u64,
+    },
+}
+
+impl CostModelSpec {
+    /// A stable tag for plan-cache fingerprints: two specs with the same
+    /// tag produce the same plans (given the same statistics version).
+    fn tag(&self) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        match self {
+            CostModelSpec::Cardinality => 0u8.hash(&mut h),
+            CostModelSpec::SampledCardinality {
+                sample_size,
+                estimator,
+                seed,
+            } => {
+                1u8.hash(&mut h);
+                sample_size.hash(&mut h);
+                format!("{estimator:?}").hash(&mut h);
+                seed.hash(&mut h);
+            }
+            CostModelSpec::Optimizer {
+                sample_size,
+                estimator,
+                seed,
+            } => {
+                2u8.hash(&mut h);
+                sample_size.hash(&mut h);
+                format!("{estimator:?}").hash(&mut h);
+                seed.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Builder for [`Session`]; see the module docs for a walkthrough.
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    tables: Vec<(String, Table)>,
+    engine: Option<Engine>,
+    cost_model: CostModelSpec,
+    search: SearchConfig,
+    mode: ExecutionMode,
+    parallelism: usize,
+    memory_budget: Option<usize>,
+    plan_cache: usize,
+    io_ns_per_byte: f64,
+}
+
+impl SessionBuilder {
+    /// Register a base table (may be called repeatedly).
+    pub fn table(mut self, name: impl Into<String>, table: Table) -> Self {
+        self.tables.push((name.into(), table));
+        self
+    }
+
+    /// Use a pre-built engine (e.g. one with indexes or I/O emulation
+    /// already configured) instead of building one from `table` calls.
+    /// Tables added via [`SessionBuilder::table`] are registered on top.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Cost model to optimize under (default:
+    /// [`CostModelSpec::Cardinality`]).
+    pub fn cost_model(mut self, spec: CostModelSpec) -> Self {
+        self.cost_model = spec;
+        self
+    }
+
+    /// Search configuration (default: [`SearchConfig::default`]; the
+    /// paper's experiments use [`SearchConfig::pruned`]).
+    pub fn search(mut self, config: SearchConfig) -> Self {
+        self.search = config;
+        self
+    }
+
+    /// Execution mode (default: [`ExecutionMode::ClientSide`]).
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Worker threads for [`ExecutionMode::Parallel`]; `0` (the default)
+    /// means one per available CPU.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// Cap on live temp-table bytes during parallel execution (see
+    /// [`ParallelOptions::memory_budget`]).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Plans to keep in the LRU plan cache (default 16; `0` disables
+    /// caching).
+    pub fn plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache = capacity;
+        self
+    }
+
+    /// Enable the engine's disk row-store emulation
+    /// (see [`Engine::set_io_ns_per_byte`]).
+    pub fn io_ns_per_byte(mut self, ns_per_byte: f64) -> Self {
+        self.io_ns_per_byte = ns_per_byte;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Result<Session> {
+        let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
+        for (name, table) in self.tables {
+            engine.catalog_mut().register(name, table)?;
+        }
+        if self.io_ns_per_byte > 0.0 {
+            engine.set_io_ns_per_byte(self.io_ns_per_byte);
+        }
+        if let CostModelSpec::SampledCardinality { sample_size, .. }
+        | CostModelSpec::Optimizer { sample_size, .. } = self.cost_model
+        {
+            if sample_size == 0 {
+                return Err(CoreError::InvalidSession(
+                    "sampled cost models need a sample size of at least 1".into(),
+                ));
+            }
+        }
+        Ok(Session {
+            engine,
+            cost_model: self.cost_model,
+            search: self.search,
+            mode: self.mode,
+            parallelism: self.parallelism,
+            memory_budget: self.memory_budget,
+            cache: PlanCache::new(self.plan_cache),
+            stats_version: 0,
+        })
+    }
+}
+
+/// A long-lived GB-MQO serving session: one entry point
+/// ([`Session::grouping_sets`]) over an owned engine, with plan caching
+/// and a choice of serial, shared-scan, or dependency-parallel
+/// execution.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    cost_model: CostModelSpec,
+    search: SearchConfig,
+    mode: ExecutionMode,
+    parallelism: usize,
+    memory_budget: Option<usize>,
+    cache: PlanCache,
+    /// Bumped whenever registered tables change; part of the plan-cache
+    /// fingerprint so stale plans are not reused.
+    stats_version: u64,
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            plan_cache: 16,
+            ..Default::default()
+        }
+    }
+
+    /// Optimize and execute `workload` as one GROUPING SETS query,
+    /// returning the tagged UNION ALL plus plan, search stats, and
+    /// execution metrics. Repeated workloads skip the search via the
+    /// plan cache ([`SearchStats::cache_hit`]).
+    pub fn grouping_sets(&mut self, workload: &Workload) -> Result<GroupingSetsResult> {
+        let (plan, stats) = self.plan(workload)?;
+        let parallel = self.parallel_options();
+        let (results, metrics) = run_mode(&plan, workload, &mut self.engine, self.mode, parallel)?;
+        assemble_union(workload, plan, stats, results, metrics)
+    }
+
+    /// Optimize `workload` (or fetch the cached plan) without executing.
+    pub fn plan(&mut self, workload: &Workload) -> Result<(LogicalPlan, SearchStats)> {
+        let key = WorkloadFingerprint::compute(
+            workload,
+            &self.search,
+            self.stats_version,
+            self.cost_model.tag(),
+        );
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
+        }
+        let searched = {
+            let table = self.engine.catalog().table(&workload.table)?;
+            let gbmqo = GbMqo::with_config(self.search.clone());
+            match &self.cost_model {
+                CostModelSpec::Cardinality => {
+                    let mut model = CardinalityCostModel::new(ExactSource::new(table));
+                    gbmqo.plan(workload, &mut model)?
+                }
+                CostModelSpec::SampledCardinality {
+                    sample_size,
+                    estimator,
+                    seed,
+                } => {
+                    let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
+                    let mut model = CardinalityCostModel::new(source);
+                    gbmqo.plan(workload, &mut model)?
+                }
+                CostModelSpec::Optimizer {
+                    sample_size,
+                    estimator,
+                    seed,
+                } => {
+                    let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
+                    let indexes = IndexSnapshot::capture(self.engine.catalog(), &workload.table);
+                    let mut model = OptimizerCostModel::new(source, indexes);
+                    gbmqo.plan(workload, &mut model)?
+                }
+            }
+        };
+        let (plan, stats) = searched;
+        self.cache.insert(key, plan.clone(), stats);
+        Ok((plan, stats))
+    }
+
+    /// Execute an explicit plan for `workload` under the session's
+    /// execution mode, returning the per-set result tables (no UNION
+    /// ALL). For pre-built or deserialized plans; `Session::grouping_sets`
+    /// is the usual path.
+    pub fn run_plan(&mut self, plan: &LogicalPlan, workload: &Workload) -> Result<ExecutionReport> {
+        let parallel = self.parallel_options();
+        let (results, metrics) = run_mode(plan, workload, &mut self.engine, self.mode, parallel)?;
+        Ok(ExecutionReport {
+            results,
+            metrics,
+            peak_temp_bytes: self.engine.catalog().accounting().peak_temp_bytes,
+        })
+    }
+
+    /// Execute an explicit plan serially under the §4.4
+    /// storage-minimizing schedule, with `size_estimate` guiding the
+    /// breadth-first/depth-first choice (pass a cost model's
+    /// `result_bytes` for faithful behaviour). Ignores the session's
+    /// execution mode: the storage schedule is inherently sequential.
+    pub fn run_plan_scheduled(
+        &mut self,
+        plan: &LogicalPlan,
+        workload: &Workload,
+        size_estimate: &mut dyn FnMut(crate::colset::ColSet) -> f64,
+    ) -> Result<ExecutionReport> {
+        crate::executor::run_plan(plan, workload, &mut self.engine, Some(size_estimate))
+    }
+
+    /// Register another base table. Invalidates cached plans (the
+    /// statistics version is part of the fingerprint).
+    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        self.engine.catalog_mut().register(name, table)?;
+        self.stats_version += 1;
+        Ok(())
+    }
+
+    /// Declare that table statistics changed (data refreshed in place,
+    /// indexes rebuilt, …): cached plans stop matching from now on.
+    pub fn bump_stats_version(&mut self) {
+        self.stats_version += 1;
+    }
+
+    /// Current statistics version (see [`Session::bump_stats_version`]).
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached plans.
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The session's execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Switch execution mode (plans are mode-independent, so the cache
+    /// survives).
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// Borrow the engine (metrics, catalog inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutably borrow the engine. If you change table data or physical
+    /// design through it, call [`Session::bump_stats_version`] so cached
+    /// plans are invalidated.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    fn parallel_options(&self) -> ParallelOptions {
+        ParallelOptions {
+            threads: self.parallelism,
+            memory_budget: self.memory_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{Column, DataType, Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..240).map(|i| i % 3).collect()),
+                Column::from_i64((0..240).map(|i| (i % 3) * 10).collect()),
+                Column::from_i64((0..240).map(|i| i % 5).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn session(mode: ExecutionMode) -> (Session, Workload) {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let s = Session::builder()
+            .table("r", t)
+            .search(SearchConfig::pruned())
+            .mode(mode)
+            .plan_cache(4)
+            .build()
+            .unwrap();
+        (s, w)
+    }
+
+    fn tag_counts(table: &Table) -> Vec<(String, usize)> {
+        let tag_col = table.schema().index_of("grp_tag").unwrap();
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for r in 0..table.num_rows() {
+            *counts
+                .entry(table.value(r, tag_col).as_str().unwrap().to_string())
+                .or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let (mut client, w) = session(ExecutionMode::ClientSide);
+        let (mut server, _) = session(ExecutionMode::ServerSide);
+        let (mut parallel, _) = session(ExecutionMode::Parallel);
+        let c = client.grouping_sets(&w).unwrap();
+        let s = server.grouping_sets(&w).unwrap();
+        let p = parallel.grouping_sets(&w).unwrap();
+        assert_eq!(tag_counts(&c.table), tag_counts(&s.table));
+        assert_eq!(tag_counts(&c.table), tag_counts(&p.table));
+        for sess in [&client, &server, &parallel] {
+            assert!(
+                sess.engine().catalog().temp_names().is_empty(),
+                "temps leaked in {:?}",
+                sess.mode()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_workloads_hit_the_plan_cache() {
+        let (mut s, w) = session(ExecutionMode::ClientSide);
+        let first = s.grouping_sets(&w).unwrap();
+        assert!(!first.stats.cache_hit);
+        assert!(first.stats.optimizer_calls > 0);
+        let second = s.grouping_sets(&w).unwrap();
+        assert!(second.stats.cache_hit, "same workload must hit the cache");
+        assert_eq!(
+            second.stats.optimizer_calls, 0,
+            "a cache hit performs zero optimizer cost calls"
+        );
+        assert_eq!(
+            second.plan.render(&w.column_names),
+            first.plan.render(&w.column_names)
+        );
+        assert_eq!(tag_counts(&second.table), tag_counts(&first.table));
+        let cs = s.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (1, 1));
+    }
+
+    #[test]
+    fn stats_version_invalidates_cached_plans() {
+        let (mut s, w) = session(ExecutionMode::ClientSide);
+        s.grouping_sets(&w).unwrap();
+        s.bump_stats_version();
+        let after = s.grouping_sets(&w).unwrap();
+        assert!(!after.stats.cache_hit, "bumped stats version must miss");
+        assert_eq!(s.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn sampled_and_optimizer_cost_models_work() {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        for spec in [
+            CostModelSpec::SampledCardinality {
+                sample_size: 64,
+                estimator: DistinctEstimator::Hybrid,
+                seed: 7,
+            },
+            CostModelSpec::Optimizer {
+                sample_size: 64,
+                estimator: DistinctEstimator::Hybrid,
+                seed: 7,
+            },
+        ] {
+            let mut s = Session::builder()
+                .table("r", t.clone())
+                .cost_model(spec)
+                .build()
+                .unwrap();
+            let out = s.grouping_sets(&w).unwrap();
+            assert_eq!(tag_counts(&out.table).len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_sample_size_is_rejected_at_build() {
+        let err = Session::builder()
+            .table("r", table())
+            .cost_model(CostModelSpec::SampledCardinality {
+                sample_size: 0,
+                estimator: DistinctEstimator::Hybrid,
+                seed: 7,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSession(_)));
+    }
+
+    #[test]
+    fn register_table_and_run_plan() {
+        let (mut s, w) = session(ExecutionMode::Parallel);
+        let (plan, _) = s.plan(&w).unwrap();
+        let report = s.run_plan(&plan, &w).unwrap();
+        assert_eq!(report.results.len(), 3);
+
+        s.register_table("r2", table()).unwrap();
+        assert!(s.engine().catalog().contains("r2"));
+        assert_eq!(s.stats_version(), 1);
+    }
+}

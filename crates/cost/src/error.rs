@@ -1,0 +1,23 @@
+//! Error type for the cost-model crate.
+
+use std::fmt;
+
+/// Errors produced when configuring cost models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostError {
+    /// A cost constant was negative or non-finite.
+    InvalidConstants(String),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidConstants(msg) => write!(f, "invalid cost constants: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CostError>;

@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod cardinality;
+pub mod error;
 pub mod model;
 pub mod optimizer;
 pub mod physical;
 
 pub use cardinality::CardinalityCostModel;
+pub use error::{CostError, Result};
 pub use model::{CostModel, CostNode, EdgeQuery};
 pub use optimizer::{CostConstants, OptimizerCostModel};
 pub use physical::IndexSnapshot;

@@ -44,6 +44,29 @@ pub struct CostConstants {
     pub io_ns_per_byte: f64,
 }
 
+impl CostConstants {
+    /// Check every constant is finite and non-negative.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        let named = [
+            ("row_scan", self.row_scan),
+            ("byte_scan", self.byte_scan),
+            ("hash_agg_row", self.hash_agg_row),
+            ("stream_agg_row", self.stream_agg_row),
+            ("row_output", self.row_output),
+            ("byte_write", self.byte_write),
+            ("io_ns_per_byte", self.io_ns_per_byte),
+        ];
+        for (name, v) in named {
+            if !v.is_finite() || v < 0.0 {
+                return Err(crate::error::CostError::InvalidConstants(format!(
+                    "{name} = {v} (must be finite and >= 0)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Default for CostConstants {
     /// Defaults calibrated against the `gbmqo-exec` engine (see the
     /// `calibrate` binary in `gbmqo-bench`): a hash Group By costs
@@ -89,6 +112,13 @@ impl<S: CardinalitySource> OptimizerCostModel<S> {
     pub fn with_constants(mut self, constants: CostConstants) -> Self {
         self.constants = constants;
         self
+    }
+
+    /// Like [`OptimizerCostModel::with_constants`], but validates the
+    /// constants first (they must all be finite and non-negative).
+    pub fn try_with_constants(self, constants: CostConstants) -> crate::error::Result<Self> {
+        constants.validate()?;
+        Ok(self.with_constants(constants))
     }
 
     /// Borrow the cardinality source.

@@ -153,6 +153,44 @@ impl Engine {
         Ok(result)
     }
 
+    /// Run a batch of **independent** Group By queries concurrently on up
+    /// to `threads` scoped worker threads (one wave of the dependency-
+    /// parallel plan executor). Results come back in query order.
+    ///
+    /// Workers read tables through shared catalog borrows and keep
+    /// private metrics, merged race-free after the join; `elapsed_nanos`
+    /// advances by the batch's wall-clock time, not the summed worker
+    /// time. Queries with `into` set are materialized serially after the
+    /// parallel section, in query order. No query in the batch may read a
+    /// table another one materializes — that dependency belongs in the
+    /// next wave.
+    ///
+    /// When the batch is narrower than `threads`, spare threads are used
+    /// *inside* large un-indexed queries via
+    /// [`crate::parallel_hash_group_by`].
+    pub fn run_group_bys_parallel(
+        &mut self,
+        queries: &[GroupByQuery],
+        threads: usize,
+    ) -> Result<Vec<Table>> {
+        let start = Instant::now();
+        let (tables, batch_metrics) =
+            crate::driver::run_batch(&self.catalog, self.io_ns_per_byte, queries, threads)?;
+        self.metrics += batch_metrics;
+        self.metrics.queries_executed += queries.len() as u64;
+        for (q, t) in queries.iter().zip(&tables) {
+            if let Some(name) = &q.into {
+                if self.io_ns_per_byte > 0.0 {
+                    crate::rowstore::simulated_io_wait(t.byte_size() as u64, self.io_ns_per_byte);
+                }
+                self.catalog.create_temp(name.clone(), t.clone())?;
+                self.metrics.tables_materialized += 1;
+            }
+        }
+        self.metrics.add_elapsed(start.elapsed());
+        Ok(tables)
+    }
+
     /// Run several Group Bys over the same input in **one shared scan**
     /// (the server-side execution style of §5.1: PipeHash-like shared
     /// scans across the members of a GROUPING SETS). Under row-store
@@ -318,6 +356,35 @@ mod tests {
             .collect();
         v.sort();
         assert_eq!(v, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_and_materializes() {
+        let mut serial = Engine::new(catalog());
+        let mut par = Engine::new(catalog());
+        let queries = vec![
+            GroupByQuery::count_star("r", &["a"]),
+            GroupByQuery::count_star("r", &["b"]).into_temp("t_b"),
+            GroupByQuery::count_star("r", &["a", "b"]),
+        ];
+        let par_tables = par.run_group_bys_parallel(&queries, 4).unwrap();
+        let norm = |t: &Table| {
+            let mut v: Vec<Vec<Value>> = (0..t.num_rows())
+                .map(|r| (0..t.num_columns()).map(|c| t.value(r, c)).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        for (q, pt) in queries.iter().zip(&par_tables) {
+            let st = serial.run_group_by(q).unwrap();
+            assert_eq!(norm(&st), norm(pt));
+        }
+        assert!(par.catalog().contains("t_b"));
+        assert_eq!(par.metrics().queries_executed, 3);
+        assert_eq!(par.metrics().tables_materialized, 1);
+        assert_eq!(par.metrics().rows_scanned, serial.metrics().rows_scanned);
+        par.drop_temp("t_b").unwrap();
+        serial.drop_temp("t_b").unwrap();
     }
 
     #[test]

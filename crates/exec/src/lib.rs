@@ -20,6 +20,7 @@
 
 pub mod agg;
 pub mod cube;
+mod driver;
 pub mod engine;
 pub mod error;
 pub mod filter;

@@ -1,0 +1,54 @@
+//! Error type for the statistics subsystem.
+
+use std::fmt;
+
+/// Errors produced when building statistics or cardinality sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A sample specification was unusable (e.g. zero sample size).
+    InvalidSample(String),
+    /// A column ordinal was out of range for the profiled table.
+    ColumnOutOfRange {
+        /// The offending ordinal.
+        ordinal: usize,
+        /// Number of columns the table has.
+        num_columns: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidSample(msg) => write!(f, "invalid sample: {msg}"),
+            StatsError::ColumnOutOfRange {
+                ordinal,
+                num_columns,
+            } => write!(
+                f,
+                "column ordinal {ordinal} out of range for a {num_columns}-column table"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(StatsError::InvalidSample("empty".into())
+            .to_string()
+            .contains("invalid sample"));
+        let e = StatsError::ColumnOutOfRange {
+            ordinal: 5,
+            num_columns: 3,
+        };
+        assert!(e.to_string().contains("ordinal 5"));
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod column_stats;
 pub mod distinct;
+pub mod error;
 pub mod freq;
 pub mod histogram;
 pub mod sample;
@@ -31,6 +32,7 @@ pub mod store;
 
 pub use column_stats::ColumnStats;
 pub use distinct::{exact_distinct, DistinctEstimator};
+pub use error::{Result, StatsError};
 pub use freq::FrequencyProfile;
 pub use histogram::EquiDepthHistogram;
 pub use sample::reservoir_sample;

@@ -120,6 +120,23 @@ impl<'a> SampledSource<'a> {
         }
     }
 
+    /// Like [`SampledSource::new`], but rejects unusable sample
+    /// specifications instead of silently producing a source whose every
+    /// estimate is degenerate.
+    pub fn try_new(
+        table: &'a Table,
+        sample_size: usize,
+        estimator: DistinctEstimator,
+        seed: u64,
+    ) -> crate::error::Result<Self> {
+        if sample_size == 0 {
+            return Err(crate::error::StatsError::InvalidSample(
+                "sample size must be at least 1".into(),
+            ));
+        }
+        Ok(Self::new(table, sample_size, estimator, seed))
+    }
+
     /// The sampled row ids.
     pub fn sample_rows(&self) -> &[u32] {
         &self.sample

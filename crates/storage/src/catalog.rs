@@ -43,11 +43,24 @@ impl StorageAccounting {
 
 /// A named collection of tables. Base tables persist; temp tables are
 /// created/dropped by plan execution and tracked by [`StorageAccounting`].
+///
+/// A catalog holds only plain owned data, so `&Catalog` is `Sync`: the
+/// parallel plan executor hands shared references to catalog tables out
+/// to scoped worker threads, while all mutation (temp creation, drops,
+/// index management) stays on the coordinating thread.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: FxHashMap<String, TableEntry>,
     accounting: StorageAccounting,
+    temp_budget: Option<usize>,
 }
+
+// Compile-time guarantee for the parallel executor: worker threads borrow
+// `&Catalog` (and `&Table`s inside it) across a `thread::scope`.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Catalog>()
+};
 
 impl Catalog {
     /// Create an empty catalog.
@@ -73,12 +86,26 @@ impl Catalog {
     }
 
     /// Materialize a temporary table under `name`, updating accounting.
+    ///
+    /// Fails with [`StorageError::TempBudgetExceeded`] if a temp-storage
+    /// budget is set (see [`Catalog::set_temp_budget`]) and the new table
+    /// would push the catalog past it.
     pub fn create_temp(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
-        self.accounting.add(table.byte_size());
+        let bytes = table.byte_size();
+        if let Some(budget) = self.temp_budget {
+            if self.accounting.current_temp_bytes + bytes > budget {
+                return Err(StorageError::TempBudgetExceeded {
+                    requested: bytes,
+                    in_use: self.accounting.current_temp_bytes,
+                    budget,
+                });
+            }
+        }
+        self.accounting.add(bytes);
         self.tables.insert(
             name,
             TableEntry {
@@ -173,6 +200,25 @@ impl Catalog {
             }
         }
         best
+    }
+
+    /// Cap the bytes temp tables may hold at once (`None` = unlimited).
+    /// [`Catalog::create_temp`] rejects materializations past the cap;
+    /// callers that can degrade gracefully should consult
+    /// [`Catalog::fits_in_temp_budget`] first.
+    pub fn set_temp_budget(&mut self, budget: Option<usize>) {
+        self.temp_budget = budget;
+    }
+
+    /// The configured temp-storage budget, if any.
+    pub fn temp_budget(&self) -> Option<usize> {
+        self.temp_budget
+    }
+
+    /// Would a temp table of `bytes` fit under the current budget?
+    pub fn fits_in_temp_budget(&self, bytes: usize) -> bool {
+        self.temp_budget
+            .is_none_or(|b| self.accounting.current_temp_bytes + bytes <= b)
     }
 
     /// Storage accounting snapshot.
@@ -282,6 +328,29 @@ mod tests {
             .is_err());
         c.drop_indexes("t").unwrap();
         assert!(c.index_serving("t", &[0]).is_none());
+    }
+
+    #[test]
+    fn temp_budget_is_enforced() {
+        let mut c = Catalog::new();
+        let probe = tiny(10);
+        let bytes = probe.byte_size();
+        c.set_temp_budget(Some(bytes * 2));
+        assert_eq!(c.temp_budget(), Some(bytes * 2));
+
+        c.create_temp("t1", probe.clone()).unwrap();
+        assert!(c.fits_in_temp_budget(bytes));
+        c.create_temp("t2", probe.clone()).unwrap();
+        assert!(!c.fits_in_temp_budget(bytes));
+        let err = c.create_temp("t3", probe.clone()).unwrap_err();
+        assert!(matches!(err, StorageError::TempBudgetExceeded { .. }));
+        assert!(err.to_string().contains("budget"));
+
+        // dropping frees room again; clearing the budget lifts the cap
+        c.drop_temp("t1").unwrap();
+        c.create_temp("t3", probe.clone()).unwrap();
+        c.set_temp_budget(None);
+        c.create_temp("t4", probe).unwrap();
     }
 
     #[test]

@@ -12,21 +12,19 @@
 
 use gbmqo_core::prelude::*;
 use gbmqo_core::{grouping_sets_plan, BaselineKind};
-use gbmqo_cost::{IndexSnapshot, OptimizerCostModel};
 use gbmqo_datagen::{sales, SALES_COLUMNS};
-use gbmqo_exec::Engine;
-use gbmqo_stats::{DistinctEstimator, SampledSource};
-use gbmqo_storage::{Catalog, Table, Value};
+use gbmqo_stats::DistinctEstimator;
+use gbmqo_storage::{Table, Value};
 use std::time::Instant;
 
 fn run(
     label: &str,
     plan: &LogicalPlan,
     workload: &Workload,
-    engine: &mut Engine,
+    session: &mut Session,
 ) -> (f64, Vec<(ColSet, Table)>) {
     let start = Instant::now();
-    let report = execute_plan(plan, workload, engine, None).unwrap();
+    let report = session.run_plan(plan, workload).unwrap();
     let secs = start.elapsed().as_secs_f64();
     println!(
         "  {label:<22} {secs:>8.3}s   ({} queries, {} temp tables, peak {} KiB)",
@@ -51,19 +49,19 @@ fn main() {
     requests.push(vec!["sale_date", "ship_date"]);
     let workload = Workload::new("sales", &table, &SALES_COLUMNS, &requests).unwrap();
 
-    let mut catalog = Catalog::new();
-    catalog.register("sales", table).unwrap();
-    let mut engine = Engine::new(catalog);
-
     // Optimize with the realistic setup: sampled statistics + the
-    // simulated query-optimizer cost model. (Tables are cheap to clone —
-    // columns are shared behind Arcs.)
-    let table_ref = engine.catalog().table("sales").unwrap().clone();
-    let source = SampledSource::new(&table_ref, 5_000, DistinctEstimator::Hybrid, 1);
-    let mut model = OptimizerCostModel::new(source, IndexSnapshot::none());
-    let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&workload, &mut model)
+    // simulated query-optimizer cost model, wired up once by the session.
+    let mut session = Session::builder()
+        .table("sales", table)
+        .cost_model(CostModelSpec::Optimizer {
+            sample_size: 5_000,
+            estimator: DistinctEstimator::Hybrid,
+            seed: 1,
+        })
+        .search(SearchConfig::pruned())
+        .build()
         .unwrap();
+    let (plan, stats) = session.plan(&workload).unwrap();
 
     println!("GB-MQO plan:");
     println!("{}", plan.render(&workload.column_names));
@@ -71,13 +69,13 @@ fn main() {
     let naive = LogicalPlan::naive(&workload);
     let (gs_plan, gs_kind) = grouping_sets_plan(&workload);
     println!("timings over {} requested Group Bys:", workload.len());
-    let (t_naive, reference) = run("naive (one per query)", &naive, &workload, &mut engine);
+    let (t_naive, reference) = run("naive (one per query)", &naive, &workload, &mut session);
     let gs_label = match gs_kind {
         BaselineKind::UnionTop => "GROUPING SETS (union)",
         BaselineKind::SharedSort => "GROUPING SETS (sorts)",
     };
-    let (t_gs, _) = run(gs_label, &gs_plan, &workload, &mut engine);
-    let (t_opt, results) = run("GB-MQO", &plan, &workload, &mut engine);
+    let (t_gs, _) = run(gs_label, &gs_plan, &workload, &mut session);
+    let (t_opt, results) = run("GB-MQO", &plan, &workload, &mut session);
     println!(
         "\nspeedup vs naive: {:.2}×;  vs GROUPING SETS: {:.2}×",
         t_naive / t_opt,

@@ -6,16 +6,13 @@
 //!
 //! Builds a small TPC-H-like `lineitem`, asks for every single-column
 //! Group By (the paper's data-profiling scenario), optimizes the batch
-//! with the GB-MQO algorithm, prints the chosen plan and the equivalent
-//! SQL script, executes it, and cross-checks the result row counts.
+//! with the GB-MQO algorithm through a [`Session`], prints the chosen
+//! plan and the equivalent SQL script, executes it with the
+//! dependency-parallel executor, and cross-checks the result row counts.
 
 use gbmqo_core::prelude::*;
 use gbmqo_core::render_sql;
-use gbmqo_cost::{CardinalityCostModel, CostModel};
 use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
-use gbmqo_exec::Engine;
-use gbmqo_stats::ExactSource;
-use gbmqo_storage::Catalog;
 
 fn main() {
     // 1. A scaled lineitem (the paper uses 6M rows; 50k keeps this demo
@@ -34,11 +31,18 @@ fn main() {
         workload.len()
     );
 
-    // 3. Optimize under the cardinality cost model with exact statistics.
-    let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-    let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&workload, &mut model)
+    // 3. A session: exact statistics + cardinality cost model (the
+    //    default), §4.3 pruning, dependency-parallel execution, and a
+    //    plan cache for repeated workloads.
+    let mut session = Session::builder()
+        .table("lineitem", table.clone())
+        .search(SearchConfig::pruned())
+        .mode(ExecutionMode::Parallel)
+        .plan_cache(8)
+        .build()
         .unwrap();
+
+    let (plan, stats) = session.plan(&workload).unwrap();
     println!("chosen logical plan (* = requested query):");
     println!("{}", plan.render(&workload.column_names));
     println!(
@@ -57,10 +61,7 @@ fn main() {
     println!();
 
     // 5. Execute and cross-check.
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", table.clone()).unwrap();
-    let mut engine = Engine::new(catalog);
-    let report = execute_plan(&plan, &workload, &mut engine, None).unwrap();
+    let report = session.run_plan(&plan, &workload).unwrap();
     println!("results:");
     for (set, result) in &report.results {
         let names = workload.col_names(*set).join(", ");
@@ -80,5 +81,16 @@ fn main() {
         assert_eq!(total, 50_000, "counts for {set:?} must cover every row");
     }
     println!("verified: every result's counts sum to the row count ✓");
-    let _ = model.calls();
+
+    // 6. The same workload again: the session serves the plan from its
+    //    cache, with zero optimizer calls.
+    let again = session.grouping_sets(&workload).unwrap();
+    assert!(again.stats.cache_hit && again.stats.optimizer_calls == 0);
+    let cache = session.cache_stats();
+    println!(
+        "repeat request: plan served from cache ({} hit / {} miss), {} union rows",
+        cache.hits,
+        cache.misses,
+        again.table.num_rows()
+    );
 }

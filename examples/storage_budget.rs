@@ -13,22 +13,19 @@ use gbmqo_core::prelude::*;
 use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak};
 use gbmqo_cost::{CardinalityCostModel, CostModel};
 use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
-use gbmqo_exec::Engine;
 use gbmqo_stats::ExactSource;
-use gbmqo_storage::Catalog;
 
 fn main() {
     let table = lineitem(100_000, 0.0, 3);
     let workload = Workload::single_columns("lineitem", &table, &LINEITEM_SC_COLUMNS).unwrap();
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", table.clone()).unwrap();
-    let mut engine = Engine::new(catalog);
+    let mut session = Session::builder()
+        .table("lineitem", table.clone())
+        .search(SearchConfig::pruned())
+        .build()
+        .unwrap();
 
     println!("== unconstrained plan ==");
-    let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-    let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&workload, &mut model)
-        .unwrap();
+    let (plan, stats) = session.plan(&workload).unwrap();
     println!("{}", plan.render(&workload.column_names));
 
     // Predicted minimum peak storage under the model's size estimates.
@@ -47,7 +44,9 @@ fn main() {
         predicted, simulated
     );
 
-    let report = execute_plan(&plan, &workload, &mut engine, Some(&mut d)).unwrap();
+    let report = session
+        .run_plan_scheduled(&plan, &workload, &mut d)
+        .unwrap();
     println!(
         "actual executed peak: {} bytes over {} materializations\n",
         report.peak_temp_bytes, report.metrics.tables_materialized
@@ -65,7 +64,7 @@ fn main() {
         };
         let mut model = CardinalityCostModel::new(ExactSource::new(&table));
         let (plan, stats) = GbMqo::with_config(config)
-            .optimize(&workload, &mut model)
+            .plan(&workload, &mut model)
             .unwrap();
         let mut d2 = {
             let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
@@ -74,7 +73,9 @@ fn main() {
                 m2.result_bytes(&cols)
             }
         };
-        let report = execute_plan(&plan, &workload, &mut engine, Some(&mut d2)).unwrap();
+        let report = session
+            .run_plan_scheduled(&plan, &workload, &mut d2)
+            .unwrap();
         let label = if budget.is_finite() {
             format!("{budget:.0}")
         } else {
@@ -93,5 +94,4 @@ fn main() {
         "\nnote: at budget 0 the search returns the naive plan (cost {:.0})",
         stats.naive_cost
     );
-    let _ = model.calls();
 }

@@ -1,6 +1,11 @@
 //! Cross-crate integration tests for the GROUPING SETS facade (§5.1/§5.2),
 //! the spec parser, shared scans, and sort-based aggregation.
 
+// These tests exercise the pre-0.2 free-function entry points on
+// purpose: they are kept as regression coverage for the deprecated
+// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
+#![allow(deprecated)]
+
 use gbmqo_core::prelude::*;
 use gbmqo_core::{execute_grouping_sets, parse_grouping_sets, ExecutionMode};
 use gbmqo_cost::CardinalityCostModel;

@@ -2,6 +2,12 @@
 //! the exhaustive optimum, mirroring the paper's §6.1–§6.3 setups at
 //! test scale.
 
+// These tests exercise the pre-0.2 free-function entry points on
+// purpose: they are kept as regression coverage for the deprecated
+// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
+#![allow(deprecated)]
+
+use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::{grouping_sets_plan, optimal_plan, BaselineKind};
 use gbmqo_cost::{CardinalityCostModel, CostModel};

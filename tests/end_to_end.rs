@@ -1,6 +1,12 @@
 //! End-to-end integration: generators → optimizer → executor → results,
 //! across cost models, statistics sources and datasets.
 
+// These tests exercise the pre-0.2 free-function entry points on
+// purpose: they are kept as regression coverage for the deprecated
+// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
+#![allow(deprecated)]
+
+use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::render_sql;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};

@@ -1,5 +1,11 @@
 //! Integration tests for the paper's §5.1.1 and §7 extensions.
 
+// These tests exercise the pre-0.2 free-function entry points on
+// purpose: they are kept as regression coverage for the deprecated
+// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
+#![allow(deprecated)]
+
+use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::{cube_rollup_pass, grouping_sets_over_join, NodeKind};
 use gbmqo_cost::{CardinalityCostModel, CostConstants, IndexSnapshot, OptimizerCostModel};

@@ -1,5 +1,11 @@
 //! Property-based tests over the optimizer's core invariants.
 
+// These tests exercise the pre-0.2 free-function entry points on
+// purpose: they are kept as regression coverage for the deprecated
+// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
+#![allow(deprecated)]
+
+use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak};
 use gbmqo_core::{optimal_plan, render_sql};

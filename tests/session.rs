@@ -1,0 +1,182 @@
+//! Integration tests for the `Session` API: dependency-parallel
+//! execution equivalence, the workload plan cache, and the unified
+//! error type.
+
+use gbmqo_core::prelude::*;
+use gbmqo_integration::{assert_same_results, col_names, modular_table};
+use proptest::prelude::*;
+
+fn workload_of(table: &gbmqo_storage::Table, requests: &[Vec<usize>]) -> Workload {
+    let names = col_names(table.num_columns());
+    let reqs: Vec<Vec<&str>> = requests
+        .iter()
+        .map(|r| r.iter().map(|&c| names[c].as_str()).collect())
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Workload::new("t", table, &refs, &reqs).unwrap()
+}
+
+fn session_with(table: &gbmqo_storage::Table, mode: ExecutionMode, threads: usize) -> Session {
+    Session::builder()
+        .table("t", table.clone())
+        .search(SearchConfig::pruned())
+        .mode(mode)
+        .parallelism(threads)
+        .build()
+        .unwrap()
+}
+
+/// Strategy: 2–5 columns with assorted cardinalities plus a random
+/// request list mixing single- and multi-column sets.
+fn workload_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<usize>>)> {
+    prop::collection::vec(prop::sample::select(vec![2usize, 3, 5, 11, 60, 300]), 2..=5)
+        .prop_flat_map(|cards| {
+            let n = cards.len();
+            let requests =
+                prop::collection::vec(prop::collection::vec(0..n, 1..=n.min(3)), 1..=(n + 2));
+            (Just(cards), requests)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The dependency-parallel executor computes exactly what the serial
+    /// client-side driver computes, on arbitrary workloads and thread
+    /// counts, up to row order.
+    #[test]
+    fn parallel_session_matches_serial(
+        (cards, raw_requests) in workload_strategy(),
+        threads in 1usize..=4,
+    ) {
+        // Dedup column indices inside each request; drop dup requests.
+        let mut requests: Vec<Vec<usize>> = raw_requests
+            .into_iter()
+            .map(|mut r| { r.sort_unstable(); r.dedup(); r })
+            .collect();
+        requests.sort();
+        requests.dedup();
+
+        let table = modular_table(600, &cards);
+        let w = workload_of(&table, &requests);
+
+        let mut serial = session_with(&table, ExecutionMode::ClientSide, 1);
+        let mut parallel = session_with(&table, ExecutionMode::Parallel, threads);
+
+        let (plan_s, _) = serial.plan(&w).unwrap();
+        let (plan_p, _) = parallel.plan(&w).unwrap();
+        prop_assert_eq!(
+            plan_s.render(&w.column_names),
+            plan_p.render(&w.column_names),
+            "identical sessions must choose identical plans"
+        );
+
+        let rep_s = serial.run_plan(&plan_s, &w).unwrap();
+        let rep_p = parallel.run_plan(&plan_p, &w).unwrap();
+        assert_same_results(&w, &rep_s, &rep_p, "parallel vs serial");
+
+        // No temp tables may survive either execution.
+        prop_assert!(serial.engine().catalog().temp_names().is_empty());
+        prop_assert!(parallel.engine().catalog().temp_names().is_empty());
+    }
+
+    /// A memory budget degrades parallel execution (skipping
+    /// materializations) but never changes results.
+    #[test]
+    fn budgeted_parallel_matches_serial(
+        (cards, raw_requests) in workload_strategy(),
+        budget_kb in 0usize..=64,
+    ) {
+        let mut requests: Vec<Vec<usize>> = raw_requests
+            .into_iter()
+            .map(|mut r| { r.sort_unstable(); r.dedup(); r })
+            .collect();
+        requests.sort();
+        requests.dedup();
+
+        let table = modular_table(600, &cards);
+        let w = workload_of(&table, &requests);
+
+        let mut serial = session_with(&table, ExecutionMode::ClientSide, 1);
+        let mut budgeted = Session::builder()
+            .table("t", table.clone())
+            .search(SearchConfig::pruned())
+            .mode(ExecutionMode::Parallel)
+            .parallelism(2)
+            .memory_budget(budget_kb * 1024)
+            .build()
+            .unwrap();
+
+        let (plan, _) = serial.plan(&w).unwrap();
+        let rep_s = serial.run_plan(&plan, &w).unwrap();
+        let rep_b = budgeted.run_plan(&plan, &w).unwrap();
+        assert_same_results(&w, &rep_s, &rep_b, "budgeted parallel vs serial");
+        prop_assert!(budgeted.engine().catalog().temp_names().is_empty());
+    }
+}
+
+#[test]
+fn repeated_workload_skips_the_optimizer() {
+    let table = modular_table(500, &[3, 7, 40]);
+    let w = workload_of(&table, &[vec![0], vec![1], vec![2], vec![0, 1]]);
+    let mut s = session_with(&table, ExecutionMode::Parallel, 2);
+
+    let first = s.grouping_sets(&w).unwrap();
+    assert!(!first.stats.cache_hit);
+    assert!(first.stats.optimizer_calls > 0);
+
+    let second = s.grouping_sets(&w).unwrap();
+    assert!(second.stats.cache_hit);
+    assert_eq!(
+        second.stats.optimizer_calls, 0,
+        "cache hits must issue zero optimizer cost calls"
+    );
+    assert_eq!(first.table.num_rows(), second.table.num_rows());
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn grouping_sets_union_matches_across_modes() {
+    let table = modular_table(500, &[4, 6, 25]);
+    let w = workload_of(&table, &[vec![0], vec![1], vec![2]]);
+    let mut rows = Vec::new();
+    for mode in [
+        ExecutionMode::ClientSide,
+        ExecutionMode::ServerSide,
+        ExecutionMode::Parallel,
+    ] {
+        let mut s = session_with(&table, mode, 2);
+        let out = s.grouping_sets(&w).unwrap();
+        assert_eq!(out.grouping_set_count(), 3, "{mode:?}");
+        rows.push(out.table.num_rows());
+    }
+    assert!(
+        rows.windows(2).all(|w| w[0] == w[1]),
+        "union sizes: {rows:?}"
+    );
+}
+
+#[test]
+fn unified_error_type_spans_subsystems() {
+    // Storage errors surface as CoreError::Storage through the prelude
+    // Result, stats errors as CoreError::Stats — one result type for the
+    // whole public API.
+    let table = modular_table(100, &[3]);
+    let w = workload_of(&table, &[vec![0]]);
+    let mut s = Session::builder().build().unwrap(); // no tables registered
+    let err = s.grouping_sets(&w).unwrap_err();
+    assert!(matches!(err, CoreError::Storage(_)), "got {err:?}");
+    assert!(err.to_string().contains("table"));
+
+    let err = Session::builder()
+        .table("t", table)
+        .cost_model(CostModelSpec::SampledCardinality {
+            sample_size: 0,
+            estimator: gbmqo_stats::DistinctEstimator::Hybrid,
+            seed: 1,
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidSession(_)), "got {err:?}");
+}

@@ -1,0 +1,289 @@
+//! Minimal vendored implementation of the `criterion` API surface this
+//! workspace's benches use.
+//!
+//! The container image has no network access to crates.io, so the
+//! workspace ships this shim as a path dependency. It runs each
+//! benchmark closure for the configured warm-up and measurement windows
+//! and prints mean/min iteration times — no statistics engine, no HTML
+//! reports, but the same bench sources compile and produce comparable
+//! wall-clock numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by some criterion-style code to defeat optimization.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI args (accepted and ignored by this shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        let name = name.as_ref();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.warm_up, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion tunes iteration counts from this; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Time spent warming up each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.warm_up, self.measurement, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is already done per bench).
+    pub fn finish(self) {}
+}
+
+/// A function+parameter benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    elapsed: Duration,
+    iters: u64,
+    min: Duration,
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { until: Instant },
+}
+
+impl Bencher {
+    /// Run `f` repeatedly until the current window closes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let until = match self.mode {
+            Mode::WarmUp { until } | Mode::Measure { until } => until,
+        };
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            if let Mode::Measure { .. } = self.mode {
+                self.elapsed += dt;
+                self.iters += 1;
+                self.min = self.min.min(dt);
+            }
+            if Instant::now() >= until {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        mode: Mode::WarmUp {
+            until: Instant::now() + warm_up,
+        },
+        elapsed: Duration::ZERO,
+        iters: 0,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    b.mode = Mode::Measure {
+        until: Instant::now() + measurement,
+    };
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    b.min = Duration::MAX;
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "{label:<50} mean {:>12?}  min {:>12?}  ({} iters)",
+        mean, b.min, b.iters
+    );
+}
+
+/// Collect benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (Duration, Duration) {
+        (Duration::from_millis(1), Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let (w, m) = quick();
+        let mut calls = 0u64;
+        run_one("test", w, m, &mut |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(3));
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 4), &4usize, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}
