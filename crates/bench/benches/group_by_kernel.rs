@@ -1,0 +1,60 @@
+//! Kernel ablation: the scalar hash group-by vs the radix-partitioned,
+//! morsel-driven kernel across input sizes and group counts.
+//!
+//! The radix kernel's claims (packed keys, no-merge partitioned pass 2)
+//! matter most at large inputs with moderate group counts; at tiny
+//! inputs the Auto strategy falls back to the scalar kernel, so both
+//! ends are measured here. Results are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_exec::{hash_group_by, radix_group_by, AggSpec, ExecMetrics};
+use gbmqo_storage::{Column, Field, Schema, Table};
+
+/// A two-column table: `k` cycling through `groups` values, `v` summed.
+fn table(rows: usize, groups: i64) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", gbmqo_storage::DataType::Int64),
+        Field::new("v", gbmqo_storage::DataType::Int64),
+    ])
+    .unwrap();
+    // Multiplicative stride so group ids are not contiguous runs.
+    let keys: Vec<i64> = (0..rows as i64).map(|i| (i * 7919) % groups).collect();
+    let vals: Vec<i64> = (0..rows as i64).map(|i| i % 1000).collect();
+    Table::new(schema, vec![Column::from_i64(keys), Column::from_i64(vals)]).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let aggs = [AggSpec::count(), AggSpec::sum("v", "sum_v")];
+    for rows in [100_000usize, 1_000_000, 10_000_000] {
+        let mut group = c.benchmark_group(format!("group_by_kernel/{rows}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+        for groups in [4i64, 256, 100_000] {
+            let t = table(rows, groups);
+            group.bench_with_input(BenchmarkId::new("scalar", groups), &t, |b, t| {
+                b.iter(|| {
+                    let mut m = ExecMetrics::new();
+                    hash_group_by(t, &[0], &aggs, &mut m).unwrap()
+                })
+            });
+            for threads in [1usize, 4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("radix{threads}t"), groups),
+                    &t,
+                    |b, t| {
+                        b.iter(|| {
+                            let mut m = ExecMetrics::new();
+                            radix_group_by(t, &[0], &aggs, threads, Some(groups as u64), &mut m)
+                                .unwrap()
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -245,6 +245,16 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         secs,
         report.peak_temp_bytes / 1024
     );
+    let m = &report.metrics;
+    println!(
+        "kernel: {:.0} rows/s, {} radix partitions, {} packed-key rows, \
+         {} fallback-key rows, {} hash resizes",
+        m.rows_per_sec(),
+        m.radix_partitions,
+        m.packed_key_rows,
+        m.fallback_key_rows,
+        m.hash_resizes
+    );
     Ok(())
 }
 

@@ -16,7 +16,10 @@
 
 use crate::colset::ColSet;
 use crate::error::Result;
-use crate::executor::{execute_plan_parallel, run_plan, temp_name, ParallelOptions};
+use crate::executor::{
+    execute_plan_parallel_with, plan_group_estimates, run_plan, temp_name, GroupEstimates,
+    ParallelOptions,
+};
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::workload::Workload;
@@ -84,27 +87,39 @@ pub fn execute_grouping_sets(
     mode: ExecutionMode,
 ) -> Result<GroupingSetsResult> {
     let (plan, stats) = GbMqo::with_config(config).plan(workload, model)?;
-    let (results, metrics) = run_mode(&plan, workload, engine, mode, ParallelOptions::default())?;
+    let estimates = plan_group_estimates(&plan, workload, model);
+    let (results, metrics) = run_mode(
+        &plan,
+        workload,
+        engine,
+        mode,
+        ParallelOptions::default(),
+        &estimates,
+    )?;
     assemble_union(workload, plan, stats, results, metrics)
 }
 
 /// Execute an optimized plan under `mode` (shared by the deprecated free
-/// function and [`crate::session::Session`]).
+/// function and [`crate::session::Session`]). `estimates` carries the
+/// optimizer's distinct-group counts per node (empty when no cost model
+/// is available); the executors forward them to the engine's radix
+/// kernel.
 pub(crate) fn run_mode(
     plan: &LogicalPlan,
     workload: &Workload,
     engine: &mut Engine,
     mode: ExecutionMode,
     parallel: ParallelOptions,
+    estimates: &GroupEstimates,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     Ok(match mode {
         ExecutionMode::ClientSide => {
-            let report = run_plan(plan, workload, engine, None)?;
+            let report = run_plan(plan, workload, engine, None, estimates)?;
             (report.results, report.metrics)
         }
-        ExecutionMode::ServerSide => execute_server_side(plan, workload, engine)?,
+        ExecutionMode::ServerSide => execute_server_side(plan, workload, engine, estimates)?,
         ExecutionMode::Parallel => {
-            let report = execute_plan_parallel(plan, workload, engine, parallel)?;
+            let report = execute_plan_parallel_with(plan, workload, engine, parallel, estimates)?;
             (report.results, report.metrics)
         }
     })
@@ -141,6 +156,7 @@ fn execute_server_side(
     plan: &LogicalPlan,
     workload: &Workload,
     engine: &mut Engine,
+    estimates: &GroupEstimates,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     plan.validate(workload)?;
     engine.reset_metrics();
@@ -194,7 +210,7 @@ fn execute_server_side(
             // supported here (plan validation enforces child ⊂ parent, so
             // special nodes under temps would need node-local workloads).
             debug_assert_eq!(source, workload.table, "CUBE/ROLLUP under a temp");
-            let report = run_plan(&sub, &sub_workload(workload, node), engine, None)?;
+            let report = run_plan(&sub, &sub_workload(workload, node), engine, None, estimates)?;
             results.extend(report.results);
         }
     }

@@ -21,6 +21,7 @@
 //!   plans are invalidated when the stats or the model they were
 //!   optimized under change.
 
+use crate::executor::GroupEstimates;
 use crate::greedy::{SearchConfig, SearchStats};
 use crate::plan::LogicalPlan;
 use crate::workload::Workload;
@@ -87,6 +88,9 @@ pub struct CacheStats {
 struct CachedPlan {
     plan: LogicalPlan,
     stats: SearchStats,
+    /// Optimizer distinct-group estimates per plan node, cached alongside
+    /// the plan so a hit skips the cost-model calls too.
+    estimates: GroupEstimates,
 }
 
 /// An LRU cache of optimized plans keyed by [`WorkloadFingerprint`].
@@ -131,10 +135,13 @@ impl PlanCache {
     }
 
     /// Look up a plan. A hit refreshes the entry's recency and returns
-    /// the cached plan together with its search stats rewritten to
-    /// report the skip: `cache_hit = true`, `optimizer_calls = 0` (no
-    /// cost-model call is made on a hit).
-    pub fn get(&mut self, key: WorkloadFingerprint) -> Option<(LogicalPlan, SearchStats)> {
+    /// the cached plan and its per-node group estimates, with the search
+    /// stats rewritten to report the skip: `cache_hit = true`,
+    /// `optimizer_calls = 0` (no cost-model call is made on a hit).
+    pub fn get(
+        &mut self,
+        key: WorkloadFingerprint,
+    ) -> Option<(LogicalPlan, SearchStats, GroupEstimates)> {
         match self.map.get(&key.0) {
             Some(entry) => {
                 let hit = (
@@ -144,6 +151,7 @@ impl PlanCache {
                         cache_hit: true,
                         ..entry.stats
                     },
+                    entry.estimates.clone(),
                 );
                 self.hits += 1;
                 self.touch(key.0);
@@ -158,11 +166,28 @@ impl PlanCache {
 
     /// Cache `plan` under `key`, evicting the least-recently-used entry
     /// if the cache is full. No-op at capacity 0.
-    pub fn insert(&mut self, key: WorkloadFingerprint, plan: LogicalPlan, stats: SearchStats) {
+    pub fn insert(
+        &mut self,
+        key: WorkloadFingerprint,
+        plan: LogicalPlan,
+        stats: SearchStats,
+        estimates: GroupEstimates,
+    ) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key.0, CachedPlan { plan, stats }).is_some() {
+        if self
+            .map
+            .insert(
+                key.0,
+                CachedPlan {
+                    plan,
+                    stats,
+                    estimates,
+                },
+            )
+            .is_some()
+        {
             self.touch(key.0);
             return;
         }
@@ -281,8 +306,8 @@ mod tests {
             rounds: 2,
             ..Default::default()
         };
-        cache.insert(key, plan_of(&w), stats);
-        let (plan, hit_stats) = cache.get(key).unwrap();
+        cache.insert(key, plan_of(&w), stats, Default::default());
+        let (plan, hit_stats, _) = cache.get(key).unwrap();
         assert_eq!(plan.subplans.len(), 1);
         assert!(hit_stats.cache_hit);
         assert_eq!(
@@ -310,11 +335,26 @@ mod tests {
         ];
         let keys: Vec<WorkloadFingerprint> = workloads.iter().map(key_of).collect();
         let mut cache = PlanCache::new(2);
-        cache.insert(keys[0], plan_of(&workloads[0]), SearchStats::default());
-        cache.insert(keys[1], plan_of(&workloads[1]), SearchStats::default());
+        cache.insert(
+            keys[0],
+            plan_of(&workloads[0]),
+            SearchStats::default(),
+            Default::default(),
+        );
+        cache.insert(
+            keys[1],
+            plan_of(&workloads[1]),
+            SearchStats::default(),
+            Default::default(),
+        );
         // touch key 0 so key 1 becomes the LRU
         assert!(cache.get(keys[0]).is_some());
-        cache.insert(keys[2], plan_of(&workloads[2]), SearchStats::default());
+        cache.insert(
+            keys[2],
+            plan_of(&workloads[2]),
+            SearchStats::default(),
+            Default::default(),
+        );
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().entries, 2);
         assert!(cache.get(keys[1]).is_none(), "LRU entry was evicted");
@@ -326,7 +366,12 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let w = workload(&[vec!["a"]]);
         let mut cache = PlanCache::new(0);
-        cache.insert(key_of(&w), plan_of(&w), SearchStats::default());
+        cache.insert(
+            key_of(&w),
+            plan_of(&w),
+            SearchStats::default(),
+            Default::default(),
+        );
         assert!(cache.get(key_of(&w)).is_none());
         assert_eq!(cache.stats().entries, 0);
     }
@@ -335,7 +380,12 @@ mod tests {
     fn clear_empties_the_cache() {
         let w = workload(&[vec!["a"]]);
         let mut cache = PlanCache::new(2);
-        cache.insert(key_of(&w), plan_of(&w), SearchStats::default());
+        cache.insert(
+            key_of(&w),
+            plan_of(&w),
+            SearchStats::default(),
+            Default::default(),
+        );
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert!(cache.get(key_of(&w)).is_none());

@@ -9,9 +9,37 @@ use crate::error::{CoreError, Result};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::schedule::{level_plan, schedule_plan, PlanEdge, Step};
 use crate::workload::Workload;
+use gbmqo_cost::CostModel;
 use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
 use gbmqo_storage::Table;
 use rustc_hash::FxHashMap;
+
+/// Optimizer distinct-group estimates per plan node, keyed by the node's
+/// column-set bits ([`ColSet::0`]). The executor forwards them to the
+/// engine so the radix group-by kernel can size its partition fan-out
+/// from the same cardinalities the plan search already computed.
+pub type GroupEstimates = FxHashMap<u128, u64>;
+
+/// Estimate the distinct-group count of every node in `plan` with
+/// `model` (one [`CostModel::cardinality`] call per distinct node).
+pub fn plan_group_estimates(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    model: &mut dyn CostModel,
+) -> GroupEstimates {
+    fn walk(n: &SubNode, workload: &Workload, model: &mut dyn CostModel, out: &mut GroupEstimates) {
+        out.entry(n.cols.0)
+            .or_insert_with(|| model.cardinality(&workload.base_cols(n.cols)).max(1.0) as u64);
+        for c in &n.children {
+            walk(c, workload, model, out);
+        }
+    }
+    let mut out = GroupEstimates::default();
+    for sp in &plan.subplans {
+        walk(sp, workload, model, &mut out);
+    }
+    out
+}
 
 /// The outcome of executing a plan.
 #[derive(Debug)]
@@ -61,7 +89,13 @@ pub fn execute_plan(
     engine: &mut Engine,
     size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
 ) -> Result<ExecutionReport> {
-    run_plan(plan, workload, engine, size_estimate)
+    run_plan(
+        plan,
+        workload,
+        engine,
+        size_estimate,
+        &GroupEstimates::default(),
+    )
 }
 
 /// Serial plan execution (the §5.2 client-side driver); internal
@@ -72,6 +106,7 @@ pub(crate) fn run_plan(
     workload: &Workload,
     engine: &mut Engine,
     size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
+    estimates: &GroupEstimates,
 ) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
@@ -114,6 +149,7 @@ pub(crate) fn run_plan(
                                 .collect(),
                             aggs,
                             into: materialize.then(|| temp_name(*target)),
+                            estimated_groups: estimates.get(&target.0).copied(),
                         };
                         let out = engine.run_group_by(&q)?;
                         if *required {
@@ -229,6 +265,18 @@ pub fn execute_plan_parallel(
     engine: &mut Engine,
     options: ParallelOptions,
 ) -> Result<ExecutionReport> {
+    execute_plan_parallel_with(plan, workload, engine, options, &GroupEstimates::default())
+}
+
+/// [`execute_plan_parallel`] with per-node distinct-group estimates
+/// forwarded to the engine (the session path, which has a cost model).
+pub(crate) fn execute_plan_parallel_with(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    options: ParallelOptions,
+    estimates: &GroupEstimates,
+) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
     let threads = options.effective_threads();
@@ -285,6 +333,7 @@ pub fn execute_plan_parallel(
                     aggs,
                     // Materialization is decided below, under the budget.
                     into: None,
+                    estimated_groups: estimates.get(&edge.target.0).copied(),
                 }
             })
             .collect();
@@ -403,7 +452,8 @@ fn run_rollup(
     extra: &mut ExecMetrics,
 ) -> Result<()> {
     let order_bits = rollup_order(node);
-    let table = engine.catalog().table(input)?.clone();
+    // Arc clone, not a deep copy of the table's columns.
+    let table = engine.catalog().table_arc(input)?;
     let cols: Vec<usize> = order_bits
         .iter()
         .map(|&b| table.schema().index_of(&workload.column_names[b]))
@@ -436,7 +486,8 @@ fn run_cube(
     extra: &mut ExecMetrics,
 ) -> Result<()> {
     let bits: Vec<usize> = node.cols.iter().collect();
-    let table = engine.catalog().table(input)?.clone();
+    // Arc clone, not a deep copy of the table's columns.
+    let table = engine.catalog().table_arc(input)?;
     let cols: Vec<usize> = bits
         .iter()
         .map(|&b| table.schema().index_of(&workload.column_names[b]))
@@ -519,7 +570,7 @@ mod tests {
     fn naive_plan_produces_all_results() {
         let (mut engine, w) = setup();
         let plan = LogicalPlan::naive(&w);
-        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         assert_eq!(report.results.len(), 3);
         assert_eq!(report.peak_temp_bytes, 0);
         // counts of (a): 3 groups of 20
@@ -536,7 +587,7 @@ mod tests {
     fn merged_plan_matches_naive_results() {
         let (mut engine, w) = setup();
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
 
         // merged: (a,b) → {a, b}; c direct
         let merged = LogicalPlan {
@@ -551,7 +602,7 @@ mod tests {
                 SubNode::leaf(ColSet::single(2)),
             ],
         };
-        let mr = run_plan(&merged, &w, &mut engine, None).unwrap();
+        let mr = run_plan(&merged, &w, &mut engine, None, &Default::default()).unwrap();
         assert!(mr.peak_temp_bytes > 0);
         // temp table is gone afterwards
         assert_eq!(engine.catalog().accounting().current_temp_bytes, 0);
@@ -590,11 +641,11 @@ mod tests {
                 ],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         assert_eq!(report.results.len(), 3);
         // verify (a) counts equal direct computation
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
         for (set, nt) in &nr.results {
             let rt = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(rt), "rollup result differs for {set:?}");
@@ -622,10 +673,10 @@ mod tests {
                 ],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         assert_eq!(report.results.len(), 3);
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None).unwrap();
+        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
         for (set, nt) in &nr.results {
             let ct = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(ct), "cube result differs for {set:?}");
@@ -654,7 +705,7 @@ mod tests {
                 )],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         let (_, ta) = report
             .results
             .iter()
@@ -673,7 +724,7 @@ mod tests {
         let bad = LogicalPlan {
             subplans: vec![SubNode::leaf(ColSet::single(0))],
         };
-        assert!(run_plan(&bad, &w, &mut engine, None).is_err());
+        assert!(run_plan(&bad, &w, &mut engine, None, &Default::default()).is_err());
         assert!(execute_plan_parallel(&bad, &w, &mut engine, ParallelOptions::default()).is_err());
     }
 
@@ -696,7 +747,7 @@ mod tests {
     fn parallel_executor_matches_serial() {
         let (mut engine, w) = setup();
         let plan = merged_plan();
-        let sr = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let sr = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         for threads in [1, 2, 4] {
             let pr = execute_plan_parallel(
                 &plan,
@@ -765,7 +816,7 @@ mod tests {
                 )],
             }],
         };
-        let serial = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let serial = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         let opts = ParallelOptions {
             threads: 4,
             memory_budget: Some(0),
@@ -799,7 +850,7 @@ mod tests {
                 ],
             }],
         };
-        let serial = run_plan(&plan, &w, &mut engine, None).unwrap();
+        let serial = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
         let parallel =
             execute_plan_parallel(&plan, &w, &mut engine, ParallelOptions::with_threads(2))
                 .unwrap();

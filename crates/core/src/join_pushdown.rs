@@ -46,8 +46,9 @@ pub fn grouping_sets_over_join(
     join_col: &str,
     requests: &[Vec<&str>],
 ) -> Result<JoinGroupingSets> {
-    let left_table = engine.catalog().table(left)?.clone();
-    let right_table = engine.catalog().table(right)?.clone();
+    // Arc clones, not deep copies of the tables' columns.
+    let left_table = engine.catalog().table_arc(left)?;
+    let right_table = engine.catalog().table_arc(right)?;
     let right_key = right_table
         .schema()
         .index_of(join_col)
@@ -87,7 +88,7 @@ pub fn grouping_sets_over_join(
     // Optimize and execute the pushed-down Group Bys (work sharing!).
     let mut model = CardinalityCostModel::new(ExactSource::new(&left_table));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned()).plan(&workload, &mut model)?;
-    let report = run_plan(&plan, &workload, engine, None)?;
+    let report = run_plan(&plan, &workload, engine, None, &Default::default())?;
     let mut metrics = report.metrics;
 
     // Tag + union-all (Figure 8's Union-All below the join).

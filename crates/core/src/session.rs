@@ -39,12 +39,12 @@
 use crate::api::{assemble_union, run_mode, ExecutionMode, GroupingSetsResult};
 use crate::cache::{CacheStats, PlanCache, WorkloadFingerprint};
 use crate::error::{CoreError, Result};
-use crate::executor::{ExecutionReport, ParallelOptions};
+use crate::executor::{plan_group_estimates, ExecutionReport, GroupEstimates, ParallelOptions};
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::LogicalPlan;
 use crate::workload::Workload;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
-use gbmqo_exec::Engine;
+use gbmqo_exec::{Engine, GroupByStrategy};
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
 use gbmqo_storage::{Catalog, Table};
 use std::hash::{Hash, Hasher};
@@ -123,6 +123,7 @@ pub struct SessionBuilder {
     memory_budget: Option<usize>,
     plan_cache: usize,
     io_ns_per_byte: f64,
+    strategy: GroupByStrategy,
 }
 
 impl SessionBuilder {
@@ -188,6 +189,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Group-by kernel selection (default [`GroupByStrategy::Auto`]:
+    /// the radix-partitioned kernel for large un-indexed inputs, the
+    /// scalar hash kernel otherwise).
+    pub fn group_by_strategy(mut self, strategy: GroupByStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session> {
         let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
@@ -197,6 +206,21 @@ impl SessionBuilder {
         if self.io_ns_per_byte > 0.0 {
             engine.set_io_ns_per_byte(self.io_ns_per_byte);
         }
+        engine.set_group_by_strategy(self.strategy);
+        // One thread budget for both wave parallelism and in-kernel
+        // partition parallelism: explicit `parallelism` wins; Parallel
+        // mode defaults to the machine; serial modes stay single-threaded
+        // inside each query unless asked otherwise.
+        let kernel_threads = if self.parallelism > 0 {
+            self.parallelism
+        } else if self.mode == ExecutionMode::Parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        engine.set_kernel_threads(kernel_threads);
         if let CostModelSpec::SampledCardinality { sample_size, .. }
         | CostModelSpec::Optimizer { sample_size, .. } = self.cost_model
         {
@@ -251,14 +275,32 @@ impl Session {
     /// execution metrics. Repeated workloads skip the search via the
     /// plan cache ([`SearchStats::cache_hit`]).
     pub fn grouping_sets(&mut self, workload: &Workload) -> Result<GroupingSetsResult> {
-        let (plan, stats) = self.plan(workload)?;
+        let (plan, stats, estimates) = self.plan_with_estimates(workload)?;
         let parallel = self.parallel_options();
-        let (results, metrics) = run_mode(&plan, workload, &mut self.engine, self.mode, parallel)?;
+        let (results, metrics) = run_mode(
+            &plan,
+            workload,
+            &mut self.engine,
+            self.mode,
+            parallel,
+            &estimates,
+        )?;
         assemble_union(workload, plan, stats, results, metrics)
     }
 
     /// Optimize `workload` (or fetch the cached plan) without executing.
     pub fn plan(&mut self, workload: &Workload) -> Result<(LogicalPlan, SearchStats)> {
+        let (plan, stats, _) = self.plan_with_estimates(workload)?;
+        Ok((plan, stats))
+    }
+
+    /// [`Session::plan`] plus the optimizer's distinct-group estimate per
+    /// plan node, which execution forwards to the engine's radix kernel.
+    /// Cached alongside the plan, so a hit costs zero model calls.
+    fn plan_with_estimates(
+        &mut self,
+        workload: &Workload,
+    ) -> Result<(LogicalPlan, SearchStats, GroupEstimates)> {
         let key = WorkloadFingerprint::compute(
             workload,
             &self.search,
@@ -268,13 +310,15 @@ impl Session {
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit);
         }
-        let searched = {
+        let (plan, stats, estimates) = {
             let table = self.engine.catalog().table(&workload.table)?;
             let gbmqo = GbMqo::with_config(self.search.clone());
             match &self.cost_model {
                 CostModelSpec::Cardinality => {
                     let mut model = CardinalityCostModel::new(ExactSource::new(table));
-                    gbmqo.plan(workload, &mut model)?
+                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
+                    let est = plan_group_estimates(&plan, workload, &mut model);
+                    (plan, stats, est)
                 }
                 CostModelSpec::SampledCardinality {
                     sample_size,
@@ -283,7 +327,9 @@ impl Session {
                 } => {
                     let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
                     let mut model = CardinalityCostModel::new(source);
-                    gbmqo.plan(workload, &mut model)?
+                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
+                    let est = plan_group_estimates(&plan, workload, &mut model);
+                    (plan, stats, est)
                 }
                 CostModelSpec::Optimizer {
                     sample_size,
@@ -293,13 +339,15 @@ impl Session {
                     let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
                     let indexes = IndexSnapshot::capture(self.engine.catalog(), &workload.table);
                     let mut model = OptimizerCostModel::new(source, indexes);
-                    gbmqo.plan(workload, &mut model)?
+                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
+                    let est = plan_group_estimates(&plan, workload, &mut model);
+                    (plan, stats, est)
                 }
             }
         };
-        let (plan, stats) = searched;
-        self.cache.insert(key, plan.clone(), stats);
-        Ok((plan, stats))
+        self.cache
+            .insert(key, plan.clone(), stats, estimates.clone());
+        Ok((plan, stats, estimates))
     }
 
     /// Execute an explicit plan for `workload` under the session's
@@ -308,7 +356,14 @@ impl Session {
     /// is the usual path.
     pub fn run_plan(&mut self, plan: &LogicalPlan, workload: &Workload) -> Result<ExecutionReport> {
         let parallel = self.parallel_options();
-        let (results, metrics) = run_mode(plan, workload, &mut self.engine, self.mode, parallel)?;
+        let (results, metrics) = run_mode(
+            plan,
+            workload,
+            &mut self.engine,
+            self.mode,
+            parallel,
+            &GroupEstimates::default(),
+        )?;
         Ok(ExecutionReport {
             results,
             metrics,
@@ -327,7 +382,13 @@ impl Session {
         workload: &Workload,
         size_estimate: &mut dyn FnMut(crate::colset::ColSet) -> f64,
     ) -> Result<ExecutionReport> {
-        crate::executor::run_plan(plan, workload, &mut self.engine, Some(size_estimate))
+        crate::executor::run_plan(
+            plan,
+            workload,
+            &mut self.engine,
+            Some(size_estimate),
+            &GroupEstimates::default(),
+        )
     }
 
     /// Register another base table. Invalidates cached plans (the

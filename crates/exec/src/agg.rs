@@ -242,6 +242,183 @@ impl Accumulator {
         }
     }
 
+    /// Resize every group slot vector to exactly `n` groups, creating
+    /// empty slots as needed. Batch kernels size the accumulator once
+    /// per morsel/partition instead of calling [`Self::ensure_group`]
+    /// per row.
+    pub(crate) fn resize_groups(&mut self, n: usize) {
+        match self {
+            Accumulator::Count { counts } => counts.resize(n, 0),
+            Accumulator::SumInt { sums, seen, .. } => {
+                sums.resize(n, 0);
+                seen.resize(n, false);
+            }
+            Accumulator::SumFloat { sums, seen, .. } => {
+                sums.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            Accumulator::Extreme { best_rows, .. } => best_rows.resize(n, None),
+        }
+    }
+
+    /// Fold a whole morsel at once: row `rows[i]` of `input` goes to
+    /// group `gids[i]`. Semantically `update` in a loop, but the
+    /// aggregate kind and input column are resolved **once** and the
+    /// inner loops run over typed slices — this is the vectorized path
+    /// the radix kernel uses. Callers must have sized the group slots
+    /// (e.g. via [`Self::resize_groups`]) to cover every gid.
+    pub(crate) fn update_batch(&mut self, input: &Table, rows: &[u32], gids: &[u32]) {
+        debug_assert_eq!(rows.len(), gids.len());
+        match self {
+            Accumulator::Count { counts } => {
+                for &gid in gids {
+                    counts[gid as usize] += 1;
+                }
+            }
+            Accumulator::SumInt { col, sums, seen } => {
+                let c = input.column(*col);
+                if let ColumnData::Int64(v) = c.data() {
+                    match c.validity() {
+                        None => {
+                            for (&row, &gid) in rows.iter().zip(gids.iter()) {
+                                let g = gid as usize;
+                                sums[g] = sums[g].saturating_add(v[row as usize]);
+                                seen[g] = true;
+                            }
+                        }
+                        Some(valid) => {
+                            for (&row, &gid) in rows.iter().zip(gids.iter()) {
+                                if valid.get(row as usize) {
+                                    let g = gid as usize;
+                                    sums[g] = sums[g].saturating_add(v[row as usize]);
+                                    seen[g] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Accumulator::SumFloat { col, sums, seen } => {
+                let c = input.column(*col);
+                if let ColumnData::Float64(v) = c.data() {
+                    match c.validity() {
+                        None => {
+                            for (&row, &gid) in rows.iter().zip(gids.iter()) {
+                                let g = gid as usize;
+                                sums[g] += v[row as usize];
+                                seen[g] = true;
+                            }
+                        }
+                        Some(valid) => {
+                            for (&row, &gid) in rows.iter().zip(gids.iter()) {
+                                if valid.get(row as usize) {
+                                    let g = gid as usize;
+                                    sums[g] += v[row as usize];
+                                    seen[g] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Accumulator::Extreme {
+                col,
+                is_min,
+                best_rows,
+            } => {
+                let c = input.column(*col);
+                let valid = c.validity();
+                let is_min = *is_min;
+                // `lt(a, b)` = "a orders strictly before b"; MIN replaces
+                // when the candidate is less, MAX when the incumbent is.
+                macro_rules! extreme_scan {
+                    ($vals:expr, $lt:expr) => {{
+                        let vals = $vals;
+                        let lt = $lt;
+                        for (&row, &gid) in rows.iter().zip(gids.iter()) {
+                            let r = row as usize;
+                            if valid.is_some_and(|b| !b.get(r)) {
+                                continue; // SQL MIN/MAX ignore NULLs
+                            }
+                            let slot = &mut best_rows[gid as usize];
+                            match *slot {
+                                None => *slot = Some(row),
+                                Some(best) => {
+                                    let b = best as usize;
+                                    let replace = if is_min {
+                                        lt(r, b, vals)
+                                    } else {
+                                        lt(b, r, vals)
+                                    };
+                                    if replace {
+                                        *slot = Some(row);
+                                    }
+                                }
+                            }
+                        }
+                    }};
+                }
+                match c.data() {
+                    ColumnData::Int64(v) => {
+                        extreme_scan!(v.as_slice(), |i: usize, j: usize, v: &[i64]| v[i] < v[j])
+                    }
+                    ColumnData::Date32(v) => {
+                        extreme_scan!(v.as_slice(), |i: usize, j: usize, v: &[i32]| v[i] < v[j])
+                    }
+                    ColumnData::Float64(v) => {
+                        extreme_scan!(v.as_slice(), |i: usize, j: usize, v: &[f64]| v[i]
+                            .total_cmp(&v[j])
+                            == std::cmp::Ordering::Less)
+                    }
+                    ColumnData::Utf8 { codes, dict } => {
+                        extreme_scan!(codes.as_slice(), |i: usize, j: usize, v: &[u32]| {
+                            v[i] != v[j] && dict.get(v[i]) < dict.get(v[j])
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Append `other`'s group slots after this accumulator's own.
+    ///
+    /// Valid only when the two accumulators hold **disjoint** group sets
+    /// (e.g. different radix partitions of the same input): merging is
+    /// then pure concatenation, gid `g` of `other` becoming
+    /// `self.len + g`. Both sides must be exactly sized (see
+    /// [`Self::resize_groups`]).
+    pub(crate) fn merge_disjoint(&mut self, other: Accumulator) {
+        match (self, other) {
+            (Accumulator::Count { counts }, Accumulator::Count { counts: o }) => counts.extend(o),
+            (
+                Accumulator::SumInt { sums, seen, .. },
+                Accumulator::SumInt {
+                    sums: os,
+                    seen: osn,
+                    ..
+                },
+            ) => {
+                sums.extend(os);
+                seen.extend(osn);
+            }
+            (
+                Accumulator::SumFloat { sums, seen, .. },
+                Accumulator::SumFloat {
+                    sums: os,
+                    seen: osn,
+                    ..
+                },
+            ) => {
+                sums.extend(os);
+                seen.extend(osn);
+            }
+            (Accumulator::Extreme { best_rows, .. }, Accumulator::Extreme { best_rows: o, .. }) => {
+                best_rows.extend(o)
+            }
+            _ => unreachable!("merge_disjoint across different accumulator kinds"),
+        }
+    }
+
     /// Produce the output column (and its field) for `num_groups` groups.
     pub(crate) fn finish(
         self,

@@ -10,15 +10,15 @@
 //! coordinator merges after the join, so no locks are taken anywhere.
 //!
 //! When a wave has fewer queries than available threads, the spare
-//! threads are given to [`parallel_hash_group_by`] so a single large
-//! edge still uses the whole machine.
+//! threads flow into intra-query parallelism (the radix kernel's
+//! partitioned pass 2, or [`crate::parallel_hash_group_by`] under the
+//! Scalar strategy) so a single large edge still uses the whole machine.
 
 use crate::agg::AggSpec;
 use crate::engine::GroupByQuery;
 use crate::error::Result;
-use crate::group_by::group_by;
 use crate::metrics::ExecMetrics;
-use crate::parallel::parallel_hash_group_by;
+use crate::radix::{group_by_with_strategy, GroupByStrategy};
 use gbmqo_storage::{Catalog, Table};
 
 /// Inputs below this many rows are not worth intra-query partitioning.
@@ -37,6 +37,10 @@ struct Resolved<'a> {
     io_ns_per_byte: f64,
     /// Threads this query may use internally.
     inner_threads: usize,
+    /// Kernel selection for un-indexed groupings.
+    strategy: GroupByStrategy,
+    /// Optimizer distinct-group estimate, threaded to the radix kernel.
+    estimated_groups: Option<u64>,
 }
 
 impl Resolved<'_> {
@@ -48,17 +52,20 @@ impl Resolved<'_> {
             crate::rowstore::simulated_io_wait(self.io_bytes, self.io_ns_per_byte);
             metrics.bytes_scanned += self.io_bytes;
         }
-        if self.inner_threads > 1 {
-            parallel_hash_group_by(
-                self.table,
-                &self.cols,
-                self.aggs,
-                self.inner_threads,
-                metrics,
-            )
-        } else {
-            group_by(self.table, &self.cols, self.aggs, self.order, metrics)
-        }
+        // Intra-query partition parallelism uses `inner_threads` — the
+        // share of the wave's thread budget this edge was handed — so
+        // plan-level wave parallelism and in-kernel parallelism draw
+        // from one pool instead of oversubscribing the machine.
+        group_by_with_strategy(
+            self.table,
+            &self.cols,
+            self.aggs,
+            self.order,
+            self.strategy,
+            self.inner_threads,
+            self.estimated_groups,
+            metrics,
+        )
     }
 }
 
@@ -78,6 +85,7 @@ pub(crate) fn run_batch(
     io_ns_per_byte: f64,
     queries: &[GroupByQuery],
     threads: usize,
+    strategy: GroupByStrategy,
 ) -> Result<(Vec<Table>, ExecMetrics)> {
     let threads = threads.max(1);
     let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(queries.len());
@@ -123,6 +131,8 @@ pub(crate) fn run_batch(
             io_bytes,
             io_ns_per_byte,
             inner_threads,
+            strategy,
+            estimated_groups: q.estimated_groups,
         });
     }
 
@@ -195,6 +205,7 @@ pub(crate) fn run_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::group_by::group_by;
     use gbmqo_storage::{Column, DataType, Field, Schema, Value};
 
     fn catalog(rows: i64) -> Catalog {
@@ -232,7 +243,7 @@ mod tests {
             GroupByQuery::count_star("r", &["b"]),
             GroupByQuery::count_star("r", &["a", "b"]),
         ];
-        let (tables, metrics) = run_batch(&cat, 0.0, &queries, 4).unwrap();
+        let (tables, metrics) = run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto).unwrap();
         assert_eq!(tables.len(), 3);
         assert_eq!(metrics.rows_scanned, 3 * 5_000);
         assert_eq!(metrics.elapsed_nanos, 0);
@@ -253,7 +264,7 @@ mod tests {
     fn single_query_uses_inner_parallelism() {
         let cat = catalog(40_000);
         let queries = vec![GroupByQuery::count_star("r", &["a", "b"])];
-        let (tables, _) = run_batch(&cat, 0.0, &queries, 8).unwrap();
+        let (tables, _) = run_batch(&cat, 0.0, &queries, 8, GroupByStrategy::Auto).unwrap();
         assert_eq!(tables[0].num_rows(), 77);
     }
 
@@ -261,13 +272,13 @@ mod tests {
     fn missing_table_errors_cleanly() {
         let cat = catalog(10);
         let queries = vec![GroupByQuery::count_star("ghost", &["a"])];
-        assert!(run_batch(&cat, 0.0, &queries, 4).is_err());
+        assert!(run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto).is_err());
     }
 
     #[test]
     fn empty_batch_is_fine() {
         let cat = catalog(10);
-        let (tables, _) = run_batch(&cat, 0.0, &[], 4).unwrap();
+        let (tables, _) = run_batch(&cat, 0.0, &[], 4, GroupByStrategy::Auto).unwrap();
         assert!(tables.is_empty());
     }
 }

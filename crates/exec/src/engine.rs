@@ -4,8 +4,8 @@
 
 use crate::agg::AggSpec;
 use crate::error::Result;
-use crate::group_by::group_by;
 use crate::metrics::ExecMetrics;
+use crate::radix::{group_by_with_strategy, GroupByStrategy};
 use gbmqo_storage::{Catalog, Table};
 use std::time::Instant;
 
@@ -21,6 +21,10 @@ pub struct GroupByQuery {
     /// `Some(name)`: materialize the result as temp table `name`
     /// (`SELECT … INTO name`); `None`: return the rows to the client.
     pub into: Option<String>,
+    /// Optimizer cardinality estimate for this grouping (distinct
+    /// groups), when the planner has one. Kernels use it to size radix
+    /// partition fan-out; `None` falls back to rows-based heuristics.
+    pub estimated_groups: Option<u64>,
 }
 
 impl GroupByQuery {
@@ -31,12 +35,19 @@ impl GroupByQuery {
             group_cols: group_cols.iter().map(|s| s.to_string()).collect(),
             aggs: vec![AggSpec::count()],
             into: None,
+            estimated_groups: None,
         }
     }
 
     /// Materialize into `name`.
     pub fn into_temp(mut self, name: &str) -> Self {
         self.into = Some(name.to_string());
+        self
+    }
+
+    /// Attach the optimizer's distinct-group estimate for this grouping.
+    pub fn with_estimated_groups(mut self, groups: u64) -> Self {
+        self.estimated_groups = Some(groups);
         self
     }
 }
@@ -47,6 +58,8 @@ pub struct Engine {
     catalog: Catalog,
     metrics: ExecMetrics,
     io_ns_per_byte: f64,
+    strategy: GroupByStrategy,
+    kernel_threads: usize,
 }
 
 impl Engine {
@@ -56,7 +69,33 @@ impl Engine {
             catalog,
             metrics: ExecMetrics::new(),
             io_ns_per_byte: 0.0,
+            strategy: GroupByStrategy::default(),
+            kernel_threads: 1,
         }
+    }
+
+    /// Choose the group-by kernel for un-indexed groupings (default
+    /// [`GroupByStrategy::Auto`]).
+    pub fn set_group_by_strategy(&mut self, strategy: GroupByStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The configured group-by kernel strategy.
+    pub fn group_by_strategy(&self) -> GroupByStrategy {
+        self.strategy
+    }
+
+    /// Threads a *single* query run through [`Engine::run_group_by`] may
+    /// use inside its kernel (default 1 — fully serial). Batch execution
+    /// via [`Engine::run_group_bys_parallel`] manages its own budget and
+    /// ignores this.
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        self.kernel_threads = threads.max(1);
+    }
+
+    /// The per-query kernel thread budget.
+    pub fn kernel_threads(&self) -> usize {
+        self.kernel_threads
     }
 
     /// Configure disk-based row-store emulation (see [`crate::rowstore`]):
@@ -137,7 +176,16 @@ impl Engine {
                 crate::rowstore::simulated_io_wait(bytes, self.io_ns_per_byte);
                 self.metrics.bytes_scanned += bytes;
             }
-            group_by(table, &cols, &q.aggs, order.as_deref(), &mut self.metrics)?
+            group_by_with_strategy(
+                table,
+                &cols,
+                &q.aggs,
+                order.as_deref(),
+                self.strategy,
+                self.kernel_threads,
+                q.estimated_groups,
+                &mut self.metrics,
+            )?
         };
         self.metrics.queries_executed += 1;
 
@@ -174,8 +222,13 @@ impl Engine {
         threads: usize,
     ) -> Result<Vec<Table>> {
         let start = Instant::now();
-        let (tables, batch_metrics) =
-            crate::driver::run_batch(&self.catalog, self.io_ns_per_byte, queries, threads)?;
+        let (tables, batch_metrics) = crate::driver::run_batch(
+            &self.catalog,
+            self.io_ns_per_byte,
+            queries,
+            threads,
+            self.strategy,
+        )?;
         self.metrics += batch_metrics;
         self.metrics.queries_executed += queries.len() as u64;
         for (q, t) in queries.iter().zip(&tables) {
@@ -203,7 +256,9 @@ impl Engine {
         aggs: &[crate::agg::AggSpec],
     ) -> Result<Vec<Table>> {
         let start = Instant::now();
-        let table = self.catalog.table(input)?.clone();
+        // Arc clone: a shared handle, not a copy of the rows. Owning the
+        // handle keeps borrows simple while `self.metrics` is mutated.
+        let table = self.catalog.table_arc(input)?;
         let ords: Vec<Vec<usize>> = groupings
             .iter()
             .map(|cols| {
@@ -245,7 +300,9 @@ impl Engine {
         into: Option<&str>,
     ) -> Result<Table> {
         let start = Instant::now();
-        let table = self.catalog.table(input)?.clone();
+        // Arc clone, not a row-data copy (the input may be a large base
+        // table; see gbmqo_storage::Catalog::table_arc).
+        let table = self.catalog.table_arc(input)?;
         if self.io_ns_per_byte > 0.0 {
             std::hint::black_box(crate::rowstore::full_scan_tax(&table));
             let bytes = table.byte_size() as u64;
@@ -318,6 +375,7 @@ mod tests {
                 group_cols: vec!["b".into()],
                 aggs: vec![AggSpec::sum_count()],
                 into: None,
+                estimated_groups: None,
             })
             .unwrap();
         let direct = e

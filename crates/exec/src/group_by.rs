@@ -12,7 +12,10 @@ use gbmqo_storage::{Column, Field, KeyEncoder, RowKey, Schema, Table};
 use rustc_hash::FxHashMap;
 use std::time::Instant;
 
-fn output_table(
+/// Assemble a group-by result: group columns gathered from the
+/// representative row of each group, aggregate columns finished from
+/// their accumulators. Shared by every group-by kernel in this crate.
+pub(crate) fn output_table(
     input: &Table,
     group_cols: &[usize],
     aggs: &[AggSpec],
@@ -133,7 +136,8 @@ pub fn group_by(
     }
 }
 
-fn record(
+/// Record the standard scan/output counters for one group-by execution.
+pub(crate) fn record(
     metrics: &mut ExecMetrics,
     input: &Table,
     group_cols: &[usize],

@@ -8,6 +8,9 @@
 //! * [`group_by`] / [`hash_group_by`] / [`stream_group_by`] — hash
 //!   aggregation and sort-order (index) streaming aggregation with
 //!   COUNT(\*), SUM(cnt) re-aggregation, SUM/MIN/MAX (§7.2),
+//! * [`radix_group_by`] — the radix-partitioned, morsel-driven parallel
+//!   kernel with packed `u64`/`u128` key codes (default for large
+//!   inputs; see [`GroupByStrategy`]),
 //! * [`rollup`] and [`cube`] — §7.1's alternative plan nodes, computed by
 //!   lattice descent (each level re-aggregated from the previous),
 //! * [`filter`], [`join`], [`union_all`] — the relational plumbing for
@@ -28,6 +31,7 @@ pub mod group_by;
 pub mod join;
 pub mod metrics;
 pub mod parallel;
+pub mod radix;
 pub mod rollup;
 pub mod rowstore;
 pub mod shared;
@@ -43,6 +47,7 @@ pub use group_by::{group_by, hash_group_by, stream_group_by};
 pub use join::hash_join;
 pub use metrics::ExecMetrics;
 pub use parallel::parallel_hash_group_by;
+pub use radix::{group_by_with_strategy, radix_group_by, GroupByStrategy};
 pub use rollup::rollup;
 pub use rowstore::full_scan_tax;
 pub use shared::shared_scan_group_by;

@@ -21,6 +21,16 @@ pub struct ExecMetrics {
     pub tables_materialized: u64,
     /// Wall time spent in operators, nanoseconds.
     pub elapsed_nanos: u64,
+    /// Radix partitions aggregated by the partitioned group-by kernel
+    /// (cumulative across kernel invocations; 0 when only scalar paths ran).
+    pub radix_partitions: u64,
+    /// Rows whose group key took the packed `u64`/`u128` fast path.
+    pub packed_key_rows: u64,
+    /// Rows whose group key fell back to the byte `RowKey` encoding
+    /// (wide, too-many-distinct or `Float64` group columns).
+    pub fallback_key_rows: u64,
+    /// Group hash-table growths (rehash + move) observed by kernels.
+    pub hash_resizes: u64,
 }
 
 impl ExecMetrics {
@@ -38,6 +48,16 @@ impl ExecMetrics {
     pub fn add_elapsed(&mut self, d: Duration) {
         self.elapsed_nanos += d.as_nanos() as u64;
     }
+
+    /// Scanned rows per second of operator wall time (0 if no time was
+    /// recorded). A kernel-level throughput figure for profiling output.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.rows_scanned as f64 / (self.elapsed_nanos as f64 / 1e9)
+        }
+    }
 }
 
 impl AddAssign for ExecMetrics {
@@ -48,6 +68,10 @@ impl AddAssign for ExecMetrics {
         self.queries_executed += rhs.queries_executed;
         self.tables_materialized += rhs.tables_materialized;
         self.elapsed_nanos += rhs.elapsed_nanos;
+        self.radix_partitions += rhs.radix_partitions;
+        self.packed_key_rows += rhs.packed_key_rows;
+        self.fallback_key_rows += rhs.fallback_key_rows;
+        self.hash_resizes += rhs.hash_resizes;
     }
 }
 
@@ -64,6 +88,10 @@ mod tests {
             queries_executed: 1,
             tables_materialized: 1,
             elapsed_nanos: 100,
+            radix_partitions: 4,
+            packed_key_rows: 8,
+            fallback_key_rows: 2,
+            hash_resizes: 1,
         };
         let b = ExecMetrics {
             rows_scanned: 5,
@@ -72,6 +100,10 @@ mod tests {
             queries_executed: 1,
             tables_materialized: 0,
             elapsed_nanos: 50,
+            radix_partitions: 2,
+            packed_key_rows: 5,
+            fallback_key_rows: 0,
+            hash_resizes: 3,
         };
         a += b;
         assert_eq!(a.rows_scanned, 15);
@@ -80,6 +112,19 @@ mod tests {
         assert_eq!(a.queries_executed, 2);
         assert_eq!(a.tables_materialized, 1);
         assert_eq!(a.elapsed(), Duration::from_nanos(150));
+        assert_eq!(a.radix_partitions, 6);
+        assert_eq!(a.packed_key_rows, 13);
+        assert_eq!(a.fallback_key_rows, 2);
+        assert_eq!(a.hash_resizes, 4);
+    }
+
+    #[test]
+    fn rows_per_sec() {
+        let mut m = ExecMetrics::new();
+        assert_eq!(m.rows_per_sec(), 0.0);
+        m.rows_scanned = 1_000;
+        m.elapsed_nanos = 500_000_000; // 0.5 s
+        assert!((m.rows_per_sec() - 2_000.0).abs() < 1e-6);
     }
 
     #[test]

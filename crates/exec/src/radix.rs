@@ -1,0 +1,539 @@
+//! Radix-partitioned, morsel-driven parallel group-by kernel.
+//!
+//! The partitioned-aggregation design (Partitioned-Cube \[16\] and the
+//! modern radix-partitioning literature) applied to the hot loop of
+//! every GB-MQO plan edge. Two passes over the input:
+//!
+//! 1. **Partition** — the input is split into contiguous per-worker
+//!    chunks, processed in cache-sized morsels. Each row's group key is
+//!    encoded (packed `u64`/`u128` code when
+//!    [`PackedKeySpec`] applies, byte [`RowKey`] otherwise), hashed, and
+//!    the `(key, row id)` pair is scattered into one of `2^k` disjoint
+//!    partitions by the hash's top bits.
+//! 2. **Aggregate** — each partition is aggregated independently (worker
+//!    threads own disjoint partition sets): a private hash table maps
+//!    key → dense gid, producing the partition's gid vector, and every
+//!    accumulator then folds the whole partition in one tight columnar
+//!    loop ([`Accumulator::update_batch`]) — no per-row dispatch.
+//!
+//! Because rows are routed by key hash, partitions hold disjoint group
+//! sets; the final result is pure concatenation in partition order
+//! ([`Accumulator::merge_disjoint`]) — there is no merge/re-aggregation
+//! phase. `k` is chosen from the optimizer's cardinality estimate for
+//! the grouping (the same number `gbmqo-cost` prices plan edges with)
+//! so each partition's hash table stays cache-resident.
+
+use crate::agg::{Accumulator, AggSpec};
+use crate::error::Result;
+use crate::group_by::{hash_group_by, output_table, record, stream_group_by};
+use crate::metrics::ExecMetrics;
+use crate::parallel::parallel_hash_group_by;
+use gbmqo_storage::packed::KeyCode;
+use gbmqo_storage::{Column, KeyEncoder, PackedKeySpec, RowKey, Table};
+use rustc_hash::{FxBuildHasher, FxHashMap};
+use std::hash::{BuildHasher, Hash};
+use std::time::Instant;
+
+/// Which group-by kernel the engine uses for un-indexed groupings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GroupByStrategy {
+    /// Pick per query: radix for large inputs, scalar otherwise.
+    #[default]
+    Auto,
+    /// Always the scalar row-at-a-time kernel (hash-partitioned across
+    /// threads when more than one is available).
+    Scalar,
+    /// Always the radix-partitioned kernel.
+    Radix,
+}
+
+/// Inputs below this many rows take the scalar kernel under
+/// [`GroupByStrategy::Auto`]: partitioning overhead only pays for
+/// itself once the input outgrows the cache.
+pub const RADIX_MIN_ROWS: usize = 8 * 1024;
+
+/// Rows per morsel (key-code buffer reuse + cache locality); shared
+/// with the shared-scan operator's batched loop.
+pub(crate) const MORSEL_ROWS: usize = 16 * 1024;
+
+/// Groups one partition's hash table should stay around for it to
+/// remain cache-resident; drives partition-count selection.
+const GROUPS_PER_PARTITION: u64 = 4 * 1024;
+
+/// Hard cap on partition count (scatter state is per-worker × per-partition).
+const MAX_PARTITIONS: usize = 512;
+
+/// Pick the radix partition count `2^k` for an input of `rows` rows.
+///
+/// `estimated_groups` is the optimizer's cardinality estimate for this
+/// grouping when one is available (plan executors thread it through
+/// from `gbmqo-cost`); otherwise a rows-based guess stands in. The
+/// count is at least `threads` (so pass 2 can use every worker), scales
+/// with estimated groups so per-partition tables stay ~cache-sized, and
+/// is capped both by `rows` (tiny inputs don't want 512 vecs) and
+/// [`MAX_PARTITIONS`].
+pub(crate) fn partition_count(threads: usize, rows: usize, estimated_groups: Option<u64>) -> usize {
+    if rows == 0 {
+        return 1;
+    }
+    let est = estimated_groups
+        .filter(|&g| g > 0)
+        .unwrap_or(rows as u64 / 16)
+        .max(1);
+    let by_groups = (est / GROUPS_PER_PARTITION).max(1) as usize;
+    let by_rows = (rows / 4096).max(1);
+    by_groups
+        .max(threads)
+        .min(by_rows)
+        .min(MAX_PARTITIONS)
+        .next_power_of_two()
+}
+
+/// Run `workers` copies of `f` (worker id as argument) on scoped
+/// threads, or inline when only one worker is asked for.
+fn scoped_map<T, F>(workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("radix worker panicked"))
+            .collect()
+    })
+}
+
+/// Per-worker scatter output of pass 1: one `(key, row)` vector per
+/// partition. Ordered worker-major so pass 2 can replay rows in a
+/// deterministic order regardless of thread scheduling.
+type Scatter<K> = Vec<Vec<(K, u32)>>;
+
+/// What pass 2 produces for one partition.
+type PartitionAgg = (Vec<u32>, Vec<Accumulator>, u64);
+
+/// Pass 1 for packed keys: encode morsels into `K` codes and scatter.
+fn scatter_packed<K: KeyCode>(
+    spec: &PackedKeySpec,
+    key_cols: &[&Column],
+    rows: usize,
+    workers: usize,
+    partitions: usize,
+) -> Vec<Scatter<K>> {
+    let chunk = rows.div_ceil(workers);
+    scoped_map(workers, |w| {
+        let lo = (w * chunk).min(rows);
+        let hi = ((w + 1) * chunk).min(rows);
+        let mut parts: Scatter<K> = (0..partitions)
+            .map(|_| Vec::with_capacity((hi - lo) / partitions + 8))
+            .collect();
+        let mut codes: Vec<K> = Vec::new();
+        let shift = 64 - partitions.trailing_zeros();
+        let mut pos = lo;
+        while pos < hi {
+            let len = MORSEL_ROWS.min(hi - pos);
+            codes.clear();
+            codes.resize(len, K::default());
+            spec.encode_into(key_cols, pos, &mut codes);
+            if partitions == 1 {
+                parts[0].extend(
+                    codes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| (c, (pos + i) as u32)),
+                );
+            } else {
+                for (i, &c) in codes.iter().enumerate() {
+                    let j = (c.partition_hash() >> shift) as usize;
+                    parts[j].push((c, (pos + i) as u32));
+                }
+            }
+            pos += len;
+        }
+        parts
+    })
+}
+
+/// Pass 1 for the `RowKey` fallback: byte-encode each row and scatter.
+fn scatter_rowkey(
+    key_cols: &[&Column],
+    rows: usize,
+    workers: usize,
+    partitions: usize,
+) -> Vec<Scatter<RowKey>> {
+    let chunk = rows.div_ceil(workers);
+    let hasher = FxBuildHasher;
+    scoped_map(workers, |w| {
+        let lo = (w * chunk).min(rows);
+        let hi = ((w + 1) * chunk).min(rows);
+        let mut parts: Scatter<RowKey> = (0..partitions)
+            .map(|_| Vec::with_capacity((hi - lo) / partitions + 8))
+            .collect();
+        let mut enc = KeyEncoder::new();
+        let shift = 64 - partitions.trailing_zeros();
+        for row in lo..hi {
+            let key = enc.encode(key_cols, row);
+            let j = if partitions == 1 {
+                0
+            } else {
+                (hasher.hash_one(&key) >> shift) as usize
+            };
+            parts[j].push((key, row as u32));
+        }
+        parts
+    })
+}
+
+/// Pass 2 for one partition: build its key → gid table, compute the
+/// (row, gid) vectors, and fold every accumulator over them in one
+/// columnar sweep. `scatters[w][partition]` are replayed in worker
+/// order, keeping group numbering deterministic.
+fn aggregate_partition<K: Eq + Hash + Clone>(
+    input: &Table,
+    aggs: &[AggSpec],
+    scatters: &[Scatter<K>],
+    partition: usize,
+) -> Result<PartitionAgg> {
+    let total: usize = scatters.iter().map(|s| s[partition].len()).sum();
+    let mut map: FxHashMap<K, u32> = FxHashMap::default();
+    let mut representatives: Vec<u32> = Vec::new();
+    let mut rows: Vec<u32> = Vec::with_capacity(total);
+    let mut gids: Vec<u32> = Vec::with_capacity(total);
+    let mut resizes = 0u64;
+    let mut last_cap = map.capacity();
+    for scatter in scatters {
+        for (key, row) in &scatter[partition] {
+            let gid = match map.get(key) {
+                Some(&g) => g,
+                None => {
+                    let g = representatives.len() as u32;
+                    map.insert(key.clone(), g);
+                    representatives.push(*row);
+                    if map.capacity() != last_cap {
+                        resizes += 1;
+                        last_cap = map.capacity();
+                    }
+                    g
+                }
+            };
+            rows.push(*row);
+            gids.push(gid);
+        }
+    }
+    let mut accumulators: Vec<Accumulator> = aggs
+        .iter()
+        .map(|a| Accumulator::build(a, input))
+        .collect::<Result<_>>()?;
+    for acc in &mut accumulators {
+        acc.resize_groups(representatives.len());
+        acc.update_batch(input, &rows, &gids);
+    }
+    Ok((representatives, accumulators, resizes))
+}
+
+/// Pass 2 over all partitions (strided across `threads` workers), then
+/// concatenate the per-partition results in partition order.
+fn aggregate_all<K: Eq + Hash + Clone + Send + Sync>(
+    input: &Table,
+    aggs: &[AggSpec],
+    scatters: &[Scatter<K>],
+    partitions: usize,
+    threads: usize,
+) -> Result<(Vec<u32>, Vec<Accumulator>, u64)> {
+    let workers = threads.min(partitions).max(1);
+    let per_worker: Vec<Vec<(usize, Result<PartitionAgg>)>> = scoped_map(workers, |w| {
+        let mut out = Vec::new();
+        let mut j = w;
+        while j < partitions {
+            out.push((j, aggregate_partition(input, aggs, scatters, j)));
+            j += workers;
+        }
+        out
+    });
+
+    let mut slots: Vec<Option<PartitionAgg>> = (0..partitions).map(|_| None).collect();
+    let mut first_err: Option<(usize, crate::error::ExecError)> = None;
+    for worker_out in per_worker {
+        for (j, r) in worker_out {
+            match r {
+                Ok(agg) => slots[j] = Some(agg),
+                // Keep the earliest partition's error for determinism.
+                Err(e) => match first_err {
+                    Some((i, _)) if i < j => {}
+                    _ => first_err = Some((j, e)),
+                },
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+
+    let mut representatives: Vec<u32> = Vec::new();
+    let mut accumulators: Option<Vec<Accumulator>> = None;
+    let mut resizes = 0u64;
+    for slot in slots {
+        let (reps, accs, rz) = slot.expect("no error, so every partition aggregated");
+        representatives.extend(reps);
+        resizes += rz;
+        match &mut accumulators {
+            None => accumulators = Some(accs),
+            Some(base) => {
+                for (b, a) in base.iter_mut().zip(accs) {
+                    b.merge_disjoint(a);
+                }
+            }
+        }
+    }
+    Ok((
+        representatives,
+        accumulators.expect("at least one partition"),
+        resizes,
+    ))
+}
+
+/// Radix-partitioned parallel Group By: semantically identical to
+/// [`hash_group_by`] up to row order.
+///
+/// `threads` bounds the workers used by *both* passes, so a plan
+/// executor running several edges at once can hand each edge a slice of
+/// one shared thread budget. `estimated_groups` (the optimizer's
+/// cardinality estimate for this grouping, if known) sizes the
+/// partition fan-out; `None` falls back to a rows-based guess.
+pub fn radix_group_by(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    threads: usize,
+    estimated_groups: Option<u64>,
+    metrics: &mut ExecMetrics,
+) -> Result<Table> {
+    let rows = input.num_rows();
+    if rows == 0 || group_cols.is_empty() {
+        // Nothing to partition (and the empty grouping is one group).
+        return hash_group_by(input, group_cols, aggs, metrics);
+    }
+    let start = Instant::now();
+    let threads = threads.max(1).min(rows);
+    let partitions = partition_count(threads, rows, estimated_groups);
+    let pass1_workers = if rows >= 2 * MORSEL_ROWS { threads } else { 1 };
+    let key_cols: Vec<&Column> = group_cols.iter().map(|&c| input.column(c)).collect();
+
+    let (representatives, accumulators, resizes) = match PackedKeySpec::build(&key_cols) {
+        Some(spec) if spec.fits_u64() => {
+            metrics.packed_key_rows += rows as u64;
+            let scatters = scatter_packed::<u64>(&spec, &key_cols, rows, pass1_workers, partitions);
+            aggregate_all(input, aggs, &scatters, partitions, threads)?
+        }
+        Some(spec) => {
+            metrics.packed_key_rows += rows as u64;
+            let scatters =
+                scatter_packed::<u128>(&spec, &key_cols, rows, pass1_workers, partitions);
+            aggregate_all(input, aggs, &scatters, partitions, threads)?
+        }
+        None => {
+            metrics.fallback_key_rows += rows as u64;
+            let scatters = scatter_rowkey(&key_cols, rows, pass1_workers, partitions);
+            aggregate_all(input, aggs, &scatters, partitions, threads)?
+        }
+    };
+    metrics.radix_partitions += partitions as u64;
+    metrics.hash_resizes += resizes;
+
+    let result = output_table(input, group_cols, aggs, representatives, accumulators)?;
+    record(metrics, input, group_cols, &result, start);
+    Ok(result)
+}
+
+/// Group-by kernel dispatcher used by the engine and the batch driver.
+///
+/// An index-provided clustering `order` always streams (cheapest by
+/// far). Otherwise `strategy` picks the kernel: `Auto` takes the radix
+/// kernel once the input reaches [`RADIX_MIN_ROWS`] rows, `Radix`
+/// forces it, and `Scalar` keeps the row-at-a-time kernel
+/// (hash-partitioned across `threads` when several are available —
+/// exactly the pre-radix behavior).
+#[allow(clippy::too_many_arguments)]
+pub fn group_by_with_strategy(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    order: Option<&[u32]>,
+    strategy: GroupByStrategy,
+    threads: usize,
+    estimated_groups: Option<u64>,
+    metrics: &mut ExecMetrics,
+) -> Result<Table> {
+    if let Some(order) = order {
+        return stream_group_by(input, group_cols, aggs, order, metrics);
+    }
+    match strategy {
+        GroupByStrategy::Scalar => {
+            if threads > 1 {
+                parallel_hash_group_by(input, group_cols, aggs, threads, metrics)
+            } else {
+                hash_group_by(input, group_cols, aggs, metrics)
+            }
+        }
+        GroupByStrategy::Radix => {
+            radix_group_by(input, group_cols, aggs, threads, estimated_groups, metrics)
+        }
+        GroupByStrategy::Auto => {
+            if input.num_rows() >= RADIX_MIN_ROWS {
+                radix_group_by(input, group_cols, aggs, threads, estimated_groups, metrics)
+            } else {
+                hash_group_by(input, group_cols, aggs, metrics)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table(rows: usize, cardinality: i64) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+            Field::new("f", DataType::Float64),
+        ])
+        .unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for i in 0..rows as i64 {
+            let row = [
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % cardinality)
+                },
+                Value::str(if i % 3 == 0 { "x" } else { "y" }),
+                Value::Int(i),
+                Value::Float((i % 5) as f64),
+            ];
+            tb.push_row(&row).unwrap();
+        }
+        tb.finish().unwrap()
+    }
+
+    fn norm(t: &Table) -> Vec<Vec<Value>> {
+        let mut v: Vec<Vec<Value>> = (0..t.num_rows())
+            .map(|r| (0..t.num_columns()).map(|c| t.value(r, c)).collect())
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn aggs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::count(),
+            AggSpec::sum("v", "sv"),
+            AggSpec::min("v", "mn"),
+            AggSpec::max("s", "mx"),
+        ]
+    }
+
+    #[test]
+    fn radix_matches_hash_across_threads_and_partitions() {
+        let t = table(10_000, 97);
+        let mut m = ExecMetrics::new();
+        let expected = hash_group_by(&t, &[0, 1], &aggs(), &mut m).unwrap();
+        for threads in [1, 2, 4] {
+            for est in [None, Some(4), Some(1_000_000)] {
+                let got = radix_group_by(&t, &[0, 1], &aggs(), threads, est, &mut m).unwrap();
+                assert_eq!(norm(&got), norm(&expected), "threads={threads} est={est:?}");
+            }
+        }
+        assert!(m.packed_key_rows > 0);
+        assert!(m.radix_partitions > 0);
+    }
+
+    #[test]
+    fn float_group_key_takes_fallback_and_matches() {
+        let t = table(5_000, 41);
+        let mut m = ExecMetrics::new();
+        let expected = hash_group_by(&t, &[3, 1], &[AggSpec::count()], &mut m).unwrap();
+        let got = radix_group_by(&t, &[3, 1], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        assert_eq!(norm(&got), norm(&expected));
+        assert_eq!(m.packed_key_rows, 0);
+        assert_eq!(m.fallback_key_rows, 5_000);
+    }
+
+    #[test]
+    fn empty_input_and_empty_grouping() {
+        let t = table(0, 1);
+        let mut m = ExecMetrics::new();
+        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        assert_eq!(r.num_rows(), 0);
+
+        let t = table(100, 7);
+        let r = radix_group_by(&t, &[], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.value(0, 0), Value::Int(100));
+    }
+
+    #[test]
+    fn groups_are_not_duplicated_across_partitions() {
+        let t = table(20_000, 256);
+        let mut m = ExecMetrics::new();
+        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, Some(256), &mut m).unwrap();
+        let mut keys: Vec<Value> = (0..r.num_rows()).map(|i| r.value(i, 0)).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "a group appeared in two partitions");
+    }
+
+    #[test]
+    fn partition_count_policy() {
+        // at least `threads`, power of two
+        assert!(partition_count(4, 1 << 20, Some(256)) >= 4);
+        assert!(partition_count(3, 1 << 20, Some(1 << 20)).is_power_of_two());
+        // scales with estimated groups, capped
+        assert!(partition_count(1, 10_000_000, Some(10_000_000)) <= MAX_PARTITIONS);
+        // tiny input stays small even with many threads
+        assert!(partition_count(16, 4_000, None) <= 16);
+        assert_eq!(partition_count(1, 0, None), 1);
+    }
+
+    #[test]
+    fn strategy_dispatch_is_equivalent() {
+        let t = table(9_000, 50);
+        let mut m = ExecMetrics::new();
+        let base = hash_group_by(&t, &[0], &aggs(), &mut m).unwrap();
+        for strategy in [
+            GroupByStrategy::Auto,
+            GroupByStrategy::Scalar,
+            GroupByStrategy::Radix,
+        ] {
+            let r =
+                group_by_with_strategy(&t, &[0], &aggs(), None, strategy, 2, None, &mut m).unwrap();
+            assert_eq!(norm(&r), norm(&base), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn auto_small_input_stays_scalar() {
+        let t = table(500, 7);
+        let mut m = ExecMetrics::new();
+        let _ = group_by_with_strategy(
+            &t,
+            &[0],
+            &[AggSpec::count()],
+            None,
+            GroupByStrategy::Auto,
+            4,
+            None,
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(m.radix_partitions, 0, "small input should not radix");
+    }
+}

@@ -12,15 +12,60 @@
 use crate::agg::{Accumulator, AggSpec};
 use crate::error::Result;
 use crate::metrics::ExecMetrics;
-use gbmqo_storage::{Column, Field, KeyEncoder, RowKey, Schema, Table};
+use crate::radix::MORSEL_ROWS;
+use gbmqo_storage::packed::KeyCode;
+use gbmqo_storage::{Column, Field, KeyEncoder, PackedKeySpec, RowKey, Schema, Table};
 use rustc_hash::FxHashMap;
 use std::time::Instant;
 
+/// How one grouping's keys are resolved to dense gids during the scan:
+/// packed integer codes when every group column is fixed-width (the
+/// same fast path as the radix kernel), byte `RowKey`s otherwise.
+enum Keyer {
+    Packed64 {
+        spec: PackedKeySpec,
+        codes: Vec<u64>,
+        map: FxHashMap<u64, u32>,
+    },
+    Packed128 {
+        spec: PackedKeySpec,
+        codes: Vec<u128>,
+        map: FxHashMap<u128, u32>,
+    },
+    Rows {
+        map: FxHashMap<RowKey, u32>,
+    },
+}
+
 struct GroupingState<'t> {
     key_cols: Vec<&'t Column>,
-    groups: FxHashMap<RowKey, u32>,
+    keyer: Keyer,
     representatives: Vec<u32>,
     accumulators: Vec<Accumulator>,
+    /// Per-morsel gid vector, reused across morsels.
+    gids: Vec<u32>,
+}
+
+/// Map a morsel's packed codes to gids, registering new groups.
+fn probe_packed<K: KeyCode>(
+    map: &mut FxHashMap<K, u32>,
+    codes: &[K],
+    morsel_start: usize,
+    representatives: &mut Vec<u32>,
+    gids: &mut Vec<u32>,
+) {
+    for (i, &code) in codes.iter().enumerate() {
+        let gid = match map.get(&code) {
+            Some(&g) => g,
+            None => {
+                let g = representatives.len() as u32;
+                map.insert(code, g);
+                representatives.push((morsel_start + i) as u32);
+                g
+            }
+        };
+        gids.push(gid);
+    }
 }
 
 /// Compute several Group Bys over `input` in one shared scan.
@@ -28,6 +73,12 @@ struct GroupingState<'t> {
 /// `groupings` lists the grouping-column ordinals of each output; all
 /// outputs compute the same `aggs`. Returns one table per grouping, in
 /// order — each identical to what [`crate::hash_group_by`] would produce.
+///
+/// The scan is morsel-batched: for each block of rows, every grouping
+/// state encodes the block's keys (packed codes where possible),
+/// resolves the block's gid vector, and feeds its accumulators one
+/// columnar [`Accumulator::update_batch`] call — the same vectorized
+/// shape as the radix kernel, amortized across all groupings.
 pub fn shared_scan_group_by(
     input: &Table,
     groupings: &[Vec<usize>],
@@ -35,35 +86,99 @@ pub fn shared_scan_group_by(
     metrics: &mut ExecMetrics,
 ) -> Result<Vec<Table>> {
     let start = Instant::now();
+    let n = input.num_rows();
     let mut states: Vec<GroupingState<'_>> = groupings
         .iter()
         .map(|cols| {
+            let key_cols: Vec<&Column> = cols.iter().map(|&c| input.column(c)).collect();
+            let keyer = match PackedKeySpec::build(&key_cols) {
+                Some(spec) if spec.fits_u64() => {
+                    metrics.packed_key_rows += n as u64;
+                    Keyer::Packed64 {
+                        spec,
+                        codes: Vec::new(),
+                        map: FxHashMap::default(),
+                    }
+                }
+                Some(spec) => {
+                    metrics.packed_key_rows += n as u64;
+                    Keyer::Packed128 {
+                        spec,
+                        codes: Vec::new(),
+                        map: FxHashMap::default(),
+                    }
+                }
+                None => {
+                    metrics.fallback_key_rows += n as u64;
+                    Keyer::Rows {
+                        map: FxHashMap::default(),
+                    }
+                }
+            };
             Ok(GroupingState {
-                key_cols: cols.iter().map(|&c| input.column(c)).collect(),
-                groups: FxHashMap::default(),
+                key_cols,
+                keyer,
                 representatives: Vec::new(),
                 accumulators: aggs
                     .iter()
                     .map(|a| Accumulator::build(a, input))
                     .collect::<Result<_>>()?,
+                gids: Vec::new(),
             })
         })
         .collect::<Result<_>>()?;
 
     let mut enc = KeyEncoder::new();
-    for row in 0..input.num_rows() {
+    let mut rows_buf: Vec<u32> = Vec::with_capacity(MORSEL_ROWS.min(n.max(1)));
+    let mut pos = 0;
+    while pos < n {
+        let len = MORSEL_ROWS.min(n - pos);
+        rows_buf.clear();
+        rows_buf.extend((pos..pos + len).map(|r| r as u32));
         for state in &mut states {
-            let key = enc.encode(&state.key_cols, row);
-            let next_gid = state.representatives.len() as u32;
-            let gid = *state.groups.entry(key).or_insert_with(|| {
-                state.representatives.push(row as u32);
-                next_gid
-            }) as usize;
-            for acc in &mut state.accumulators {
-                acc.ensure_group(gid);
-                acc.update(input, gid, row);
+            let GroupingState {
+                key_cols,
+                keyer,
+                representatives,
+                accumulators,
+                gids,
+            } = state;
+            gids.clear();
+            match keyer {
+                Keyer::Packed64 { spec, codes, map } => {
+                    codes.clear();
+                    codes.resize(len, 0);
+                    spec.encode_into(key_cols, pos, codes);
+                    probe_packed(map, codes, pos, representatives, gids);
+                }
+                Keyer::Packed128 { spec, codes, map } => {
+                    codes.clear();
+                    codes.resize(len, 0);
+                    spec.encode_into(key_cols, pos, codes);
+                    probe_packed(map, codes, pos, representatives, gids);
+                }
+                Keyer::Rows { map } => {
+                    for row in pos..pos + len {
+                        let key = enc.encode(key_cols, row);
+                        let gid = match map.get(&key) {
+                            Some(&g) => g,
+                            None => {
+                                let g = representatives.len() as u32;
+                                map.insert(key, g);
+                                representatives.push(row as u32);
+                                g
+                            }
+                        };
+                        gids.push(gid);
+                    }
+                }
+            }
+            for acc in accumulators.iter_mut() {
+                acc.resize_groups(representatives.len());
+                acc.update_batch(input, &rows_buf, gids);
             }
         }
+        pos += len;
     }
 
     let mut outputs = Vec::with_capacity(groupings.len());

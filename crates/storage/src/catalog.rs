@@ -6,12 +6,17 @@ use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
 use crate::table::Table;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// A catalog entry: a table plus its indexes and temp-ness.
+///
+/// The table lives behind an [`Arc`] so operators that need an owned
+/// handle (e.g. to keep a table alive across a scoped-thread region or
+/// past a catalog mutation) clone a pointer, not the data.
 #[derive(Debug, Clone)]
 pub struct TableEntry {
-    /// The table data.
-    pub table: Table,
+    /// The table data (shared, immutable once registered).
+    pub table: Arc<Table>,
     /// True for temporary (materialized intermediate) tables.
     pub is_temp: bool,
     /// Indexes built over the table.
@@ -77,7 +82,7 @@ impl Catalog {
         self.tables.insert(
             name,
             TableEntry {
-                table,
+                table: Arc::new(table),
                 is_temp: false,
                 indexes: Vec::new(),
             },
@@ -109,7 +114,7 @@ impl Catalog {
         self.tables.insert(
             name,
             TableEntry {
-                table,
+                table: Arc::new(table),
                 is_temp: true,
                 indexes: Vec::new(),
             },
@@ -142,7 +147,15 @@ impl Catalog {
 
     /// Look up just the table data.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        Ok(&self.get(name)?.table)
+        Ok(self.get(name)?.table.as_ref())
+    }
+
+    /// Look up a table as a cheap owned handle (an [`Arc`] clone — no
+    /// row data is copied). Use this instead of `table(..)?.clone()`
+    /// when an operator needs ownership, e.g. to outlive a later
+    /// catalog mutation.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(Arc::clone(&self.get(name)?.table))
     }
 
     /// True if `name` exists.

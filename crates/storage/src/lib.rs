@@ -14,7 +14,8 @@
 //!   experiments),
 //! * clustered / non-clustered [`Index`]es, modeled as sort permutations
 //!   (needed for the paper's §6.9 physical-design experiment),
-//! * compact per-row [`RowKey`] encodings used by hash aggregation.
+//! * compact per-row [`RowKey`] encodings used by hash aggregation, plus
+//!   bit-[`packed`] `u64`/`u128` key codes for the fast group-by path.
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub mod dictionary;
 pub mod error;
 pub mod index;
 pub mod key;
+pub mod packed;
 pub mod schema;
 pub mod sort;
 pub mod table;
@@ -37,6 +39,7 @@ pub use dictionary::Dictionary;
 pub use error::{Result, StorageError};
 pub use index::{Index, IndexKind};
 pub use key::{KeyEncoder, RowKey};
+pub use packed::{KeyCode, PackedKeySpec};
 pub use schema::{Field, Schema};
 pub use sort::sort_permutation;
 pub use table::{Table, TableBuilder};

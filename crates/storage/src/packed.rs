@@ -1,0 +1,405 @@
+//! Packed group-key codes: bit-pack a row's group-by key into one
+//! `u64`/`u128` integer instead of a variable-length byte [`RowKey`].
+//!
+//! All fixed-width column types (`Int64`, `Date32`, dictionary-coded
+//! `Utf8`) can be packed: a build-time scan finds each column's value
+//! range, assigns it `ceil(log2(range + 2))` bits, and lays the columns
+//! out side by side from bit 0 upward. Within a column's field, code `0`
+//! is the NULL sentinel and a non-null value `v` maps to `v - min + 1`,
+//! so NULL forms its own group exactly like the byte encoding's null
+//! tag. `Float64` columns and layouts wider than 128 bits are not
+//! packable; callers fall back to [`crate::key::KeyEncoder`].
+//!
+//! Packing exists for speed: a packed code is built with a shift and an
+//! OR per column in a tight per-column loop (no per-row type dispatch,
+//! no byte buffers), compares with one integer comparison, and hashes
+//! with one multiply.
+//!
+//! [`RowKey`]: crate::key::RowKey
+
+use crate::column::{Column, ColumnData};
+
+/// An integer type that can hold a packed group key: `u64` or `u128`.
+///
+/// The two widths share one generic kernel; `u64` stays on the fast
+/// single-word path while `u128` covers layouts up to 128 bits.
+pub trait KeyCode:
+    Copy + Default + Eq + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Bits this code type can hold.
+    const BITS: u32;
+
+    /// OR the column field `code` (already offset so 0 = NULL) into this
+    /// code at bit offset `shift`.
+    fn or_field(self, code: u128, shift: u32) -> Self;
+
+    /// A well-mixed 64-bit hash of the code. Radix partitioning takes
+    /// the *top* bits, so the mix must avalanche into the high half.
+    fn partition_hash(self) -> u64;
+}
+
+#[inline]
+fn mix64(x: u64) -> u64 {
+    // Fibonacci multiply puts entropy in the high bits; the xor-shift
+    // folds the low half back in so sequential codes spread.
+    let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 32)
+}
+
+impl KeyCode for u64 {
+    const BITS: u32 = 64;
+
+    #[inline]
+    fn or_field(self, code: u128, shift: u32) -> Self {
+        self | ((code as u64) << shift)
+    }
+
+    #[inline]
+    fn partition_hash(self) -> u64 {
+        mix64(self)
+    }
+}
+
+impl KeyCode for u128 {
+    const BITS: u32 = 128;
+
+    #[inline]
+    fn or_field(self, code: u128, shift: u32) -> Self {
+        self | (code << shift)
+    }
+
+    #[inline]
+    fn partition_hash(self) -> u64 {
+        mix64((self as u64) ^ ((self >> 64) as u64))
+    }
+}
+
+/// Per-column packing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedColumn {
+    /// Minimum non-null value (as i64; dates widened, strings use 0).
+    base: i64,
+    /// Bit offset of this column's field within the packed code.
+    shift: u32,
+    /// Field width in bits.
+    bits: u32,
+}
+
+/// A bit-packing layout for one group-column set, built by scanning the
+/// columns' value ranges. See the [module docs](self) for the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedKeySpec {
+    cols: Vec<PackedColumn>,
+    total_bits: u32,
+}
+
+impl PackedKeySpec {
+    /// Build a packing layout for `cols`, or `None` if the columns are
+    /// not packable (any `Float64`, or more than 128 bits total).
+    pub fn build(cols: &[&Column]) -> Option<Self> {
+        let mut packed = Vec::with_capacity(cols.len());
+        let mut total = 0u32;
+        for col in cols {
+            let (base, max_code) = match col.data() {
+                ColumnData::Float64(_) => return None,
+                ColumnData::Int64(v) => int_range(v, col),
+                ColumnData::Date32(v) => {
+                    let (base, max_code) = int_range32(v, col);
+                    (base, max_code)
+                }
+                // Dictionary codes are dense in 0..len, no scan needed;
+                // the packed value is code + 1.
+                ColumnData::Utf8 { dict, .. } => (0i64, dict.len() as u128),
+            };
+            let bits = bits_for(max_code);
+            packed.push(PackedColumn {
+                base,
+                shift: total,
+                bits,
+            });
+            total += bits;
+            if total > 128 {
+                return None;
+            }
+        }
+        Some(PackedKeySpec {
+            cols: packed,
+            total_bits: total,
+        })
+    }
+
+    /// Total bits the packed code occupies.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// True if the layout fits a single `u64` code.
+    pub fn fits_u64(&self) -> bool {
+        self.total_bits <= 64
+    }
+
+    /// Encode rows `start .. start + out.len()` of `cols` into `out`.
+    ///
+    /// `cols` must be the same columns (in the same order) the spec was
+    /// built from, and `out` must be zero-initialized. The loop order is
+    /// column-major: each column's field is OR-ed into the whole morsel
+    /// before the next column, so the per-row work is a subtract, a
+    /// shift and an OR with no type dispatch.
+    pub fn encode_into<K: KeyCode>(&self, cols: &[&Column], start: usize, out: &mut [K]) {
+        debug_assert_eq!(cols.len(), self.cols.len());
+        debug_assert!(self.total_bits <= K::BITS);
+        for (pc, col) in self.cols.iter().zip(cols) {
+            let shift = pc.shift;
+            let base = pc.base;
+            match (col.data(), col.validity()) {
+                (ColumnData::Int64(v), None) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let code = v[start + i].wrapping_sub(base) as u64 as u128 + 1;
+                        *slot = slot.or_field(code, shift);
+                    }
+                }
+                (ColumnData::Int64(v), Some(valid)) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let row = start + i;
+                        let code = if valid.get(row) {
+                            v[row].wrapping_sub(base) as u64 as u128 + 1
+                        } else {
+                            0
+                        };
+                        *slot = slot.or_field(code, shift);
+                    }
+                }
+                (ColumnData::Date32(v), None) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let code = i64::from(v[start + i]).wrapping_sub(base) as u64 as u128 + 1;
+                        *slot = slot.or_field(code, shift);
+                    }
+                }
+                (ColumnData::Date32(v), Some(valid)) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let row = start + i;
+                        let code = if valid.get(row) {
+                            i64::from(v[row]).wrapping_sub(base) as u64 as u128 + 1
+                        } else {
+                            0
+                        };
+                        *slot = slot.or_field(code, shift);
+                    }
+                }
+                (ColumnData::Utf8 { codes, .. }, None) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot = slot.or_field(codes[start + i] as u128 + 1, shift);
+                    }
+                }
+                (ColumnData::Utf8 { codes, .. }, Some(valid)) => {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let row = start + i;
+                        let code = if valid.get(row) {
+                            codes[row] as u128 + 1
+                        } else {
+                            0
+                        };
+                        *slot = slot.or_field(code, shift);
+                    }
+                }
+                (ColumnData::Float64(_), _) => {
+                    unreachable!("Float64 columns are rejected by PackedKeySpec::build")
+                }
+            }
+        }
+    }
+}
+
+/// Bits needed to represent packed values `0..=max_code`.
+fn bits_for(max_code: u128) -> u32 {
+    (128 - max_code.leading_zeros()).max(1)
+}
+
+/// (min, largest packed value) over the non-null rows of an i64 column.
+fn int_range(values: &[i64], col: &Column) -> (i64, u128) {
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut any = false;
+    match col.validity() {
+        None => {
+            for &v in values {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            any = !values.is_empty();
+        }
+        Some(valid) => {
+            for (row, &v) in values.iter().enumerate() {
+                if valid.get(row) {
+                    min = min.min(v);
+                    max = max.max(v);
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return (0, 0);
+    }
+    let range = (max as i128 - min as i128) as u128;
+    (min, range + 1)
+}
+
+/// As [`int_range`] for a `Date32` column (values widened to i64).
+fn int_range32(values: &[i32], col: &Column) -> (i64, u128) {
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut any = false;
+    match col.validity() {
+        None => {
+            for &v in values {
+                let v = i64::from(v);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            any = !values.is_empty();
+        }
+        Some(valid) => {
+            for (row, &v) in values.iter().enumerate() {
+                if valid.get(row) {
+                    let v = i64::from(v);
+                    min = min.min(v);
+                    max = max.max(v);
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return (0, 0);
+    }
+    let range = (max - min) as u128;
+    (min, range + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::value::{DataType, Value};
+
+    fn encode_all_u64(spec: &PackedKeySpec, cols: &[&Column]) -> Vec<u64> {
+        let n = cols.first().map_or(0, |c| c.len());
+        let mut out = vec![0u64; n];
+        spec.encode_into(cols, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn small_int_column_packs_tightly() {
+        let c = Column::from_i64(vec![3, 4, 5, 3]);
+        let spec = PackedKeySpec::build(&[&c]).unwrap();
+        // range 3..=5 plus NULL sentinel -> 4 codes -> 2 bits
+        assert_eq!(spec.total_bits(), 2);
+        let codes = encode_all_u64(&spec, &[&c]);
+        assert_eq!(codes, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn nulls_get_code_zero_and_their_own_group() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        for v in [Value::Int(7), Value::Null, Value::Int(7), Value::Int(8)] {
+            b.push(&v).unwrap();
+        }
+        let c = b.finish();
+        let spec = PackedKeySpec::build(&[&c]).unwrap();
+        let codes = encode_all_u64(&spec, &[&c]);
+        assert_eq!(codes[0], codes[2]);
+        assert_eq!(codes[1], 0);
+        assert_ne!(codes[0], codes[1]);
+        assert_ne!(codes[0], codes[3]);
+    }
+
+    #[test]
+    fn multi_column_fields_are_disjoint() {
+        let a = Column::from_i64(vec![0, 1, 0, 1]);
+        let b = Column::from_strs(&["x", "x", "y", "y"]);
+        let spec = PackedKeySpec::build(&[&a, &b]).unwrap();
+        let codes = encode_all_u64(&spec, &[&a, &b]);
+        // all four (a, b) combinations are distinct codes
+        let mut uniq = codes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn float_columns_are_not_packable() {
+        let f = Column::from_f64(vec![1.0, 2.0]);
+        assert!(PackedKeySpec::build(&[&f]).is_none());
+        let i = Column::from_i64(vec![1, 2]);
+        assert!(PackedKeySpec::build(&[&i, &f]).is_none());
+    }
+
+    #[test]
+    fn full_range_int_needs_u128() {
+        let wide = Column::from_i64(vec![i64::MIN, i64::MAX]);
+        let spec = PackedKeySpec::build(&[&wide]).unwrap();
+        assert_eq!(spec.total_bits(), 65);
+        assert!(!spec.fits_u64());
+        let mut out = vec![0u128; 2];
+        spec.encode_into(&[&wide], 0, &mut out);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], u64::MAX as u128 + 1);
+    }
+
+    #[test]
+    fn too_wide_layout_is_rejected() {
+        let wide = Column::from_i64(vec![i64::MIN, i64::MAX]);
+        // 65 + 65 = 130 bits > 128
+        assert!(PackedKeySpec::build(&[&wide, &wide]).is_none());
+    }
+
+    #[test]
+    fn empty_and_all_null_columns_build() {
+        let empty = Column::from_i64(vec![]);
+        let spec = PackedKeySpec::build(&[&empty]).unwrap();
+        assert_eq!(spec.total_bits(), 1);
+
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push_null();
+        b.push_null();
+        let nulls = b.finish();
+        let spec = PackedKeySpec::build(&[&nulls]).unwrap();
+        let codes = encode_all_u64(&spec, &[&nulls]);
+        assert_eq!(codes, vec![0, 0]);
+    }
+
+    #[test]
+    fn offset_encoding_matches_full_encoding() {
+        let c = Column::from_i64((0..100).map(|i| i % 9).collect());
+        let spec = PackedKeySpec::build(&[&c]).unwrap();
+        let full = encode_all_u64(&spec, &[&c]);
+        let mut tail = vec![0u64; 40];
+        spec.encode_into(&[&c], 60, &mut tail);
+        assert_eq!(&full[60..], &tail[..]);
+    }
+
+    #[test]
+    fn date_columns_pack() {
+        let d = Column::from_dates(vec![-10, 0, 10, -10]);
+        let spec = PackedKeySpec::build(&[&d]).unwrap();
+        let codes = encode_all_u64(&spec, &[&d]);
+        assert_eq!(codes[0], codes[3]);
+        assert_eq!(codes[0], 1); // min maps to 1
+        let mut uniq = codes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn partition_hash_spreads_top_bits() {
+        let mut tops = std::collections::HashSet::new();
+        for code in 0u64..64 {
+            tops.insert(code.partition_hash() >> 58);
+        }
+        // 64 sequential codes should land in many of the 64 top buckets
+        assert!(tops.len() > 16, "only {} distinct top buckets", tops.len());
+    }
+}

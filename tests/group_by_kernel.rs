@@ -1,0 +1,236 @@
+//! Kernel-equivalence properties: the radix-partitioned kernel, the
+//! scalar hash kernel, and sort-based aggregation must agree on every
+//! input — including NULL keys, dictionary strings, keys too wide for
+//! packed codes (`RowKey::Heap` / u128 overflow), empty inputs, a single
+//! group, and any thread count.
+
+use gbmqo_exec::{hash_group_by, radix_group_by, sort_group_by, AggSpec, ExecMetrics};
+use gbmqo_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+use proptest::prelude::*;
+
+/// Row = (small int key, word key, wide int key, value). `None` = NULL.
+type Row = (Option<i64>, Option<&'static str>, Option<i64>, Option<i64>);
+
+/// Schema: g_small (packable), g_str (dict-coded, one word longer than
+/// 23 bytes so row-key fallbacks heap-allocate), g_wide (full i64 range:
+/// one column needs 65 bits, two overflow u128), v (aggregated).
+fn build(rows: &[Row]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("g_small", DataType::Int64),
+        Field::new("g_str", DataType::Utf8),
+        Field::new("g_wide", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ])
+    .unwrap();
+    let mut tb = TableBuilder::new(schema);
+    let val = |o: Option<i64>| o.map(Value::Int).unwrap_or(Value::Null);
+    for (a, s, w, v) in rows {
+        tb.push_row(&[
+            val(*a),
+            s.map(Value::str).unwrap_or(Value::Null),
+            val(*w),
+            val(*v),
+        ])
+        .unwrap();
+    }
+    tb.finish().unwrap()
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    let small = prop_oneof![1 => Just(None), 7 => (-3i64..4).prop_map(Some)];
+    let word = prop_oneof![
+        1 => Just(None),
+        7 => prop::sample::select(vec![
+            "x",
+            "y",
+            "zzz",
+            "a-string-well-beyond-twenty-three-bytes",
+        ]).prop_map(Some),
+    ];
+    let wide = prop_oneof![
+        1 => Just(None),
+        4 => any::<i64>().prop_map(Some),
+        3 => (0i64..3).prop_map(Some),
+    ];
+    let value = prop_oneof![1 => Just(None), 7 => (-100i64..100).prop_map(Some)];
+    prop::collection::vec((small, word, wide, value), 0..300)
+}
+
+fn aggs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count(),
+        AggSpec::sum("v", "sum_v"),
+        AggSpec::min("v", "min_v"),
+        AggSpec::max("g_str", "max_s"),
+    ]
+}
+
+/// Sorted row-strings: order-insensitive table comparison.
+fn norm(t: &Table) -> Vec<Vec<String>> {
+    let mut v: Vec<Vec<String>> = (0..t.num_rows())
+        .map(|r| {
+            (0..t.num_columns())
+                .map(|c| t.value(r, c).to_string())
+                .collect()
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn assert_kernels_agree(table: &Table, group_cols: &[usize]) {
+    let mut m = ExecMetrics::new();
+    let reference = hash_group_by(table, group_cols, &aggs(), &mut m).unwrap();
+    let sorted = sort_group_by(table, group_cols, &aggs(), &mut m).unwrap();
+    assert_eq!(norm(&reference), norm(&sorted), "sort kernel diverged");
+    for threads in [1usize, 2, 4] {
+        let radix = radix_group_by(table, group_cols, &aggs(), threads, None, &mut m).unwrap();
+        assert_eq!(
+            norm(&reference),
+            norm(&radix),
+            "radix kernel diverged (threads {threads}, cols {group_cols:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// radix == hash == sort for every grouping over mixed-type keys
+    /// with NULLs, at 1, 2 and 4 threads.
+    #[test]
+    fn kernels_agree_on_arbitrary_tables(rows in rows_strategy()) {
+        let table = build(&rows);
+        // Packed u64 (g_small), dict (g_str), 65-bit u128 (g_wide),
+        // multi-column mixes, and the all-columns key.
+        for cols in [
+            vec![0usize],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![2, 0],
+            vec![0, 1, 2],
+        ] {
+            assert_kernels_agree(&table, &cols);
+        }
+    }
+
+    /// Two full-range i64 columns overflow the u128 code; the kernel must
+    /// fall back to row keys and still agree with the scalar kernels.
+    #[test]
+    fn wide_keys_fall_back_to_row_keys(
+        rows in prop::collection::vec((any::<i64>(), any::<i64>(), 0i64..50), 1..200),
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("w1", DataType::Int64),
+            Field::new("w2", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for (a, b, v) in &rows {
+            tb.push_row(&[Value::Int(*a), Value::Int(*b), Value::Int(*v)]).unwrap();
+        }
+        let table = tb.finish().unwrap();
+        let mut m = ExecMetrics::new();
+        let reference = hash_group_by(&table, &[0, 1], &[AggSpec::count()], &mut m).unwrap();
+        let radix = radix_group_by(&table, &[0, 1], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        prop_assert_eq!(norm(&reference), norm(&radix));
+    }
+}
+
+#[test]
+fn empty_input_yields_empty_result() {
+    let table = build(&[]);
+    for cols in [vec![0usize], vec![0, 1, 2]] {
+        let mut m = ExecMetrics::new();
+        let out = radix_group_by(&table, &cols, &aggs(), 4, None, &mut m).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), cols.len() + aggs().len());
+    }
+}
+
+#[test]
+fn single_group_input() {
+    let rows: Vec<Row> = (0..5000)
+        .map(|i| (Some(7), Some("x"), Some(42), Some(i % 10)))
+        .collect();
+    let table = build(&rows);
+    assert_kernels_agree(&table, &[0, 1, 2]);
+    let mut m = ExecMetrics::new();
+    let out = radix_group_by(&table, &[0], &[AggSpec::count()], 4, None, &mut m).unwrap();
+    assert_eq!(out.num_rows(), 1);
+    assert_eq!(out.value(0, 1), Value::Int(5000));
+}
+
+#[test]
+fn metrics_track_packed_and_fallback_rows() {
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| (Some(i % 5), Some("x"), Some(i64::MIN + i), Some(1)))
+        .collect();
+    let table = build(&rows);
+
+    // g_small packs into a u64 code.
+    let mut m = ExecMetrics::new();
+    radix_group_by(&table, &[0], &[AggSpec::count()], 2, None, &mut m).unwrap();
+    assert_eq!(m.packed_key_rows, 1000);
+    assert_eq!(m.fallback_key_rows, 0);
+    assert!(m.radix_partitions >= 1);
+
+    // g_wide twice (65 bits each) overflows u128 → row-key fallback.
+    let mut m = ExecMetrics::new();
+    let wide = {
+        let schema = Schema::new(vec![
+            Field::new("w1", DataType::Int64),
+            Field::new("w2", DataType::Int64),
+        ])
+        .unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for i in 0..1000i64 {
+            // Packing is range-based: a column spanning exactly
+            // i64::MIN..=i64::MAX needs 65 bits, so two such columns
+            // overflow u128 and force the row-key fallback.
+            let w1 = match i % 3 {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                _ => i,
+            };
+            let w2 = match i % 3 {
+                0 => i64::MAX,
+                1 => i64::MIN,
+                _ => -i,
+            };
+            tb.push_row(&[Value::Int(w1), Value::Int(w2)]).unwrap();
+        }
+        tb.finish().unwrap()
+    };
+    radix_group_by(&wide, &[0, 1], &[AggSpec::count()], 2, None, &mut m).unwrap();
+    assert_eq!(m.fallback_key_rows, 1000);
+    assert_eq!(m.packed_key_rows, 0);
+}
+
+#[test]
+fn estimated_groups_steers_partition_count() {
+    let rows: Vec<Row> = (0..40_000)
+        .map(|i| (Some(i % 97), Some("x"), Some(i % 3), Some(1)))
+        .collect();
+    let table = build(&rows);
+    let mut m_small = ExecMetrics::new();
+    radix_group_by(&table, &[0], &[AggSpec::count()], 4, Some(97), &mut m_small).unwrap();
+    let mut m_big = ExecMetrics::new();
+    radix_group_by(
+        &table,
+        &[0],
+        &[AggSpec::count()],
+        4,
+        Some(2_000_000),
+        &mut m_big,
+    )
+    .unwrap();
+    assert!(
+        m_big.radix_partitions > m_small.radix_partitions,
+        "a larger estimate must fan out wider ({} vs {})",
+        m_big.radix_partitions,
+        m_small.radix_partitions
+    );
+}
