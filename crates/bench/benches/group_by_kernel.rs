@@ -45,8 +45,16 @@ fn bench(c: &mut Criterion) {
                     |b, t| {
                         b.iter(|| {
                             let mut m = ExecMetrics::new();
-                            radix_group_by(t, &[0], &aggs, threads, Some(groups as u64), &mut m)
-                                .unwrap()
+                            radix_group_by(
+                                t,
+                                &[0],
+                                &aggs,
+                                threads,
+                                Some(groups as u64),
+                                None,
+                                &mut m,
+                            )
+                            .unwrap()
                         })
                     },
                 );

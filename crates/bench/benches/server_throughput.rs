@@ -1,0 +1,79 @@
+//! Server throughput under concurrent clients: micro-batching off vs
+//! on.
+//!
+//! Eight clients each issue a round of single-column Group By queries
+//! over a 50k-row lineitem. Without batching every query is planned
+//! and executed on its own; with a small batch window, queries arriving
+//! together are merged into one workload, so SubPlanMerge and the plan
+//! cache amortize the work across clients — the serving-layer payoff of
+//! the paper's multi-query optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbmqo_core::prelude::*;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+use gbmqo_server::{Client, Server, ServerConfig, ServerHandle};
+use std::thread;
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+const CLIENTS: usize = 8;
+const QUERY_COLS: usize = 4;
+
+fn start_server(batch_window: Option<Duration>) -> ServerHandle {
+    let table = lineitem(ROWS, 0.0, 21);
+    let session = Session::builder()
+        .table("lineitem", table)
+        .search(SearchConfig::pruned())
+        .plan_cache(64)
+        .build()
+        .unwrap();
+    Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            batch_window,
+            default_deadline: None,
+        },
+    )
+    .unwrap()
+}
+
+fn run_round(addr: std::net::SocketAddr) {
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for j in 0..QUERY_COLS {
+                    let col = LINEITEM_SC_COLUMNS[(i + j) % QUERY_COLS];
+                    client.query("lineitem", &[col], 0).unwrap();
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let unbatched = start_server(None);
+    let batched = start_server(Some(Duration::from_millis(2)));
+    let unbatched_addr = unbatched.local_addr();
+    let batched_addr = batched.local_addr();
+
+    let mut group = c.benchmark_group("server_throughput_8_clients");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("unbatched", |b| b.iter(|| run_round(unbatched_addr)));
+    group.bench_function("batched_2ms", |b| b.iter(|| run_round(batched_addr)));
+    group.finish();
+
+    unbatched.shutdown();
+    batched.shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

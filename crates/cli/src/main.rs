@@ -11,6 +11,8 @@
 mod advise;
 mod csv;
 mod profile;
+mod remote;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -20,11 +22,17 @@ gbmqo — optimized multi-Group-By data profiling
 USAGE:
     gbmqo profile <file.csv> [OPTIONS]
     gbmqo advise  <file.csv> [--sets <spec>] [--max <n>]
+    gbmqo serve   [file.csv] [--addr <host:port>] [--workers <n>]
+                  [--queue <n>] [--batch-window-ms <n>] [--deadline-ms <n>]
+    gbmqo client  <addr> <ping|stats|register <name> <file.csv>|
+                  query <table> <cols>|workload <table> <sets>>
+                  [--deadline-ms <n>] [--limit <n>]
 
 OPTIONS:
     --sets <spec>    GROUPING SETS to compute, e.g. \"((a),(b),(a,c))\" or
                      \"a,b,c\"; default: every column as a single-column set
     --sql            print the optimized plan's SQL script and exit
+    --json           print machine-readable execution metrics (JSON)
     --naive          execute the naive plan instead of optimizing
     --plan           print the chosen logical plan
     --top <n>        show the n most frequent values per set (default 3)
@@ -34,6 +42,10 @@ OPTIONS:
 
 `advise` recommends single-column indexes for the workload via what-if
 re-optimization (--max: number of indexes, default 3).
+
+`serve` exposes the session over a binary TCP protocol; concurrent
+single-query clients are micro-batched into merged workloads.
+`client` issues one request against a running server.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +66,32 @@ fn main() -> ExitCode {
         },
         Some("advise") => match advise::Options::parse(&args[1..]) {
             Ok(opts) => match advise::run(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("serve") => match serve::Options::parse(&args[1..]) {
+            Ok(opts) => match serve::run(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("client") => match remote::Options::parse(&args[1..]) {
+            Ok(opts) => match remote::run(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -31,6 +31,8 @@ pub struct Options {
     pub load_plan: Option<String>,
     /// Print per-query cost estimates.
     pub explain: bool,
+    /// Emit machine-readable execution metrics instead of summaries.
+    pub json: bool,
 }
 
 impl Options {
@@ -46,6 +48,7 @@ impl Options {
             save_plan: None,
             load_plan: None,
             explain: false,
+            json: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -58,6 +61,7 @@ impl Options {
                     )
                 }
                 "--sql" => opts.sql = true,
+                "--json" => opts.json = true,
                 "--explain" => opts.explain = true,
                 "--naive" => opts.naive = true,
                 "--plan" => opts.plan = true,
@@ -155,15 +159,19 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         std::fs::read_to_string(&opts.file).map_err(|e| format!("reading {}: {e}", opts.file))?;
     let table = table_from_csv(&content).map_err(|e| e.to_string())?;
     let rows = table.num_rows();
-    println!(
-        "{}: {} rows × {} columns",
-        opts.file,
-        rows,
-        table.num_columns()
-    );
+    if !opts.json {
+        println!(
+            "{}: {} rows × {} columns",
+            opts.file,
+            rows,
+            table.num_columns()
+        );
+    }
 
     let workload = build_workload(&table, opts.sets.as_deref())?;
-    println!("{} Group By queries requested\n", workload.len());
+    if !opts.json {
+        println!("{} Group By queries requested\n", workload.len());
+    }
 
     let sample = (rows / 20).clamp(100, 20_000);
     let mut session = Session::builder()
@@ -187,7 +195,7 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         LogicalPlan::naive(&workload)
     } else {
         let (plan, stats) = session.plan(&workload).map_err(|e| e.to_string())?;
-        if stats.final_cost < stats.naive_cost {
+        if stats.final_cost < stats.naive_cost && !opts.json {
             println!(
                 "optimizer: estimated {:.2}× cheaper than naive ({} cost-model calls)",
                 stats.naive_cost / stats.final_cost,
@@ -224,6 +232,13 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         .run_plan(&plan, &workload)
         .map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64();
+
+    if opts.json {
+        // The same flat serialization the server's Stats response embeds,
+        // so downstream tooling parses one format.
+        println!("{}", report.metrics.to_json());
+        return Ok(());
+    }
 
     for (set, result) in &report.results {
         let names = workload.col_names(*set);
@@ -323,8 +338,16 @@ mod tests {
             save_plan: Some(dir.join("plan.txt").to_string_lossy().to_string()),
             load_plan: None,
             explain: true,
+            json: false,
         };
         run(&opts).unwrap();
+        // machine-readable metrics parse back into ExecMetrics
+        run(&Options {
+            json: true,
+            save_plan: None,
+            ..opts.clone()
+        })
+        .unwrap();
         // the SQL path
         run(&Options {
             sql: true,

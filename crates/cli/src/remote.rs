@@ -1,0 +1,199 @@
+//! The `client` subcommand: talk to a running `gbmqo serve` instance.
+
+use crate::csv::table_from_csv;
+use gbmqo_server::Client;
+
+/// What to ask the server.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Register a CSV file as a table.
+    Register {
+        /// Catalog name.
+        name: String,
+        /// CSV path.
+        file: String,
+    },
+    /// One Group By.
+    Query {
+        /// Table name.
+        table: String,
+        /// Comma-separated grouping columns.
+        cols: Vec<String>,
+    },
+    /// A multi-query workload from a `--sets` spec.
+    Workload {
+        /// Table name.
+        table: String,
+        /// GROUPING SETS spec, e.g. `((a),(b),(a,c))`.
+        sets: String,
+    },
+    /// Server counters.
+    Stats,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Server address.
+    pub addr: String,
+    /// The request to issue.
+    pub command: Command,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u32,
+    /// Rows to print per result table.
+    pub limit: usize,
+}
+
+impl Options {
+    /// Parse `client` arguments: `<addr> <command> [args] [flags]`.
+    pub fn parse(args: &[String]) -> std::result::Result<Self, String> {
+        let mut positional: Vec<&String> = Vec::new();
+        let mut deadline_ms = 0u32;
+        let mut limit = 10usize;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--deadline-ms" => {
+                    deadline_ms = it
+                        .next()
+                        .ok_or_else(|| "--deadline-ms needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?
+                }
+                "--limit" => {
+                    limit = it
+                        .next()
+                        .ok_or_else(|| "--limit needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--limit: {e}"))?
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+                _ => positional.push(a),
+            }
+        }
+        let [addr, rest @ ..] = positional.as_slice() else {
+            return Err("missing <addr>".to_string());
+        };
+        let command = match rest {
+            [c] if c.as_str() == "ping" => Command::Ping,
+            [c] if c.as_str() == "stats" => Command::Stats,
+            [c, name, file] if c.as_str() == "register" => Command::Register {
+                name: name.to_string(),
+                file: file.to_string(),
+            },
+            [c, table, cols] if c.as_str() == "query" => Command::Query {
+                table: table.to_string(),
+                cols: cols.split(',').map(|s| s.trim().to_string()).collect(),
+            },
+            [c, table, sets] if c.as_str() == "workload" => Command::Workload {
+                table: table.to_string(),
+                sets: sets.to_string(),
+            },
+            _ => {
+                return Err("expected: ping | stats | register <name> <file.csv> | \
+                     query <table> <cols> | workload <table> <sets>"
+                    .to_string())
+            }
+        };
+        Ok(Options {
+            addr: addr.to_string(),
+            command,
+            deadline_ms,
+            limit,
+        })
+    }
+}
+
+/// Run the subcommand.
+pub fn run(opts: &Options) -> std::result::Result<(), String> {
+    let mut client = Client::connect(opts.addr.as_str())
+        .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
+    match &opts.command {
+        Command::Ping => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+        }
+        Command::Register { name, file } => {
+            let content =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let table = table_from_csv(&content).map_err(|e| e.to_string())?;
+            client
+                .register_table(name, &table)
+                .map_err(|e| e.to_string())?;
+            println!("registered {name}: {} rows", table.num_rows());
+        }
+        Command::Query { table, cols } => {
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let result = client
+                .query(table, &col_refs, opts.deadline_ms)
+                .map_err(|e| e.to_string())?;
+            print!("{}", result.display(opts.limit));
+        }
+        Command::Workload { table, sets } => {
+            let requests = gbmqo_core::parse_grouping_sets(sets).map_err(|e| e.to_string())?;
+            // universe: columns mentioned, in first-mention order
+            let mut universe: Vec<&str> = Vec::new();
+            for r in &requests {
+                for c in r {
+                    if !universe.contains(&c.as_str()) {
+                        universe.push(c);
+                    }
+                }
+            }
+            let request_refs: Vec<Vec<&str>> = requests
+                .iter()
+                .map(|r| r.iter().map(String::as_str).collect())
+                .collect();
+            let results = client
+                .submit_workload(table, &universe, &request_refs, opts.deadline_ms)
+                .map_err(|e| e.to_string())?;
+            for (tag, result) in results {
+                println!("GROUP BY ({tag}): {} rows", result.num_rows());
+                print!("{}", result.display(opts.limit));
+            }
+        }
+        Command::Stats => {
+            println!("{}", client.stats().map_err(|e| e.to_string())?);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_commands() {
+        let o = Options::parse(&strs(&["localhost:4816", "ping"])).unwrap();
+        assert!(matches!(o.command, Command::Ping));
+        let o = Options::parse(&strs(&[
+            "localhost:4816",
+            "query",
+            "data",
+            "a,b",
+            "--deadline-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(o.deadline_ms, 500);
+        match o.command {
+            Command::Query { table, cols } => {
+                assert_eq!(table, "data");
+                assert_eq!(cols, vec!["a", "b"]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let o = Options::parse(&strs(&["h:1", "workload", "data", "((a),(b))"])).unwrap();
+        assert!(matches!(o.command, Command::Workload { .. }));
+        assert!(Options::parse(&[]).is_err());
+        assert!(Options::parse(&strs(&["h:1", "frobnicate"])).is_err());
+        assert!(Options::parse(&strs(&["h:1", "query", "data"])).is_err());
+    }
+}

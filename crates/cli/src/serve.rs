@@ -1,0 +1,150 @@
+//! The `serve` subcommand: expose a Session over the binary protocol.
+
+use crate::csv::table_from_csv;
+use gbmqo_core::prelude::*;
+use gbmqo_server::{Server, ServerConfig};
+use std::time::Duration;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// CSV file to preload (optional; clients can register tables too).
+    pub file: Option<String>,
+    /// Catalog name for the preloaded table.
+    pub table: String,
+    /// Listen address.
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission queue depth.
+    pub queue: usize,
+    /// Micro-batching window in milliseconds (0 disables batching).
+    pub batch_window_ms: u64,
+    /// Default per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+}
+
+impl Options {
+    /// Parse `serve` arguments.
+    pub fn parse(args: &[String]) -> std::result::Result<Self, String> {
+        let mut opts = Options {
+            file: None,
+            table: "data".to_string(),
+            addr: "127.0.0.1:4816".to_string(),
+            workers: 2,
+            queue: 64,
+            batch_window_ms: 2,
+            deadline_ms: 0,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match a.as_str() {
+                "--addr" => opts.addr = value("--addr")?,
+                "--table" => opts.table = value("--table")?,
+                "--workers" => {
+                    opts.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?
+                }
+                "--queue" => {
+                    opts.queue = value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?
+                }
+                "--batch-window-ms" => {
+                    opts.batch_window_ms = value("--batch-window-ms")?
+                        .parse()
+                        .map_err(|e| format!("--batch-window-ms: {e}"))?
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+                path if opts.file.is_none() => opts.file = Some(path.to_string()),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Run the subcommand: bind, print the address, serve until killed.
+pub fn run(opts: &Options) -> std::result::Result<(), String> {
+    let mut builder = Session::builder()
+        .search(SearchConfig::pruned())
+        .plan_cache(64);
+    if let Some(file) = &opts.file {
+        let content = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let table = table_from_csv(&content).map_err(|e| e.to_string())?;
+        println!(
+            "loaded {file} as table {:?}: {} rows × {} columns",
+            opts.table,
+            table.num_rows(),
+            table.num_columns()
+        );
+        builder = builder.table(opts.table.clone(), table);
+    }
+    let session = builder.build().map_err(|e| e.to_string())?;
+
+    let config = ServerConfig {
+        workers: opts.workers.max(1),
+        queue_capacity: opts.queue.max(1),
+        batch_window: (opts.batch_window_ms > 0)
+            .then(|| Duration::from_millis(opts.batch_window_ms)),
+        default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+    };
+    let handle = Server::bind(opts.addr.as_str(), session, config.clone())
+        .map_err(|e| format!("binding {}: {e}", opts.addr))?;
+    println!(
+        "listening on {} ({} workers, queue {}, batching {})",
+        handle.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        match config.batch_window {
+            Some(w) => format!("{}ms window", w.as_millis()),
+            None => "off".to_string(),
+        }
+    );
+    // Serve until the process is killed; the handle's Drop drains
+    // in-flight requests if we ever get here.
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_flags() {
+        let args: Vec<String> = [
+            "data.csv",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "4",
+            "--batch-window-ms",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.file.as_deref(), Some("data.csv"));
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.batch_window_ms, 0);
+        assert!(Options::parse(&["--workers".into()]).is_err());
+        assert!(Options::parse(&["--bogus".into()]).is_err());
+        // no file is fine: clients register tables over the wire
+        assert!(Options::parse(&[]).is_ok());
+    }
+}

@@ -17,8 +17,8 @@
 use crate::colset::ColSet;
 use crate::error::Result;
 use crate::executor::{
-    execute_plan_parallel_with, plan_group_estimates, run_plan, temp_name, GroupEstimates,
-    ParallelOptions,
+    cleanup_exec_temps, exec_prefix, exec_temp_name, execute_plan_parallel_with, next_exec_id,
+    plan_group_estimates, run_plan, GroupEstimates, ParallelOptions,
 };
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
@@ -160,6 +160,21 @@ fn execute_server_side(
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     plan.validate(workload)?;
     engine.reset_metrics();
+    let exec_id = next_exec_id();
+    let out = server_side_levels(plan, workload, engine, estimates, exec_id);
+    if out.is_err() {
+        cleanup_exec_temps(engine, exec_id);
+    }
+    out
+}
+
+fn server_side_levels(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    estimates: &GroupEstimates,
+    exec_id: u64,
+) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     let mut results: Vec<(ColSet, Table)> = Vec::new();
 
     // Level order: (source table name, source aggs, nodes to compute).
@@ -191,9 +206,9 @@ fn execute_server_side(
                     results.push((node.cols, table.clone()));
                 }
                 if node.is_materialized() {
-                    engine.materialize_temp(&temp_name(node.cols), table)?;
+                    engine.materialize_temp(&exec_temp_name(exec_id, node.cols), table)?;
                     frontier.push((
-                        temp_name(node.cols),
+                        exec_temp_name(exec_id, node.cols),
                         aggs.iter().map(AggSpec::reaggregate).collect(),
                         node.children.iter().collect(),
                     ));
@@ -215,10 +230,14 @@ fn execute_server_side(
         }
     }
 
-    // Drop any temps that still linger (children consumed them already,
-    // but required-internal nodes may remain).
+    // Drop any of *this execution's* temps that still linger (children
+    // consumed them already, but required-internal nodes may remain).
+    // Other executions' temps in a shared catalog are left alone.
+    let prefix = exec_prefix(exec_id);
     for name in engine.catalog().temp_names() {
-        engine.drop_temp(&name)?;
+        if name.starts_with(&prefix) {
+            engine.drop_temp(&name)?;
+        }
     }
     Ok((results, engine.metrics()))
 }

@@ -13,6 +13,7 @@ use gbmqo_cost::CostModel;
 use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
 use gbmqo_storage::Table;
 use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Optimizer distinct-group estimates per plan node, keyed by the node's
 /// column-set bits ([`ColSet::0`]). The executor forwards them to the
@@ -52,18 +53,60 @@ pub struct ExecutionReport {
     pub peak_temp_bytes: usize,
 }
 
-/// Name of the temp table materializing a node.
+/// Display name of the temp table materializing a node, as rendered in
+/// SQL scripts (see [`crate::render_sql`]). Actual executions namespace
+/// their temps per run (see [`exec_temp_name`]) so concurrent plans
+/// sharing a catalog cannot collide; this un-namespaced form is the
+/// stable, human-readable name.
 pub fn temp_name(cols: ColSet) -> String {
     format!("__gbmqo_tmp_{:x}", cols.0)
 }
 
+/// Monotonic id generator for plan executions. Namespacing temps by
+/// execution id is what lets several plans run against one shared
+/// catalog at the same time (the server's worker pool does exactly
+/// that) without clobbering each other's intermediates.
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Allocate a fresh execution id.
+pub(crate) fn next_exec_id() -> u64 {
+    NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Name prefix shared by every temp of execution `exec_id`.
+pub(crate) fn exec_prefix(exec_id: u64) -> String {
+    format!("__gbmqo_tmp_e{exec_id:x}_")
+}
+
+/// Name of the temp table materializing `cols` within execution
+/// `exec_id`.
+pub(crate) fn exec_temp_name(exec_id: u64, cols: ColSet) -> String {
+    format!("{}{:x}", exec_prefix(exec_id), cols.0)
+}
+
+/// Drop every temp table belonging to execution `exec_id`, ignoring
+/// individual drop failures (cleanup runs on error paths — a cancelled
+/// execution may not have materialized everything it scheduled).
+pub(crate) fn cleanup_exec_temps(engine: &mut Engine, exec_id: u64) {
+    let prefix = exec_prefix(exec_id);
+    let names: Vec<String> = engine
+        .catalog()
+        .temp_names()
+        .into_iter()
+        .filter(|n| n.starts_with(&prefix))
+        .collect();
+    for name in names {
+        let _ = engine.drop_temp(&name);
+    }
+}
+
 /// Input table name and aggregate list for an edge reading `source`
 /// (`None` = the base relation; temps re-aggregate with `SUM(cnt)` etc.).
-fn source_io(workload: &Workload, source: Option<ColSet>) -> (String, Vec<AggSpec>) {
+fn source_io(workload: &Workload, source: Option<ColSet>, exec_id: u64) -> (String, Vec<AggSpec>) {
     match source {
         None => (workload.table.clone(), workload.aggregates.clone()),
         Some(s) => (
-            temp_name(s),
+            exec_temp_name(exec_id, s),
             workload
                 .aggregates
                 .iter()
@@ -110,7 +153,24 @@ pub(crate) fn run_plan(
 ) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
+    let exec_id = next_exec_id();
+    let out = run_plan_steps(plan, workload, engine, size_estimate, estimates, exec_id);
+    if out.is_err() {
+        // A failed (or cancelled) execution must not leave its temps
+        // behind: the catalog may be shared with other executions.
+        cleanup_exec_temps(engine, exec_id);
+    }
+    out
+}
 
+fn run_plan_steps(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
+    estimates: &GroupEstimates,
+    exec_id: u64,
+) -> Result<ExecutionReport> {
     // Collect ROLLUP/CUBE nodes so their single step can deliver child
     // results.
     let special = collect_special(plan);
@@ -126,9 +186,12 @@ pub(crate) fn run_plan(
     let mut extra = ExecMetrics::new();
 
     for step in &steps {
+        // Cancellation boundary between plan steps: small queries never
+        // poll internally, so the executor polls for them.
+        engine.check_cancelled()?;
         match step {
             Step::Drop(cols) => {
-                engine.drop_temp(&temp_name(*cols))?;
+                engine.drop_temp(&exec_temp_name(exec_id, *cols))?;
             }
             Step::Query {
                 source,
@@ -137,7 +200,7 @@ pub(crate) fn run_plan(
                 required,
                 kind,
             } => {
-                let (input, aggs) = source_io(workload, *source);
+                let (input, aggs) = source_io(workload, *source, exec_id);
                 match kind {
                     NodeKind::GroupBy => {
                         let q = GroupByQuery {
@@ -148,7 +211,7 @@ pub(crate) fn run_plan(
                                 .map(|s| s.to_string())
                                 .collect(),
                             aggs,
-                            into: materialize.then(|| temp_name(*target)),
+                            into: materialize.then(|| exec_temp_name(exec_id, *target)),
                             estimated_groups: estimates.get(&target.0).copied(),
                         };
                         let out = engine.run_group_by(&q)?;
@@ -279,6 +342,22 @@ pub(crate) fn execute_plan_parallel_with(
 ) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
+    let exec_id = next_exec_id();
+    let out = execute_waves(plan, workload, engine, options, estimates, exec_id);
+    if out.is_err() {
+        cleanup_exec_temps(engine, exec_id);
+    }
+    out
+}
+
+fn execute_waves(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    options: ParallelOptions,
+    estimates: &GroupEstimates,
+    exec_id: u64,
+) -> Result<ExecutionReport> {
     let threads = options.effective_threads();
 
     let special = collect_special(plan);
@@ -305,6 +384,8 @@ pub(crate) fn execute_plan_parallel_with(
     let mut source_override: FxHashMap<u128, Option<ColSet>> = FxHashMap::default();
 
     for wave in level_plan(plan) {
+        // Cancellation boundary between dependency waves.
+        engine.check_cancelled()?;
         let mut batch: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
         let mut specials: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
         for edge in wave {
@@ -322,7 +403,7 @@ pub(crate) fn execute_plan_parallel_with(
         let queries: Vec<GroupByQuery> = batch
             .iter()
             .map(|(edge, src)| {
-                let (input, aggs) = source_io(workload, *src);
+                let (input, aggs) = source_io(workload, *src, exec_id);
                 GroupByQuery {
                     input,
                     group_cols: workload
@@ -351,7 +432,7 @@ pub(crate) fn execute_plan_parallel_with(
                 engine.catalog().accounting().current_temp_bytes + table.byte_size() <= b
             });
             if fits {
-                engine.materialize_temp(&temp_name(edge.target), table)?;
+                engine.materialize_temp(&exec_temp_name(exec_id, edge.target), table)?;
                 readers.insert(edge.target.0, kids.len());
             } else {
                 // Reparent the children to this edge's own source; if
@@ -369,7 +450,7 @@ pub(crate) fn execute_plan_parallel_with(
         // ROLLUP/CUBE nodes run serially: their lattice descent already
         // re-aggregates level-by-level internally.
         for (edge, src) in &specials {
-            let (input, aggs) = source_io(workload, *src);
+            let (input, aggs) = source_io(workload, *src, exec_id);
             let node = special
                 .get(&edge.target.0)
                 .ok_or_else(|| CoreError::InvalidPlan("unknown rollup/cube node".into()))?;
@@ -406,7 +487,7 @@ pub(crate) fn execute_plan_parallel_with(
                 *r -= 1;
                 if *r == 0 {
                     readers.remove(&s.0);
-                    engine.drop_temp(&temp_name(*s))?;
+                    engine.drop_temp(&exec_temp_name(exec_id, *s))?;
                 }
             }
         }
@@ -827,6 +908,64 @@ mod tests {
             let bt = &bounded.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(st), norm(bt), "deep budgeted run differs for {set:?}");
         }
+    }
+
+    #[test]
+    fn temp_names_are_namespaced_per_execution() {
+        // Two runs of the same plan allocate distinct exec ids, so even
+        // a snapshot of their temp names mid-run could never collide.
+        let a = exec_temp_name(next_exec_id(), ColSet::single(0));
+        let b = exec_temp_name(next_exec_id(), ColSet::single(0));
+        assert_ne!(a, b, "same node in two executions must not collide");
+        assert!(a.starts_with("__gbmqo_tmp_e"));
+        // and both differ from the display name used in SQL scripts
+        assert_ne!(a, temp_name(ColSet::single(0)));
+    }
+
+    #[test]
+    fn cancelled_run_drops_its_temps() {
+        let (mut engine, w) = setup();
+        let plan = merged_plan();
+        // Trip the token only after the first query has materialized its
+        // temp: attach an untripped token, run one step manually is not
+        // possible here, so use a deadline that expires mid-run instead —
+        // simplest deterministic variant: pre-tripped token, plus a
+        // manually materialized orphan proving cleanup is prefix-scoped.
+        engine
+            .materialize_temp(
+                "__gbmqo_tmp_eff_1",
+                engine.catalog().table("r").unwrap().clone(),
+            )
+            .unwrap();
+        let token = gbmqo_exec::CancelToken::new();
+        token.cancel();
+        engine.set_cancel_token(Some(token));
+        let err = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Exec(gbmqo_exec::ExecError::Cancelled { .. })
+        ));
+        engine.set_cancel_token(None);
+        // the foreign temp survives; no temps of the failed run linger
+        assert_eq!(engine.catalog().temp_names(), vec!["__gbmqo_tmp_eff_1"]);
+
+        // Same contract for the parallel executor.
+        let token = gbmqo_exec::CancelToken::new();
+        token.cancel();
+        engine.set_cancel_token(Some(token));
+        let err = execute_plan_parallel(&plan, &w, &mut engine, ParallelOptions::with_threads(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Exec(gbmqo_exec::ExecError::Cancelled { .. })
+        ));
+        engine.set_cancel_token(None);
+        assert_eq!(engine.catalog().temp_names(), vec!["__gbmqo_tmp_eff_1"]);
+        engine.drop_temp("__gbmqo_tmp_eff_1").unwrap();
+
+        // With the token detached the same plan runs to completion.
+        let ok = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        assert_eq!(ok.results.len(), 3);
     }
 
     #[test]

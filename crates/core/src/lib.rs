@@ -117,7 +117,7 @@ pub use executor::{
 pub use exhaustive::optimal_plan;
 pub use explain::{explain, render_explain, ExplainedEdge};
 pub use extensions::cube_rollup_pass;
-pub use gbmqo_exec::GroupByStrategy;
+pub use gbmqo_exec::{CancelToken, GroupByStrategy};
 pub use greedy::{GbMqo, SearchConfig, SearchStats};
 pub use grouping_sets::{grouping_sets_plan, BaselineKind};
 pub use join_pushdown::grouping_sets_over_join;
@@ -139,5 +139,5 @@ pub mod prelude {
     pub use crate::plan::{LogicalPlan, SubNode};
     pub use crate::session::{CostModelSpec, Session, SessionBuilder};
     pub use crate::workload::Workload;
-    pub use gbmqo_exec::GroupByStrategy;
+    pub use gbmqo_exec::{CancelToken, GroupByStrategy};
 }

@@ -44,7 +44,7 @@ use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::LogicalPlan;
 use crate::workload::Workload;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
-use gbmqo_exec::{Engine, GroupByStrategy};
+use gbmqo_exec::{CancelToken, Engine, GroupByStrategy};
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
 use gbmqo_storage::{Catalog, Table};
 use std::hash::{Hash, Hasher};
@@ -261,6 +261,16 @@ pub struct Session {
     stats_version: u64,
 }
 
+// A session is plain owned data (tables are `Arc`-shared but immutable),
+// so it can move between threads — the server wraps one in a mutex and
+// serves it from a worker pool. Compile-time audit; `Sync` is *not*
+// claimed: all the interesting methods take `&mut self` anyway.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<SessionBuilder>();
+};
+
 impl Session {
     /// Start configuring a session.
     pub fn builder() -> SessionBuilder {
@@ -429,6 +439,13 @@ impl Session {
     /// survives).
     pub fn set_mode(&mut self, mode: ExecutionMode) {
         self.mode = mode;
+    }
+
+    /// Attach a [`CancelToken`] polled by every subsequent execution at
+    /// its morsel/step boundaries; `None` detaches. The server attaches
+    /// a fresh deadline token per request and detaches it afterwards.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.engine.set_cancel_token(cancel);
     }
 
     /// Borrow the engine (metrics, catalog inspection).

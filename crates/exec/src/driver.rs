@@ -15,6 +15,7 @@
 //! Scalar strategy) so a single large edge still uses the whole machine.
 
 use crate::agg::AggSpec;
+use crate::cancel::CancelToken;
 use crate::engine::GroupByQuery;
 use crate::error::Result;
 use crate::metrics::ExecMetrics;
@@ -44,7 +45,10 @@ struct Resolved<'a> {
 }
 
 impl Resolved<'_> {
-    fn run(&self, metrics: &mut ExecMetrics) -> Result<Table> {
+    fn run(&self, cancel: Option<&CancelToken>, metrics: &mut ExecMetrics) -> Result<Table> {
+        // Per-query cancellation boundary: a worker draining its strided
+        // queue stops picking up new queries once the token trips.
+        crate::cancel::check(cancel)?;
         if self.io_ns_per_byte > 0.0 {
             if self.order.is_none() {
                 std::hint::black_box(crate::rowstore::full_scan_tax(self.table));
@@ -64,6 +68,7 @@ impl Resolved<'_> {
             self.strategy,
             self.inner_threads,
             self.estimated_groups,
+            cancel,
             metrics,
         )
     }
@@ -86,6 +91,7 @@ pub(crate) fn run_batch(
     queries: &[GroupByQuery],
     threads: usize,
     strategy: GroupByStrategy,
+    cancel: Option<&CancelToken>,
 ) -> Result<(Vec<Table>, ExecMetrics)> {
     let threads = threads.max(1);
     let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(queries.len());
@@ -146,7 +152,7 @@ pub(crate) fn run_batch(
         let out = resolved
             .iter()
             .enumerate()
-            .map(|(i, r)| (i, r.run(&mut m)))
+            .map(|(i, r)| (i, r.run(cancel, &mut m)))
             .collect();
         vec![(m, out)]
     } else {
@@ -161,7 +167,7 @@ pub(crate) fn run_batch(
                         // w, w+W, w+2W, … — deterministic and disjoint.
                         let mut i = wid;
                         while i < resolved.len() {
-                            out.push((i, resolved[i].run(&mut m)));
+                            out.push((i, resolved[i].run(cancel, &mut m)));
                             i += workers;
                         }
                         (m, out)
@@ -243,7 +249,8 @@ mod tests {
             GroupByQuery::count_star("r", &["b"]),
             GroupByQuery::count_star("r", &["a", "b"]),
         ];
-        let (tables, metrics) = run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto).unwrap();
+        let (tables, metrics) =
+            run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto, None).unwrap();
         assert_eq!(tables.len(), 3);
         assert_eq!(metrics.rows_scanned, 3 * 5_000);
         assert_eq!(metrics.elapsed_nanos, 0);
@@ -264,7 +271,7 @@ mod tests {
     fn single_query_uses_inner_parallelism() {
         let cat = catalog(40_000);
         let queries = vec![GroupByQuery::count_star("r", &["a", "b"])];
-        let (tables, _) = run_batch(&cat, 0.0, &queries, 8, GroupByStrategy::Auto).unwrap();
+        let (tables, _) = run_batch(&cat, 0.0, &queries, 8, GroupByStrategy::Auto, None).unwrap();
         assert_eq!(tables[0].num_rows(), 77);
     }
 
@@ -272,13 +279,13 @@ mod tests {
     fn missing_table_errors_cleanly() {
         let cat = catalog(10);
         let queries = vec![GroupByQuery::count_star("ghost", &["a"])];
-        assert!(run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto).is_err());
+        assert!(run_batch(&cat, 0.0, &queries, 4, GroupByStrategy::Auto, None).is_err());
     }
 
     #[test]
     fn empty_batch_is_fine() {
         let cat = catalog(10);
-        let (tables, _) = run_batch(&cat, 0.0, &[], 4, GroupByStrategy::Auto).unwrap();
+        let (tables, _) = run_batch(&cat, 0.0, &[], 4, GroupByStrategy::Auto, None).unwrap();
         assert!(tables.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 //! `SELECT … INTO tmp FROM … GROUP BY …` statements against a DBMS.
 
 use crate::agg::AggSpec;
+use crate::cancel::CancelToken;
 use crate::error::Result;
 use crate::metrics::ExecMetrics;
 use crate::radix::{group_by_with_strategy, GroupByStrategy};
@@ -60,6 +61,7 @@ pub struct Engine {
     io_ns_per_byte: f64,
     strategy: GroupByStrategy,
     kernel_threads: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl Engine {
@@ -71,7 +73,28 @@ impl Engine {
             io_ns_per_byte: 0.0,
             strategy: GroupByStrategy::default(),
             kernel_threads: 1,
+            cancel: None,
         }
+    }
+
+    /// Attach a [`CancelToken`] that every subsequent query polls at its
+    /// morsel boundaries (and the plan executors poll between steps).
+    /// `None` detaches — queries run to completion again. Callers running
+    /// per-request deadlines attach a fresh token per request.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// The currently attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Fail fast if the attached token (if any) has tripped. Plan
+    /// executors call this between steps/waves so cancellation is
+    /// observed even when individual queries are too small to poll.
+    pub fn check_cancelled(&self) -> Result<()> {
+        crate::cancel::check(self.cancel.as_ref())
     }
 
     /// Choose the group-by kernel for un-indexed groupings (default
@@ -184,6 +207,7 @@ impl Engine {
                 self.strategy,
                 self.kernel_threads,
                 q.estimated_groups,
+                self.cancel.as_ref(),
                 &mut self.metrics,
             )?
         };
@@ -228,6 +252,7 @@ impl Engine {
             queries,
             threads,
             self.strategy,
+            self.cancel.as_ref(),
         )?;
         self.metrics += batch_metrics;
         self.metrics.queries_executed += queries.len() as u64;
@@ -255,6 +280,7 @@ impl Engine {
         groupings: &[Vec<String>],
         aggs: &[crate::agg::AggSpec],
     ) -> Result<Vec<Table>> {
+        self.check_cancelled()?;
         let start = Instant::now();
         // Arc clone: a shared handle, not a copy of the rows. Owning the
         // handle keeps borrows simple while `self.metrics` is mutated.
@@ -454,6 +480,27 @@ mod tests {
         assert!(e
             .run_group_by(&GroupByQuery::count_star("r", &["ghost"]))
             .is_err());
+    }
+
+    #[test]
+    fn attached_token_cancels_queries() {
+        let mut e = Engine::new(catalog());
+        let token = CancelToken::new();
+        e.set_cancel_token(Some(token.clone()));
+        assert!(e.check_cancelled().is_ok());
+        // not tripped yet: queries run normally
+        e.run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap();
+        token.cancel();
+        assert!(e.check_cancelled().is_err());
+        let err = e
+            .run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap_err();
+        assert_eq!(err, crate::ExecError::Cancelled { timed_out: false });
+        // detach: back to normal
+        e.set_cancel_token(None);
+        e.run_group_by(&GroupByQuery::count_star("r", &["a"]))
+            .unwrap();
     }
 
     #[test]

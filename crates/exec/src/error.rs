@@ -10,6 +10,13 @@ pub enum ExecError {
     Storage(StorageError),
     /// An operator was given inconsistent inputs.
     Invalid(String),
+    /// The query was cancelled cooperatively (see [`crate::cancel`]);
+    /// `timed_out` is true when a deadline trip caused it rather than
+    /// an explicit cancel.
+    Cancelled {
+        /// Whether a deadline (rather than an explicit cancel) tripped.
+        timed_out: bool,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -17,6 +24,8 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            ExecError::Cancelled { timed_out: true } => write!(f, "query deadline exceeded"),
+            ExecError::Cancelled { timed_out: false } => write!(f, "query cancelled"),
         }
     }
 }
@@ -25,7 +34,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Storage(e) => Some(e),
-            ExecError::Invalid(_) => None,
+            ExecError::Invalid(_) | ExecError::Cancelled { .. } => None,
         }
     }
 }
@@ -51,5 +60,9 @@ mod tests {
         let e = ExecError::Invalid("nope".into());
         assert_eq!(e.to_string(), "invalid operation: nope");
         assert!(std::error::Error::source(&e).is_none());
+        let e = ExecError::Cancelled { timed_out: true };
+        assert_eq!(e.to_string(), "query deadline exceeded");
+        let e = ExecError::Cancelled { timed_out: false };
+        assert_eq!(e.to_string(), "query cancelled");
     }
 }

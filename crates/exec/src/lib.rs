@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod cancel;
 pub mod cube;
 mod driver;
 pub mod engine;
@@ -39,6 +40,7 @@ pub mod sort_agg;
 pub mod union_all;
 
 pub use agg::{AggFunc, AggSpec};
+pub use cancel::CancelToken;
 pub use cube::cube;
 pub use engine::{Engine, GroupByQuery};
 pub use error::{ExecError, Result};

@@ -58,6 +58,67 @@ impl ExecMetrics {
             self.rows_scanned as f64 / (self.elapsed_nanos as f64 / 1e9)
         }
     }
+
+    /// Every counter as `(name, value)` pairs, in declaration order.
+    /// The single source of truth for machine-readable output: both
+    /// [`ExecMetrics::to_json`] and the server's Stats response are
+    /// built from this list, so the two stay field-for-field identical.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rows_scanned", self.rows_scanned),
+            ("rows_output", self.rows_output),
+            ("bytes_scanned", self.bytes_scanned),
+            ("queries_executed", self.queries_executed),
+            ("tables_materialized", self.tables_materialized),
+            ("elapsed_nanos", self.elapsed_nanos),
+            ("radix_partitions", self.radix_partitions),
+            ("packed_key_rows", self.packed_key_rows),
+            ("fallback_key_rows", self.fallback_key_rows),
+            ("hash_resizes", self.hash_resizes),
+        ]
+    }
+
+    /// One flat JSON object of all counters (no trailing newline).
+    /// All values are unsigned integers, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Parse a JSON object produced by [`ExecMetrics::to_json`] (or any
+    /// superset object — unknown keys are ignored). Used by the wire
+    /// protocol's Stats decoding so client and server share one format.
+    pub fn from_json(json: &str) -> Option<Self> {
+        let inner = json.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut m = ExecMetrics::new();
+        for pair in inner.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value: u64 = value.trim().parse().ok()?;
+            match key {
+                "rows_scanned" => m.rows_scanned = value,
+                "rows_output" => m.rows_output = value,
+                "bytes_scanned" => m.bytes_scanned = value,
+                "queries_executed" => m.queries_executed = value,
+                "tables_materialized" => m.tables_materialized = value,
+                "elapsed_nanos" => m.elapsed_nanos = value,
+                "radix_partitions" => m.radix_partitions = value,
+                "packed_key_rows" => m.packed_key_rows = value,
+                "fallback_key_rows" => m.fallback_key_rows = value,
+                "hash_resizes" => m.hash_resizes = value,
+                _ => {}
+            }
+        }
+        Some(m)
+    }
 }
 
 impl AddAssign for ExecMetrics {
@@ -125,6 +186,32 @@ mod tests {
         m.rows_scanned = 1_000;
         m.elapsed_nanos = 500_000_000; // 0.5 s
         assert!((m.rows_per_sec() - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_roundtrip_covers_every_field() {
+        let m = ExecMetrics {
+            rows_scanned: 1,
+            rows_output: 2,
+            bytes_scanned: 3,
+            queries_executed: 4,
+            tables_materialized: 5,
+            elapsed_nanos: 6,
+            radix_partitions: 7,
+            packed_key_rows: 8,
+            fallback_key_rows: 9,
+            hash_resizes: 10,
+        };
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"radix_partitions\":7"));
+        // fields() enumerates every counter exactly once
+        assert_eq!(m.fields().len(), 10);
+        let back = ExecMetrics::from_json(&json).unwrap();
+        assert_eq!(back, m);
+        // unknown keys are tolerated, garbage is not
+        assert!(ExecMetrics::from_json("{\"rows_scanned\":1,\"new_counter\":9}").is_some());
+        assert!(ExecMetrics::from_json("not json").is_none());
     }
 
     #[test]

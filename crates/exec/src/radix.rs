@@ -24,6 +24,7 @@
 //! so each partition's hash table stays cache-resident.
 
 use crate::agg::{Accumulator, AggSpec};
+use crate::cancel::CancelToken;
 use crate::error::Result;
 use crate::group_by::{hash_group_by, output_table, record, stream_group_by};
 use crate::metrics::ExecMetrics;
@@ -118,12 +119,17 @@ type Scatter<K> = Vec<Vec<(K, u32)>>;
 type PartitionAgg = (Vec<u32>, Vec<Accumulator>, u64);
 
 /// Pass 1 for packed keys: encode morsels into `K` codes and scatter.
+///
+/// Cancellation is polled once per morsel; a tripped token makes every
+/// worker bail out early (the partial scatter is discarded by the
+/// caller's [`crate::cancel::check`]).
 fn scatter_packed<K: KeyCode>(
     spec: &PackedKeySpec,
     key_cols: &[&Column],
     rows: usize,
     workers: usize,
     partitions: usize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<Scatter<K>> {
     let chunk = rows.div_ceil(workers);
     scoped_map(workers, |w| {
@@ -136,6 +142,9 @@ fn scatter_packed<K: KeyCode>(
         let shift = 64 - partitions.trailing_zeros();
         let mut pos = lo;
         while pos < hi {
+            if crate::cancel::tripped(cancel) {
+                break;
+            }
             let len = MORSEL_ROWS.min(hi - pos);
             codes.clear();
             codes.resize(len, K::default());
@@ -165,6 +174,7 @@ fn scatter_rowkey(
     rows: usize,
     workers: usize,
     partitions: usize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<Scatter<RowKey>> {
     let chunk = rows.div_ceil(workers);
     let hasher = FxBuildHasher;
@@ -177,6 +187,10 @@ fn scatter_rowkey(
         let mut enc = KeyEncoder::new();
         let shift = 64 - partitions.trailing_zeros();
         for row in lo..hi {
+            // Morsel-granular poll (per-row would cost more than it saves).
+            if row % MORSEL_ROWS == 0 && crate::cancel::tripped(cancel) {
+                break;
+            }
             let key = enc.encode(key_cols, row);
             let j = if partitions == 1 {
                 0
@@ -244,12 +258,19 @@ fn aggregate_all<K: Eq + Hash + Clone + Send + Sync>(
     scatters: &[Scatter<K>],
     partitions: usize,
     threads: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<(Vec<u32>, Vec<Accumulator>, u64)> {
     let workers = threads.min(partitions).max(1);
     let per_worker: Vec<Vec<(usize, Result<PartitionAgg>)>> = scoped_map(workers, |w| {
         let mut out = Vec::new();
         let mut j = w;
         while j < partitions {
+            // Cancellation boundary between partitions: a tripped token
+            // surfaces as a per-partition error and stops this worker.
+            if let Err(e) = crate::cancel::check(cancel) {
+                out.push((j, Err(e)));
+                break;
+            }
             out.push((j, aggregate_partition(input, aggs, scatters, j)));
             j += workers;
         }
@@ -311,6 +332,7 @@ pub fn radix_group_by(
     aggs: &[AggSpec],
     threads: usize,
     estimated_groups: Option<u64>,
+    cancel: Option<&CancelToken>,
     metrics: &mut ExecMetrics,
 ) -> Result<Table> {
     let rows = input.num_rows();
@@ -318,6 +340,7 @@ pub fn radix_group_by(
         // Nothing to partition (and the empty grouping is one group).
         return hash_group_by(input, group_cols, aggs, metrics);
     }
+    crate::cancel::check(cancel)?;
     let start = Instant::now();
     let threads = threads.max(1).min(rows);
     let partitions = partition_count(threads, rows, estimated_groups);
@@ -327,19 +350,23 @@ pub fn radix_group_by(
     let (representatives, accumulators, resizes) = match PackedKeySpec::build(&key_cols) {
         Some(spec) if spec.fits_u64() => {
             metrics.packed_key_rows += rows as u64;
-            let scatters = scatter_packed::<u64>(&spec, &key_cols, rows, pass1_workers, partitions);
-            aggregate_all(input, aggs, &scatters, partitions, threads)?
+            let scatters =
+                scatter_packed::<u64>(&spec, &key_cols, rows, pass1_workers, partitions, cancel);
+            crate::cancel::check(cancel)?;
+            aggregate_all(input, aggs, &scatters, partitions, threads, cancel)?
         }
         Some(spec) => {
             metrics.packed_key_rows += rows as u64;
             let scatters =
-                scatter_packed::<u128>(&spec, &key_cols, rows, pass1_workers, partitions);
-            aggregate_all(input, aggs, &scatters, partitions, threads)?
+                scatter_packed::<u128>(&spec, &key_cols, rows, pass1_workers, partitions, cancel);
+            crate::cancel::check(cancel)?;
+            aggregate_all(input, aggs, &scatters, partitions, threads, cancel)?
         }
         None => {
             metrics.fallback_key_rows += rows as u64;
-            let scatters = scatter_rowkey(&key_cols, rows, pass1_workers, partitions);
-            aggregate_all(input, aggs, &scatters, partitions, threads)?
+            let scatters = scatter_rowkey(&key_cols, rows, pass1_workers, partitions, cancel);
+            crate::cancel::check(cancel)?;
+            aggregate_all(input, aggs, &scatters, partitions, threads, cancel)?
         }
     };
     metrics.radix_partitions += partitions as u64;
@@ -367,8 +394,12 @@ pub fn group_by_with_strategy(
     strategy: GroupByStrategy,
     threads: usize,
     estimated_groups: Option<u64>,
+    cancel: Option<&CancelToken>,
     metrics: &mut ExecMetrics,
 ) -> Result<Table> {
+    // Scalar paths have no internal poll points; a pre-flight check
+    // still bounds over-deadline work to one query.
+    crate::cancel::check(cancel)?;
     if let Some(order) = order {
         return stream_group_by(input, group_cols, aggs, order, metrics);
     }
@@ -380,12 +411,26 @@ pub fn group_by_with_strategy(
                 hash_group_by(input, group_cols, aggs, metrics)
             }
         }
-        GroupByStrategy::Radix => {
-            radix_group_by(input, group_cols, aggs, threads, estimated_groups, metrics)
-        }
+        GroupByStrategy::Radix => radix_group_by(
+            input,
+            group_cols,
+            aggs,
+            threads,
+            estimated_groups,
+            cancel,
+            metrics,
+        ),
         GroupByStrategy::Auto => {
             if input.num_rows() >= RADIX_MIN_ROWS {
-                radix_group_by(input, group_cols, aggs, threads, estimated_groups, metrics)
+                radix_group_by(
+                    input,
+                    group_cols,
+                    aggs,
+                    threads,
+                    estimated_groups,
+                    cancel,
+                    metrics,
+                )
             } else {
                 hash_group_by(input, group_cols, aggs, metrics)
             }
@@ -447,7 +492,7 @@ mod tests {
         let expected = hash_group_by(&t, &[0, 1], &aggs(), &mut m).unwrap();
         for threads in [1, 2, 4] {
             for est in [None, Some(4), Some(1_000_000)] {
-                let got = radix_group_by(&t, &[0, 1], &aggs(), threads, est, &mut m).unwrap();
+                let got = radix_group_by(&t, &[0, 1], &aggs(), threads, est, None, &mut m).unwrap();
                 assert_eq!(norm(&got), norm(&expected), "threads={threads} est={est:?}");
             }
         }
@@ -460,7 +505,7 @@ mod tests {
         let t = table(5_000, 41);
         let mut m = ExecMetrics::new();
         let expected = hash_group_by(&t, &[3, 1], &[AggSpec::count()], &mut m).unwrap();
-        let got = radix_group_by(&t, &[3, 1], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        let got = radix_group_by(&t, &[3, 1], &[AggSpec::count()], 4, None, None, &mut m).unwrap();
         assert_eq!(norm(&got), norm(&expected));
         assert_eq!(m.packed_key_rows, 0);
         assert_eq!(m.fallback_key_rows, 5_000);
@@ -470,11 +515,11 @@ mod tests {
     fn empty_input_and_empty_grouping() {
         let t = table(0, 1);
         let mut m = ExecMetrics::new();
-        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, None, None, &mut m).unwrap();
         assert_eq!(r.num_rows(), 0);
 
         let t = table(100, 7);
-        let r = radix_group_by(&t, &[], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        let r = radix_group_by(&t, &[], &[AggSpec::count()], 4, None, None, &mut m).unwrap();
         assert_eq!(r.num_rows(), 1);
         assert_eq!(r.value(0, 0), Value::Int(100));
     }
@@ -483,7 +528,7 @@ mod tests {
     fn groups_are_not_duplicated_across_partitions() {
         let t = table(20_000, 256);
         let mut m = ExecMetrics::new();
-        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, Some(256), &mut m).unwrap();
+        let r = radix_group_by(&t, &[0], &[AggSpec::count()], 4, Some(256), None, &mut m).unwrap();
         let mut keys: Vec<Value> = (0..r.num_rows()).map(|i| r.value(i, 0)).collect();
         let before = keys.len();
         keys.sort();
@@ -514,7 +559,8 @@ mod tests {
             GroupByStrategy::Radix,
         ] {
             let r =
-                group_by_with_strategy(&t, &[0], &aggs(), None, strategy, 2, None, &mut m).unwrap();
+                group_by_with_strategy(&t, &[0], &aggs(), None, strategy, 2, None, None, &mut m)
+                    .unwrap();
             assert_eq!(norm(&r), norm(&base), "{strategy:?}");
         }
     }
@@ -531,9 +577,31 @@ mod tests {
             GroupByStrategy::Auto,
             4,
             None,
+            None,
             &mut m,
         )
         .unwrap();
         assert_eq!(m.radix_partitions, 0, "small input should not radix");
+    }
+
+    #[test]
+    fn tripped_token_aborts_radix_kernel() {
+        let t = table(50_000, 997);
+        let mut m = ExecMetrics::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = radix_group_by(&t, &[0, 1], &aggs(), 4, None, Some(&token), &mut m).unwrap_err();
+        assert_eq!(err, crate::error::ExecError::Cancelled { timed_out: false });
+
+        // An expired deadline reports as a timeout.
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let err = radix_group_by(&t, &[0, 1], &aggs(), 4, None, Some(&token), &mut m).unwrap_err();
+        assert_eq!(err, crate::error::ExecError::Cancelled { timed_out: true });
+
+        // An untripped token changes nothing.
+        let token = CancelToken::new();
+        let ok = radix_group_by(&t, &[0], &[AggSpec::count()], 4, None, Some(&token), &mut m);
+        assert!(ok.is_ok());
     }
 }

@@ -1,0 +1,193 @@
+//! Micro-batching: coalesce concurrent single-query requests into one
+//! multi-query workload.
+//!
+//! This is the serving-layer realization of the paper's core insight:
+//! a *set* of Group By queries can be computed much more cheaply than
+//! the queries individually, because the optimizer (SubPlanMerge, §4)
+//! shares scans and materialized sub-aggregates among them. A single
+//! client rarely submits a whole workload at once — but a busy server
+//! sees the same effect *across* clients. The batcher holds the first
+//! `Query` request for a short window (typically a few milliseconds),
+//! collects every other `Query` that arrives meanwhile, merges the
+//! requests per base table into one [`Workload`], and runs a single
+//! optimized plan. Each client then receives exactly its own grouping
+//! set's result, unaware that the plan was shared. Repeated workload
+//! *shapes* additionally hit the session's plan cache, so steady-state
+//! traffic skips the merge search entirely.
+//!
+//! Deadlines: a merged run executes under the earliest deadline of its
+//! constituents, so one impatient client cannot be starved by the
+//! batch; if the run is cancelled, every constituent receives
+//! `Timeout`. A malformed constituent (unknown column) fails the whole
+//! merged workload — the batcher replies with the same error to each
+//! constituent rather than re-running the remainder, keeping the
+//! window's latency bound tight.
+
+use crate::error::ErrorCode;
+use crate::protocol::Response;
+use crate::server::{error_code_for, run_workload, send_reply, Shared};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A `Query` request waiting to be merged.
+pub(crate) struct BatchJob {
+    pub request_id: u64,
+    pub deadline: Option<Instant>,
+    pub reply: Sender<Vec<u8>>,
+    pub table: String,
+    pub group_cols: Vec<String>,
+}
+
+/// Batcher thread body: collect a window's worth of queries, merge,
+/// execute, route results. Exits when every sender is gone.
+pub(crate) fn run_batcher(rx: Receiver<BatchJob>, shared: Arc<Shared>, window: Duration) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        let close_at = Instant::now() + window;
+        loop {
+            let now = Instant::now();
+            if now >= close_at {
+                break;
+            }
+            match rx.recv_timeout(close_at - now) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for (table, group) in group_by_table(jobs) {
+            execute_group(&shared, &table, group);
+        }
+    }
+}
+
+/// Partition a window's jobs by base table, preserving arrival order.
+fn group_by_table(jobs: Vec<BatchJob>) -> Vec<(String, Vec<BatchJob>)> {
+    let mut groups: Vec<(String, Vec<BatchJob>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(t, _)| *t == job.table) {
+            Some((_, g)) => g.push(job),
+            None => groups.push((job.table.clone(), vec![job])),
+        }
+    }
+    groups
+}
+
+/// Merge one table's jobs into a workload: the universe is the union
+/// of requested columns in first-seen order, the requests are each
+/// job's grouping set (the workload constructor dedups repeats).
+fn merged_universe(group: &[BatchJob]) -> Vec<String> {
+    let mut universe: Vec<String> = Vec::new();
+    for job in group {
+        for col in &job.group_cols {
+            if !universe.contains(col) {
+                universe.push(col.clone());
+            }
+        }
+    }
+    universe
+}
+
+fn execute_group(shared: &Shared, table: &str, group: Vec<BatchJob>) {
+    let universe = merged_universe(&group);
+    let requests: Vec<Vec<String>> = group.iter().map(|j| j.group_cols.clone()).collect();
+    let deadline = group.iter().filter_map(|j| j.deadline).min();
+
+    {
+        let mut counters = shared.counters();
+        counters.requests += group.len() as u64;
+        counters.batches += 1;
+        counters.batched_queries += group.len() as u64;
+    }
+
+    match run_workload(shared, table, &universe, &requests, deadline) {
+        Ok(results) => {
+            for job in &group {
+                let tag = job.group_cols.join(",");
+                // Result sets are tagged with the workload's column
+                // order; a job's set matches when the column *sets*
+                // are equal, independent of order.
+                let found = results.iter().find(|(set_tag, _)| {
+                    let mut a: Vec<&str> = set_tag.split(',').collect();
+                    let mut b: Vec<&str> = job.group_cols.iter().map(String::as_str).collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    a == b
+                });
+                match found {
+                    Some((_, result)) => {
+                        send_reply(
+                            &job.reply,
+                            job.request_id,
+                            &Response::Batch {
+                                set_tag: tag,
+                                table: result.clone(),
+                            },
+                        );
+                        send_reply(&job.reply, job.request_id, &Response::Done { batches: 1 });
+                    }
+                    None => send_reply(
+                        &job.reply,
+                        job.request_id,
+                        &Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!("merged plan produced no result for ({tag})"),
+                        },
+                    ),
+                }
+            }
+        }
+        Err(e) => {
+            let code = error_code_for(&e);
+            if code == ErrorCode::Timeout {
+                shared.counters().timeouts += group.len() as u64;
+            }
+            for job in &group {
+                send_reply(
+                    &job.reply,
+                    job.request_id,
+                    &Response::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn job(table: &str, cols: &[&str]) -> BatchJob {
+        let (tx, _rx) = mpsc::channel();
+        BatchJob {
+            request_id: 1,
+            deadline: None,
+            reply: tx,
+            table: table.into(),
+            group_cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn jobs_group_by_table_preserving_order() {
+        let groups = group_by_table(vec![job("r", &["a"]), job("s", &["x"]), job("r", &["b"])]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "r");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "s");
+    }
+
+    #[test]
+    fn universe_is_first_seen_union() {
+        let group = vec![job("r", &["b", "a"]), job("r", &["a", "c"])];
+        assert_eq!(merged_universe(&group), vec!["b", "a", "c"]);
+    }
+}

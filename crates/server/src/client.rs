@@ -1,0 +1,243 @@
+//! Blocking client for the gbmqo wire protocol.
+//!
+//! [`Client`] supports **pipelining**: the `send_*` methods write a
+//! request and return its id immediately, and [`Client::wait`] blocks
+//! until that id's response arrives — buffering any other responses
+//! that show up first, since a multi-worker server may complete
+//! requests out of submission order. The convenience methods
+//! (`query`, `submit_workload`, ...) are `send` + `wait` in one call.
+
+use crate::error::{ServerError, ServerResult};
+use crate::protocol::{self, Request, Response};
+use gbmqo_storage::Table;
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A completed response, as returned by [`Client::wait`].
+#[derive(Debug)]
+pub enum Reply {
+    /// Reply to a ping.
+    Pong,
+    /// Reply to a table registration.
+    Ack,
+    /// Streaming result: `(set_tag, table)` per grouping set.
+    Results(Vec<(String, Table)>),
+    /// Stats JSON.
+    Stats(String),
+}
+
+enum Pending {
+    /// Batches received so far for a still-streaming response.
+    Partial(Vec<(String, Table)>),
+    /// Response finished before its `wait` was called.
+    Complete(ServerResult<Reply>),
+}
+
+/// A blocking connection to a gbmqo server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    pending: HashMap<u64, Pending>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServerResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_id: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> ServerResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = protocol::encode_request(id, req);
+        protocol::write_frame(&mut &self.stream, &payload)?;
+        Ok(id)
+    }
+
+    /// Pipelined send: a liveness probe.
+    pub fn send_ping(&mut self) -> ServerResult<u64> {
+        self.send(&Request::Ping)
+    }
+
+    /// Pipelined send: register `table` under `name`.
+    pub fn send_register_table(&mut self, name: &str, table: &Table) -> ServerResult<u64> {
+        self.send(&Request::RegisterTable {
+            name: name.to_string(),
+            table: table.clone(),
+        })
+    }
+
+    /// Pipelined send: one Group By (eligible for server-side
+    /// micro-batching). `deadline_ms` of `0` means no deadline.
+    pub fn send_query(
+        &mut self,
+        table: &str,
+        group_cols: &[&str],
+        deadline_ms: u32,
+    ) -> ServerResult<u64> {
+        self.send(&Request::Query {
+            table: table.to_string(),
+            group_cols: group_cols.iter().map(|s| s.to_string()).collect(),
+            deadline_ms,
+        })
+    }
+
+    /// Pipelined send: a full multi-query workload.
+    pub fn send_workload(
+        &mut self,
+        table: &str,
+        universe: &[&str],
+        requests: &[Vec<&str>],
+        deadline_ms: u32,
+    ) -> ServerResult<u64> {
+        self.send(&Request::SubmitWorkload {
+            table: table.to_string(),
+            universe: universe.iter().map(|s| s.to_string()).collect(),
+            requests: requests
+                .iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect())
+                .collect(),
+            deadline_ms,
+        })
+    }
+
+    /// Pipelined send: fetch server stats.
+    pub fn send_stats(&mut self) -> ServerResult<u64> {
+        self.send(&Request::Stats)
+    }
+
+    /// Block until request `id` completes, buffering out-of-order
+    /// responses to other in-flight requests.
+    pub fn wait(&mut self, id: u64) -> ServerResult<Reply> {
+        if let Some(Pending::Complete(_)) = self.pending.get(&id) {
+            let Some(Pending::Complete(done)) = self.pending.remove(&id) else {
+                unreachable!()
+            };
+            return done;
+        }
+        loop {
+            let payload = protocol::read_frame(&mut &self.stream)?
+                .ok_or_else(|| ServerError::Protocol("server closed the connection".into()))?;
+            let (rid, resp) = protocol::decode_response(&payload)?;
+            let done: Option<ServerResult<Reply>> = match resp {
+                Response::Pong => Some(Ok(Reply::Pong)),
+                Response::Ack => Some(Ok(Reply::Ack)),
+                Response::StatsReply { json } => Some(Ok(Reply::Stats(json))),
+                Response::Batch { set_tag, table } => {
+                    match self
+                        .pending
+                        .entry(rid)
+                        .or_insert(Pending::Partial(Vec::new()))
+                    {
+                        Pending::Partial(batches) => batches.push((set_tag, table)),
+                        Pending::Complete(_) => {
+                            return Err(ServerError::Protocol(
+                                "batch after response completed".into(),
+                            ))
+                        }
+                    }
+                    None
+                }
+                Response::Done { batches } => {
+                    let collected = match self.pending.remove(&rid) {
+                        Some(Pending::Partial(b)) => b,
+                        Some(done @ Pending::Complete(_)) => {
+                            self.pending.insert(rid, done);
+                            return Err(ServerError::Protocol(
+                                "done after response completed".into(),
+                            ));
+                        }
+                        None => Vec::new(),
+                    };
+                    if collected.len() != batches as usize {
+                        return Err(ServerError::Protocol(format!(
+                            "expected {batches} batches, got {}",
+                            collected.len()
+                        )));
+                    }
+                    Some(Ok(Reply::Results(collected)))
+                }
+                Response::Error { code, message } => {
+                    self.pending.remove(&rid);
+                    Some(Err(ServerError::Remote { code, message }))
+                }
+            };
+            if let Some(done) = done {
+                if rid == id {
+                    return done;
+                }
+                self.pending.insert(rid, Pending::Complete(done));
+            }
+        }
+    }
+
+    /// Ping the server.
+    pub fn ping(&mut self) -> ServerResult<()> {
+        let id = self.send_ping()?;
+        match self.wait(id)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Register a table.
+    pub fn register_table(&mut self, name: &str, table: &Table) -> ServerResult<()> {
+        let id = self.send_register_table(name, table)?;
+        match self.wait(id)? {
+            Reply::Ack => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run one Group By and return its result table.
+    pub fn query(
+        &mut self,
+        table: &str,
+        group_cols: &[&str],
+        deadline_ms: u32,
+    ) -> ServerResult<Table> {
+        let id = self.send_query(table, group_cols, deadline_ms)?;
+        match self.wait(id)? {
+            Reply::Results(mut r) if r.len() == 1 => Ok(r.pop().unwrap().1),
+            Reply::Results(r) => Err(ServerError::Protocol(format!(
+                "expected one result table, got {}",
+                r.len()
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run a multi-query workload; returns `(set_tag, table)` pairs.
+    pub fn submit_workload(
+        &mut self,
+        table: &str,
+        universe: &[&str],
+        requests: &[Vec<&str>],
+        deadline_ms: u32,
+    ) -> ServerResult<Vec<(String, Table)>> {
+        let id = self.send_workload(table, universe, requests, deadline_ms)?;
+        match self.wait(id)? {
+            Reply::Results(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's stats JSON.
+    pub fn stats(&mut self) -> ServerResult<String> {
+        let id = self.send_stats()?;
+        match self.wait(id)? {
+            Reply::Stats(json) => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(got: &Reply) -> ServerError {
+    ServerError::Protocol(format!("unexpected response: {got:?}"))
+}

@@ -1,0 +1,392 @@
+//! Byte-level encoding for the wire protocol: little-endian scalar
+//! helpers, length-prefixed strings, and a columnar table format.
+//!
+//! Tables go over the wire in their native columnar layout: a schema
+//! header, then per column an optional validity bitmap and a typed
+//! payload. Dictionary-encoded string columns ship their dictionary
+//! entries in code order followed by the per-row codes, so decoding
+//! re-interns the entries in the same order and the codes carry over
+//! verbatim — no per-row string materialization on either side.
+
+use crate::error::{ServerError, ServerResult};
+use gbmqo_storage::column::ColumnData;
+use gbmqo_storage::{Bitmap, Column, DataType, Dictionary, Field, Schema, Table};
+use std::sync::Arc;
+
+/// Hard cap on any length field read from the wire (strings, vectors,
+/// row counts). Bounds allocation from a malformed or hostile frame.
+pub const MAX_WIRE_LEN: usize = 1 << 28;
+
+fn malformed(what: &str) -> ServerError {
+    ServerError::Protocol(format!("malformed frame: {what}"))
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed list of strings.
+pub fn put_str_list(buf: &mut Vec<u8>, items: &[String]) {
+    put_u32(buf, items.len() as u32);
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+/// Sequential reader over a received payload.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the payload was consumed exactly.
+    pub fn finish(&self) -> ServerResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(malformed("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> ServerResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(malformed("truncated payload"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> ServerResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32` little-endian.
+    pub fn u32(&mut self) -> ServerResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` little-endian.
+    pub fn u64(&mut self) -> ServerResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length field, rejecting absurd values.
+    fn len(&mut self) -> ServerResult<usize> {
+        let n = self.u32()? as usize;
+        if n > MAX_WIRE_LEN || n > self.remaining().max(8) * 64 {
+            return Err(malformed("length out of bounds"));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> ServerResult<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8"))
+    }
+
+    /// Read a length-prefixed list of strings.
+    pub fn str_list(&mut self) -> ServerResult<Vec<String>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.str()).collect()
+    }
+}
+
+fn dtype_code(t: DataType) -> u8 {
+    match t {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Date32 => 3,
+    }
+}
+
+fn dtype_from(code: u8) -> ServerResult<DataType> {
+    Ok(match code {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Utf8,
+        3 => DataType::Date32,
+        _ => return Err(malformed("unknown data type")),
+    })
+}
+
+/// Serialize a table: schema header, row count, then per-column
+/// validity + typed payload.
+pub fn put_table(buf: &mut Vec<u8>, table: &Table) {
+    let schema = table.schema();
+    put_u32(buf, schema.fields().len() as u32);
+    for f in schema.fields() {
+        put_str(buf, &f.name);
+        buf.push(dtype_code(f.data_type));
+        buf.push(f.nullable as u8);
+    }
+    let rows = table.num_rows();
+    put_u64(buf, rows as u64);
+    for col in table.columns() {
+        match col.validity() {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                let mut byte = 0u8;
+                for i in 0..rows {
+                    if v.get(i) {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        buf.push(byte);
+                        byte = 0;
+                    }
+                }
+                if !rows.is_multiple_of(8) {
+                    buf.push(byte);
+                }
+            }
+        }
+        match col.data() {
+            ColumnData::Int64(vals) => {
+                for v in vals {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnData::Float64(vals) => {
+                for v in vals {
+                    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            ColumnData::Date32(vals) => {
+                for v in vals {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnData::Utf8 { codes, dict } => {
+                put_u32(buf, dict.len() as u32);
+                for code in 0..dict.len() as u32 {
+                    put_str(buf, dict.get(code));
+                }
+                for c in codes {
+                    put_u32(buf, *c);
+                }
+            }
+        }
+    }
+}
+
+/// Deserialize a table written by [`put_table`].
+pub fn get_table(cur: &mut Cursor<'_>) -> ServerResult<Table> {
+    let ncols = cur.len()?;
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = cur.str()?;
+        let data_type = dtype_from(cur.u8()?)?;
+        let nullable = cur.u8()? != 0;
+        fields.push(if nullable {
+            Field::new(name, data_type)
+        } else {
+            Field::not_null(name, data_type)
+        });
+    }
+    let rows = cur.u64()? as usize;
+    if rows > MAX_WIRE_LEN {
+        return Err(malformed("row count out of bounds"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for f in &fields {
+        let validity = match cur.u8()? {
+            0 => None,
+            1 => {
+                let bytes = cur.take(rows.div_ceil(8))?;
+                let mut bm = Bitmap::new();
+                for i in 0..rows {
+                    bm.push(bytes[i / 8] & (1 << (i % 8)) != 0);
+                }
+                Some(bm)
+            }
+            _ => return Err(malformed("bad validity flag")),
+        };
+        let data = match f.data_type {
+            DataType::Int64 => {
+                let raw = cur.take(rows * 8)?;
+                ColumnData::Int64(
+                    raw.chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            DataType::Float64 => {
+                let raw = cur.take(rows * 8)?;
+                ColumnData::Float64(
+                    raw.chunks_exact(8)
+                        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                        .collect(),
+                )
+            }
+            DataType::Date32 => {
+                let raw = cur.take(rows * 4)?;
+                ColumnData::Date32(
+                    raw.chunks_exact(4)
+                        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            DataType::Utf8 => {
+                let dict_len = cur.len()?;
+                let mut dict = Dictionary::new();
+                for expected in 0..dict_len as u32 {
+                    let s = cur.str()?;
+                    // Entries were written in code order, so re-interning
+                    // in order reproduces the sender's codes exactly.
+                    let code = dict.intern(&s);
+                    if code != expected {
+                        return Err(malformed("duplicate dictionary entry"));
+                    }
+                }
+                let raw = cur.take(rows * 4)?;
+                let codes: Vec<u32> = raw
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                if codes.iter().any(|&c| c as usize >= dict_len.max(1)) && rows > 0 {
+                    return Err(malformed("dictionary code out of range"));
+                }
+                ColumnData::Utf8 {
+                    codes,
+                    dict: Arc::new(dict),
+                }
+            }
+        };
+        columns
+            .push(Column::new(data, validity).map_err(|e| malformed(&format!("bad column: {e}")))?);
+    }
+    let schema = Schema::new(fields).map_err(|e| malformed(&format!("bad schema: {e}")))?;
+    Table::new(schema, columns).map_err(|e| malformed(&format!("bad table: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{TableBuilder, Value};
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+            Field::not_null("f", DataType::Float64),
+            Field::new("d", DataType::Date32),
+        ])
+        .unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for i in 0..100i64 {
+            tb.push_row(&[
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i)
+                },
+                Value::str(["red", "green", "blue"][(i % 3) as usize]),
+                Value::Float(i as f64 * 0.5),
+                Value::Date(i as i32),
+            ])
+            .unwrap();
+        }
+        tb.finish().unwrap()
+    }
+
+    #[test]
+    fn table_roundtrip_preserves_everything() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        put_table(&mut buf, &t);
+        let mut cur = Cursor::new(&buf);
+        let back = get_table(&mut cur).unwrap();
+        cur.finish().unwrap();
+
+        assert_eq!(back.num_rows(), t.num_rows());
+        assert_eq!(back.num_columns(), t.num_columns());
+        for (a, b) in t.schema().fields().iter().zip(back.schema().fields()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data_type, b.data_type);
+            assert_eq!(a.nullable, b.nullable);
+        }
+        for r in 0..t.num_rows() {
+            for c in 0..t.num_columns() {
+                assert_eq!(t.value(r, c), back.value(r, c), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Utf8)]).unwrap();
+        let t = Table::new(schema, vec![Column::from_strs::<&str>(&[])]).unwrap();
+        let mut buf = Vec::new();
+        put_table(&mut buf, &t);
+        let back = get_table(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.num_columns(), 1);
+    }
+
+    #[test]
+    fn scalars_and_strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "héllo");
+        put_str_list(&mut buf, &["a".into(), "bb".into()]);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.u32().unwrap(), 7);
+        assert_eq!(cur.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(cur.str().unwrap(), "héllo");
+        assert_eq!(cur.str_list().unwrap(), vec!["a", "bb"]);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_are_rejected() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "abc");
+        assert!(Cursor::new(&buf[..buf.len() - 1]).str().is_err());
+        let mut cur = Cursor::new(&buf);
+        cur.str().unwrap();
+        assert!(cur.finish().is_ok());
+        let mut with_garbage = buf.clone();
+        with_garbage.push(0);
+        let mut cur = Cursor::new(&with_garbage);
+        cur.str().unwrap();
+        assert!(cur.finish().is_err());
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // a 4-byte payload claiming a 200 MB string
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 200_000_000);
+        assert!(Cursor::new(&buf).str().is_err());
+    }
+}

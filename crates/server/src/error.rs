@@ -1,0 +1,84 @@
+//! Error types shared by the server and client halves of the crate.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias for fallible protocol/server operations.
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Anything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum ServerError {
+    /// An underlying socket or I/O failure.
+    Io(io::Error),
+    /// The peer sent bytes that do not parse as a valid frame.
+    Protocol(String),
+    /// The server replied with a typed error frame.
+    Remote {
+        /// Machine-readable error category.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServerError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// Typed error categories carried in error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request was syntactically valid but semantically wrong
+    /// (unknown column, empty grouping-set list, ...).
+    BadRequest = 1,
+    /// The named table is not registered.
+    NotFound = 2,
+    /// The admission queue is full; retry later.
+    ServerBusy = 3,
+    /// The request's deadline expired before execution finished.
+    Timeout = 4,
+    /// Unexpected failure inside the engine.
+    Internal = 5,
+    /// The server is draining connections for shutdown.
+    ShuttingDown = 6,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::ServerBusy,
+            4 => ErrorCode::Timeout,
+            5 => ErrorCode::Internal,
+            6 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,52 @@
+//! # gbmqo-server
+//!
+//! A concurrent query service over the GB-MQO [`Session`] engine,
+//! speaking a length-prefixed binary protocol over TCP.
+//!
+//! The paper this repository reproduces ("Efficient Computation of
+//! Multiple Group By Queries", SIGMOD 2005) optimizes *sets* of Group
+//! By queries together. A server is where such sets naturally arise:
+//! independent clients concurrently asking for different grouping sets
+//! of the same relation are, within a small time window, exactly one
+//! multi-query workload. This crate serves three purposes:
+//!
+//! * **Protocol** ([`protocol`], [`codec`]): framed request/response
+//!   messages with pipelining (client-chosen request ids, out-of-order
+//!   completion) and a columnar wire format for tables.
+//! * **Server** ([`server`], [`batcher`]): thread-per-connection
+//!   front, shared-session worker pool, bounded admission queue with
+//!   load shedding, per-request deadlines enforced by cooperative
+//!   cancellation inside the engine, micro-batching of concurrent
+//!   queries into merged workloads, graceful drain on shutdown.
+//! * **Client** ([`client`]): a blocking, pipelining-capable client
+//!   used by the CLI, benchmarks, and integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use gbmqo_core::prelude::*;
+//! use gbmqo_server::{Client, Server, ServerConfig};
+//!
+//! let session = Session::builder().plan_cache(32).build().unwrap();
+//! let handle = Server::bind("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! // client.register_table("r", &table)?; client.query("r", &["a"], 0)?; ...
+//!
+//! handle.shutdown(); // drains in-flight requests, joins all threads
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, Reply};
+pub use error::{ErrorCode, ServerError, ServerResult};
+pub use protocol::{Request, Response};
+pub use server::{stats_field, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,399 @@
+//! The wire protocol: frame layout, request/response message types,
+//! and their (de)serialization.
+//!
+//! Every frame is `u32 payload_len (LE)` followed by `payload_len`
+//! bytes of payload. The payload always starts with a `u64 request_id`
+//! and a `u8` opcode; the rest is opcode-specific. Request ids are
+//! chosen by the client and echoed verbatim in every response frame,
+//! which is what makes pipelining work: a client may have many
+//! requests in flight and match responses by id, in any order.
+//!
+//! A streaming response to one request is a sequence of
+//! [`Response::Batch`] frames terminated by one [`Response::Done`] (or
+//! a single [`Response::Error`]). Scalar responses (`Pong`, `Ack`,
+//! `StatsReply`) are single frames.
+
+use crate::codec::{self, Cursor};
+use crate::error::{ErrorCode, ServerError, ServerResult};
+use gbmqo_storage::Table;
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame's payload. Large enough for a
+/// multi-million-row table registration, small enough to bound a
+/// hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// A client-to-server message.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness / latency probe; answered inline by the connection
+    /// reader without touching the admission queue.
+    Ping,
+    /// Register (or replace) a base table under `name`.
+    RegisterTable {
+        /// Catalog name for the table.
+        name: String,
+        /// The table payload.
+        table: Table,
+    },
+    /// One Group By over a registered table. Queries are eligible for
+    /// micro-batching: concurrent `Query` requests arriving within the
+    /// batch window are merged into a single optimized workload.
+    Query {
+        /// Source table name.
+        table: String,
+        /// Grouping columns (the requested grouping set).
+        group_cols: Vec<String>,
+        /// Per-request deadline in milliseconds; `0` means none.
+        deadline_ms: u32,
+    },
+    /// A full multi-query workload, optimized and executed as one plan.
+    SubmitWorkload {
+        /// Source table name.
+        table: String,
+        /// Column universe the grouping sets draw from.
+        universe: Vec<String>,
+        /// The requested grouping sets.
+        requests: Vec<Vec<String>>,
+        /// Per-request deadline in milliseconds; `0` means none.
+        deadline_ms: u32,
+    },
+    /// Fetch server-wide counters and accumulated execution metrics.
+    Stats,
+}
+
+const OP_PING: u8 = 0x00;
+const OP_REGISTER: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_WORKLOAD: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+
+/// A server-to-client message.
+#[derive(Debug)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Acknowledges a [`Request::RegisterTable`].
+    Ack,
+    /// One result table of a streaming response. `set_tag` names the
+    /// grouping set it answers (comma-joined column list, or `""` for
+    /// a single-query response).
+    Batch {
+        /// Which grouping set this table answers.
+        set_tag: String,
+        /// The result rows.
+        table: Table,
+    },
+    /// Terminates a streaming response; `batches` is the number of
+    /// [`Response::Batch`] frames that preceded it.
+    Done {
+        /// Batch count, for client-side integrity checking.
+        batches: u32,
+    },
+    /// Reply to [`Request::Stats`]: a flat JSON object.
+    StatsReply {
+        /// JSON text (see `ServerStats::to_json`).
+        json: String,
+    },
+    /// The request failed; no further frames follow for this id.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const OP_PONG: u8 = 0x80;
+const OP_ACK: u8 = 0x81;
+const OP_BATCH: u8 = 0x82;
+const OP_DONE: u8 = 0x83;
+const OP_STATS_REPLY: u8 = 0x84;
+const OP_ERROR: u8 = 0xFF;
+
+fn encode_header(buf: &mut Vec<u8>, request_id: u64, opcode: u8) {
+    codec::put_u64(buf, request_id);
+    buf.push(opcode);
+}
+
+/// Serialize a request payload (without the frame length prefix).
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Ping => encode_header(&mut buf, request_id, OP_PING),
+        Request::RegisterTable { name, table } => {
+            encode_header(&mut buf, request_id, OP_REGISTER);
+            codec::put_str(&mut buf, name);
+            codec::put_table(&mut buf, table);
+        }
+        Request::Query {
+            table,
+            group_cols,
+            deadline_ms,
+        } => {
+            encode_header(&mut buf, request_id, OP_QUERY);
+            codec::put_str(&mut buf, table);
+            codec::put_str_list(&mut buf, group_cols);
+            codec::put_u32(&mut buf, *deadline_ms);
+        }
+        Request::SubmitWorkload {
+            table,
+            universe,
+            requests,
+            deadline_ms,
+        } => {
+            encode_header(&mut buf, request_id, OP_WORKLOAD);
+            codec::put_str(&mut buf, table);
+            codec::put_str_list(&mut buf, universe);
+            codec::put_u32(&mut buf, requests.len() as u32);
+            for r in requests {
+                codec::put_str_list(&mut buf, r);
+            }
+            codec::put_u32(&mut buf, *deadline_ms);
+        }
+        Request::Stats => encode_header(&mut buf, request_id, OP_STATS),
+    }
+    buf
+}
+
+/// Parse a request payload. Returns `(request_id, request)`.
+pub fn decode_request(payload: &[u8]) -> ServerResult<(u64, Request)> {
+    let mut cur = Cursor::new(payload);
+    let request_id = cur.u64()?;
+    let opcode = cur.u8()?;
+    let req = match opcode {
+        OP_PING => Request::Ping,
+        OP_REGISTER => Request::RegisterTable {
+            name: cur.str()?,
+            table: codec::get_table(&mut cur)?,
+        },
+        OP_QUERY => Request::Query {
+            table: cur.str()?,
+            group_cols: cur.str_list()?,
+            deadline_ms: cur.u32()?,
+        },
+        OP_WORKLOAD => {
+            let table = cur.str()?;
+            let universe = cur.str_list()?;
+            let n = cur.u32()? as usize;
+            if n > codec::MAX_WIRE_LEN {
+                return Err(ServerError::Protocol("request count out of bounds".into()));
+            }
+            let requests = (0..n)
+                .map(|_| cur.str_list())
+                .collect::<ServerResult<Vec<_>>>()?;
+            Request::SubmitWorkload {
+                table,
+                universe,
+                requests,
+                deadline_ms: cur.u32()?,
+            }
+        }
+        OP_STATS => Request::Stats,
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "unknown request opcode {other:#04x}"
+            )))
+        }
+    };
+    cur.finish()?;
+    Ok((request_id, req))
+}
+
+/// Serialize a response payload (without the frame length prefix).
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Pong => encode_header(&mut buf, request_id, OP_PONG),
+        Response::Ack => encode_header(&mut buf, request_id, OP_ACK),
+        Response::Batch { set_tag, table } => {
+            encode_header(&mut buf, request_id, OP_BATCH);
+            codec::put_str(&mut buf, set_tag);
+            codec::put_table(&mut buf, table);
+        }
+        Response::Done { batches } => {
+            encode_header(&mut buf, request_id, OP_DONE);
+            codec::put_u32(&mut buf, *batches);
+        }
+        Response::StatsReply { json } => {
+            encode_header(&mut buf, request_id, OP_STATS_REPLY);
+            codec::put_str(&mut buf, json);
+        }
+        Response::Error { code, message } => {
+            encode_header(&mut buf, request_id, OP_ERROR);
+            buf.push(*code as u8);
+            codec::put_str(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Parse a response payload. Returns `(request_id, response)`.
+pub fn decode_response(payload: &[u8]) -> ServerResult<(u64, Response)> {
+    let mut cur = Cursor::new(payload);
+    let request_id = cur.u64()?;
+    let opcode = cur.u8()?;
+    let resp = match opcode {
+        OP_PONG => Response::Pong,
+        OP_ACK => Response::Ack,
+        OP_BATCH => Response::Batch {
+            set_tag: cur.str()?,
+            table: codec::get_table(&mut cur)?,
+        },
+        OP_DONE => Response::Done {
+            batches: cur.u32()?,
+        },
+        OP_STATS_REPLY => Response::StatsReply { json: cur.str()? },
+        OP_ERROR => {
+            let code = ErrorCode::from_u8(cur.u8()?)
+                .ok_or_else(|| ServerError::Protocol("unknown error code".into()))?;
+            Response::Error {
+                code,
+                message: cur.str()?,
+            }
+        }
+        other => {
+            return Err(ServerError::Protocol(format!(
+                "unknown response opcode {other:#04x}"
+            )))
+        }
+    };
+    cur.finish()?;
+    Ok((request_id, resp))
+}
+
+/// Write one frame (length prefix + payload) to a stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> ServerResult<()> {
+    let len = payload.len();
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::Protocol(format!(
+            "frame too large: {len} bytes"
+        )));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame's payload from a stream. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> ServerResult<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(ServerError::Protocol("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::Protocol(format!(
+            "frame too large: {len} bytes"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmqo_storage::{Column, DataType, Field, Schema};
+
+    fn tiny_table() -> Table {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]).unwrap();
+        Table::new(schema, vec![Column::from_i64(vec![1, 2, 3])]).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Ping,
+            Request::RegisterTable {
+                name: "r".into(),
+                table: tiny_table(),
+            },
+            Request::Query {
+                table: "r".into(),
+                group_cols: vec!["a".into(), "b".into()],
+                deadline_ms: 250,
+            },
+            Request::SubmitWorkload {
+                table: "r".into(),
+                universe: vec!["a".into(), "b".into(), "c".into()],
+                requests: vec![vec!["a".into()], vec!["b".into(), "c".into()]],
+                deadline_ms: 0,
+            },
+            Request::Stats,
+        ];
+        for (i, req) in cases.iter().enumerate() {
+            let id = 1000 + i as u64;
+            let buf = encode_request(id, req);
+            let (back_id, back) = decode_request(&buf).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(format!("{back:?}"), format!("{req:?}"));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Pong,
+            Response::Ack,
+            Response::Batch {
+                set_tag: "a,b".into(),
+                table: tiny_table(),
+            },
+            Response::Done { batches: 4 },
+            Response::StatsReply {
+                json: "{\"requests\":3}".into(),
+            },
+            Response::Error {
+                code: ErrorCode::ServerBusy,
+                message: "queue full".into(),
+            },
+        ];
+        for (i, resp) in cases.iter().enumerate() {
+            let id = 2000 + i as u64;
+            let buf = encode_response(id, resp);
+            let (back_id, back) = decode_response(&buf).unwrap();
+            assert_eq!(back_id, id);
+            assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let payload = encode_request(7, &Request::Ping);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        assert!(decode_request(&[1, 2, 3]).is_err());
+        let mut buf = encode_request(1, &Request::Ping);
+        buf.push(99);
+        assert!(decode_request(&buf).is_err());
+        buf.pop();
+        buf[8] = 0x55;
+        assert!(decode_request(&buf).is_err());
+    }
+}

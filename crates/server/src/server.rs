@@ -1,0 +1,721 @@
+//! The server runtime: listener, admission control, worker pool, and
+//! per-connection reader/writer threads.
+//!
+//! ## Threading model
+//!
+//! One accept thread hands each connection a **reader** thread (parses
+//! frames, answers `Ping` inline, pushes everything else onto a bounded
+//! admission queue) and a **writer** thread (serializes response frames
+//! from an mpsc channel so workers, the batcher, and the reader can all
+//! reply to the same socket without interleaving). A fixed pool of
+//! **worker** threads drains the admission queue and executes requests
+//! against the shared [`Session`]; when micro-batching is enabled,
+//! `Query` requests are routed to a dedicated **batcher** thread
+//! instead (see [`crate::batcher`]).
+//!
+//! ## Admission and load shedding
+//!
+//! The admission queue is a `sync_channel` of depth
+//! [`ServerConfig::queue_capacity`]. Readers use `try_send`: when the
+//! queue is full the request is rejected *immediately* with a typed
+//! [`ErrorCode::ServerBusy`] error rather than queueing unboundedly —
+//! the client decides whether to back off and retry.
+//!
+//! ## Deadlines and cancellation
+//!
+//! A request's deadline clock starts at admission, so time spent
+//! queued counts against it. Workers install a
+//! [`CancelToken`](gbmqo_core::CancelToken) with the deadline on the
+//! session before executing; the engine polls it at morsel boundaries,
+//! so an expired request aborts mid-kernel, its temp tables are
+//! dropped, and the client receives [`ErrorCode::Timeout`].
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] stops accepting connections, lets
+//! readers finish the frame they are on (new requests get
+//! [`ErrorCode::ShuttingDown`]), drains every admitted request, and
+//! joins all threads before returning.
+
+use crate::batcher::{run_batcher, BatchJob};
+use crate::error::ErrorCode;
+use crate::protocol::{self, Request, Response};
+use gbmqo_core::{CancelToken, CoreError, Session, Workload};
+use gbmqo_exec::{ExecError, ExecMetrics};
+use gbmqo_storage::StorageError;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Depth of the bounded admission queue; a full queue sheds load
+    /// with [`ErrorCode::ServerBusy`].
+    pub queue_capacity: usize,
+    /// When set, concurrent `Query` requests arriving within this
+    /// window are coalesced into one multi-query workload so the
+    /// optimizer can share scans and sub-plans across clients.
+    pub batch_window: Option<Duration>,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch_window: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Server-wide counters, exposed via the `Stats` request.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Execution metrics accumulated across every plan run (the
+    /// engine's own counters reset per run).
+    pub total: ExecMetrics,
+    /// Requests processed (everything except `Ping`).
+    pub requests: u64,
+    /// Requests shed because the admission queue was full.
+    pub busy_rejections: u64,
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Merged workloads executed by the batcher.
+    pub batches: u64,
+    /// Individual `Query` requests absorbed into those batches.
+    pub batched_queries: u64,
+}
+
+/// State shared by every thread of a running server.
+pub(crate) struct Shared {
+    pub session: Mutex<Session>,
+    pub counters: Mutex<Counters>,
+    pub shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Lock the session, surviving a poisoned mutex (a panicking
+    /// worker must not wedge the whole server).
+    pub fn session(&self) -> MutexGuard<'_, Session> {
+        self.session.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Lock the counters (same poisoning policy).
+    pub fn counters(&self) -> MutexGuard<'_, Counters> {
+        self.counters.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A unit of admitted work.
+pub(crate) struct Job {
+    pub request_id: u64,
+    pub deadline: Option<Instant>,
+    pub reply: mpsc::Sender<Vec<u8>>,
+    pub kind: JobKind,
+}
+
+/// What an admitted request asks for.
+pub(crate) enum JobKind {
+    Register {
+        name: String,
+        table: gbmqo_storage::Table,
+    },
+    Workload {
+        table: String,
+        universe: Vec<String>,
+        requests: Vec<Vec<String>>,
+    },
+    Stats,
+}
+
+/// Entry point: bind and serve.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr`, spawn the runtime threads, and return a handle.
+    /// Pass port `0` to let the OS pick an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: Session,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            session: Mutex::new(session),
+            counters: Mutex::new(Counters::default()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = config.workers.max(1);
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let worker_joins: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&job_rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gbmqo-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let (batch_tx, batcher_join) = match config.batch_window {
+            Some(window) => {
+                let (tx, rx) = mpsc::sync_channel::<BatchJob>(config.queue_capacity.max(1));
+                let shared = Arc::clone(&shared);
+                let join = thread::Builder::new()
+                    .name("gbmqo-batcher".into())
+                    .spawn(move || run_batcher(rx, shared, window))
+                    .expect("spawn batcher");
+                (Some(tx), Some(join))
+            }
+            None => (None, None),
+        };
+
+        let conn_joins = Arc::new(Mutex::new(Vec::new()));
+        let accept_join = {
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            let batch_tx = batch_tx.clone();
+            let conn_joins = Arc::clone(&conn_joins);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("gbmqo-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let job_tx = job_tx.clone();
+                        let batch_tx = batch_tx.clone();
+                        let config = config.clone();
+                        let handle = thread::Builder::new()
+                            .name("gbmqo-conn".into())
+                            .spawn(move || {
+                                connection_loop(stream, shared, job_tx, batch_tx, &config)
+                            })
+                            .expect("spawn connection");
+                        conn_joins
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(handle);
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            job_tx: Some(job_tx),
+            batch_tx,
+            accept_join: Some(accept_join),
+            worker_joins,
+            batcher_join,
+            conn_joins,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    job_tx: Option<SyncSender<Job>>,
+    batch_tx: Option<SyncSender<BatchJob>>,
+    accept_join: Option<JoinHandle<()>>,
+    worker_joins: Vec<JoinHandle<()>>,
+    batcher_join: Option<JoinHandle<()>>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Gracefully shut down: stop accepting, drain admitted requests,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.accept_join.is_none() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        // Readers notice the flag within their poll interval; writers
+        // exit once every in-flight reply has been written.
+        let conns = std::mem::take(&mut *self.conn_joins.lock().unwrap_or_else(|e| e.into_inner()));
+        for j in conns {
+            let _ = j.join();
+        }
+        // With every reader gone, dropping our senders disconnects the
+        // queues; workers and the batcher drain what remains and exit.
+        self.job_tx = None;
+        self.batch_tx = None;
+        for j in self.worker_joins.drain(..) {
+            let _ = j.join();
+        }
+        if let Some(j) = self.batcher_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// How often an idle reader re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn is_retry(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Like [`protocol::read_frame`] but with a read timeout installed on
+/// the stream: between frames it polls `shutdown` and returns
+/// `Ok(None)` once the flag is set; mid-frame it keeps partial state
+/// across timeouts so framing never desynchronizes.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, crate::error::ServerError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        if filled == 0 && shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(crate::error::ServerError::Protocol(
+                    "connection closed mid-frame".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_retry(e.kind()) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > protocol::MAX_FRAME_LEN {
+        return Err(crate::error::ServerError::Protocol(format!(
+            "frame too large: {len} bytes"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(crate::error::ServerError::Protocol(
+                    "connection closed mid-frame".into(),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if is_retry(e.kind()) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Per-connection reader: owns the socket's read half and the writer
+/// thread's lifetime.
+fn connection_loop(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    job_tx: SyncSender<Job>,
+    batch_tx: Option<SyncSender<BatchJob>>,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = thread::Builder::new()
+        .name("gbmqo-conn-writer".into())
+        .spawn(move || writer_loop(write_half, reply_rx))
+        .expect("spawn writer");
+
+    loop {
+        let payload = match read_frame_polling(&mut stream, &shared.shutdown) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(_) => break,
+        };
+        let (request_id, request) = match protocol::decode_request(&payload) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // The id may be garbage too; echo id 0 and hang up,
+                // since framing can no longer be trusted.
+                send_reply(
+                    &reply_tx,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        if matches!(request, Request::Ping) {
+            send_reply(&reply_tx, request_id, &Response::Pong);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send_reply(
+                &reply_tx,
+                request_id,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                },
+            );
+            continue;
+        }
+        admit(
+            request_id,
+            request,
+            &reply_tx,
+            &shared,
+            &job_tx,
+            batch_tx.as_ref(),
+            config,
+        );
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Route one decoded request onto the right queue, shedding load when
+/// the queue is full.
+fn admit(
+    request_id: u64,
+    request: Request,
+    reply_tx: &mpsc::Sender<Vec<u8>>,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+    batch_tx: Option<&SyncSender<BatchJob>>,
+    config: &ServerConfig,
+) {
+    let deadline_of = |ms: u32| -> Option<Instant> {
+        if ms > 0 {
+            Some(Instant::now() + Duration::from_millis(ms as u64))
+        } else {
+            config.default_deadline.map(|d| Instant::now() + d)
+        }
+    };
+    enum Routed {
+        Worker(Job),
+        Batcher(BatchJob),
+    }
+    let routed = match request {
+        Request::Ping => return, // handled by the caller
+        Request::RegisterTable { name, table } => Routed::Worker(Job {
+            request_id,
+            deadline: None,
+            reply: reply_tx.clone(),
+            kind: JobKind::Register { name, table },
+        }),
+        Request::Query {
+            table,
+            group_cols,
+            deadline_ms,
+        } => match batch_tx {
+            Some(_) => Routed::Batcher(BatchJob {
+                request_id,
+                deadline: deadline_of(deadline_ms),
+                reply: reply_tx.clone(),
+                table,
+                group_cols,
+            }),
+            None => Routed::Worker(Job {
+                request_id,
+                deadline: deadline_of(deadline_ms),
+                reply: reply_tx.clone(),
+                kind: JobKind::Workload {
+                    table,
+                    universe: group_cols.clone(),
+                    requests: vec![group_cols],
+                },
+            }),
+        },
+        Request::SubmitWorkload {
+            table,
+            universe,
+            requests,
+            deadline_ms,
+        } => Routed::Worker(Job {
+            request_id,
+            deadline: deadline_of(deadline_ms),
+            reply: reply_tx.clone(),
+            kind: JobKind::Workload {
+                table,
+                universe,
+                requests,
+            },
+        }),
+        Request::Stats => Routed::Worker(Job {
+            request_id,
+            deadline: None,
+            reply: reply_tx.clone(),
+            kind: JobKind::Stats,
+        }),
+    };
+    let full = match routed {
+        Routed::Worker(job) => matches!(job_tx.try_send(job), Err(TrySendError::Full(_))),
+        Routed::Batcher(job) => matches!(
+            batch_tx.expect("routed to batcher").try_send(job),
+            Err(TrySendError::Full(_))
+        ),
+    };
+    if full {
+        shared.counters().busy_rejections += 1;
+        send_reply(
+            reply_tx,
+            request_id,
+            &Response::Error {
+                code: ErrorCode::ServerBusy,
+                message: "admission queue full; retry later".into(),
+            },
+        );
+    }
+}
+
+/// Serialize and enqueue one response frame; a send error means the
+/// connection is gone, which is not the sender's problem.
+pub(crate) fn send_reply(reply: &mpsc::Sender<Vec<u8>>, request_id: u64, resp: &Response) {
+    let _ = reply.send(protocol::encode_response(request_id, resp));
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    let mut broken = false;
+    while let Ok(payload) = rx.recv() {
+        // Keep draining after a write failure: the peer is gone, but
+        // senders must never block or error on a dead channel.
+        if !broken && protocol::write_frame(&mut stream, &payload).is_err() {
+            broken = true;
+        }
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else { break };
+        process_job(job, &shared);
+    }
+}
+
+/// Map an engine error to a wire error code.
+pub(crate) fn error_code_for(e: &CoreError) -> ErrorCode {
+    match e {
+        CoreError::Exec(ExecError::Cancelled { .. }) => ErrorCode::Timeout,
+        CoreError::Storage(StorageError::TableNotFound(_)) => ErrorCode::NotFound,
+        CoreError::InvalidWorkload(_) | CoreError::InvalidPlan(_) => ErrorCode::BadRequest,
+        _ => ErrorCode::Internal,
+    }
+}
+
+fn process_job(job: Job, shared: &Shared) {
+    shared.counters().requests += 1;
+    match job.kind {
+        JobKind::Register { name, table } => {
+            let result = shared.session().register_table(name, table);
+            match result {
+                Ok(()) => send_reply(&job.reply, job.request_id, &Response::Ack),
+                Err(e) => send_reply(
+                    &job.reply,
+                    job.request_id,
+                    &Response::Error {
+                        code: error_code_for(&e),
+                        message: e.to_string(),
+                    },
+                ),
+            }
+        }
+        JobKind::Workload {
+            table,
+            universe,
+            requests,
+        } => {
+            let outcome = run_workload(shared, &table, &universe, &requests, job.deadline);
+            match outcome {
+                Ok(results) => {
+                    let batches = results.len() as u32;
+                    for (set_tag, table) in results {
+                        send_reply(
+                            &job.reply,
+                            job.request_id,
+                            &Response::Batch { set_tag, table },
+                        );
+                    }
+                    send_reply(&job.reply, job.request_id, &Response::Done { batches });
+                }
+                Err(e) => {
+                    let code = error_code_for(&e);
+                    if code == ErrorCode::Timeout {
+                        shared.counters().timeouts += 1;
+                    }
+                    send_reply(
+                        &job.reply,
+                        job.request_id,
+                        &Response::Error {
+                            code,
+                            message: e.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        JobKind::Stats => {
+            let json = stats_json(shared);
+            send_reply(&job.reply, job.request_id, &Response::StatsReply { json });
+        }
+    }
+}
+
+/// Optimize and execute one workload under the shared session,
+/// installing (and always removing) the deadline token.
+pub(crate) fn run_workload(
+    shared: &Shared,
+    table: &str,
+    universe: &[String],
+    requests: &[Vec<String>],
+    deadline: Option<Instant>,
+) -> gbmqo_core::Result<Vec<(String, gbmqo_storage::Table)>> {
+    let mut session = shared.session();
+    let workload = {
+        let base = session.engine().catalog().table(table)?.clone();
+        let universe_refs: Vec<&str> = universe.iter().map(String::as_str).collect();
+        let request_refs: Vec<Vec<&str>> = requests
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        Workload::new(table, &base, &universe_refs, &request_refs)?
+    };
+    session.set_cancel_token(deadline.map(CancelToken::with_deadline_at));
+    let outcome = session
+        .plan(&workload)
+        .and_then(|(plan, _)| session.run_plan(&plan, &workload));
+    session.set_cancel_token(None);
+    drop(session);
+    let report = outcome?;
+    shared.counters().total += report.metrics;
+    Ok(report
+        .results
+        .into_iter()
+        .map(|(set, t)| (workload.col_names(set).join(","), t))
+        .collect())
+}
+
+/// Render the server-wide stats JSON: admission/batching counters,
+/// plan-cache statistics, live temp-table count, and the accumulated
+/// [`ExecMetrics`] (same field names as `gbmqo profile --json`).
+fn stats_json(shared: &Shared) -> String {
+    let (cache, temp_tables) = {
+        let session = shared.session();
+        (
+            session.cache_stats(),
+            session.engine().catalog().temp_names().len(),
+        )
+    };
+    let counters = shared.counters();
+    let mut fields: Vec<(&str, u64)> = vec![
+        ("requests", counters.requests),
+        ("busy_rejections", counters.busy_rejections),
+        ("timeouts", counters.timeouts),
+        ("batches", counters.batches),
+        ("batched_queries", counters.batched_queries),
+        ("temp_tables", temp_tables as u64),
+        ("cache_hits", cache.hits),
+        ("cache_misses", cache.misses),
+    ];
+    fields.extend(counters.total.fields());
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Extract an integer field from a stats JSON object (the flat format
+/// produced by the server; not a general JSON parser).
+pub fn stats_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_field_parses_flat_json() {
+        let json = "{\"requests\":12,\"timeouts\":0,\"rows_scanned\":34567}";
+        assert_eq!(stats_field(json, "requests"), Some(12));
+        assert_eq!(stats_field(json, "timeouts"), Some(0));
+        assert_eq!(stats_field(json, "rows_scanned"), Some(34567));
+        assert_eq!(stats_field(json, "absent"), None);
+    }
+
+    #[test]
+    fn error_codes_map_from_core_errors() {
+        assert_eq!(
+            error_code_for(&CoreError::Exec(ExecError::Cancelled { timed_out: true })),
+            ErrorCode::Timeout
+        );
+        assert_eq!(
+            error_code_for(&CoreError::Storage(StorageError::TableNotFound("x".into()))),
+            ErrorCode::NotFound
+        );
+        assert_eq!(
+            error_code_for(&CoreError::InvalidWorkload("no".into())),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            error_code_for(&CoreError::InvalidSession("odd".into())),
+            ErrorCode::Internal
+        );
+    }
+}

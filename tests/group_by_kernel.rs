@@ -84,7 +84,8 @@ fn assert_kernels_agree(table: &Table, group_cols: &[usize]) {
     let sorted = sort_group_by(table, group_cols, &aggs(), &mut m).unwrap();
     assert_eq!(norm(&reference), norm(&sorted), "sort kernel diverged");
     for threads in [1usize, 2, 4] {
-        let radix = radix_group_by(table, group_cols, &aggs(), threads, None, &mut m).unwrap();
+        let radix =
+            radix_group_by(table, group_cols, &aggs(), threads, None, None, &mut m).unwrap();
         assert_eq!(
             norm(&reference),
             norm(&radix),
@@ -134,7 +135,7 @@ proptest! {
         let table = tb.finish().unwrap();
         let mut m = ExecMetrics::new();
         let reference = hash_group_by(&table, &[0, 1], &[AggSpec::count()], &mut m).unwrap();
-        let radix = radix_group_by(&table, &[0, 1], &[AggSpec::count()], 4, None, &mut m).unwrap();
+        let radix = radix_group_by(&table, &[0, 1], &[AggSpec::count()], 4, None, None, &mut m).unwrap();
         prop_assert_eq!(norm(&reference), norm(&radix));
     }
 }
@@ -144,7 +145,7 @@ fn empty_input_yields_empty_result() {
     let table = build(&[]);
     for cols in [vec![0usize], vec![0, 1, 2]] {
         let mut m = ExecMetrics::new();
-        let out = radix_group_by(&table, &cols, &aggs(), 4, None, &mut m).unwrap();
+        let out = radix_group_by(&table, &cols, &aggs(), 4, None, None, &mut m).unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.num_columns(), cols.len() + aggs().len());
     }
@@ -158,7 +159,7 @@ fn single_group_input() {
     let table = build(&rows);
     assert_kernels_agree(&table, &[0, 1, 2]);
     let mut m = ExecMetrics::new();
-    let out = radix_group_by(&table, &[0], &[AggSpec::count()], 4, None, &mut m).unwrap();
+    let out = radix_group_by(&table, &[0], &[AggSpec::count()], 4, None, None, &mut m).unwrap();
     assert_eq!(out.num_rows(), 1);
     assert_eq!(out.value(0, 1), Value::Int(5000));
 }
@@ -172,7 +173,7 @@ fn metrics_track_packed_and_fallback_rows() {
 
     // g_small packs into a u64 code.
     let mut m = ExecMetrics::new();
-    radix_group_by(&table, &[0], &[AggSpec::count()], 2, None, &mut m).unwrap();
+    radix_group_by(&table, &[0], &[AggSpec::count()], 2, None, None, &mut m).unwrap();
     assert_eq!(m.packed_key_rows, 1000);
     assert_eq!(m.fallback_key_rows, 0);
     assert!(m.radix_partitions >= 1);
@@ -204,7 +205,7 @@ fn metrics_track_packed_and_fallback_rows() {
         }
         tb.finish().unwrap()
     };
-    radix_group_by(&wide, &[0, 1], &[AggSpec::count()], 2, None, &mut m).unwrap();
+    radix_group_by(&wide, &[0, 1], &[AggSpec::count()], 2, None, None, &mut m).unwrap();
     assert_eq!(m.fallback_key_rows, 1000);
     assert_eq!(m.packed_key_rows, 0);
 }
@@ -216,7 +217,16 @@ fn estimated_groups_steers_partition_count() {
         .collect();
     let table = build(&rows);
     let mut m_small = ExecMetrics::new();
-    radix_group_by(&table, &[0], &[AggSpec::count()], 4, Some(97), &mut m_small).unwrap();
+    radix_group_by(
+        &table,
+        &[0],
+        &[AggSpec::count()],
+        4,
+        Some(97),
+        None,
+        &mut m_small,
+    )
+    .unwrap();
     let mut m_big = ExecMetrics::new();
     radix_group_by(
         &table,
@@ -224,6 +234,7 @@ fn estimated_groups_steers_partition_count() {
         &[AggSpec::count()],
         4,
         Some(2_000_000),
+        None,
         &mut m_big,
     )
     .unwrap();

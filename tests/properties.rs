@@ -180,6 +180,46 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The serial executor's *actual* peak temp storage never exceeds
+    /// the peak simulated for the schedule it runs, when the schedule
+    /// is derived from exact materialized sizes. This ties the §4.4
+    /// scheduling model to the catalog's byte-accurate accounting.
+    #[test]
+    fn executor_peak_never_exceeds_simulated_peak(cards in cards_strategy()) {
+        let table = modular_table(300, &cards);
+        let w = workload_of(&table, cards.len());
+        let mut model = CardinalityCostModel::new(ExactSource::new(&table));
+        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+
+        // Exact size of a node's materialization: run the Group By and
+        // measure the result (count-only workloads make a set's result
+        // identical whichever ancestor it is computed from).
+        let base = table.clone();
+        let ords_of = |s: ColSet| w.base_cols(s);
+        let mut exact = move |s: ColSet| -> f64 {
+            let mut m = gbmqo_exec::ExecMetrics::new();
+            let t = gbmqo_exec::hash_group_by(
+                &base, &ords_of(s), &[gbmqo_exec::AggSpec::count()], &mut m,
+            ).unwrap();
+            t.byte_size() as f64
+        };
+
+        let steps = schedule_plan(&plan, &mut exact);
+        let simulated = simulate_peak(&steps, &mut exact);
+
+        let mut session = Session::builder().table("t", table).build().unwrap();
+        let report = session.run_plan_scheduled(&plan, &w, &mut exact).unwrap();
+        prop_assert!(
+            report.peak_temp_bytes as f64 <= simulated + 1e-6,
+            "actual peak {} > simulated peak {}",
+            report.peak_temp_bytes, simulated
+        );
+    }
+}
+
 /// Non-proptest regression: overlapping (TC-style) workloads also satisfy
 /// the semantic-equivalence invariant.
 #[test]

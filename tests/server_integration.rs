@@ -1,0 +1,366 @@
+//! End-to-end tests of the TCP server: concurrent clients, admission
+//! control, deadlines, micro-batching, and graceful shutdown.
+
+use gbmqo_core::prelude::*;
+use gbmqo_exec::{hash_group_by, AggSpec, ExecMetrics};
+use gbmqo_integration::{col_names, modular_table, normalize};
+use gbmqo_server::{stats_field, Client, ErrorCode, Server, ServerConfig, ServerError};
+use gbmqo_storage::Table;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn serve(table: Table, config: ServerConfig) -> gbmqo_server::ServerHandle {
+    let session = Session::builder()
+        .table("r", table)
+        .search(SearchConfig::pruned())
+        .plan_cache(32)
+        .build()
+        .unwrap();
+    Server::bind("127.0.0.1:0", session, config).unwrap()
+}
+
+/// Compute the expected Group By result locally.
+fn expected(table: &Table, cols: &[&str]) -> Table {
+    let ords: Vec<usize> = cols
+        .iter()
+        .map(|c| table.schema().index_of(c).unwrap())
+        .collect();
+    let mut m = ExecMetrics::new();
+    hash_group_by(table, &ords, &[AggSpec::count()], &mut m).unwrap()
+}
+
+fn assert_result(table: &Table, cols: &[&str], got: &Table, context: &str) {
+    let want = expected(table, cols);
+    assert_eq!(
+        normalize(got, cols),
+        normalize(&want, cols),
+        "{context}: wrong result for {cols:?}"
+    );
+}
+
+#[test]
+fn sixteen_concurrent_clients_mixed_requests() {
+    let cards = [4usize, 7, 10, 13];
+    let table = modular_table(5_000, &cards);
+    let handle = serve(
+        table.clone(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            batch_window: Some(Duration::from_millis(2)),
+            default_deadline: None,
+        },
+    );
+    let addr = handle.local_addr();
+    let names = col_names(cards.len());
+    let table = Arc::new(table);
+    let names = Arc::new(names);
+
+    let n_clients = 16;
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let joins: Vec<_> = (0..n_clients)
+        .map(|i| {
+            let table = Arc::clone(&table);
+            let names = Arc::clone(&names);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.ping().unwrap();
+
+                // a single query (goes through the batcher)
+                let col = names[i % names.len()].as_str();
+                let result = client.query("r", &[col], 0).unwrap();
+                assert_result(&table, &[col], &result, "client query");
+
+                // a full workload (worker path), two sets incl. a pair
+                let a = names[i % names.len()].as_str();
+                let b = names[(i + 1) % names.len()].as_str();
+                let results = client
+                    .submit_workload("r", &[a, b], &[vec![a], vec![a, b]], 0)
+                    .unwrap();
+                assert_eq!(results.len(), 2, "workload returns both sets");
+                for (tag, got) in &results {
+                    let cols: Vec<&str> = tag.split(',').collect();
+                    assert_result(&table, &cols, got, "client workload");
+                }
+
+                // stats always parses
+                let json = client.stats().unwrap();
+                assert!(
+                    stats_field(&json, "requests").is_some(),
+                    "bad stats: {json}"
+                );
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let json = client.stats().unwrap();
+    // 16 queries + 16 workloads + 16 stats + this stats request
+    assert_eq!(stats_field(&json, "requests"), Some(49), "stats: {json}");
+    assert_eq!(stats_field(&json, "temp_tables"), Some(0), "stats: {json}");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn full_admission_queue_sheds_load_with_server_busy() {
+    // One worker and a depth-2 queue: a slow request occupies the
+    // worker, two more fill the queue, the rest must be rejected
+    // immediately with ServerBusy instead of hanging.
+    let table = modular_table(400_000, &[101, 97, 89]);
+    let handle = serve(
+        table,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            batch_window: None,
+            default_deadline: None,
+        },
+    );
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Pipelined: the heavy workload first, then a beat for the worker
+    // to pick it up, then four quick queries.
+    let heavy = client
+        .send_workload(
+            "r",
+            &["c0", "c1", "c2"],
+            &[
+                vec!["c0", "c1", "c2"],
+                vec!["c0", "c1"],
+                vec!["c1", "c2"],
+                vec!["c0", "c2"],
+            ],
+            0,
+        )
+        .unwrap();
+    thread::sleep(Duration::from_millis(150));
+    let quick: Vec<u64> = (0..4)
+        .map(|_| client.send_query("r", &["c0"], 0).unwrap())
+        .collect();
+
+    let mut ok = 0;
+    let mut busy = 0;
+    for id in quick {
+        match client.wait(id) {
+            Ok(_) => ok += 1,
+            Err(ServerError::Remote {
+                code: ErrorCode::ServerBusy,
+                ..
+            }) => busy += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        busy >= 1,
+        "queue depth 2 must shed some of 4 queued queries"
+    );
+    assert_eq!(ok + busy, 4, "every request gets a terminal response");
+    // the heavy request itself completes fine
+    client.wait(heavy).unwrap();
+
+    let json = client.stats().unwrap();
+    assert!(
+        stats_field(&json, "busy_rejections").unwrap() >= busy,
+        "stats: {json}"
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_times_out_and_drops_temps() {
+    let table = modular_table(400_000, &[101, 97, 89]);
+    let handle = serve(
+        table,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            batch_window: None,
+            default_deadline: None,
+        },
+    );
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let err = client
+        .submit_workload(
+            "r",
+            &["c0", "c1", "c2"],
+            &[
+                vec!["c0", "c1", "c2"],
+                vec!["c0", "c1"],
+                vec!["c1", "c2"],
+                vec!["c0"],
+                vec!["c1"],
+                vec!["c2"],
+            ],
+            1, // 1 ms: cannot possibly finish
+        )
+        .unwrap_err();
+    match err {
+        ServerError::Remote {
+            code: ErrorCode::Timeout,
+            ..
+        } => {}
+        other => panic!("expected Timeout, got {other}"),
+    }
+
+    // The cancelled execution must not leak its temp tables, and the
+    // server keeps serving normally afterwards.
+    let json = client.stats().unwrap();
+    assert_eq!(stats_field(&json, "temp_tables"), Some(0), "stats: {json}");
+    assert!(
+        stats_field(&json, "timeouts").unwrap() >= 1,
+        "stats: {json}"
+    );
+    let result = client.query("r", &["c0"], 0).unwrap();
+    assert_eq!(result.num_rows(), 101);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn micro_batching_merges_concurrent_queries_into_one_plan() {
+    let cards = [6usize, 10, 15];
+    let table = modular_table(20_000, &cards);
+    let sets: [&str; 3] = ["c0", "c1", "c2"];
+
+    // Baseline: batching disabled, two clients issue three queries each.
+    let unbatched = {
+        let handle = serve(
+            table.clone(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                batch_window: None,
+                default_deadline: None,
+            },
+        );
+        let addr = handle.local_addr();
+        let barrier = Arc::new(Barrier::new(2));
+        let joins: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    for set in sets {
+                        client.query("r", &[set], 0).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut client = Client::connect(addr).unwrap();
+        let json = client.stats().unwrap();
+        let q = stats_field(&json, "queries_executed").unwrap();
+        drop(client);
+        handle.shutdown();
+        q
+    };
+
+    // Batched: same six queries inside one 300 ms window.
+    let (batched, batches, batched_queries) = {
+        let handle = serve(
+            table.clone(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                batch_window: Some(Duration::from_millis(300)),
+                default_deadline: None,
+            },
+        );
+        let addr = handle.local_addr();
+        let barrier = Arc::new(Barrier::new(2));
+        let table = Arc::new(table);
+        let joins: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    // pipelined so all six queries land in one window
+                    let ids: Vec<u64> = sets
+                        .iter()
+                        .map(|s| client.send_query("r", &[s], 0).unwrap())
+                        .collect();
+                    for (set, id) in sets.iter().zip(ids) {
+                        match client.wait(id).unwrap() {
+                            gbmqo_server::Reply::Results(mut r) => {
+                                assert_eq!(r.len(), 1);
+                                let (_, got) = r.pop().unwrap();
+                                assert_result(&table, &[set], &got, "batched query");
+                            }
+                            other => panic!("unexpected reply: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut client = Client::connect(addr).unwrap();
+        let json = client.stats().unwrap();
+        let out = (
+            stats_field(&json, "queries_executed").unwrap(),
+            stats_field(&json, "batches").unwrap(),
+            stats_field(&json, "batched_queries").unwrap(),
+        );
+        drop(client);
+        handle.shutdown();
+        out
+    };
+
+    assert!(batches >= 1, "the batcher must have merged a window");
+    assert_eq!(batched_queries, 6, "all six queries went through batching");
+    assert!(
+        batched < unbatched,
+        "micro-batching must execute fewer queries: batched {batched} vs unbatched {unbatched}"
+    );
+    // Numbers land in EXPERIMENTS.md; print for easy refresh.
+    println!("micro-batching: unbatched={unbatched} batched={batched} batches={batches}");
+}
+
+#[test]
+fn graceful_shutdown_drains_and_rejects_new_requests() {
+    let table = modular_table(2_000, &[5, 8]);
+    let handle = serve(
+        table.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            batch_window: None,
+            default_deadline: None,
+        },
+    );
+    let addr = handle.local_addr();
+
+    // An idle connected client must not block shutdown.
+    let mut idle = Client::connect(addr).unwrap();
+    idle.ping().unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    let result = client.query("r", &["c0"], 0).unwrap();
+    assert_result(&table, &["c0"], &result, "pre-shutdown query");
+
+    handle.shutdown(); // joins every thread; hangs the test if draining breaks
+
+    // The listener is gone: new connections or requests fail cleanly.
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.ping().is_err(),
+    };
+    assert!(refused, "server must stop serving after shutdown");
+}
