@@ -17,11 +17,21 @@
 //!
 //! Deadlines: a merged run executes under the earliest deadline of its
 //! constituents, so one impatient client cannot be starved by the
-//! batch; if the run is cancelled, every constituent receives
-//! `Timeout`. A malformed constituent (unknown column) fails the whole
-//! merged workload — the batcher replies with the same error to each
-//! constituent rather than re-running the remainder, keeping the
-//! window's latency bound tight.
+//! batch. If the run is cancelled, only the constituents whose own
+//! deadlines have expired receive `Timeout`; the rest (including jobs
+//! that set no deadline at all) are re-run as a smaller merged
+//! workload, so one client's aggressive deadline can never fail
+//! another client's request. A malformed constituent (unknown column)
+//! still fails the whole merged workload — the batcher replies with
+//! the same error to each constituent, keeping the window's latency
+//! bound tight.
+//!
+//! Result shape: the merged plan computes each grouping set with the
+//! workload's column order, which may differ from a constituent's
+//! requested order (`["b","a"]` vs another client's `["a","b"]`). The
+//! batcher projects each reply back to the requesting job's column
+//! order, so batched and non-batched execution return identical
+//! tables.
 
 use crate::error::ErrorCode;
 use crate::protocol::Response;
@@ -92,69 +102,127 @@ fn merged_universe(group: &[BatchJob]) -> Vec<String> {
     universe
 }
 
-fn execute_group(shared: &Shared, table: &str, group: Vec<BatchJob>) {
-    let universe = merged_universe(&group);
-    let requests: Vec<Vec<String>> = group.iter().map(|j| j.group_cols.clone()).collect();
-    let deadline = group.iter().filter_map(|j| j.deadline).min();
+/// Project `result` to the job's requested column order (trailing
+/// columns the job did not name — aggregates — keep their position
+/// after the group columns). Falls back to the original table if a
+/// requested column is missing, which `execute_group` treats as an
+/// internal error anyway.
+fn reorder_for(group_cols: &[String], result: &gbmqo_storage::Table) -> gbmqo_storage::Table {
+    let schema = result.schema();
+    let mut indices: Vec<usize> = Vec::with_capacity(schema.len());
+    for name in group_cols {
+        match schema.index_of(name) {
+            Ok(i) => indices.push(i),
+            Err(_) => return result.clone(),
+        }
+    }
+    for i in 0..schema.len() {
+        if !indices.contains(&i) {
+            indices.push(i);
+        }
+    }
+    if indices.iter().enumerate().all(|(pos, &i)| pos == i) {
+        return result.clone();
+    }
+    result.project(&indices)
+}
 
+fn reply_timeout(shared: &Shared, jobs: &[BatchJob], message: &str) {
+    shared.counters().timeouts += jobs.len() as u64;
+    for job in jobs {
+        send_reply(
+            &job.reply,
+            job.request_id,
+            &Response::Error {
+                code: ErrorCode::Timeout,
+                message: message.into(),
+            },
+        );
+    }
+}
+
+fn execute_group(shared: &Shared, table: &str, mut group: Vec<BatchJob>) {
     {
         let mut counters = shared.counters();
         counters.requests += group.len() as u64;
-        counters.batches += 1;
         counters.batched_queries += group.len() as u64;
     }
 
-    match run_workload(shared, table, &universe, &requests, deadline) {
-        Ok(results) => {
-            for job in &group {
-                let tag = job.group_cols.join(",");
-                // Result sets are tagged with the workload's column
-                // order; a job's set matches when the column *sets*
-                // are equal, independent of order.
-                let found = results.iter().find(|(set_tag, _)| {
-                    let mut a: Vec<&str> = set_tag.split(',').collect();
-                    let mut b: Vec<&str> = job.group_cols.iter().map(String::as_str).collect();
-                    a.sort_unstable();
-                    b.sort_unstable();
-                    a == b
-                });
-                match found {
-                    Some((_, result)) => {
-                        send_reply(
+    while !group.is_empty() {
+        let universe = merged_universe(&group);
+        let requests: Vec<Vec<String>> = group.iter().map(|j| j.group_cols.clone()).collect();
+        // Earliest deadline among constituents that set one; jobs with
+        // no deadline are protected by the re-run below.
+        let deadline = group.iter().filter_map(|j| j.deadline).min();
+        shared.counters().batches += 1;
+
+        match run_workload(shared, table, &universe, &requests, deadline) {
+            Ok(results) => {
+                for job in &group {
+                    let tag = job.group_cols.join(",");
+                    // Result sets are tagged with the workload's column
+                    // order; a job's set matches when the column *sets*
+                    // are equal, independent of order.
+                    let found = results.iter().find(|(set_tag, _)| {
+                        let mut a: Vec<&str> = set_tag.split(',').collect();
+                        let mut b: Vec<&str> = job.group_cols.iter().map(String::as_str).collect();
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        a == b
+                    });
+                    match found {
+                        Some((_, result)) => {
+                            send_reply(
+                                &job.reply,
+                                job.request_id,
+                                &Response::Batch {
+                                    set_tag: tag,
+                                    table: reorder_for(&job.group_cols, result),
+                                },
+                            );
+                            send_reply(&job.reply, job.request_id, &Response::Done { batches: 1 });
+                        }
+                        None => send_reply(
                             &job.reply,
                             job.request_id,
-                            &Response::Batch {
-                                set_tag: tag,
-                                table: result.clone(),
+                            &Response::Error {
+                                code: ErrorCode::Internal,
+                                message: format!("merged plan produced no result for ({tag})"),
                             },
-                        );
-                        send_reply(&job.reply, job.request_id, &Response::Done { batches: 1 });
+                        ),
                     }
-                    None => send_reply(
+                }
+                return;
+            }
+            Err(e) if error_code_for(&e) == ErrorCode::Timeout => {
+                // Only the constituents whose own deadlines passed time
+                // out; the rest re-run without the expired deadline.
+                let now = Instant::now();
+                let (expired, survivors): (Vec<BatchJob>, Vec<BatchJob>) = group
+                    .into_iter()
+                    .partition(|j| j.deadline.is_some_and(|d| d <= now));
+                if expired.is_empty() {
+                    // Cancelled, yet nobody's deadline has passed — do
+                    // not spin; fail the group rather than loop forever.
+                    reply_timeout(shared, &survivors, &e.to_string());
+                    return;
+                }
+                reply_timeout(shared, &expired, &e.to_string());
+                group = survivors;
+            }
+            Err(e) => {
+                let code = error_code_for(&e);
+                for job in &group {
+                    send_reply(
                         &job.reply,
                         job.request_id,
                         &Response::Error {
-                            code: ErrorCode::Internal,
-                            message: format!("merged plan produced no result for ({tag})"),
+                            code,
+                            message: e.to_string(),
                         },
-                    ),
+                    );
                 }
-            }
-        }
-        Err(e) => {
-            let code = error_code_for(&e);
-            if code == ErrorCode::Timeout {
-                shared.counters().timeouts += group.len() as u64;
-            }
-            for job in &group {
-                send_reply(
-                    &job.reply,
-                    job.request_id,
-                    &Response::Error {
-                        code,
-                        message: e.to_string(),
-                    },
-                );
+                return;
             }
         }
     }
@@ -189,5 +257,41 @@ mod tests {
     fn universe_is_first_seen_union() {
         let group = vec![job("r", &["b", "a"]), job("r", &["a", "c"])];
         assert_eq!(merged_universe(&group), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn results_are_reordered_to_the_jobs_column_order() {
+        use gbmqo_storage::{Column, DataType, Field, Schema, Table};
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::not_null("count", DataType::Int64),
+        ])
+        .unwrap();
+        let table = Table::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 2]),
+                Column::from_i64(vec![10, 20]),
+                Column::from_i64(vec![5, 7]),
+            ],
+        )
+        .unwrap();
+
+        // A job that asked for ["b", "a"] gets b first; the aggregate
+        // column trails as before.
+        let reordered = reorder_for(&["b".to_string(), "a".to_string()], &table);
+        assert_eq!(reordered.schema().names(), vec!["b", "a", "count"]);
+        assert_eq!(reordered.value(0, 0), table.value(0, 1));
+        assert_eq!(reordered.value(0, 1), table.value(0, 0));
+        assert_eq!(reordered.value(1, 2), table.value(1, 2));
+
+        // Matching order is returned as-is.
+        let same = reorder_for(&["a".to_string(), "b".to_string()], &table);
+        assert_eq!(same.schema().names(), vec!["a", "b", "count"]);
+
+        // A column the result does not have falls back to the original.
+        let fallback = reorder_for(&["zzz".to_string()], &table);
+        assert_eq!(fallback.schema().names(), vec!["a", "b", "count"]);
     }
 }

@@ -268,12 +268,24 @@ pub fn get_table(cur: &mut Cursor<'_>) -> ServerResult<Table> {
                     }
                 }
                 let raw = cur.take(rows * 4)?;
-                let codes: Vec<u32> = raw
+                let mut codes: Vec<u32> = raw
                     .chunks_exact(4)
                     .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
                     .collect();
-                if codes.iter().any(|&c| c as usize >= dict_len.max(1)) && rows > 0 {
-                    return Err(malformed("dictionary code out of range"));
+                // Every valid row must index the dictionary — with an
+                // empty dictionary no valid row is acceptable. Null
+                // rows carry whatever code the sender wrote; normalize
+                // them to the engine's u32::MAX null sentinel so no
+                // downstream code can index the dictionary out of
+                // range via a null row either.
+                for (i, code) in codes.iter_mut().enumerate() {
+                    if validity.as_ref().is_none_or(|v| v.get(i)) {
+                        if *code as usize >= dict_len {
+                            return Err(malformed("dictionary code out of range"));
+                        }
+                    } else {
+                        *code = u32::MAX;
+                    }
                 }
                 ColumnData::Utf8 {
                     codes,
@@ -309,7 +321,11 @@ mod tests {
                 } else {
                     Value::Int(i)
                 },
-                Value::str(["red", "green", "blue"][(i % 3) as usize]),
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(["red", "green", "blue"][(i % 3) as usize])
+                },
                 Value::Float(i as f64 * 0.5),
                 Value::Date(i as i32),
             ])
@@ -380,6 +396,56 @@ mod tests {
         let mut cur = Cursor::new(&with_garbage);
         cur.str().unwrap();
         assert!(cur.finish().is_err());
+    }
+
+    /// A Utf8 column header claiming rows but an empty dictionary must
+    /// be rejected: accepting it would let any later query panic in
+    /// `Dictionary::get` and kill a worker thread.
+    #[test]
+    fn empty_dictionary_with_rows_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1); // one column
+        put_str(&mut buf, "x");
+        buf.push(2); // Utf8
+        buf.push(1); // nullable
+        put_u64(&mut buf, 2); // two rows
+        buf.push(0); // no validity bitmap: every row is valid
+        put_u32(&mut buf, 0); // dict_len = 0
+        put_u32(&mut buf, 0); // row 0 code
+        put_u32(&mut buf, 0); // row 1 code
+        assert!(get_table(&mut Cursor::new(&buf)).is_err());
+    }
+
+    /// Out-of-range codes on *valid* rows are rejected even when the
+    /// dictionary is non-empty; null rows may carry any code (the
+    /// decoder normalizes them to the null sentinel).
+    #[test]
+    fn out_of_range_code_on_valid_row_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_str(&mut buf, "x");
+        buf.push(2); // Utf8
+        buf.push(1); // nullable
+        put_u64(&mut buf, 2);
+        buf.push(1); // validity bitmap present
+        buf.push(0b01); // row 0 valid, row 1 null
+        put_u32(&mut buf, 1); // dict_len = 1
+        put_str(&mut buf, "only");
+        put_u32(&mut buf, 1); // row 0 (valid): code 1 out of range
+        put_u32(&mut buf, 7); // row 1 (null): arbitrary code is fine
+        assert!(get_table(&mut Cursor::new(&buf)).is_err());
+
+        // Same frame with row 0's code in range decodes, and the null
+        // row's junk code is normalized away.
+        let fixed = {
+            let mut b = buf.clone();
+            let code_at = buf.len() - 8;
+            b[code_at..code_at + 4].copy_from_slice(&0u32.to_le_bytes());
+            b
+        };
+        let t = get_table(&mut Cursor::new(&fixed)).unwrap();
+        assert_eq!(t.value(0, 0), Value::str("only"));
+        assert_eq!(t.value(1, 0), Value::Null);
     }
 
     #[test]

@@ -302,9 +302,11 @@ fn is_retry(kind: io::ErrorKind) -> bool {
 }
 
 /// Like [`protocol::read_frame`] but with a read timeout installed on
-/// the stream: between frames it polls `shutdown` and returns
-/// `Ok(None)` once the flag is set; mid-frame it keeps partial state
-/// across timeouts so framing never desynchronizes.
+/// the stream: every retry iteration — between frames *and* mid-frame —
+/// polls `shutdown` and returns `Ok(None)` once the flag is set, so a
+/// client stalled mid-frame can never pin its reader thread (and with
+/// it [`ServerHandle::shutdown`]) forever. Partial state is kept across
+/// timeouts so framing never desynchronizes while the server is up.
 fn read_frame_polling(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
@@ -312,7 +314,7 @@ fn read_frame_polling(
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
-        if filled == 0 && shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) {
             return Ok(None);
         }
         match stream.read(&mut len_bytes[filled..]) {
@@ -336,6 +338,9 @@ fn read_frame_polling(
     let mut payload = vec![0u8; len];
     let mut got = 0;
     while got < len {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
         match stream.read(&mut payload[got..]) {
             Ok(0) => {
                 return Err(crate::error::ServerError::Protocol(
@@ -497,23 +502,51 @@ fn admit(
             kind: JobKind::Stats,
         }),
     };
-    let full = match routed {
-        Routed::Worker(job) => matches!(job_tx.try_send(job), Err(TrySendError::Full(_))),
-        Routed::Batcher(job) => matches!(
-            batch_tx.expect("routed to batcher").try_send(job),
-            Err(TrySendError::Full(_))
-        ),
+    enum AdmitFailure {
+        Full,
+        Disconnected,
+    }
+    fn failure<T>(e: TrySendError<T>) -> AdmitFailure {
+        match e {
+            TrySendError::Full(_) => AdmitFailure::Full,
+            TrySendError::Disconnected(_) => AdmitFailure::Disconnected,
+        }
+    }
+    let outcome = match routed {
+        Routed::Worker(job) => job_tx.try_send(job).map_err(failure),
+        Routed::Batcher(job) => batch_tx
+            .expect("routed to batcher")
+            .try_send(job)
+            .map_err(failure),
     };
-    if full {
-        shared.counters().busy_rejections += 1;
-        send_reply(
-            reply_tx,
-            request_id,
-            &Response::Error {
-                code: ErrorCode::ServerBusy,
-                message: "admission queue full; retry later".into(),
-            },
-        );
+    match outcome {
+        Ok(()) => {}
+        // Queue full: shed load, the client decides whether to retry.
+        Err(AdmitFailure::Full) => {
+            shared.counters().busy_rejections += 1;
+            send_reply(
+                reply_tx,
+                request_id,
+                &Response::Error {
+                    code: ErrorCode::ServerBusy,
+                    message: "admission queue full; retry later".into(),
+                },
+            );
+        }
+        // Receiver gone: every worker (or the batcher) has exited.
+        // Dropping the request silently would hang the client's wait,
+        // so reply with a terminal error instead.
+        Err(AdmitFailure::Disconnected) => {
+            let (code, message) = if shared.shutdown.load(Ordering::SeqCst) {
+                (ErrorCode::ShuttingDown, "server is shutting down".to_string())
+            } else {
+                (
+                    ErrorCode::Internal,
+                    "request queue is closed (no workers available)".to_string(),
+                )
+            };
+            send_reply(reply_tx, request_id, &Response::Error { code, message });
+        }
     }
 }
 

@@ -333,6 +333,69 @@ fn micro_batching_merges_concurrent_queries_into_one_plan() {
     println!("micro-batching: unbatched={unbatched} batched={batched} batches={batches}");
 }
 
+/// Two constituents of one merged batch request the same column *set*
+/// in different orders; each must get its columns back in the order it
+/// asked for (the merged plan computes the set once, in one order).
+#[test]
+fn batched_results_preserve_each_clients_column_order() {
+    let table = modular_table(5_000, &[6, 10]);
+    let handle = serve(
+        table,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch_window: Some(Duration::from_millis(200)),
+            default_deadline: None,
+        },
+    );
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    // Pipelined so both land in one batch window.
+    let id_ab = client.send_query("r", &["c0", "c1"], 0).unwrap();
+    let id_ba = client.send_query("r", &["c1", "c0"], 0).unwrap();
+    for (id, want) in [(id_ab, ["c0", "c1"]), (id_ba, ["c1", "c0"])] {
+        match client.wait(id).unwrap() {
+            gbmqo_server::Reply::Results(mut r) => {
+                assert_eq!(r.len(), 1);
+                let (tag, got) = r.pop().unwrap();
+                assert_eq!(tag, want.join(","));
+                assert_eq!(&got.schema().names()[..2], &want[..], "columns for {tag}");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+/// A client that sends a frame header and then stalls mid-payload must
+/// not pin its reader thread: shutdown still completes.
+#[test]
+fn shutdown_completes_with_a_client_stalled_mid_frame() {
+    use std::io::Write;
+    let table = modular_table(1_000, &[5]);
+    let handle = serve(table, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(&100u32.to_le_bytes()).unwrap(); // frame claims 100 bytes...
+    stalled.write_all(&[0u8; 10]).unwrap(); // ...but only 10 arrive
+    stalled.flush().unwrap();
+    thread::sleep(Duration::from_millis(50)); // let the reader enter the payload loop
+
+    let done = thread::spawn(move || handle.shutdown());
+    let start = std::time::Instant::now();
+    while !done.is_finished() {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown hung on a client stalled mid-frame"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+    done.join().unwrap();
+    drop(stalled);
+}
+
 #[test]
 fn graceful_shutdown_drains_and_rejects_new_requests() {
     let table = modular_table(2_000, &[5, 8]);
