@@ -1,0 +1,107 @@
+//! Cold vs warm throughput of the materialized aggregate cache over
+//! the server, on a 1M-row Zipf-skewed lineitem.
+//!
+//! A steady-state dashboard workload re-asks the same grouping sets
+//! over and over. Without the cache every round re-scans the base
+//! table; with it, round one materializes the aggregates and every
+//! later round is answered from them (plus cheap re-aggregation for
+//! subset queries). This binary measures both configurations over the
+//! wire — same server, same client loop, only the cache budget
+//! differs — and prints the throughput ratio.
+//!
+//! ```sh
+//! cargo run --release -p gbmqo-bench --bin matcache_bench
+//! GBMQO_ROWS=200000 cargo run --release -p gbmqo-bench --bin matcache_bench
+//! ```
+
+use gbmqo_core::prelude::*;
+use gbmqo_datagen::lineitem;
+use gbmqo_server::{stats_field, Client, Server, ServerConfig, ServerHandle};
+use gbmqo_storage::Table;
+use std::time::Instant;
+
+const SKEW: f64 = 1.0;
+const SEED: u64 = 42;
+const ROUNDS: usize = 8;
+
+/// The repeated workload: low-cardinality single columns plus pairs —
+/// the shapes a dashboard refresh asks for.
+const QUERIES: &[&[&str]] = &[
+    &["l_returnflag"],
+    &["l_linestatus"],
+    &["l_shipmode"],
+    &["l_shipinstruct"],
+    &["l_returnflag", "l_linestatus"],
+    &["l_shipmode", "l_returnflag"],
+    &["l_linenumber"],
+    &["l_linenumber", "l_linestatus"],
+];
+
+fn rows() -> usize {
+    std::env::var("GBMQO_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn start(table: Table, cache_budget: usize) -> ServerHandle {
+    let session = Session::builder()
+        .table("lineitem", table)
+        .search(SearchConfig::pruned())
+        .plan_cache(64)
+        .mat_cache_budget_bytes(cache_budget)
+        .build()
+        .unwrap();
+    Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+            batch_window: None,
+            default_deadline: None,
+        },
+    )
+    .unwrap()
+}
+
+/// Run `ROUNDS` rounds of the query list; returns queries per second.
+fn drive(addr: std::net::SocketAddr) -> (f64, String) {
+    let mut client = Client::connect(addr).unwrap();
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for cols in QUERIES {
+            client.query("lineitem", cols, 0).unwrap();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = client.stats().unwrap();
+    ((ROUNDS * QUERIES.len()) as f64 / secs, stats)
+}
+
+fn main() {
+    let rows = rows();
+    eprintln!("generating {rows}-row lineitem (zipf z={SKEW}) ...");
+    let table = lineitem(rows, SKEW, SEED);
+
+    let cold_handle = start(table.clone(), 0);
+    let (cold_qps, _) = drive(cold_handle.local_addr());
+    cold_handle.shutdown();
+
+    let warm_handle = start(table, 64 << 20);
+    let (warm_qps, warm_stats) = drive(warm_handle.local_addr());
+    warm_handle.shutdown();
+
+    let hits = stats_field(&warm_stats, "matcache_hits").unwrap_or(0);
+    let entries = stats_field(&warm_stats, "matcache_entries").unwrap_or(0);
+    let resident_kb = stats_field(&warm_stats, "matcache_bytes").unwrap_or(0) / 1024;
+    println!(
+        "matcache_bench: {rows} rows, {} queries x {ROUNDS} rounds",
+        QUERIES.len()
+    );
+    println!("  cache off : {cold_qps:>8.1} q/s");
+    println!(
+        "  cache 64MB: {warm_qps:>8.1} q/s  ({hits} hits, {entries} entries, {resident_kb} KiB resident)"
+    );
+    println!("  speedup   : {:.2}x", warm_qps / cold_qps);
+}

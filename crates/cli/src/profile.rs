@@ -33,6 +33,10 @@ pub struct Options {
     pub explain: bool,
     /// Emit machine-readable execution metrics instead of summaries.
     pub json: bool,
+    /// Execute the workload this many times (metrics accumulate).
+    pub repeat: usize,
+    /// Materialized-aggregate-cache budget in MiB (0 disables it).
+    pub cache_budget_mb: usize,
 }
 
 impl Options {
@@ -49,6 +53,8 @@ impl Options {
             load_plan: None,
             explain: false,
             json: false,
+            repeat: 1,
+            cache_budget_mb: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -85,6 +91,20 @@ impl Options {
                         .ok_or_else(|| "--top needs a value".to_string())?
                         .parse()
                         .map_err(|e| format!("--top: {e}"))?
+                }
+                "--repeat" => {
+                    opts.repeat = it
+                        .next()
+                        .ok_or_else(|| "--repeat needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--repeat: {e}"))?
+                }
+                "--cache-budget-mb" => {
+                    opts.cache_budget_mb = it
+                        .next()
+                        .ok_or_else(|| "--cache-budget-mb needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--cache-budget-mb: {e}"))?
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown option {flag}"));
@@ -182,6 +202,7 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
             seed: 7,
         })
         .search(SearchConfig::pruned())
+        .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
         .build()
         .map_err(|e| e.to_string())?;
 
@@ -227,16 +248,33 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         return Ok(());
     }
 
+    // An explicit plan (loaded or naive) executes as-is; otherwise the
+    // session's workload path runs, which consults the materialized
+    // aggregate cache — with `--repeat`, later iterations are answered
+    // from aggregates the first one admitted.
+    let explicit_plan = opts.load_plan.is_some() || opts.naive;
     let start = Instant::now();
-    let report = session
-        .run_plan(&plan, &workload)
+    let mut metrics = gbmqo_exec::ExecMetrics::new();
+    let mut last = None;
+    for _ in 0..opts.repeat.max(1) {
+        let report = if explicit_plan {
+            session.run_plan(&plan, &workload)
+        } else {
+            session
+                .run_workload(&workload, CacheControl::Default)
+                .map(|o| o.report)
+        }
         .map_err(|e| e.to_string())?;
+        metrics += report.metrics;
+        last = Some(report);
+    }
+    let report = last.expect("at least one execution");
     let secs = start.elapsed().as_secs_f64();
 
     if opts.json {
         // The same flat serialization the server's Stats response embeds,
         // so downstream tooling parses one format.
-        println!("{}", report.metrics.to_json());
+        println!("{}", metrics.to_json());
         return Ok(());
     }
 
@@ -256,11 +294,11 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
     }
     println!(
         "\nexecuted {} queries in {:.3}s (peak temp storage {} KiB)",
-        report.metrics.queries_executed,
+        metrics.queries_executed,
         secs,
         report.peak_temp_bytes / 1024
     );
-    let m = &report.metrics;
+    let m = &metrics;
     println!(
         "kernel: {:.0} rows/s, {} radix partitions, {} packed-key rows, \
          {} fallback-key rows, {} hash resizes",
@@ -270,6 +308,15 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         m.fallback_key_rows,
         m.hash_resizes
     );
+    if opts.cache_budget_mb > 0 {
+        println!(
+            "matcache: {} hits, {} rows saved, {} evictions, {} KiB resident",
+            m.matcache_hits,
+            m.matcache_rows_saved,
+            m.matcache_evictions,
+            m.matcache_bytes / 1024
+        );
+    }
     Ok(())
 }
 
@@ -339,12 +386,24 @@ mod tests {
             load_plan: None,
             explain: true,
             json: false,
+            repeat: 1,
+            cache_budget_mb: 0,
         };
         run(&opts).unwrap();
         // machine-readable metrics parse back into ExecMetrics
         run(&Options {
             json: true,
             save_plan: None,
+            ..opts.clone()
+        })
+        .unwrap();
+        // a warm repeat under a cache budget answers from the cache
+        run(&Options {
+            save_plan: None,
+            explain: false,
+            plan: false,
+            repeat: 3,
+            cache_budget_mb: 8,
             ..opts.clone()
         })
         .unwrap();

@@ -22,6 +22,8 @@ pub struct Options {
     pub batch_window_ms: u64,
     /// Default per-request deadline in milliseconds (0 = none).
     pub deadline_ms: u64,
+    /// Materialized-aggregate-cache budget in MiB (0 disables it).
+    pub cache_budget_mb: usize,
 }
 
 impl Options {
@@ -35,6 +37,7 @@ impl Options {
             queue: 64,
             batch_window_ms: 2,
             deadline_ms: 0,
+            cache_budget_mb: 64,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -66,6 +69,11 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?
                 }
+                "--cache-budget-mb" => {
+                    opts.cache_budget_mb = value("--cache-budget-mb")?
+                        .parse()
+                        .map_err(|e| format!("--cache-budget-mb: {e}"))?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
                 path if opts.file.is_none() => opts.file = Some(path.to_string()),
                 extra => return Err(format!("unexpected argument {extra:?}")),
@@ -79,7 +87,8 @@ impl Options {
 pub fn run(opts: &Options) -> std::result::Result<(), String> {
     let mut builder = Session::builder()
         .search(SearchConfig::pruned())
-        .plan_cache(64);
+        .plan_cache(64)
+        .mat_cache_budget_bytes(opts.cache_budget_mb << 20);
     if let Some(file) = &opts.file {
         let content = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
         let table = table_from_csv(&content).map_err(|e| e.to_string())?;
@@ -103,13 +112,18 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
     let handle = Server::bind(opts.addr.as_str(), session, config.clone())
         .map_err(|e| format!("binding {}: {e}", opts.addr))?;
     println!(
-        "listening on {} ({} workers, queue {}, batching {})",
+        "listening on {} ({} workers, queue {}, batching {}, aggregate cache {})",
         handle.local_addr(),
         config.workers,
         config.queue_capacity,
         match config.batch_window {
             Some(w) => format!("{}ms window", w.as_millis()),
             None => "off".to_string(),
+        },
+        if opts.cache_budget_mb > 0 {
+            format!("{} MiB", opts.cache_budget_mb)
+        } else {
+            "off".to_string()
         }
     );
     // Serve until the process is killed; the handle's Drop drains
@@ -133,6 +147,8 @@ mod tests {
             "4",
             "--batch-window-ms",
             "0",
+            "--cache-budget-mb",
+            "16",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -142,6 +158,7 @@ mod tests {
         assert_eq!(o.addr, "0.0.0.0:9000");
         assert_eq!(o.workers, 4);
         assert_eq!(o.batch_window_ms, 0);
+        assert_eq!(o.cache_budget_mb, 16);
         assert!(Options::parse(&["--workers".into()]).is_err());
         assert!(Options::parse(&["--bogus".into()]).is_err());
         // no file is fine: clients register tables over the wire

@@ -18,7 +18,7 @@ use crate::colset::ColSet;
 use crate::error::Result;
 use crate::executor::{
     cleanup_exec_temps, exec_prefix, exec_temp_name, execute_plan_parallel_with, next_exec_id,
-    plan_group_estimates, run_plan, GroupEstimates, ParallelOptions,
+    plan_group_estimates, run_plan, CacheHooks, GroupEstimates, ParallelOptions,
 };
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
@@ -95,6 +95,7 @@ pub fn execute_grouping_sets(
         mode,
         ParallelOptions::default(),
         &estimates,
+        &mut CacheHooks::default(),
     )?;
     assemble_union(workload, plan, stats, results, metrics)
 }
@@ -111,15 +112,17 @@ pub(crate) fn run_mode(
     mode: ExecutionMode,
     parallel: ParallelOptions,
     estimates: &GroupEstimates,
+    hooks: &mut CacheHooks,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     Ok(match mode {
         ExecutionMode::ClientSide => {
-            let report = run_plan(plan, workload, engine, None, estimates)?;
+            let report = run_plan(plan, workload, engine, None, estimates, hooks)?;
             (report.results, report.metrics)
         }
-        ExecutionMode::ServerSide => execute_server_side(plan, workload, engine, estimates)?,
+        ExecutionMode::ServerSide => execute_server_side(plan, workload, engine, estimates, hooks)?,
         ExecutionMode::Parallel => {
-            let report = execute_plan_parallel_with(plan, workload, engine, parallel, estimates)?;
+            let report =
+                execute_plan_parallel_with(plan, workload, engine, parallel, estimates, hooks)?;
             (report.results, report.metrics)
         }
     })
@@ -157,11 +160,12 @@ fn execute_server_side(
     workload: &Workload,
     engine: &mut Engine,
     estimates: &GroupEstimates,
+    hooks: &mut CacheHooks,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     plan.validate(workload)?;
     engine.reset_metrics();
     let exec_id = next_exec_id();
-    let out = server_side_levels(plan, workload, engine, estimates, exec_id);
+    let out = server_side_levels(plan, workload, engine, estimates, exec_id, hooks);
     if out.is_err() {
         cleanup_exec_temps(engine, exec_id);
     }
@@ -174,15 +178,36 @@ fn server_side_levels(
     engine: &mut Engine,
     estimates: &GroupEstimates,
     exec_id: u64,
+    hooks: &mut CacheHooks,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
     let mut results: Vec<(ColSet, Table)> = Vec::new();
 
     // Level order: (source table name, source aggs, nodes to compute).
-    let mut frontier: Vec<(String, Vec<AggSpec>, Vec<&SubNode>)> = vec![(
-        workload.table.clone(),
-        workload.aggregates.clone(),
-        plan.subplans.iter().collect(),
-    )];
+    // Roots served from pinned cached aggregates read their pinned
+    // table (with re-aggregation) instead of the base relation; the
+    // remaining roots share one scan of the base relation as usual.
+    let reagg: Vec<AggSpec> = workload
+        .aggregates
+        .iter()
+        .map(AggSpec::reaggregate)
+        .collect();
+    let mut frontier: Vec<(String, Vec<AggSpec>, Vec<&SubNode>)> = Vec::new();
+    let mut base_nodes: Vec<&SubNode> = Vec::new();
+    for node in &plan.subplans {
+        match hooks.roots.get(&node.cols.0) {
+            Some(pinned) if node.children.is_empty() && node.kind == NodeKind::GroupBy => {
+                frontier.push((pinned.clone(), reagg.clone(), vec![node]));
+            }
+            _ => base_nodes.push(node),
+        }
+    }
+    if !base_nodes.is_empty() {
+        frontier.push((
+            workload.table.clone(),
+            workload.aggregates.clone(),
+            base_nodes,
+        ));
+    }
 
     while let Some((source, aggs, nodes)) = frontier.pop() {
         // ROLLUP/CUBE nodes keep their dedicated execution path; plain
@@ -207,6 +232,7 @@ fn server_side_levels(
                 }
                 if node.is_materialized() {
                     engine.materialize_temp(&exec_temp_name(exec_id, node.cols), table)?;
+                    hooks.harvest_temp(engine, exec_id, node.cols);
                     frontier.push((
                         exec_temp_name(exec_id, node.cols),
                         aggs.iter().map(AggSpec::reaggregate).collect(),
@@ -225,7 +251,14 @@ fn server_side_levels(
             // supported here (plan validation enforces child ⊂ parent, so
             // special nodes under temps would need node-local workloads).
             debug_assert_eq!(source, workload.table, "CUBE/ROLLUP under a temp");
-            let report = run_plan(&sub, &sub_workload(workload, node), engine, None, estimates)?;
+            let report = run_plan(
+                &sub,
+                &sub_workload(workload, node),
+                engine,
+                None,
+                estimates,
+                &mut CacheHooks::default(),
+            )?;
             results.extend(report.results);
         }
     }

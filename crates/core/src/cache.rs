@@ -19,7 +19,10 @@
 //! * the [`SearchConfig`] (pruning flags change the search trajectory),
 //! * a caller-supplied *statistics version* and *cost-model tag*, so
 //!   plans are invalidated when the stats or the model they were
-//!   optimized under change.
+//!   optimized under change,
+//! * the base table's catalog *contents version*, so replacing or
+//!   appending to a table can never reuse a plan optimized for (and
+//!   estimated against) the old data.
 
 use crate::executor::GroupEstimates;
 use crate::greedy::{SearchConfig, SearchStats};
@@ -35,13 +38,15 @@ pub struct WorkloadFingerprint(u64);
 
 impl WorkloadFingerprint {
     /// Compute the fingerprint of `workload` optimized under `config`
-    /// with statistics at `stats_version` and the cost model identified
-    /// by `cost_model_tag`.
+    /// with statistics at `stats_version`, the cost model identified
+    /// by `cost_model_tag`, and the base table's contents at catalog
+    /// version `table_version`.
     pub fn compute(
         workload: &Workload,
         config: &SearchConfig,
         stats_version: u64,
         cost_model_tag: u64,
+        table_version: u64,
     ) -> Self {
         let mut h = rustc_hash::FxHasher::default();
         workload.table.hash(&mut h);
@@ -63,6 +68,7 @@ impl WorkloadFingerprint {
         config.epsilon.to_bits().hash(&mut h);
         stats_version.hash(&mut h);
         cost_model_tag.hash(&mut h);
+        table_version.hash(&mut h);
         WorkloadFingerprint(h.finish())
     }
 
@@ -257,7 +263,7 @@ mod tests {
     }
 
     fn key_of(w: &Workload) -> WorkloadFingerprint {
-        WorkloadFingerprint::compute(w, &SearchConfig::default(), 0, 0)
+        WorkloadFingerprint::compute(w, &SearchConfig::default(), 0, 0, 0)
     }
 
     #[test]
@@ -280,18 +286,23 @@ mod tests {
         assert_ne!(base, key_of(&other), "different requests");
         assert_ne!(
             base,
-            WorkloadFingerprint::compute(&w, &SearchConfig::pruned(), 0, 0),
+            WorkloadFingerprint::compute(&w, &SearchConfig::pruned(), 0, 0, 0),
             "different search config"
         );
         assert_ne!(
             base,
-            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 1, 0),
+            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 1, 0, 0),
             "different stats version"
         );
         assert_ne!(
             base,
-            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 0, 1),
+            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 0, 1, 0),
             "different cost model"
+        );
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(&w, &SearchConfig::default(), 0, 0, 1),
+            "different table version: a replaced table must miss"
         );
     }
 

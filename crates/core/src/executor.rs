@@ -14,6 +14,7 @@ use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
 use gbmqo_storage::Table;
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Optimizer distinct-group estimates per plan node, keyed by the node's
 /// column-set bits ([`ColSet::0`]). The executor forwards them to the
@@ -100,19 +101,72 @@ pub(crate) fn cleanup_exec_temps(engine: &mut Engine, exec_id: u64) {
     }
 }
 
+/// Virtual-root sources for cache-served nodes: node column-set bits →
+/// catalog name of a pinned table holding a cached covering aggregate.
+/// An edge that would read the base relation reads the pinned table
+/// (with re-aggregation) instead when its target is listed here.
+pub(crate) type RootSources = FxHashMap<u128, String>;
+
+/// Intermediates harvested for cache admission: the column set and the
+/// materialized result of every temp an execution produced, captured
+/// just before the temp is dropped (an `Arc` clone, not a data copy).
+pub(crate) type Harvest = Vec<(ColSet, Arc<Table>)>;
+
+/// Materialized-aggregate-cache integration handles threaded through
+/// plan execution. The default (no roots, no harvest) is a plain
+/// cache-less run.
+#[derive(Debug, Default)]
+pub(crate) struct CacheHooks {
+    /// Nodes served from pinned cached aggregates instead of the base
+    /// relation.
+    pub roots: RootSources,
+    /// `Some` collects every materialized intermediate for admission.
+    pub harvest: Option<Harvest>,
+}
+
+impl CacheHooks {
+    /// Record a temp's contents before it is dropped.
+    fn keep(&mut self, cols: ColSet, table: Arc<Table>) {
+        if let Some(h) = self.harvest.as_mut() {
+            h.push((cols, table));
+        }
+    }
+
+    /// Harvest the temp materializing `cols` (no-op without a sink).
+    pub(crate) fn harvest_temp(&mut self, engine: &Engine, exec_id: u64, cols: ColSet) {
+        if self.harvest.is_some() {
+            if let Ok(t) = engine.catalog().table_arc(&exec_temp_name(exec_id, cols)) {
+                self.keep(cols, t);
+            }
+        }
+    }
+}
+
 /// Input table name and aggregate list for an edge reading `source`
 /// (`None` = the base relation; temps re-aggregate with `SUM(cnt)` etc.).
-fn source_io(workload: &Workload, source: Option<ColSet>, exec_id: u64) -> (String, Vec<AggSpec>) {
+/// A base-relation edge whose `target` has a pinned cached root reads
+/// that root instead — the cached table already holds the aggregate
+/// outputs, so it re-aggregates exactly like a temp.
+fn source_io(
+    workload: &Workload,
+    source: Option<ColSet>,
+    exec_id: u64,
+    roots: &RootSources,
+    target: ColSet,
+) -> (String, Vec<AggSpec>) {
+    let reagg = || {
+        workload
+            .aggregates
+            .iter()
+            .map(AggSpec::reaggregate)
+            .collect()
+    };
     match source {
-        None => (workload.table.clone(), workload.aggregates.clone()),
-        Some(s) => (
-            exec_temp_name(exec_id, s),
-            workload
-                .aggregates
-                .iter()
-                .map(AggSpec::reaggregate)
-                .collect(),
-        ),
+        None => match roots.get(&target.0) {
+            Some(pinned) => (pinned.clone(), reagg()),
+            None => (workload.table.clone(), workload.aggregates.clone()),
+        },
+        Some(s) => (exec_temp_name(exec_id, s), reagg()),
     }
 }
 
@@ -138,6 +192,7 @@ pub fn execute_plan(
         engine,
         size_estimate,
         &GroupEstimates::default(),
+        &mut CacheHooks::default(),
     )
 }
 
@@ -150,11 +205,20 @@ pub(crate) fn run_plan(
     engine: &mut Engine,
     size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
     estimates: &GroupEstimates,
+    hooks: &mut CacheHooks,
 ) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
     let exec_id = next_exec_id();
-    let out = run_plan_steps(plan, workload, engine, size_estimate, estimates, exec_id);
+    let out = run_plan_steps(
+        plan,
+        workload,
+        engine,
+        size_estimate,
+        estimates,
+        exec_id,
+        hooks,
+    );
     if out.is_err() {
         // A failed (or cancelled) execution must not leave its temps
         // behind: the catalog may be shared with other executions.
@@ -163,6 +227,7 @@ pub(crate) fn run_plan(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_plan_steps(
     plan: &LogicalPlan,
     workload: &Workload,
@@ -170,6 +235,7 @@ fn run_plan_steps(
     size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
     estimates: &GroupEstimates,
     exec_id: u64,
+    hooks: &mut CacheHooks,
 ) -> Result<ExecutionReport> {
     // Collect ROLLUP/CUBE nodes so their single step can deliver child
     // results.
@@ -191,6 +257,7 @@ fn run_plan_steps(
         engine.check_cancelled()?;
         match step {
             Step::Drop(cols) => {
+                hooks.harvest_temp(engine, exec_id, *cols);
                 engine.drop_temp(&exec_temp_name(exec_id, *cols))?;
             }
             Step::Query {
@@ -200,7 +267,7 @@ fn run_plan_steps(
                 required,
                 kind,
             } => {
-                let (input, aggs) = source_io(workload, *source, exec_id);
+                let (input, aggs) = source_io(workload, *source, exec_id, &hooks.roots, *target);
                 match kind {
                     NodeKind::GroupBy => {
                         let q = GroupByQuery {
@@ -328,28 +395,38 @@ pub fn execute_plan_parallel(
     engine: &mut Engine,
     options: ParallelOptions,
 ) -> Result<ExecutionReport> {
-    execute_plan_parallel_with(plan, workload, engine, options, &GroupEstimates::default())
+    execute_plan_parallel_with(
+        plan,
+        workload,
+        engine,
+        options,
+        &GroupEstimates::default(),
+        &mut CacheHooks::default(),
+    )
 }
 
 /// [`execute_plan_parallel`] with per-node distinct-group estimates
-/// forwarded to the engine (the session path, which has a cost model).
+/// forwarded to the engine (the session path, which has a cost model)
+/// and materialized-aggregate-cache hooks.
 pub(crate) fn execute_plan_parallel_with(
     plan: &LogicalPlan,
     workload: &Workload,
     engine: &mut Engine,
     options: ParallelOptions,
     estimates: &GroupEstimates,
+    hooks: &mut CacheHooks,
 ) -> Result<ExecutionReport> {
     plan.validate(workload)?;
     engine.reset_metrics();
     let exec_id = next_exec_id();
-    let out = execute_waves(plan, workload, engine, options, estimates, exec_id);
+    let out = execute_waves(plan, workload, engine, options, estimates, exec_id, hooks);
     if out.is_err() {
         cleanup_exec_temps(engine, exec_id);
     }
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_waves(
     plan: &LogicalPlan,
     workload: &Workload,
@@ -357,6 +434,7 @@ fn execute_waves(
     options: ParallelOptions,
     estimates: &GroupEstimates,
     exec_id: u64,
+    hooks: &mut CacheHooks,
 ) -> Result<ExecutionReport> {
     let threads = options.effective_threads();
 
@@ -403,7 +481,7 @@ fn execute_waves(
         let queries: Vec<GroupByQuery> = batch
             .iter()
             .map(|(edge, src)| {
-                let (input, aggs) = source_io(workload, *src, exec_id);
+                let (input, aggs) = source_io(workload, *src, exec_id, &hooks.roots, edge.target);
                 GroupByQuery {
                     input,
                     group_cols: workload
@@ -450,7 +528,7 @@ fn execute_waves(
         // ROLLUP/CUBE nodes run serially: their lattice descent already
         // re-aggregates level-by-level internally.
         for (edge, src) in &specials {
-            let (input, aggs) = source_io(workload, *src, exec_id);
+            let (input, aggs) = source_io(workload, *src, exec_id, &hooks.roots, edge.target);
             let node = special
                 .get(&edge.target.0)
                 .ok_or_else(|| CoreError::InvalidPlan("unknown rollup/cube node".into()))?;
@@ -487,6 +565,11 @@ fn execute_waves(
                 *r -= 1;
                 if *r == 0 {
                     readers.remove(&s.0);
+                    // The last reader is done — offer the intermediate
+                    // to the aggregate cache before recycling it, so a
+                    // later workload asking for exactly this set (or a
+                    // subset) is served instead of recomputed.
+                    hooks.harvest_temp(engine, exec_id, *s);
                     engine.drop_temp(&exec_temp_name(exec_id, *s))?;
                 }
             }
@@ -651,7 +734,15 @@ mod tests {
     fn naive_plan_produces_all_results() {
         let (mut engine, w) = setup();
         let plan = LogicalPlan::naive(&w);
-        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let report = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         assert_eq!(report.results.len(), 3);
         assert_eq!(report.peak_temp_bytes, 0);
         // counts of (a): 3 groups of 20
@@ -668,7 +759,15 @@ mod tests {
     fn merged_plan_matches_naive_results() {
         let (mut engine, w) = setup();
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
+        let nr = run_plan(
+            &naive,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
 
         // merged: (a,b) → {a, b}; c direct
         let merged = LogicalPlan {
@@ -683,7 +782,15 @@ mod tests {
                 SubNode::leaf(ColSet::single(2)),
             ],
         };
-        let mr = run_plan(&merged, &w, &mut engine, None, &Default::default()).unwrap();
+        let mr = run_plan(
+            &merged,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         assert!(mr.peak_temp_bytes > 0);
         // temp table is gone afterwards
         assert_eq!(engine.catalog().accounting().current_temp_bytes, 0);
@@ -722,11 +829,27 @@ mod tests {
                 ],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let report = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         assert_eq!(report.results.len(), 3);
         // verify (a) counts equal direct computation
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
+        let nr = run_plan(
+            &naive,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         for (set, nt) in &nr.results {
             let rt = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(rt), "rollup result differs for {set:?}");
@@ -754,10 +877,26 @@ mod tests {
                 ],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let report = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         assert_eq!(report.results.len(), 3);
         let naive = LogicalPlan::naive(&w);
-        let nr = run_plan(&naive, &w, &mut engine, None, &Default::default()).unwrap();
+        let nr = run_plan(
+            &naive,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         for (set, nt) in &nr.results {
             let ct = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
             assert_eq!(norm(nt), norm(ct), "cube result differs for {set:?}");
@@ -786,7 +925,15 @@ mod tests {
                 )],
             }],
         };
-        let report = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let report = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         let (_, ta) = report
             .results
             .iter()
@@ -805,7 +952,15 @@ mod tests {
         let bad = LogicalPlan {
             subplans: vec![SubNode::leaf(ColSet::single(0))],
         };
-        assert!(run_plan(&bad, &w, &mut engine, None, &Default::default()).is_err());
+        assert!(run_plan(
+            &bad,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default()
+        )
+        .is_err());
         assert!(execute_plan_parallel(&bad, &w, &mut engine, ParallelOptions::default()).is_err());
     }
 
@@ -828,7 +983,15 @@ mod tests {
     fn parallel_executor_matches_serial() {
         let (mut engine, w) = setup();
         let plan = merged_plan();
-        let sr = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let sr = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         for threads in [1, 2, 4] {
             let pr = execute_plan_parallel(
                 &plan,
@@ -897,7 +1060,15 @@ mod tests {
                 )],
             }],
         };
-        let serial = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let serial = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         let opts = ParallelOptions {
             threads: 4,
             memory_budget: Some(0),
@@ -940,7 +1111,15 @@ mod tests {
         let token = gbmqo_exec::CancelToken::new();
         token.cancel();
         engine.set_cancel_token(Some(token));
-        let err = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap_err();
+        let err = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             CoreError::Exec(gbmqo_exec::ExecError::Cancelled { .. })
@@ -964,7 +1143,15 @@ mod tests {
         engine.drop_temp("__gbmqo_tmp_eff_1").unwrap();
 
         // With the token detached the same plan runs to completion.
-        let ok = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let ok = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         assert_eq!(ok.results.len(), 3);
     }
 
@@ -989,7 +1176,15 @@ mod tests {
                 ],
             }],
         };
-        let serial = run_plan(&plan, &w, &mut engine, None, &Default::default()).unwrap();
+        let serial = run_plan(
+            &plan,
+            &w,
+            &mut engine,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
         let parallel =
             execute_plan_parallel(&plan, &w, &mut engine, ParallelOptions::with_threads(2))
                 .unwrap();

@@ -88,7 +88,14 @@ pub fn grouping_sets_over_join(
     // Optimize and execute the pushed-down Group Bys (work sharing!).
     let mut model = CardinalityCostModel::new(ExactSource::new(&left_table));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned()).plan(&workload, &mut model)?;
-    let report = run_plan(&plan, &workload, engine, None, &Default::default())?;
+    let report = run_plan(
+        &plan,
+        &workload,
+        engine,
+        None,
+        &Default::default(),
+        &mut Default::default(),
+    )?;
     let mut metrics = report.metrics;
 
     // Tag + union-all (Figure 8's Union-All below the join).

@@ -118,13 +118,14 @@ pub use exhaustive::optimal_plan;
 pub use explain::{explain, render_explain, ExplainedEdge};
 pub use extensions::cube_rollup_pass;
 pub use gbmqo_exec::{CancelToken, GroupByStrategy};
+pub use gbmqo_matcache::{CacheControl, MatCacheStats};
 pub use greedy::{GbMqo, SearchConfig, SearchStats};
 pub use grouping_sets::{grouping_sets_plan, BaselineKind};
 pub use join_pushdown::grouping_sets_over_join;
 pub use parse::parse_grouping_sets;
 pub use plan::{LogicalPlan, NodeKind, SubNode};
 pub use serialize::{plan_from_text, plan_to_text};
-pub use session::{CostModelSpec, Session, SessionBuilder};
+pub use session::{CostModelSpec, Session, SessionBuilder, WorkloadOutcome};
 pub use sql::render_sql;
 pub use workload::Workload;
 
@@ -137,7 +138,8 @@ pub mod prelude {
     pub use crate::executor::{ExecutionReport, ParallelOptions};
     pub use crate::greedy::{GbMqo, SearchConfig, SearchStats};
     pub use crate::plan::{LogicalPlan, SubNode};
-    pub use crate::session::{CostModelSpec, Session, SessionBuilder};
+    pub use crate::session::{CostModelSpec, Session, SessionBuilder, WorkloadOutcome};
     pub use crate::workload::Workload;
     pub use gbmqo_exec::{CancelToken, GroupByStrategy};
+    pub use gbmqo_matcache::{CacheControl, MatCacheStats};
 }

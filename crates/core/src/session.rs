@@ -38,16 +38,22 @@
 
 use crate::api::{assemble_union, run_mode, ExecutionMode, GroupingSetsResult};
 use crate::cache::{CacheStats, PlanCache, WorkloadFingerprint};
+use crate::colset::ColSet;
 use crate::error::{CoreError, Result};
-use crate::executor::{plan_group_estimates, ExecutionReport, GroupEstimates, ParallelOptions};
+use crate::executor::{
+    next_exec_id, plan_group_estimates, CacheHooks, ExecutionReport, GroupEstimates,
+    ParallelOptions,
+};
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
-use crate::plan::LogicalPlan;
+use crate::plan::{LogicalPlan, SubNode};
 use crate::workload::Workload;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
 use gbmqo_exec::{CancelToken, Engine, GroupByStrategy};
+use gbmqo_matcache::{agg_signature, CacheControl, CachedAggregate, MatCache, MatCacheStats};
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
 use gbmqo_storage::{Catalog, Table};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Which cost model a [`Session`] optimizes under. The session builds a
 /// fresh model instance per search (they borrow catalog tables), so the
@@ -124,6 +130,7 @@ pub struct SessionBuilder {
     plan_cache: usize,
     io_ns_per_byte: f64,
     strategy: GroupByStrategy,
+    mat_cache_budget_bytes: usize,
 }
 
 impl SessionBuilder {
@@ -197,6 +204,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Byte budget of the cross-request materialized aggregate cache
+    /// (default `0` = disabled). With a budget, the session retains
+    /// aggregates computed while answering workloads and plans later
+    /// workloads from them: a request covered by a cached superset is
+    /// answered by re-aggregating the cached table instead of scanning
+    /// the base relation. See `gbmqo-matcache` for keying, versioning
+    /// and eviction.
+    pub fn mat_cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.mat_cache_budget_bytes = bytes;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session> {
         let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
@@ -238,9 +257,22 @@ impl SessionBuilder {
             parallelism: self.parallelism,
             memory_budget: self.memory_budget,
             cache: PlanCache::new(self.plan_cache),
+            mat_cache: MatCache::new(self.mat_cache_budget_bytes),
             stats_version: 0,
         })
     }
+}
+
+/// The planned-and-executed outcome of [`Session::run_workload`].
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// The executed plan, including any cache-served virtual roots.
+    pub plan: LogicalPlan,
+    /// Search statistics of the uncovered remainder (default when every
+    /// request was served from the cache — no search ran at all).
+    pub stats: SearchStats,
+    /// Per-set results and execution metrics.
+    pub report: ExecutionReport,
 }
 
 /// A long-lived GB-MQO serving session: one entry point
@@ -256,6 +288,8 @@ pub struct Session {
     parallelism: usize,
     memory_budget: Option<usize>,
     cache: PlanCache,
+    /// Cross-request materialized aggregate cache (disabled at budget 0).
+    mat_cache: MatCache,
     /// Bumped whenever registered tables change; part of the plan-cache
     /// fingerprint so stale plans are not reused.
     stats_version: u64,
@@ -283,19 +317,178 @@ impl Session {
     /// Optimize and execute `workload` as one GROUPING SETS query,
     /// returning the tagged UNION ALL plus plan, search stats, and
     /// execution metrics. Repeated workloads skip the search via the
-    /// plan cache ([`SearchStats::cache_hit`]).
+    /// plan cache ([`SearchStats::cache_hit`]); with a materialized
+    /// aggregate cache enabled, requests covered by cached supersets
+    /// skip the base-table scan too.
     pub fn grouping_sets(&mut self, workload: &Workload) -> Result<GroupingSetsResult> {
-        let (plan, stats, estimates) = self.plan_with_estimates(workload)?;
+        self.grouping_sets_with(workload, CacheControl::Default)
+    }
+
+    /// [`Session::grouping_sets`] with an explicit per-request cache
+    /// policy (`Bypass` forces cold execution, `Refresh` recomputes and
+    /// re-admits).
+    pub fn grouping_sets_with(
+        &mut self,
+        workload: &Workload,
+        cache: CacheControl,
+    ) -> Result<GroupingSetsResult> {
+        let out = self.run_workload(workload, cache)?;
+        assemble_union(
+            workload,
+            out.plan,
+            out.stats,
+            out.report.results,
+            out.report.metrics,
+        )
+    }
+
+    /// Optimize (consulting the materialized aggregate cache) and
+    /// execute `workload`, returning the per-set result tables plus the
+    /// executed plan and search stats. This is the server's entry
+    /// point; [`Session::grouping_sets`] adds the UNION ALL on top.
+    pub fn run_workload(
+        &mut self,
+        workload: &Workload,
+        cache: CacheControl,
+    ) -> Result<WorkloadOutcome> {
+        let use_cache = self.mat_cache.enabled();
+        let before = self.mat_cache.stats();
+        let table_version = self.engine.catalog().table_version(&workload.table)?;
+        let base_rows = self.engine.catalog().table(&workload.table)?.num_rows();
+        let agg_sig = agg_signature(&workload.aggregates);
+
+        // 1. Consult the cache: which requests does a cached (same
+        // table contents, same aggregates) superset aggregate cover?
+        let mut covered: Vec<(ColSet, CachedAggregate)> = Vec::new();
+        if use_cache && cache.allows_lookup() {
+            for &req in &workload.requests {
+                let names: Vec<String> = workload
+                    .col_names(req)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                if let Some(hit) = self.mat_cache.lookup_covering(
+                    &workload.table,
+                    table_version,
+                    &names,
+                    agg_sig,
+                    base_rows,
+                ) {
+                    covered.push((req, hit));
+                }
+            }
+        }
+
+        // 2. Run the merge search only over the uncovered remainder
+        // (the plan cache applies to it; cache-dependent parts of the
+        // plan are never memoized, so a later request with a colder
+        // cache cannot reuse a plan that assumes warm state).
+        let uncovered: Vec<ColSet> = workload
+            .requests
+            .iter()
+            .copied()
+            .filter(|r| !covered.iter().any(|(c, _)| c == r))
+            .collect();
+        let (mut plan, stats, estimates) = if uncovered.is_empty() {
+            (
+                LogicalPlan { subplans: vec![] },
+                SearchStats::default(),
+                GroupEstimates::default(),
+            )
+        } else if uncovered.len() == workload.requests.len() {
+            self.plan_with_estimates(workload)?
+        } else {
+            let sub = Workload {
+                requests: uncovered,
+                ..workload.clone()
+            };
+            self.plan_with_estimates(&sub)?
+        };
+
+        // 3. Seed the plan with the covered requests as virtual roots:
+        // each becomes a leaf whose input is the cached aggregate,
+        // pinned in the catalog for the duration of the execution.
+        let mut hooks = CacheHooks::default();
+        let pin = next_exec_id();
+        for (cols, hit) in &covered {
+            let name = format!("__gbmqo_mc_e{pin:x}_{:x}", cols.0);
+            self.engine
+                .catalog_mut()
+                .register_arc(&name, Arc::clone(&hit.table))?;
+            hooks.roots.insert(cols.0, name);
+            plan.subplans.push(SubNode::leaf(*cols));
+        }
+        if use_cache && cache.allows_admit() {
+            hooks.harvest = Some(Vec::new());
+        }
+
+        // 4. Execute; unpin the cached roots afterwards even on error.
         let parallel = self.parallel_options();
-        let (results, metrics) = run_mode(
+        let run = run_mode(
             &plan,
             workload,
             &mut self.engine,
             self.mode,
             parallel,
             &estimates,
-        )?;
-        assemble_union(workload, plan, stats, results, metrics)
+            &mut hooks,
+        );
+        for name in hooks.roots.values() {
+            let _ = self.engine.catalog_mut().remove(name);
+        }
+        let (results, mut metrics) = run?;
+
+        // 5. Admission: offer the scheduler's materialized
+        // intermediates and the request results themselves. Requests
+        // answered verbatim from the cache are not re-admitted.
+        if hooks.harvest.is_some() {
+            let mut admitted: Vec<ColSet> = Vec::new();
+            let offer = |mc: &mut MatCache, cols: ColSet, table: Arc<Table>| {
+                let names: Vec<String> = workload
+                    .col_names(cols)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                mc.admit(
+                    &workload.table,
+                    table_version,
+                    &names,
+                    agg_sig,
+                    table,
+                    base_rows,
+                );
+            };
+            for (cols, table) in hooks.harvest.take().into_iter().flatten() {
+                admitted.push(cols);
+                offer(&mut self.mat_cache, cols, table);
+            }
+            for (cols, table) in &results {
+                let served_exact = covered.iter().any(|(c, h)| c == cols && h.exact);
+                if served_exact || admitted.contains(cols) {
+                    continue;
+                }
+                offer(&mut self.mat_cache, *cols, Arc::new(table.clone()));
+            }
+        }
+
+        // 6. Surface this request's cache activity in the metrics.
+        if use_cache {
+            let after = self.mat_cache.stats();
+            metrics.matcache_hits = after.hits - before.hits;
+            metrics.matcache_evictions = after.evictions - before.evictions;
+            metrics.matcache_rows_saved = after.rows_saved - before.rows_saved;
+            metrics.matcache_bytes = after.bytes;
+        }
+
+        Ok(WorkloadOutcome {
+            plan,
+            stats,
+            report: ExecutionReport {
+                results,
+                metrics,
+                peak_temp_bytes: self.engine.catalog().accounting().peak_temp_bytes,
+            },
+        })
     }
 
     /// Optimize `workload` (or fetch the cached plan) without executing.
@@ -311,11 +504,19 @@ impl Session {
         &mut self,
         workload: &Workload,
     ) -> Result<(LogicalPlan, SearchStats, GroupEstimates)> {
+        // The base table's contents version is part of the key: a
+        // replaced or appended-to table can never reuse a stale plan.
+        let table_version = self
+            .engine
+            .catalog()
+            .table_version(&workload.table)
+            .unwrap_or(0);
         let key = WorkloadFingerprint::compute(
             workload,
             &self.search,
             self.stats_version,
             self.cost_model.tag(),
+            table_version,
         );
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit);
@@ -373,6 +574,7 @@ impl Session {
             self.mode,
             parallel,
             &GroupEstimates::default(),
+            &mut CacheHooks::default(),
         )?;
         Ok(ExecutionReport {
             results,
@@ -398,13 +600,20 @@ impl Session {
             &mut self.engine,
             Some(size_estimate),
             &GroupEstimates::default(),
+            &mut CacheHooks::default(),
         )
     }
 
-    /// Register another base table. Invalidates cached plans (the
-    /// statistics version is part of the fingerprint).
+    /// Register a base table, replacing any same-named table (upsert
+    /// semantics: a serving session accepts re-uploads). Replacement
+    /// invalidates everything derived from the old contents: cached
+    /// plans (the statistics version and the table's catalog version
+    /// are both part of the fingerprint) and every cached materialized
+    /// aggregate of the table.
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
-        self.engine.catalog_mut().register(name, table)?;
+        let name = name.into();
+        self.engine.catalog_mut().replace(&name, table)?;
+        self.mat_cache.invalidate_table(&name);
         self.stats_version += 1;
         Ok(())
     }
@@ -423,6 +632,16 @@ impl Session {
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Materialized-aggregate-cache counters (all zero when disabled).
+    pub fn mat_cache_stats(&self) -> MatCacheStats {
+        self.mat_cache.stats()
+    }
+
+    /// Drop every cached materialized aggregate (counters survive).
+    pub fn clear_mat_cache(&mut self) {
+        self.mat_cache.clear();
     }
 
     /// Drop all cached plans.

@@ -31,6 +31,16 @@ pub struct ExecMetrics {
     pub fallback_key_rows: u64,
     /// Group hash-table growths (rehash + move) observed by kernels.
     pub hash_resizes: u64,
+    /// Workload requests answered from the materialized aggregate
+    /// cache (a covering superset already held, no base-table scan).
+    pub matcache_hits: u64,
+    /// Bytes currently resident in the materialized aggregate cache
+    /// (a gauge snapshot, not cumulative — `+=` keeps the larger side).
+    pub matcache_bytes: u64,
+    /// Cached aggregates evicted to stay under the cache byte budget.
+    pub matcache_evictions: u64,
+    /// Estimated base-table rows whose scan was avoided by cache hits.
+    pub matcache_rows_saved: u64,
 }
 
 impl ExecMetrics {
@@ -75,6 +85,10 @@ impl ExecMetrics {
             ("packed_key_rows", self.packed_key_rows),
             ("fallback_key_rows", self.fallback_key_rows),
             ("hash_resizes", self.hash_resizes),
+            ("matcache_hits", self.matcache_hits),
+            ("matcache_bytes", self.matcache_bytes),
+            ("matcache_evictions", self.matcache_evictions),
+            ("matcache_rows_saved", self.matcache_rows_saved),
         ]
     }
 
@@ -114,6 +128,10 @@ impl ExecMetrics {
                 "packed_key_rows" => m.packed_key_rows = value,
                 "fallback_key_rows" => m.fallback_key_rows = value,
                 "hash_resizes" => m.hash_resizes = value,
+                "matcache_hits" => m.matcache_hits = value,
+                "matcache_bytes" => m.matcache_bytes = value,
+                "matcache_evictions" => m.matcache_evictions = value,
+                "matcache_rows_saved" => m.matcache_rows_saved = value,
                 _ => {}
             }
         }
@@ -133,6 +151,12 @@ impl AddAssign for ExecMetrics {
         self.packed_key_rows += rhs.packed_key_rows;
         self.fallback_key_rows += rhs.fallback_key_rows;
         self.hash_resizes += rhs.hash_resizes;
+        self.matcache_hits += rhs.matcache_hits;
+        // Resident-bytes is a gauge: accumulating totals keeps the
+        // most recent (larger-scope) snapshot rather than a sum.
+        self.matcache_bytes = self.matcache_bytes.max(rhs.matcache_bytes);
+        self.matcache_evictions += rhs.matcache_evictions;
+        self.matcache_rows_saved += rhs.matcache_rows_saved;
     }
 }
 
@@ -153,6 +177,10 @@ mod tests {
             packed_key_rows: 8,
             fallback_key_rows: 2,
             hash_resizes: 1,
+            matcache_hits: 1,
+            matcache_bytes: 100,
+            matcache_evictions: 1,
+            matcache_rows_saved: 50,
         };
         let b = ExecMetrics {
             rows_scanned: 5,
@@ -165,6 +193,10 @@ mod tests {
             packed_key_rows: 5,
             fallback_key_rows: 0,
             hash_resizes: 3,
+            matcache_hits: 2,
+            matcache_bytes: 60,
+            matcache_evictions: 0,
+            matcache_rows_saved: 25,
         };
         a += b;
         assert_eq!(a.rows_scanned, 15);
@@ -177,6 +209,10 @@ mod tests {
         assert_eq!(a.packed_key_rows, 13);
         assert_eq!(a.fallback_key_rows, 2);
         assert_eq!(a.hash_resizes, 4);
+        assert_eq!(a.matcache_hits, 3);
+        assert_eq!(a.matcache_bytes, 100, "bytes is a gauge: max, not sum");
+        assert_eq!(a.matcache_evictions, 1);
+        assert_eq!(a.matcache_rows_saved, 75);
     }
 
     #[test]
@@ -201,12 +237,17 @@ mod tests {
             packed_key_rows: 8,
             fallback_key_rows: 9,
             hash_resizes: 10,
+            matcache_hits: 11,
+            matcache_bytes: 12,
+            matcache_evictions: 13,
+            matcache_rows_saved: 14,
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"radix_partitions\":7"));
         // fields() enumerates every counter exactly once
-        assert_eq!(m.fields().len(), 10);
+        assert_eq!(m.fields().len(), 14);
+        assert!(json.contains("\"matcache_hits\":11"));
         let back = ExecMetrics::from_json(&json).unwrap();
         assert_eq!(back, m);
         // unknown keys are tolerated, garbage is not

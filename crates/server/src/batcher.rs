@@ -36,6 +36,7 @@
 use crate::error::ErrorCode;
 use crate::protocol::Response;
 use crate::server::{error_code_for, run_workload, send_reply, Shared};
+use gbmqo_core::CacheControl;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,6 +48,7 @@ pub(crate) struct BatchJob {
     pub reply: Sender<Vec<u8>>,
     pub table: String,
     pub group_cols: Vec<String>,
+    pub cache: CacheControl,
 }
 
 /// Batcher thread body: collect a window's worth of queries, merge,
@@ -69,19 +71,26 @@ pub(crate) fn run_batcher(rx: Receiver<BatchJob>, shared: Arc<Shared>, window: D
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        for (table, group) in group_by_table(jobs) {
-            execute_group(&shared, &table, group);
+        for ((table, cache), group) in group_by_table(jobs) {
+            execute_group(&shared, &table, cache, group);
         }
     }
 }
 
-/// Partition a window's jobs by base table, preserving arrival order.
-fn group_by_table(jobs: Vec<BatchJob>) -> Vec<(String, Vec<BatchJob>)> {
-    let mut groups: Vec<(String, Vec<BatchJob>)> = Vec::new();
+/// Partition a window's jobs by `(base table, cache control)`,
+/// preserving arrival order. Cache control is part of the key so a
+/// `Bypass` or `Refresh` request never silently downgrades (or
+/// upgrades) the cache behavior of jobs it happens to share a window
+/// with.
+fn group_by_table(jobs: Vec<BatchJob>) -> Vec<((String, CacheControl), Vec<BatchJob>)> {
+    let mut groups: Vec<((String, CacheControl), Vec<BatchJob>)> = Vec::new();
     for job in jobs {
-        match groups.iter_mut().find(|(t, _)| *t == job.table) {
+        match groups
+            .iter_mut()
+            .find(|((t, c), _)| *t == job.table && *c == job.cache)
+        {
             Some((_, g)) => g.push(job),
-            None => groups.push((job.table.clone(), vec![job])),
+            None => groups.push(((job.table.clone(), job.cache), vec![job])),
         }
     }
     groups
@@ -141,7 +150,7 @@ fn reply_timeout(shared: &Shared, jobs: &[BatchJob], message: &str) {
     }
 }
 
-fn execute_group(shared: &Shared, table: &str, mut group: Vec<BatchJob>) {
+fn execute_group(shared: &Shared, table: &str, cache: CacheControl, mut group: Vec<BatchJob>) {
     {
         let mut counters = shared.counters();
         counters.requests += group.len() as u64;
@@ -156,7 +165,7 @@ fn execute_group(shared: &Shared, table: &str, mut group: Vec<BatchJob>) {
         let deadline = group.iter().filter_map(|j| j.deadline).min();
         shared.counters().batches += 1;
 
-        match run_workload(shared, table, &universe, &requests, deadline) {
+        match run_workload(shared, table, &universe, &requests, deadline, cache) {
             Ok(results) => {
                 for job in &group {
                     let tag = job.group_cols.join(",");
@@ -234,6 +243,10 @@ mod tests {
     use std::sync::mpsc;
 
     fn job(table: &str, cols: &[&str]) -> BatchJob {
+        job_with_cache(table, cols, CacheControl::Default)
+    }
+
+    fn job_with_cache(table: &str, cols: &[&str], cache: CacheControl) -> BatchJob {
         let (tx, _rx) = mpsc::channel();
         BatchJob {
             request_id: 1,
@@ -241,6 +254,7 @@ mod tests {
             reply: tx,
             table: table.into(),
             group_cols: cols.iter().map(|s| s.to_string()).collect(),
+            cache,
         }
     }
 
@@ -248,9 +262,23 @@ mod tests {
     fn jobs_group_by_table_preserving_order() {
         let groups = group_by_table(vec![job("r", &["a"]), job("s", &["x"]), job("r", &["b"])]);
         assert_eq!(groups.len(), 2);
-        assert_eq!(groups[0].0, "r");
+        assert_eq!(groups[0].0 .0, "r");
         assert_eq!(groups[0].1.len(), 2);
-        assert_eq!(groups[1].0, "s");
+        assert_eq!(groups[1].0 .0, "s");
+    }
+
+    #[test]
+    fn cache_control_splits_an_otherwise_shared_batch() {
+        let groups = group_by_table(vec![
+            job("r", &["a"]),
+            job_with_cache("r", &["b"], CacheControl::Bypass),
+            job("r", &["c"]),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, ("r".to_string(), CacheControl::Default));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, ("r".to_string(), CacheControl::Bypass));
+        assert_eq!(groups[1].1.len(), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::error::{ServerError, ServerResult};
 use crate::protocol::{self, Request, Response};
+use gbmqo_core::CacheControl;
 use gbmqo_storage::Table;
 use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -81,10 +82,23 @@ impl Client {
         group_cols: &[&str],
         deadline_ms: u32,
     ) -> ServerResult<u64> {
+        self.send_query_with(table, group_cols, deadline_ms, CacheControl::Default)
+    }
+
+    /// Like [`Client::send_query`] with explicit control over the
+    /// server's materialized aggregate cache for this request.
+    pub fn send_query_with(
+        &mut self,
+        table: &str,
+        group_cols: &[&str],
+        deadline_ms: u32,
+        cache: CacheControl,
+    ) -> ServerResult<u64> {
         self.send(&Request::Query {
             table: table.to_string(),
             group_cols: group_cols.iter().map(|s| s.to_string()).collect(),
             deadline_ms,
+            cache,
         })
     }
 
@@ -96,6 +110,25 @@ impl Client {
         requests: &[Vec<&str>],
         deadline_ms: u32,
     ) -> ServerResult<u64> {
+        self.send_workload_with(
+            table,
+            universe,
+            requests,
+            deadline_ms,
+            CacheControl::Default,
+        )
+    }
+
+    /// Like [`Client::send_workload`] with explicit control over the
+    /// server's materialized aggregate cache for this request.
+    pub fn send_workload_with(
+        &mut self,
+        table: &str,
+        universe: &[&str],
+        requests: &[Vec<&str>],
+        deadline_ms: u32,
+        cache: CacheControl,
+    ) -> ServerResult<u64> {
         self.send(&Request::SubmitWorkload {
             table: table.to_string(),
             universe: universe.iter().map(|s| s.to_string()).collect(),
@@ -104,6 +137,7 @@ impl Client {
                 .map(|r| r.iter().map(|s| s.to_string()).collect())
                 .collect(),
             deadline_ms,
+            cache,
         })
     }
 
@@ -202,7 +236,20 @@ impl Client {
         group_cols: &[&str],
         deadline_ms: u32,
     ) -> ServerResult<Table> {
-        let id = self.send_query(table, group_cols, deadline_ms)?;
+        self.query_with(table, group_cols, deadline_ms, CacheControl::Default)
+    }
+
+    /// Like [`Client::query`] with explicit cache control: `Bypass`
+    /// ignores the server's materialized aggregate cache, `Refresh`
+    /// recomputes and re-admits even on a hit.
+    pub fn query_with(
+        &mut self,
+        table: &str,
+        group_cols: &[&str],
+        deadline_ms: u32,
+        cache: CacheControl,
+    ) -> ServerResult<Table> {
+        let id = self.send_query_with(table, group_cols, deadline_ms, cache)?;
         match self.wait(id)? {
             Reply::Results(mut r) if r.len() == 1 => Ok(r.pop().unwrap().1),
             Reply::Results(r) => Err(ServerError::Protocol(format!(

@@ -48,5 +48,6 @@ pub mod server;
 
 pub use client::{Client, Reply};
 pub use error::{ErrorCode, ServerError, ServerResult};
+pub use gbmqo_core::CacheControl;
 pub use protocol::{Request, Response};
 pub use server::{stats_field, Server, ServerConfig, ServerHandle};

@@ -15,6 +15,7 @@
 
 use crate::codec::{self, Cursor};
 use crate::error::{ErrorCode, ServerError, ServerResult};
+use gbmqo_core::CacheControl;
 use gbmqo_storage::Table;
 use std::io::{Read, Write};
 
@@ -46,6 +47,8 @@ pub enum Request {
         group_cols: Vec<String>,
         /// Per-request deadline in milliseconds; `0` means none.
         deadline_ms: u32,
+        /// Materialized-aggregate-cache behavior for this request.
+        cache: CacheControl,
     },
     /// A full multi-query workload, optimized and executed as one plan.
     SubmitWorkload {
@@ -57,6 +60,8 @@ pub enum Request {
         requests: Vec<Vec<String>>,
         /// Per-request deadline in milliseconds; `0` means none.
         deadline_ms: u32,
+        /// Materialized-aggregate-cache behavior for this request.
+        cache: CacheControl,
     },
     /// Fetch server-wide counters and accumulated execution metrics.
     Stats,
@@ -116,6 +121,25 @@ fn encode_header(buf: &mut Vec<u8>, request_id: u64, opcode: u8) {
     buf.push(opcode);
 }
 
+fn cache_code(cache: CacheControl) -> u8 {
+    match cache {
+        CacheControl::Default => 0,
+        CacheControl::Bypass => 1,
+        CacheControl::Refresh => 2,
+    }
+}
+
+fn cache_from_code(code: u8) -> ServerResult<CacheControl> {
+    match code {
+        0 => Ok(CacheControl::Default),
+        1 => Ok(CacheControl::Bypass),
+        2 => Ok(CacheControl::Refresh),
+        other => Err(ServerError::Protocol(format!(
+            "unknown cache-control code {other:#04x}"
+        ))),
+    }
+}
+
 /// Serialize a request payload (without the frame length prefix).
 pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -130,17 +154,20 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
             table,
             group_cols,
             deadline_ms,
+            cache,
         } => {
             encode_header(&mut buf, request_id, OP_QUERY);
             codec::put_str(&mut buf, table);
             codec::put_str_list(&mut buf, group_cols);
             codec::put_u32(&mut buf, *deadline_ms);
+            buf.push(cache_code(*cache));
         }
         Request::SubmitWorkload {
             table,
             universe,
             requests,
             deadline_ms,
+            cache,
         } => {
             encode_header(&mut buf, request_id, OP_WORKLOAD);
             codec::put_str(&mut buf, table);
@@ -150,6 +177,7 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
                 codec::put_str_list(&mut buf, r);
             }
             codec::put_u32(&mut buf, *deadline_ms);
+            buf.push(cache_code(*cache));
         }
         Request::Stats => encode_header(&mut buf, request_id, OP_STATS),
     }
@@ -171,6 +199,7 @@ pub fn decode_request(payload: &[u8]) -> ServerResult<(u64, Request)> {
             table: cur.str()?,
             group_cols: cur.str_list()?,
             deadline_ms: cur.u32()?,
+            cache: cache_from_code(cur.u8()?)?,
         },
         OP_WORKLOAD => {
             let table = cur.str()?;
@@ -187,6 +216,7 @@ pub fn decode_request(payload: &[u8]) -> ServerResult<(u64, Request)> {
                 universe,
                 requests,
                 deadline_ms: cur.u32()?,
+                cache: cache_from_code(cur.u8()?)?,
             }
         }
         OP_STATS => Request::Stats,
@@ -322,12 +352,20 @@ mod tests {
                 table: "r".into(),
                 group_cols: vec!["a".into(), "b".into()],
                 deadline_ms: 250,
+                cache: CacheControl::Default,
+            },
+            Request::Query {
+                table: "r".into(),
+                group_cols: vec!["a".into()],
+                deadline_ms: 0,
+                cache: CacheControl::Bypass,
             },
             Request::SubmitWorkload {
                 table: "r".into(),
                 universe: vec!["a".into(), "b".into(), "c".into()],
                 requests: vec![vec!["a".into()], vec!["b".into(), "c".into()]],
                 deadline_ms: 0,
+                cache: CacheControl::Refresh,
             },
             Request::Stats,
         ];
@@ -384,6 +422,22 @@ mod tests {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn unknown_cache_code_is_rejected() {
+        let mut buf = encode_request(
+            1,
+            &Request::Query {
+                table: "r".into(),
+                group_cols: vec!["a".into()],
+                deadline_ms: 0,
+                cache: CacheControl::Default,
+            },
+        );
+        // The cache-control code is the final payload byte.
+        *buf.last_mut().unwrap() = 9;
+        assert!(decode_request(&buf).is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@
 use crate::batcher::{run_batcher, BatchJob};
 use crate::error::ErrorCode;
 use crate::protocol::{self, Request, Response};
-use gbmqo_core::{CancelToken, CoreError, Session, Workload};
+use gbmqo_core::{CacheControl, CancelToken, CoreError, Session, Workload};
 use gbmqo_exec::{ExecError, ExecMetrics};
 use gbmqo_storage::StorageError;
 use std::io::{self, Read};
@@ -134,6 +134,7 @@ pub(crate) enum JobKind {
         table: String,
         universe: Vec<String>,
         requests: Vec<Vec<String>>,
+        cache: CacheControl,
     },
     Stats,
 }
@@ -461,6 +462,7 @@ fn admit(
             table,
             group_cols,
             deadline_ms,
+            cache,
         } => match batch_tx {
             Some(_) => Routed::Batcher(BatchJob {
                 request_id,
@@ -468,6 +470,7 @@ fn admit(
                 reply: reply_tx.clone(),
                 table,
                 group_cols,
+                cache,
             }),
             None => Routed::Worker(Job {
                 request_id,
@@ -477,6 +480,7 @@ fn admit(
                     table,
                     universe: group_cols.clone(),
                     requests: vec![group_cols],
+                    cache,
                 },
             }),
         },
@@ -485,6 +489,7 @@ fn admit(
             universe,
             requests,
             deadline_ms,
+            cache,
         } => Routed::Worker(Job {
             request_id,
             deadline: deadline_of(deadline_ms),
@@ -493,6 +498,7 @@ fn admit(
                 table,
                 universe,
                 requests,
+                cache,
             },
         }),
         Request::Stats => Routed::Worker(Job {
@@ -538,7 +544,10 @@ fn admit(
         // so reply with a terminal error instead.
         Err(AdmitFailure::Disconnected) => {
             let (code, message) = if shared.shutdown.load(Ordering::SeqCst) {
-                (ErrorCode::ShuttingDown, "server is shutting down".to_string())
+                (
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down".to_string(),
+                )
             } else {
                 (
                     ErrorCode::Internal,
@@ -609,8 +618,9 @@ fn process_job(job: Job, shared: &Shared) {
             table,
             universe,
             requests,
+            cache,
         } => {
-            let outcome = run_workload(shared, &table, &universe, &requests, job.deadline);
+            let outcome = run_workload(shared, &table, &universe, &requests, job.deadline, cache);
             match outcome {
                 Ok(results) => {
                     let batches = results.len() as u32;
@@ -647,13 +657,17 @@ fn process_job(job: Job, shared: &Shared) {
 }
 
 /// Optimize and execute one workload under the shared session,
-/// installing (and always removing) the deadline token.
+/// installing (and always removing) the deadline token. Because the
+/// session — and with it the materialized aggregate cache — is shared
+/// by every connection, one client's workload can be answered from
+/// supersets another client materialized moments earlier.
 pub(crate) fn run_workload(
     shared: &Shared,
     table: &str,
     universe: &[String],
     requests: &[Vec<String>],
     deadline: Option<Instant>,
+    cache: CacheControl,
 ) -> gbmqo_core::Result<Vec<(String, gbmqo_storage::Table)>> {
     let mut session = shared.session();
     let workload = {
@@ -666,14 +680,13 @@ pub(crate) fn run_workload(
         Workload::new(table, &base, &universe_refs, &request_refs)?
     };
     session.set_cancel_token(deadline.map(CancelToken::with_deadline_at));
-    let outcome = session
-        .plan(&workload)
-        .and_then(|(plan, _)| session.run_plan(&plan, &workload));
+    let outcome = session.run_workload(&workload, cache);
     session.set_cancel_token(None);
     drop(session);
-    let report = outcome?;
-    shared.counters().total += report.metrics;
-    Ok(report
+    let outcome = outcome?;
+    shared.counters().total += outcome.report.metrics;
+    Ok(outcome
+        .report
         .results
         .into_iter()
         .map(|(set, t)| (workload.col_names(set).join(","), t))
@@ -681,16 +694,22 @@ pub(crate) fn run_workload(
 }
 
 /// Render the server-wide stats JSON: admission/batching counters,
-/// plan-cache statistics, live temp-table count, and the accumulated
-/// [`ExecMetrics`] (same field names as `gbmqo profile --json`).
+/// plan-cache statistics, materialized-aggregate-cache statistics,
+/// live temp-table count, and the accumulated [`ExecMetrics`] (same
+/// field names as `gbmqo profile --json`).
 fn stats_json(shared: &Shared) -> String {
-    let (cache, temp_tables) = {
+    let (cache, mat, temp_tables) = {
         let session = shared.session();
         (
             session.cache_stats(),
+            session.mat_cache_stats(),
             session.engine().catalog().temp_names().len(),
         )
     };
+    // Integer percentage so `stats_field` (digits-only) can read it.
+    let mat_hit_pct = (mat.hits * 100)
+        .checked_div(mat.hits + mat.misses)
+        .unwrap_or(0);
     let counters = shared.counters();
     let mut fields: Vec<(&str, u64)> = vec![
         ("requests", counters.requests),
@@ -701,6 +720,8 @@ fn stats_json(shared: &Shared) -> String {
         ("temp_tables", temp_tables as u64),
         ("cache_hits", cache.hits),
         ("cache_misses", cache.misses),
+        ("matcache_entries", mat.entries),
+        ("matcache_hit_pct", mat_hit_pct),
     ];
     fields.extend(counters.total.fields());
     let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();

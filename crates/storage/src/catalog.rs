@@ -21,6 +21,12 @@ pub struct TableEntry {
     pub is_temp: bool,
     /// Indexes built over the table.
     pub indexes: Vec<Index>,
+    /// Monotonic identity of this table's *contents*, unique across the
+    /// whole catalog lifetime: every register/replace/append assigns a
+    /// fresh version, so anything keyed by `(name, version)` — cached
+    /// aggregates, plan-cache fingerprints — can never confuse two
+    /// generations of a same-named table.
+    pub version: u64,
 }
 
 /// Running + peak bytes consumed by temporary tables.
@@ -58,6 +64,9 @@ pub struct Catalog {
     tables: FxHashMap<String, TableEntry>,
     accounting: StorageAccounting,
     temp_budget: Option<usize>,
+    /// Source of [`TableEntry::version`] values; starts at 1 so version
+    /// 0 can mean "no such table" in callers that want a sentinel.
+    next_version: u64,
 }
 
 // Compile-time guarantee for the parallel executor: worker threads borrow
@@ -73,21 +82,128 @@ impl Catalog {
         Self::default()
     }
 
+    fn bump_version(&mut self) -> u64 {
+        self.next_version += 1;
+        self.next_version
+    }
+
     /// Register a base table under `name`.
     pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        self.register_arc(name, Arc::new(table))
+    }
+
+    /// [`Catalog::register`] from an [`Arc`] handle — no row data is
+    /// copied. This is how shared immutable tables (e.g. cached
+    /// aggregates pinned for the duration of one plan execution) enter
+    /// the catalog.
+    pub fn register_arc(&mut self, name: impl Into<String>, table: Arc<Table>) -> Result<()> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
+        let version = self.bump_version();
+        self.tables.insert(
+            name,
+            TableEntry {
+                table,
+                is_temp: false,
+                indexes: Vec::new(),
+                version,
+            },
+        );
+        Ok(())
+    }
+
+    /// Register `table` under `name`, replacing any existing *base*
+    /// table of that name (replacing a temp table is an error — temps
+    /// are owned by plan executions). The old entry's indexes are
+    /// dropped: they describe the old data. Returns the new version.
+    pub fn replace(&mut self, name: impl Into<String>, table: Table) -> Result<u64> {
+        let name = name.into();
+        if let Some(existing) = self.tables.get(&name) {
+            if existing.is_temp {
+                return Err(StorageError::Malformed(format!(
+                    "cannot replace temp table {name}"
+                )));
+            }
+        }
+        let version = self.bump_version();
         self.tables.insert(
             name,
             TableEntry {
                 table: Arc::new(table),
                 is_temp: false,
                 indexes: Vec::new(),
+                version,
             },
         );
-        Ok(())
+        Ok(version)
+    }
+
+    /// Append `rows` (same schema) to base table `name`, producing a new
+    /// generation: the stored data is rebuilt, the version bumps, and
+    /// existing indexes are dropped (they describe the old rows).
+    /// Returns the new version.
+    pub fn append(&mut self, name: &str, rows: Table) -> Result<u64> {
+        let entry = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        if entry.is_temp {
+            return Err(StorageError::Malformed(format!(
+                "cannot append to temp table {name}"
+            )));
+        }
+        if entry.table.schema() != rows.schema() {
+            return Err(StorageError::Malformed(format!(
+                "append to {name}: schema mismatch"
+            )));
+        }
+        let old = Arc::clone(&entry.table);
+        let mut builder = crate::table::TableBuilder::with_capacity(
+            old.schema().clone(),
+            old.num_rows() + rows.num_rows(),
+        );
+        for t in [old.as_ref(), &rows] {
+            for r in 0..t.num_rows() {
+                let row: Vec<crate::value::Value> =
+                    (0..t.num_columns()).map(|c| t.value(r, c)).collect();
+                builder.push_row(&row)?;
+            }
+        }
+        let combined = builder.finish()?;
+        let version = self.bump_version();
+        self.tables.insert(
+            name.to_string(),
+            TableEntry {
+                table: Arc::new(combined),
+                is_temp: false,
+                indexes: Vec::new(),
+                version,
+            },
+        );
+        Ok(version)
+    }
+
+    /// Remove a *base* table (e.g. a pinned shared table registered via
+    /// [`Catalog::register_arc`]). Temp tables must go through
+    /// [`Catalog::drop_temp`] so storage accounting stays correct.
+    pub fn remove(&mut self, name: &str) -> Result<()> {
+        match self.tables.get(name) {
+            None => Err(StorageError::TableNotFound(name.to_string())),
+            Some(e) if e.is_temp => Err(StorageError::Malformed(format!(
+                "use drop_temp to remove temp table {name}"
+            ))),
+            Some(_) => {
+                self.tables.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    /// The version of table `name` (see [`TableEntry::version`]).
+    pub fn table_version(&self, name: &str) -> Result<u64> {
+        Ok(self.get(name)?.version)
     }
 
     /// Materialize a temporary table under `name`, updating accounting.
@@ -111,12 +227,14 @@ impl Catalog {
             }
         }
         self.accounting.add(bytes);
+        let version = self.bump_version();
         self.tables.insert(
             name,
             TableEntry {
                 table: Arc::new(table),
                 is_temp: true,
                 indexes: Vec::new(),
+                version,
             },
         );
         Ok(())
@@ -280,6 +398,82 @@ mod tests {
             c.register("t", tiny(1)),
             Err(StorageError::TableExists(_))
         ));
+    }
+
+    #[test]
+    fn versions_are_monotonic_across_register_replace_append() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(3)).unwrap();
+        let v1 = c.table_version("t").unwrap();
+        assert!(v1 > 0, "versions start above the 0 sentinel");
+
+        let v2 = c.replace("t", tiny(5)).unwrap();
+        assert!(v2 > v1, "replace must bump the version");
+        assert_eq!(c.table_version("t").unwrap(), v2);
+        assert_eq!(c.table("t").unwrap().num_rows(), 5);
+
+        let v3 = c.append("t", tiny(2)).unwrap();
+        assert!(v3 > v2, "append must bump the version");
+        assert_eq!(c.table("t").unwrap().num_rows(), 7);
+
+        // distinct tables never share a version
+        c.register("u", tiny(1)).unwrap();
+        assert_ne!(c.table_version("u").unwrap(), v3);
+        assert!(c.table_version("ghost").is_err());
+    }
+
+    #[test]
+    fn replace_drops_stale_indexes_and_rejects_temps() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(4)).unwrap();
+        c.create_index("t", "ix", IndexKind::Clustered, vec![0])
+            .unwrap();
+        c.replace("t", tiny(6)).unwrap();
+        assert!(
+            c.index_serving("t", &[0]).is_none(),
+            "indexes describe the old data and must not survive a replace"
+        );
+        // replace also works as plain registration of a new name
+        c.replace("fresh", tiny(1)).unwrap();
+        assert!(c.contains("fresh"));
+
+        c.create_temp("tmp", tiny(1)).unwrap();
+        assert!(c.replace("tmp", tiny(2)).is_err());
+        assert!(c.append("tmp", tiny(2)).is_err());
+    }
+
+    #[test]
+    fn append_requires_matching_schema() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(2)).unwrap();
+        let other = Table::new(
+            Schema::new(vec![Field::new("y", DataType::Int64)]).unwrap(),
+            vec![Column::from_i64(vec![1])],
+        )
+        .unwrap();
+        assert!(c.append("t", other).is_err());
+        assert!(c.append("ghost", tiny(1)).is_err());
+    }
+
+    #[test]
+    fn register_arc_and_remove() {
+        let mut c = Catalog::new();
+        let shared = Arc::new(tiny(9));
+        c.register_arc("pin", Arc::clone(&shared)).unwrap();
+        assert_eq!(c.table("pin").unwrap().num_rows(), 9);
+        // no deep copy: same allocation
+        assert!(Arc::ptr_eq(&c.table_arc("pin").unwrap(), &shared));
+        assert!(matches!(
+            c.register_arc("pin", shared),
+            Err(StorageError::TableExists(_))
+        ));
+        c.remove("pin").unwrap();
+        assert!(!c.contains("pin"));
+        assert!(c.remove("pin").is_err());
+        // temps must be dropped through drop_temp (accounting)
+        c.create_temp("tmp", tiny(1)).unwrap();
+        assert!(c.remove("tmp").is_err());
+        c.drop_temp("tmp").unwrap();
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use gbmqo_core::prelude::*;
 use gbmqo_exec::{hash_group_by, AggSpec, ExecMetrics};
 use gbmqo_integration::{col_names, modular_table, normalize};
-use gbmqo_server::{stats_field, Client, ErrorCode, Server, ServerConfig, ServerError};
+use gbmqo_server::{
+    stats_field, CacheControl, Client, ErrorCode, Server, ServerConfig, ServerError,
+};
 use gbmqo_storage::Table;
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -426,4 +428,67 @@ fn graceful_shutdown_drains_and_rejects_new_requests() {
         Ok(mut c) => c.ping().is_err(),
     };
     assert!(refused, "server must stop serving after shutdown");
+}
+
+#[test]
+fn shared_cache_serves_repeat_queries_across_connections() {
+    let cards = [4usize, 9, 15];
+    let table = modular_table(4_000, &cards);
+    let session = Session::builder()
+        .table("r", table.clone())
+        .search(SearchConfig::pruned())
+        .plan_cache(32)
+        .mat_cache_budget_bytes(8 << 20)
+        .build()
+        .unwrap();
+    let handle = Server::bind("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // First client warms the cache with the superset.
+    let mut warmer = Client::connect(addr).unwrap();
+    let warm = warmer.query("r", &["c0", "c1"], 0).unwrap();
+    assert_result(&table, &["c0", "c1"], &warm, "warming query");
+
+    // A different connection is served from the same cache — both the
+    // exact repeat and a strict subset.
+    let mut reader = Client::connect(addr).unwrap();
+    let repeat = reader.query("r", &["c0", "c1"], 0).unwrap();
+    assert_result(&table, &["c0", "c1"], &repeat, "warm repeat");
+    let subset = reader.query("r", &["c1"], 0).unwrap();
+    assert_result(&table, &["c1"], &subset, "subset of cached superset");
+
+    let json = reader.stats().unwrap();
+    assert!(
+        stats_field(&json, "matcache_hits").unwrap() >= 2,
+        "stats: {json}"
+    );
+    assert!(
+        stats_field(&json, "matcache_entries").unwrap() >= 1,
+        "stats: {json}"
+    );
+    assert!(
+        stats_field(&json, "matcache_hit_pct").unwrap() > 0,
+        "stats: {json}"
+    );
+
+    // Bypass must recompute — the hit counter stays flat.
+    let hits_before = stats_field(&json, "matcache_hits").unwrap();
+    let bypassed = reader
+        .query_with("r", &["c0", "c1"], 0, CacheControl::Bypass)
+        .unwrap();
+    assert_result(&table, &["c0", "c1"], &bypassed, "bypass");
+    let json = reader.stats().unwrap();
+    assert_eq!(
+        stats_field(&json, "matcache_hits").unwrap(),
+        hits_before,
+        "stats: {json}"
+    );
+
+    // Re-registering the table invalidates every cached aggregate.
+    let table2 = modular_table(3_000, &cards);
+    warmer.register_table("r", &table2).unwrap();
+    let fresh = reader.query("r", &["c0", "c1"], 0).unwrap();
+    assert_result(&table2, &["c0", "c1"], &fresh, "after replace");
+
+    handle.shutdown();
 }
