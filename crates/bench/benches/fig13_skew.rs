@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbmqo_bench::harness::{
-    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+    optimize_timed, run_plan_serial, sampled_optimizer_model, session_for, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -21,12 +21,12 @@ fn bench(c: &mut Criterion) {
         let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
         let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
         let naive = LogicalPlan::naive(&workload);
-        let mut engine = engine_for(table, "lineitem");
+        let mut session = session_for(table, "lineitem");
         group.bench_with_input(BenchmarkId::new("naive", z), &z, |b, _| {
-            b.iter(|| run_plan_serial(&naive, &workload, &mut engine))
+            b.iter(|| run_plan_serial(&naive, &workload, &mut session))
         });
         group.bench_with_input(BenchmarkId::new("gbmqo", z), &z, |b, _| {
-            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
+            b.iter(|| run_plan_serial(&plan, &workload, &mut session))
         });
     }
     group.finish();

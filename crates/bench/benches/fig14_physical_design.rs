@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_bench::experiments::fig14::INDEX_ORDER;
 use gbmqo_bench::harness::{
-    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+    optimize_timed, run_plan_serial, sampled_optimizer_model, session_for, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -23,19 +23,20 @@ fn bench(c: &mut Criterion) {
 
     // no indexes
     {
-        let mut engine = engine_for(table.clone(), "lineitem");
+        let mut session = session_for(table.clone(), "lineitem");
         let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
         let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
         group.bench_function("no_indexes", |b| {
-            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
+            b.iter(|| run_plan_serial(&plan, &workload, &mut session))
         });
     }
     // fully indexed
     {
-        let mut engine = engine_for(table.clone(), "lineitem");
+        let mut session = session_for(table.clone(), "lineitem");
         for col in INDEX_ORDER {
             let ord = table.schema().index_of(col).unwrap();
-            engine
+            session
+                .engine_mut()
                 .catalog_mut()
                 .create_index(
                     "lineitem",
@@ -45,11 +46,11 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap();
         }
-        let snapshot = IndexSnapshot::capture(engine.catalog(), "lineitem");
+        let snapshot = IndexSnapshot::capture(session.engine().catalog(), "lineitem");
         let mut model = sampled_optimizer_model(&table, &scale, snapshot);
         let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
         group.bench_function("ten_nc_indexes", |b| {
-            b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
+            b.iter(|| run_plan_serial(&plan, &workload, &mut session))
         });
     }
     group.finish();

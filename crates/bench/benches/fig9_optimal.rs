@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_bench::harness::{
-    engine_for, exact_optimizer_model, optimize_timed, run_plan_serial, Scale,
+    exact_optimizer_model, optimize_timed, run_plan_serial, session_for, Scale,
 };
 use gbmqo_core::optimal_plan;
 use gbmqo_core::prelude::*;
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
     let mut m2 = exact_optimizer_model(&table, IndexSnapshot::none());
     let (optimal, _) = optimal_plan(&workload, &mut m2).unwrap();
     let naive = LogicalPlan::naive(&workload);
-    let mut engine = engine_for(table, "lineitem");
+    let mut session = session_for(table, "lineitem");
 
     let mut group = c.benchmark_group("fig9_q");
     group.sample_size(10);
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
         ("optimal", &optimal),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| run_plan_serial(plan, &workload, &mut engine))
+            b.iter(|| run_plan_serial(plan, &workload, &mut session))
         });
     }
     group.finish();

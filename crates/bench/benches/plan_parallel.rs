@@ -8,7 +8,7 @@
 //! warm one, where the merge search is skipped entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbmqo_bench::harness::{engine_for, run_plan_serial};
+use gbmqo_bench::harness::{run_plan_serial, session_for};
 use gbmqo_core::executor::execute_plan_parallel;
 use gbmqo_core::prelude::*;
 use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
@@ -28,13 +28,13 @@ fn bench_parallel_execution(c: &mut Criterion) {
         "the bench needs at least 4 independent edges"
     );
 
-    let mut engine = engine_for(table, "lineitem");
+    let mut session = session_for(table, "lineitem");
     let mut group = c.benchmark_group("plan_parallel_naive6");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("serial", |b| {
-        b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
+        b.iter(|| run_plan_serial(&plan, &workload, &mut session))
     });
     for threads in [2usize, 4] {
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
@@ -42,7 +42,7 @@ fn bench_parallel_execution(c: &mut Criterion) {
                 execute_plan_parallel(
                     &plan,
                     &workload,
-                    &mut engine,
+                    session.engine_mut(),
                     ParallelOptions::with_threads(t),
                 )
                 .unwrap()

@@ -1,12 +1,20 @@
-//! Server throughput under concurrent clients: micro-batching off vs
-//! on.
+//! Server throughput under concurrent clients, and connection-scale
+//! behaviour of the readiness-driven core.
 //!
-//! Eight clients each issue a round of single-column Group By queries
-//! over a 50k-row lineitem. Without batching every query is planned
-//! and executed on its own; with a small batch window, queries arriving
-//! together are merged into one workload, so SubPlanMerge and the plan
-//! cache amortize the work across clients — the serving-layer payoff of
-//! the paper's multi-query optimization.
+//! Group 1 — micro-batching off vs on: eight clients each issue a round
+//! of single-column Group By queries over a 50k-row lineitem. Without
+//! batching every query is planned and executed on its own; with a
+//! small batch window, queries arriving together are merged into one
+//! workload, so SubPlanMerge and the plan cache amortize the work
+//! across clients — the serving-layer payoff of the paper's multi-query
+//! optimization.
+//!
+//! Group 2 — high connection counts: the v2 server multiplexes every
+//! socket through one epoll/poll event loop, so idle connections cost a
+//! few hundred bytes of state rather than a thread each. This group
+//! holds `GBMQO_IDLE_CONNS` open idle connections (default 1,000; set
+//! it to 10,000 to reproduce the scale claim — the loop is O(ready),
+//! not O(open)) while 64 active clients run query rounds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_core::prelude::*;
@@ -18,6 +26,7 @@ use std::time::Duration;
 const ROWS: usize = 50_000;
 const CLIENTS: usize = 8;
 const QUERY_COLS: usize = 4;
+const ACTIVE_CLIENTS: usize = 64;
 
 fn start_server(batch_window: Option<Duration>) -> ServerHandle {
     let table = lineitem(ROWS, 0.0, 21);
@@ -34,14 +43,14 @@ fn start_server(batch_window: Option<Duration>) -> ServerHandle {
             workers: 4,
             queue_capacity: 256,
             batch_window,
-            default_deadline: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap()
 }
 
-fn run_round(addr: std::net::SocketAddr) {
-    let joins: Vec<_> = (0..CLIENTS)
+fn run_round(addr: std::net::SocketAddr, clients: usize) {
+    let joins: Vec<_> = (0..clients)
         .map(|i| {
             thread::spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
@@ -67,13 +76,53 @@ fn bench_server_throughput(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(4));
-    group.bench_function("unbatched", |b| b.iter(|| run_round(unbatched_addr)));
-    group.bench_function("batched_2ms", |b| b.iter(|| run_round(batched_addr)));
+    group.bench_function("unbatched", |b| {
+        b.iter(|| run_round(unbatched_addr, CLIENTS))
+    });
+    group.bench_function("batched_2ms", |b| {
+        b.iter(|| run_round(batched_addr, CLIENTS))
+    });
     group.finish();
 
     unbatched.shutdown();
     batched.shutdown();
 }
 
-criterion_group!(benches, bench_server_throughput);
+fn bench_high_connection(c: &mut Criterion) {
+    let idle_target: usize = std::env::var("GBMQO_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let server = start_server(None);
+    let addr = server.local_addr();
+
+    // Hold idle connections open for the duration of the measurement.
+    // Each one completes the Hello handshake, then sits parked in the
+    // event loop; a ping sweep at the end proves they all stayed live.
+    let mut idle: Vec<Client> = Vec::with_capacity(idle_target);
+    for i in 0..idle_target {
+        match Client::connect(addr) {
+            Ok(cl) => idle.push(cl),
+            Err(e) => panic!("idle connection {i} failed: {e}"),
+        }
+    }
+
+    let mut group = c.benchmark_group("server_high_connection");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function(format!("active{ACTIVE_CLIENTS}_idle{idle_target}"), |b| {
+        b.iter(|| run_round(addr, ACTIVE_CLIENTS))
+    });
+    group.finish();
+
+    for (i, cl) in idle.iter_mut().enumerate() {
+        cl.ping()
+            .unwrap_or_else(|e| panic!("idle connection {i} died during the bench: {e}"));
+    }
+    drop(idle);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput, bench_high_connection);
 criterion_main!(benches);

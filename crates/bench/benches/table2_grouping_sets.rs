@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_bench::harness::{
-    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+    optimize_timed, run_plan_serial, sampled_optimizer_model, session_for, Scale,
 };
 use gbmqo_core::grouping_sets_plan;
 use gbmqo_core::prelude::*;
@@ -17,17 +17,17 @@ fn bench(c: &mut Criterion) {
     let (gs_plan, _) = grouping_sets_plan(&workload);
     let mut model = sampled_optimizer_model(&table, &scale, IndexSnapshot::none());
     let (our_plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
-    let mut engine = engine_for(table, "lineitem");
+    let mut session = session_for(table, "lineitem");
 
     let mut group = c.benchmark_group("table2_sc");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("grouping_sets", |b| {
-        b.iter(|| run_plan_serial(&gs_plan, &workload, &mut engine))
+        b.iter(|| run_plan_serial(&gs_plan, &workload, &mut session))
     });
     group.bench_function("gbmqo", |b| {
-        b.iter(|| run_plan_serial(&our_plan, &workload, &mut engine))
+        b.iter(|| run_plan_serial(&our_plan, &workload, &mut session))
     });
     group.finish();
 }

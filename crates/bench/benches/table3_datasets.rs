@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbmqo_bench::harness::{
-    engine_for, optimize_timed, run_plan_serial, sampled_optimizer_model, Scale,
+    optimize_timed, run_plan_serial, sampled_optimizer_model, session_for, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -18,17 +18,17 @@ fn bench_dataset(c: &mut Criterion, name: &str, table: Table, cols: &[&str], sca
     let mut model = sampled_optimizer_model(&table, scale, IndexSnapshot::none());
     let (plan, _, _) = optimize_timed(&workload, &mut model, SearchConfig::pruned());
     let naive = LogicalPlan::naive(&workload);
-    let mut engine = engine_for(table, name);
+    let mut session = session_for(table, name);
 
     let mut group = c.benchmark_group(format!("table3_{name}_sc"));
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("naive", |b| {
-        b.iter(|| run_plan_serial(&naive, &workload, &mut engine))
+        b.iter(|| run_plan_serial(&naive, &workload, &mut session))
     });
     group.bench_function("gbmqo", |b| {
-        b.iter(|| run_plan_serial(&plan, &workload, &mut engine))
+        b.iter(|| run_plan_serial(&plan, &workload, &mut session))
     });
     group.finish();
 }

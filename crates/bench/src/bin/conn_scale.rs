@@ -1,0 +1,148 @@
+//! Connection-scale demonstration: one server process holding ≥10,000
+//! concurrent open connections.
+//!
+//! The in-process bench (`server_throughput`, group 2) is capped by the
+//! file-descriptor limit because both socket ends live in one process.
+//! This binary splits the ends: it re-execs itself as a server child
+//! (`GBMQO_CONN_SCALE_ROLE=server`), then the parent opens
+//! `GBMQO_CONN_SCALE` idle connections (default 10,000 — each completes
+//! the Hello handshake and parks in the child's event loop), runs 64
+//! active clients through query rounds, ping-sweeps every idle
+//! connection to prove liveness, and reads the server's
+//! `open_connections` counter. Output feeds EXPERIMENTS.md.
+
+use gbmqo_core::prelude::*;
+use gbmqo_datagen::{lineitem, LINEITEM_SC_COLUMNS};
+use gbmqo_server::{stats_field, Client, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+const ROWS: usize = 50_000;
+const ACTIVE_CLIENTS: usize = 64;
+const QUERY_COLS: usize = 4;
+const ROUNDS: usize = 5;
+
+fn idle_target() -> usize {
+    std::env::var("GBMQO_CONN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Child mode: serve on an ephemeral port, announce it on stdout, and
+/// exit when the parent closes our stdin.
+fn run_server() {
+    let session = Session::builder()
+        .table("lineitem", lineitem(ROWS, 0.0, 21))
+        .search(SearchConfig::pruned())
+        .plan_cache(64)
+        .build()
+        .unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    println!("ADDR {}", server.local_addr());
+    // stdin EOF is the parent telling us to stop
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}
+
+fn run_round(addr: std::net::SocketAddr, clients: usize) {
+    let joins: Vec<_> = (0..clients)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for j in 0..QUERY_COLS {
+                    let col = LINEITEM_SC_COLUMNS[(i + j) % QUERY_COLS];
+                    client.query("lineitem", &[col], 0).unwrap();
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+fn main() {
+    if std::env::var("GBMQO_CONN_SCALE_ROLE").as_deref() == Ok("server") {
+        run_server();
+        return;
+    }
+
+    let target = idle_target();
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .env("GBMQO_CONN_SCALE_ROLE", "server")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning server child");
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr: std::net::SocketAddr = line
+        .strip_prefix("ADDR ")
+        .expect("child announced no address")
+        .trim()
+        .parse()
+        .unwrap();
+    eprintln!("server child up at {addr}; opening {target} idle connections ...");
+
+    let connect_start = Instant::now();
+    let mut idle: Vec<Client> = Vec::with_capacity(target);
+    for i in 0..target {
+        match Client::connect(addr) {
+            Ok(cl) => idle.push(cl),
+            Err(e) => panic!("idle connection {i} failed: {e}"),
+        }
+    }
+    let connect_secs = connect_start.elapsed().as_secs_f64();
+
+    let round_start = Instant::now();
+    for _ in 0..ROUNDS {
+        run_round(addr, ACTIVE_CLIENTS);
+    }
+    let round_secs = round_start.elapsed().as_secs_f64() / ROUNDS as f64;
+
+    let sweep_start = Instant::now();
+    for (i, cl) in idle.iter_mut().enumerate() {
+        cl.ping()
+            .unwrap_or_else(|e| panic!("idle connection {i} died under load: {e}"));
+    }
+    let sweep_secs = sweep_start.elapsed().as_secs_f64();
+
+    let stats = idle[0].stats().unwrap();
+    let open = stats_field(&stats, "open_connections").unwrap_or(0);
+
+    println!("## Connection scale — {target} idle + {ACTIVE_CLIENTS} active");
+    println!();
+    println!("idle connections opened   {target:>8}  ({connect_secs:.2}s incl. Hello handshakes)");
+    println!("server open_connections   {open:>8}  (from stats, during the sweep)");
+    println!(
+        "active round              {:>8.1}  ms mean over {ROUNDS} rounds ({ACTIVE_CLIENTS} clients × {QUERY_COLS} queries)",
+        round_secs * 1e3
+    );
+    println!(
+        "liveness ping sweep       {:>8.2}  s over all {target} idle connections ({:.0} µs/ping)",
+        sweep_secs,
+        sweep_secs * 1e6 / target as f64
+    );
+    assert!(
+        open as usize >= target,
+        "server reports {open} open connections, expected at least {target}"
+    );
+
+    drop(idle);
+    drop(child.stdin.take()); // EOF → child shuts down
+    let _ = child.wait();
+}

@@ -58,8 +58,7 @@ fn start(table: Table, cache_budget: usize) -> ServerHandle {
         ServerConfig {
             workers: 2,
             queue_capacity: 256,
-            batch_window: None,
-            default_deadline: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

@@ -4,7 +4,7 @@
 //! paper sketches.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_core::{cube_rollup_pass, NodeKind};
@@ -68,8 +68,8 @@ pub fn run(scale: &Scale) -> (Report, Outcome) {
         );
     let (rewritten, converted) = cube_rollup_pass(&plain, &chain, &mut rewrite_model);
 
-    let mut engine = engine_for(table.clone(), "lineitem");
-    let times = time_plans_interleaved(&[&plain, &rewritten], &chain, &mut engine, 3);
+    let mut session = session_for(table.clone(), "lineitem");
+    let times = time_plans_interleaved(&[&plain, &rewritten], &chain, &mut session, 3);
     let (plain_secs, rewritten_secs) = (times[0], times[1]);
 
     // --- §7.2: multiple aggregates ---
@@ -94,7 +94,7 @@ pub fn run(scale: &Scale) -> (Report, Outcome) {
     let mut model2 = sampled_optimizer_model(&table, scale, IndexSnapshot::none());
     let (agg_plan, _, _) = optimize_timed(&aggs, &mut model2, SearchConfig::pruned());
     let agg_naive = LogicalPlan::naive(&aggs);
-    let agg_times = time_plans_interleaved(&[&agg_naive, &agg_plan], &aggs, &mut engine, 3);
+    let agg_times = time_plans_interleaved(&[&agg_naive, &agg_plan], &aggs, &mut session, 3);
     let (agg_naive_secs, agg_gbmqo_secs) = (agg_times[0], agg_times[1]);
 
     let outcome = Outcome {

@@ -7,7 +7,7 @@
 //! large margin over naive at every width.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -49,9 +49,9 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
         let mut model = sampled_optimizer_model(&table, scale, IndexSnapshot::none());
         let (plan, stats, optimize_secs) = optimize_timed(&w, &mut model, SearchConfig::pruned());
 
-        let mut engine = engine_for(table.clone(), "wide");
+        let mut session = session_for(table.clone(), "wide");
         let naive = LogicalPlan::naive(&w);
-        let times = time_plans_interleaved(&[&naive, &plan], &w, &mut engine, 3);
+        let times = time_plans_interleaved(&[&naive, &plan], &w, &mut session, 3);
         let (naive_secs, gbmqo_secs) = (times[0], times[1]);
         rows.push(Row {
             columns,

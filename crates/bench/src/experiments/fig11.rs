@@ -6,7 +6,7 @@
 //! while the plan still reduces naive run time by ≥65%.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -35,7 +35,7 @@ pub struct Cell {
 }
 
 fn measure(label: &str, table: &Table, workload: &Workload, scale: &Scale, out: &mut Vec<Cell>) {
-    let mut engine = engine_for(table.clone(), &workload.table);
+    let mut session = session_for(table.clone(), &workload.table);
     let mut plans = Vec::new();
     let mut calls = Vec::new();
     for (_, subsumption, monotonicity) in CONFIGS {
@@ -55,7 +55,7 @@ fn measure(label: &str, table: &Table, workload: &Workload, scale: &Scale, out: 
     let naive = LogicalPlan::naive(workload);
     let mut refs: Vec<&LogicalPlan> = vec![&naive];
     refs.extend(plans.iter());
-    let times = time_plans_interleaved(&refs, workload, &mut engine, 2);
+    let times = time_plans_interleaved(&refs, workload, &mut session, 2);
     let naive_secs = times[0];
     for (i, (name, _, _)) in CONFIGS.iter().enumerate() {
         out.push(Cell {

@@ -5,7 +5,7 @@
 //! Paper: 1–9%, shrinking as the dataset grows.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -46,10 +46,10 @@ fn measure(label: &str, rows: usize, tc: bool, scale: &Scale) -> Row {
         .total()
         .as_secs_f64();
 
-    let mut engine = engine_for(table.clone(), "lineitem");
+    let mut session = session_for(table.clone(), "lineitem");
     let reps = if tc { 2 } else { 3 };
     let naive = LogicalPlan::naive(&w);
-    let times = time_plans_interleaved(&[&naive, &plan], &w, &mut engine, reps);
+    let times = time_plans_interleaved(&[&naive, &plan], &w, &mut session, reps);
     let (naive_secs, gbmqo_secs) = (times[0], times[1]);
     Row {
         label: label.to_string(),

@@ -8,7 +8,7 @@
 //! is indexed it stays a singleton instead of being merged.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plan, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plan, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -50,13 +50,14 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
         .position(|c| *c == "l_receiptdate")
         .unwrap();
 
-    let mut engine = engine_for(table.clone(), "lineitem");
+    let mut session = session_for(table.clone(), "lineitem");
     // clustered index on the combined primary key
     let pk: Vec<usize> = ["l_orderkey", "l_linenumber"]
         .iter()
         .map(|c| table.schema().index_of(c).unwrap())
         .collect();
-    engine
+    session
+        .engine_mut()
         .catalog_mut()
         .create_index("lineitem", "cl_pk", IndexKind::Clustered, pk)
         .unwrap();
@@ -67,7 +68,8 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
         if added > 0 {
             let col = INDEX_ORDER[added - 1];
             let ord = table.schema().index_of(col).unwrap();
-            engine
+            session
+                .engine_mut()
                 .catalog_mut()
                 .create_index(
                     "lineitem",
@@ -79,10 +81,10 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
             step_label = format!("NC {added}");
         }
 
-        let snapshot = IndexSnapshot::capture(engine.catalog(), "lineitem");
+        let snapshot = IndexSnapshot::capture(session.engine().catalog(), "lineitem");
         let mut model = sampled_optimizer_model(&table, scale, snapshot);
         let (plan, _, _) = optimize_timed(&w, &mut model, SearchConfig::pruned());
-        let gbmqo_secs = time_plan(&plan, &w, &mut engine, 3);
+        let gbmqo_secs = time_plan(&plan, &w, &mut session, 3);
         let receiptdate_singleton = plan
             .subplans
             .iter()
@@ -93,7 +95,11 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
             receiptdate_singleton,
         });
     }
-    engine.catalog_mut().drop_indexes("lineitem").unwrap();
+    session
+        .engine_mut()
+        .catalog_mut()
+        .drop_indexes("lineitem")
+        .unwrap();
 
     let mut report = Report::new(format!(
         "Figure 14 — Physical-design sweep (lineitem SC, {} rows)",

@@ -6,7 +6,7 @@
 //! (both between ~10% and ~55%).
 
 use crate::harness::{
-    engine_for, exact_optimizer_model, optimize_timed, time_plans_interleaved, Report, Scale,
+    exact_optimizer_model, optimize_timed, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::optimal_plan;
 use gbmqo_core::prelude::*;
@@ -55,10 +55,10 @@ pub fn run(scale: &Scale) -> (Report, Vec<Row>) {
         let mut m2 = exact_optimizer_model(&table, IndexSnapshot::none());
         let (opt_plan, _) = optimal_plan(&w, &mut m2).unwrap();
 
-        let mut engine = engine_for(table.clone(), "lineitem");
+        let mut session = session_for(table.clone(), "lineitem");
         let naive_plan = LogicalPlan::naive(&w);
         let times =
-            time_plans_interleaved(&[&naive_plan, &greedy_plan, &opt_plan], &w, &mut engine, 4);
+            time_plans_interleaved(&[&naive_plan, &greedy_plan, &opt_plan], &w, &mut session, 4);
         let (naive_secs, greedy_secs, opt_secs) = (times[0], times[1], times[2]);
 
         rows.push(Row {

@@ -5,7 +5,7 @@
 //! Paper: ~30% fewer optimizer calls, execution-time difference < 10%.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -43,8 +43,8 @@ fn measure(dataset: &'static str, table: &Table, cols: &[&str], scale: &Scale) -
     };
     let (plan_all, stats_all, _) = optimize(false);
     let (plan_binary, stats_binary, _) = optimize(true);
-    let mut engine = engine_for(table.clone(), dataset);
-    let times = time_plans_interleaved(&[&plan_all, &plan_binary], &w, &mut engine, 4);
+    let mut session = session_for(table.clone(), dataset);
+    let times = time_plans_interleaved(&[&plan_all, &plan_binary], &w, &mut session, 4);
     let (calls_all, secs_all) = (stats_all.optimizer_calls, times[0]);
     let (calls_binary, secs_binary) = (stats_binary.optimizer_calls, times[1]);
     Row {

@@ -4,7 +4,7 @@
 //! quantifies the design choice §4.4.1 argues for.
 
 use crate::harness::{
-    engine_for, optimize_timed, run_plan_scheduled, sampled_optimizer_model, Report, Scale,
+    optimize_timed, run_plan_scheduled, sampled_optimizer_model, session_for, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak, Step};
@@ -119,7 +119,7 @@ pub fn run(scale: &Scale) -> (Report, Outcome) {
     let all_df_peak = forced_peak(&plan, false, &mut d);
     assert!(marked_sim <= marked_peak + 1e-6);
 
-    let mut engine = engine_for(table.clone(), "lineitem");
+    let mut session = session_for(table.clone(), "lineitem");
     let mut d2 = {
         let mut m = crate::harness::exact_cardinality_model(&table);
         move |s: ColSet| {
@@ -127,7 +127,7 @@ pub fn run(scale: &Scale) -> (Report, Outcome) {
             m.result_bytes(&cols)
         }
     };
-    let exec = run_plan_scheduled(&plan, &w, &mut engine, &mut d2);
+    let exec = run_plan_scheduled(&plan, &w, &mut session, &mut d2);
 
     let outcome = Outcome {
         marked_peak,

@@ -6,7 +6,7 @@
 //! reproduce: CONT comparable (≈1×), SC a multiple.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_core::{grouping_sets_plan, BaselineKind};
@@ -96,8 +96,8 @@ fn measure(
     let mut model = sampled_optimizer_model(table, scale, IndexSnapshot::none());
     let (our_plan, _, _) = optimize_timed(workload, &mut model, SearchConfig::pruned());
 
-    let mut engine = engine_for(table.clone(), "lineitem");
-    let times = time_plans_interleaved(&[&gs_plan, &our_plan], workload, &mut engine, 4);
+    let mut session = session_for(table.clone(), "lineitem");
+    let times = time_plans_interleaved(&[&gs_plan, &our_plan], workload, &mut session, 4);
     let (grpset_secs, gbmqo_secs) = (times[0], times[1]);
     Row {
         query: label,

@@ -6,7 +6,7 @@
 //! dataset shows >1× and the TPC-H datasets show the largest TC wins.
 
 use crate::harness::{
-    engine_for, optimize_timed, sampled_optimizer_model, time_plans_interleaved, Report, Scale,
+    optimize_timed, sampled_optimizer_model, session_for, time_plans_interleaved, Report, Scale,
 };
 use gbmqo_core::prelude::*;
 use gbmqo_cost::IndexSnapshot;
@@ -38,9 +38,9 @@ impl Row {
 fn measure(label: &str, table: &Table, workload: &Workload, scale: &Scale, reps: usize) -> Row {
     let mut model = sampled_optimizer_model(table, scale, IndexSnapshot::none());
     let (plan, _, _) = optimize_timed(workload, &mut model, SearchConfig::pruned());
-    let mut engine = engine_for(table.clone(), &workload.table);
+    let mut session = session_for(table.clone(), &workload.table);
     let naive = LogicalPlan::naive(workload);
-    let times = time_plans_interleaved(&[&naive, &plan], workload, &mut engine, reps);
+    let times = time_plans_interleaved(&[&naive, &plan], workload, &mut session, reps);
     let (naive_secs, gbmqo_secs) = (times[0], times[1]);
     Row {
         label: label.to_string(),

@@ -3,9 +3,8 @@
 use gbmqo_core::prelude::*;
 use gbmqo_core::ColSet;
 use gbmqo_cost::{CardinalityCostModel, CostModel, IndexSnapshot, OptimizerCostModel};
-use gbmqo_exec::Engine;
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
-use gbmqo_storage::{Catalog, Table};
+use gbmqo_storage::Table;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -90,15 +89,18 @@ impl Report {
     }
 }
 
-/// Wrap a table in an engine-backed catalog, with row-store scan
-/// emulation enabled — the experiment suite reproduces the paper's
-/// disk-based row-store environment (see `gbmqo_exec::rowstore`).
-pub fn engine_for(table: Table, name: &str) -> Engine {
-    let mut catalog = Catalog::new();
-    catalog.register(name, table).expect("fresh catalog");
-    let mut engine = Engine::new(catalog);
-    engine.set_io_ns_per_byte(IO_NS_PER_BYTE);
-    engine
+/// Wrap a table in a serial [`Session`], with row-store scan emulation
+/// enabled — the experiment suite reproduces the paper's disk-based
+/// row-store environment (see `gbmqo_exec::rowstore`). The session is
+/// pinned to `ClientSide` mode: the paper's numbers are for sequential
+/// execution, so the timing helpers below must stay serial.
+pub fn session_for(table: Table, name: &str) -> Session {
+    Session::builder()
+        .table(name, table)
+        .mode(ExecutionMode::ClientSide)
+        .io_ns_per_byte(IO_NS_PER_BYTE)
+        .build()
+        .expect("fresh session")
 }
 
 /// Simulated disk transfer cost: 2 ns/byte ≈ a 500 MB/s scan — a mild
@@ -106,7 +108,7 @@ pub fn engine_for(table: Table, name: &str) -> Engine {
 /// not hashing, the dominant per-query cost (as in the paper).
 pub const IO_NS_PER_BYTE: f64 = 4.0;
 
-/// Cost constants matching [`engine_for`]'s row-store emulation.
+/// Cost constants matching [`session_for`]'s row-store emulation.
 pub fn paper_constants() -> gbmqo_cost::CostConstants {
     gbmqo_cost::CostConstants {
         io_ns_per_byte: IO_NS_PER_BYTE,
@@ -116,29 +118,30 @@ pub fn paper_constants() -> gbmqo_cost::CostConstants {
 
 /// Wall-clock seconds to execute `plan` (minimum of `reps` runs — the
 /// standard noise-robust statistic for CPU-bound benchmarks).
-pub fn time_plan(plan: &LogicalPlan, workload: &Workload, engine: &mut Engine, reps: usize) -> f64 {
+pub fn time_plan(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    session: &mut Session,
+    reps: usize,
+) -> f64 {
     (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
-            let report = run_plan_serial(plan, workload, engine);
+            let report = run_plan_serial(plan, workload, session);
             std::hint::black_box(&report);
             start.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Execute `plan` once through the serial §5.2 client-side driver.
-///
-/// The experiment suite pins this code path on purpose — the paper's
-/// numbers are for sequential execution — so it goes through the
-/// compatibility shim rather than a (parallel-capable) [`Session`].
-#[allow(deprecated)]
+/// Execute `plan` once through the serial §5.2 client-side driver
+/// (the session from [`session_for`] is pinned to `ClientSide` mode).
 pub fn run_plan_serial(
     plan: &LogicalPlan,
     workload: &Workload,
-    engine: &mut Engine,
+    session: &mut Session,
 ) -> ExecutionReport {
-    gbmqo_core::executor::execute_plan(plan, workload, engine, None).expect("plan executes")
+    session.run_plan(plan, workload).expect("plan executes")
 }
 
 /// Time several plans for the same workload with interleaved rounds
@@ -147,17 +150,17 @@ pub fn run_plan_serial(
 pub fn time_plans_interleaved(
     plans: &[&LogicalPlan],
     workload: &Workload,
-    engine: &mut Engine,
+    session: &mut Session,
     rounds: usize,
 ) -> Vec<f64> {
     let mut best = vec![f64::INFINITY; plans.len()];
     // one unrecorded warm-up of the first plan
     if let Some(p) = plans.first() {
-        let _ = time_plan(p, workload, engine, 1);
+        let _ = time_plan(p, workload, session, 1);
     }
     for _ in 0..rounds.max(1) {
         for (i, p) in plans.iter().enumerate() {
-            best[i] = best[i].min(time_plan(p, workload, engine, 1));
+            best[i] = best[i].min(time_plan(p, workload, session, 1));
         }
     }
     best
@@ -204,14 +207,14 @@ pub fn optimize_timed(
 
 /// Execute `plan` once through the serial driver with a §4.4 storage
 /// schedule guided by `size_estimate`.
-#[allow(deprecated)]
 pub fn run_plan_scheduled(
     plan: &LogicalPlan,
     workload: &Workload,
-    engine: &mut Engine,
+    session: &mut Session,
     size_estimate: &mut dyn FnMut(ColSet) -> f64,
 ) -> ExecutionReport {
-    gbmqo_core::executor::execute_plan(plan, workload, engine, Some(size_estimate))
+    session
+        .run_plan_scheduled(plan, workload, size_estimate)
         .expect("plan executes")
 }
 
@@ -254,8 +257,8 @@ mod tests {
         let (plan, stats, opt_secs) = optimize_timed(&w, &mut model, SearchConfig::pruned());
         assert!(opt_secs >= 0.0);
         assert!(stats.naive_cost > 0.0);
-        let mut engine = engine_for(t.clone(), "lineitem");
-        let secs = time_plan(&plan, &w, &mut engine, 3);
+        let mut session = session_for(t.clone(), "lineitem");
+        let secs = time_plan(&plan, &w, &mut session, 3);
         assert!(secs > 0.0);
         let mut est = size_estimator(&t);
         assert!(est(gbmqo_core::ColSet::single(0)) > 0.0);

@@ -24,9 +24,10 @@ USAGE:
     gbmqo advise  <file.csv> [--sets <spec>] [--max <n>]
     gbmqo serve   [file.csv] [--addr <host:port>] [--workers <n>]
                   [--queue <n>] [--batch-window-ms <n>] [--deadline-ms <n>]
+                  [--chunk-rows <n>] [--chunk-kb <n>] [--outbound-kb <n>]
     gbmqo client  <addr> <ping|stats|register <name> <file.csv>|
                   query <table> <cols>|workload <table> <sets>>
-                  [--deadline-ms <n>] [--limit <n>]
+                  [--deadline-ms <n>] [--limit <n>] [--compress] [--stream]
 
 OPTIONS:
     --sets <spec>    GROUPING SETS to compute, e.g. \"((a),(b),(a,c))\" or
@@ -44,8 +45,11 @@ OPTIONS:
 re-optimization (--max: number of indexes, default 3).
 
 `serve` exposes the session over a binary TCP protocol; concurrent
-single-query clients are micro-batched into merged workloads.
-`client` issues one request against a running server.
+single-query clients are micro-batched into merged workloads. Results
+stream back as bounded chunk frames (--chunk-rows/--chunk-kb caps each
+chunk, --outbound-kb caps per-connection send credit).
+`client` issues one request against a running server; --stream prints
+chunks as they arrive and --compress negotiates LZ4-style frames.
 ";
 
 fn main() -> ExitCode {

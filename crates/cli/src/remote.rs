@@ -1,7 +1,7 @@
 //! The `client` subcommand: talk to a running `gbmqo serve` instance.
 
 use crate::csv::table_from_csv;
-use gbmqo_server::Client;
+use gbmqo_server::{Client, ClientOptions, ResultStream};
 
 /// What to ask the server.
 #[derive(Debug, Clone)]
@@ -44,6 +44,10 @@ pub struct Options {
     pub deadline_ms: u32,
     /// Rows to print per result table.
     pub limit: usize,
+    /// Offer LZ4-style frame compression during the handshake.
+    pub compress: bool,
+    /// Print result chunks as they stream in instead of collecting.
+    pub stream: bool,
 }
 
 impl Options {
@@ -52,9 +56,13 @@ impl Options {
         let mut positional: Vec<&String> = Vec::new();
         let mut deadline_ms = 0u32;
         let mut limit = 10usize;
+        let mut compress = false;
+        let mut stream = false;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
+                "--compress" => compress = true,
+                "--stream" => stream = true,
                 "--deadline-ms" => {
                     deadline_ms = it
                         .next()
@@ -102,14 +110,52 @@ impl Options {
             command,
             deadline_ms,
             limit,
+            compress,
+            stream,
         })
     }
 }
 
+/// Print a chunk stream as it arrives: a header per grouping set, up to
+/// `limit` rows per set, then the stream summary.
+fn print_stream(mut stream: ResultStream<'_>, limit: usize) -> std::result::Result<(), String> {
+    let mut current: Option<String> = None;
+    let mut printed = 0usize;
+    for batch in &mut stream {
+        let batch = batch.map_err(|e| e.to_string())?;
+        if current.as_deref() != Some(batch.set_tag.as_str()) {
+            if !batch.set_tag.is_empty() {
+                println!("GROUP BY ({}):", batch.set_tag);
+            }
+            current = Some(batch.set_tag.clone());
+            printed = 0;
+        }
+        if printed < limit {
+            let take = (limit - printed).min(batch.rows.num_rows());
+            print!("{}", batch.rows.display(take));
+            printed += take;
+        }
+    }
+    let summary = stream
+        .summary()
+        .cloned()
+        .ok_or_else(|| "stream ended without a summary".to_string())?;
+    println!(
+        "{} rows in {} chunks",
+        summary.total_rows, summary.total_chunks
+    );
+    Ok(())
+}
+
 /// Run the subcommand.
 pub fn run(opts: &Options) -> std::result::Result<(), String> {
-    let mut client = Client::connect(opts.addr.as_str())
-        .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
+    let mut client = Client::connect_with(
+        opts.addr.as_str(),
+        ClientOptions {
+            compress: opts.compress,
+        },
+    )
+    .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
     match &opts.command {
         Command::Ping => {
             client.ping().map_err(|e| e.to_string())?;
@@ -126,10 +172,17 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         }
         Command::Query { table, cols } => {
             let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let result = client
-                .query(table, &col_refs, opts.deadline_ms)
-                .map_err(|e| e.to_string())?;
-            print!("{}", result.display(opts.limit));
+            if opts.stream {
+                let stream = client
+                    .stream_query(table, &col_refs, opts.deadline_ms)
+                    .map_err(|e| e.to_string())?;
+                print_stream(stream, opts.limit)?;
+            } else {
+                let result = client
+                    .query(table, &col_refs, opts.deadline_ms)
+                    .map_err(|e| e.to_string())?;
+                print!("{}", result.display(opts.limit));
+            }
         }
         Command::Workload { table, sets } => {
             let requests = gbmqo_core::parse_grouping_sets(sets).map_err(|e| e.to_string())?;
@@ -146,12 +199,19 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
                 .iter()
                 .map(|r| r.iter().map(String::as_str).collect())
                 .collect();
-            let results = client
-                .submit_workload(table, &universe, &request_refs, opts.deadline_ms)
-                .map_err(|e| e.to_string())?;
-            for (tag, result) in results {
-                println!("GROUP BY ({tag}): {} rows", result.num_rows());
-                print!("{}", result.display(opts.limit));
+            if opts.stream {
+                let stream = client
+                    .stream_workload(table, &universe, &request_refs, opts.deadline_ms)
+                    .map_err(|e| e.to_string())?;
+                print_stream(stream, opts.limit)?;
+            } else {
+                let results = client
+                    .submit_workload(table, &universe, &request_refs, opts.deadline_ms)
+                    .map_err(|e| e.to_string())?;
+                for (tag, result) in results {
+                    println!("GROUP BY ({tag}): {} rows", result.num_rows());
+                    print!("{}", result.display(opts.limit));
+                }
             }
         }
         Command::Stats => {
@@ -192,6 +252,17 @@ mod tests {
         }
         let o = Options::parse(&strs(&["h:1", "workload", "data", "((a),(b))"])).unwrap();
         assert!(matches!(o.command, Command::Workload { .. }));
+        assert!(!o.compress && !o.stream);
+        let o = Options::parse(&strs(&[
+            "h:1",
+            "query",
+            "data",
+            "a",
+            "--compress",
+            "--stream",
+        ]))
+        .unwrap();
+        assert!(o.compress && o.stream);
         assert!(Options::parse(&[]).is_err());
         assert!(Options::parse(&strs(&["h:1", "frobnicate"])).is_err());
         assert!(Options::parse(&strs(&["h:1", "query", "data"])).is_err());

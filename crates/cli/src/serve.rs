@@ -24,6 +24,12 @@ pub struct Options {
     pub deadline_ms: u64,
     /// Materialized-aggregate-cache budget in MiB (0 disables it).
     pub cache_budget_mb: usize,
+    /// Row cap per streamed result chunk.
+    pub chunk_rows: usize,
+    /// Approximate byte cap per streamed result chunk, in KiB.
+    pub chunk_kb: usize,
+    /// Per-connection outbound credit budget, in KiB.
+    pub outbound_kb: usize,
 }
 
 impl Options {
@@ -38,6 +44,9 @@ impl Options {
             batch_window_ms: 2,
             deadline_ms: 0,
             cache_budget_mb: 64,
+            chunk_rows: ServerConfig::default().chunk_rows,
+            chunk_kb: ServerConfig::default().chunk_bytes >> 10,
+            outbound_kb: ServerConfig::default().outbound_budget >> 10,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -74,6 +83,21 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--cache-budget-mb: {e}"))?
                 }
+                "--chunk-rows" => {
+                    opts.chunk_rows = value("--chunk-rows")?
+                        .parse()
+                        .map_err(|e| format!("--chunk-rows: {e}"))?
+                }
+                "--chunk-kb" => {
+                    opts.chunk_kb = value("--chunk-kb")?
+                        .parse()
+                        .map_err(|e| format!("--chunk-kb: {e}"))?
+                }
+                "--outbound-kb" => {
+                    opts.outbound_kb = value("--outbound-kb")?
+                        .parse()
+                        .map_err(|e| format!("--outbound-kb: {e}"))?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
                 path if opts.file.is_none() => opts.file = Some(path.to_string()),
                 extra => return Err(format!("unexpected argument {extra:?}")),
@@ -108,6 +132,9 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         batch_window: (opts.batch_window_ms > 0)
             .then(|| Duration::from_millis(opts.batch_window_ms)),
         default_deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        chunk_rows: opts.chunk_rows.max(1),
+        chunk_bytes: (opts.chunk_kb << 10).max(1 << 10),
+        outbound_budget: (opts.outbound_kb << 10).max(64 << 10),
     };
     let handle = Server::bind(opts.addr.as_str(), session, config.clone())
         .map_err(|e| format!("binding {}: {e}", opts.addr))?;
@@ -125,6 +152,12 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         } else {
             "off".to_string()
         }
+    );
+    println!(
+        "streaming: {} rows / {} KiB per chunk, {} KiB outbound budget per connection",
+        config.chunk_rows,
+        config.chunk_bytes >> 10,
+        config.outbound_budget >> 10
     );
     // Serve until the process is killed; the handle's Drop drains
     // in-flight requests if we ever get here.
@@ -161,6 +194,21 @@ mod tests {
         assert_eq!(o.cache_budget_mb, 16);
         assert!(Options::parse(&["--workers".into()]).is_err());
         assert!(Options::parse(&["--bogus".into()]).is_err());
+        let args: Vec<String> = [
+            "--chunk-rows",
+            "1024",
+            "--chunk-kb",
+            "256",
+            "--outbound-kb",
+            "2048",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.chunk_rows, 1024);
+        assert_eq!(o.chunk_kb, 256);
+        assert_eq!(o.outbound_kb, 2048);
         // no file is fine: clients register tables over the wire
         assert!(Options::parse(&[]).is_ok());
     }

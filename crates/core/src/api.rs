@@ -18,12 +18,11 @@ use crate::colset::ColSet;
 use crate::error::Result;
 use crate::executor::{
     cleanup_exec_temps, exec_prefix, exec_temp_name, execute_plan_parallel_with, next_exec_id,
-    plan_group_estimates, run_plan, CacheHooks, GroupEstimates, ParallelOptions,
+    run_plan, CacheHooks, GroupEstimates, ParallelOptions,
 };
-use crate::greedy::{GbMqo, SearchConfig, SearchStats};
+use crate::greedy::SearchStats;
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::workload::Workload;
-use gbmqo_cost::CostModel;
 use gbmqo_exec::{union_all_tagged, AggSpec, Engine, ExecMetrics};
 use gbmqo_storage::Table;
 
@@ -72,36 +71,8 @@ impl GroupingSetsResult {
     }
 }
 
-/// Optimize and execute `workload` as one GROUPING SETS query.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::builder()…build()` and `Session::grouping_sets`, which add plan \
-            caching and dependency-parallel execution; this shim optimizes from scratch \
-            on every call"
-)]
-pub fn execute_grouping_sets(
-    engine: &mut Engine,
-    workload: &Workload,
-    model: &mut dyn CostModel,
-    config: SearchConfig,
-    mode: ExecutionMode,
-) -> Result<GroupingSetsResult> {
-    let (plan, stats) = GbMqo::with_config(config).plan(workload, model)?;
-    let estimates = plan_group_estimates(&plan, workload, model);
-    let (results, metrics) = run_mode(
-        &plan,
-        workload,
-        engine,
-        mode,
-        ParallelOptions::default(),
-        &estimates,
-        &mut CacheHooks::default(),
-    )?;
-    assemble_union(workload, plan, stats, results, metrics)
-}
-
-/// Execute an optimized plan under `mode` (shared by the deprecated free
-/// function and [`crate::session::Session`]). `estimates` carries the
+/// Execute an optimized plan under `mode` (the execution half of
+/// [`crate::session::Session::grouping_sets`]). `estimates` carries the
 /// optimizer's distinct-group counts per node (empty when no cost model
 /// is available); the executors forward them to the engine's radix
 /// kernel.
@@ -290,12 +261,10 @@ fn sub_workload(workload: &Workload, node: &SubNode) -> Workload {
 }
 
 #[cfg(test)]
-// These tests deliberately exercise the deprecated compatibility shim.
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use gbmqo_cost::CardinalityCostModel;
-    use gbmqo_stats::ExactSource;
+    use crate::greedy::SearchConfig;
+    use crate::session::Session;
     use gbmqo_storage::{Catalog, Column, DataType, Field, Schema, Value};
 
     fn setup() -> (Engine, Table) {
@@ -332,26 +301,17 @@ mod tests {
 
     #[test]
     fn client_and_server_side_agree() {
-        let (mut engine, t) = setup();
+        let (engine, t) = setup();
         let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
-        let mut m1 = CardinalityCostModel::new(ExactSource::new(&t));
-        let client = execute_grouping_sets(
-            &mut engine,
-            &w,
-            &mut m1,
-            SearchConfig::pruned(),
-            ExecutionMode::ClientSide,
-        )
-        .unwrap();
-        let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
-        let server = execute_grouping_sets(
-            &mut engine,
-            &w,
-            &mut m2,
-            SearchConfig::pruned(),
-            ExecutionMode::ServerSide,
-        )
-        .unwrap();
+        let mut session = Session::builder()
+            .engine(engine)
+            .search(SearchConfig::pruned())
+            .mode(ExecutionMode::ClientSide)
+            .build()
+            .unwrap();
+        let client = session.grouping_sets(&w).unwrap();
+        session.set_mode(ExecutionMode::ServerSide);
+        let server = session.grouping_sets(&w).unwrap();
         assert_eq!(tag_counts(&client.table), tag_counts(&server.table));
         // a and b are perfectly correlated (3 groups each), c has 5
         assert_eq!(
@@ -363,22 +323,20 @@ mod tests {
             ]
         );
         // no temp tables leak
-        assert!(engine.catalog().temp_names().is_empty());
+        assert!(session.engine().catalog().temp_names().is_empty());
     }
 
     #[test]
     fn server_side_shares_scans() {
-        let (mut engine, t) = setup();
+        let (engine, t) = setup();
         let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
-        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
-        let server = execute_grouping_sets(
-            &mut engine,
-            &w,
-            &mut model,
-            SearchConfig::pruned(),
-            ExecutionMode::ServerSide,
-        )
-        .unwrap();
+        let mut session = Session::builder()
+            .engine(engine)
+            .search(SearchConfig::pruned())
+            .mode(ExecutionMode::ServerSide)
+            .build()
+            .unwrap();
+        let server = session.grouping_sets(&w).unwrap();
         // With the plan (a,b) merged: one shared scan of R computes the
         // (a,b) node and the c leaf; one scan of the temp computes a and b.
         assert!(
@@ -390,17 +348,10 @@ mod tests {
 
     #[test]
     fn grouping_sets_result_has_union_all_shape() {
-        let (mut engine, t) = setup();
+        let (engine, t) = setup();
         let w = Workload::new("r", &t, &["a", "c"], &[vec!["a"], vec!["a", "c"]]).unwrap();
-        let mut model = CardinalityCostModel::new(ExactSource::new(&t));
-        let out = execute_grouping_sets(
-            &mut engine,
-            &w,
-            &mut model,
-            SearchConfig::default(),
-            ExecutionMode::ClientSide,
-        )
-        .unwrap();
+        let mut session = Session::builder().engine(engine).build().unwrap();
+        let out = session.grouping_sets(&w).unwrap();
         // columns: a, c, cnt, grp_tag — with NULL-padded c for the (a) rows
         assert_eq!(out.table.num_columns(), 4);
         let tags = tag_counts(&out.table);
@@ -420,28 +371,27 @@ mod tests {
     #[test]
     fn selection_pushdown_via_run_filter() {
         use gbmqo_exec::Predicate;
-        let (mut engine, _) = setup();
+        let (engine, _) = setup();
+        let mut session = Session::builder().engine(engine).build().unwrap();
         // §5.1.1: push the selection below GROUPING SETS by materializing
         // the filtered relation once.
-        engine
+        session
+            .engine_mut()
             .run_filter(
                 "r",
                 &Predicate::Ge("c".into(), Value::Int(2)),
                 Some("r_filtered"),
             )
             .unwrap();
-        let filtered = engine.catalog().table("r_filtered").unwrap().clone();
+        let filtered = session
+            .engine()
+            .catalog()
+            .table("r_filtered")
+            .unwrap()
+            .clone();
         assert!(filtered.num_rows() < 120);
         let w = Workload::single_columns("r_filtered", &filtered, &["a", "c"]).unwrap();
-        let mut model = CardinalityCostModel::new(ExactSource::new(&filtered));
-        let out = execute_grouping_sets(
-            &mut engine,
-            &w,
-            &mut model,
-            SearchConfig::default(),
-            ExecutionMode::ClientSide,
-        )
-        .unwrap();
+        let out = session.grouping_sets(&w).unwrap();
         // counts reflect only the filtered rows
         let cnt_col = out.table.schema().index_of("cnt").unwrap();
         let tag_col = out.table.schema().index_of("grp_tag").unwrap();
@@ -450,6 +400,6 @@ mod tests {
             .map(|r| out.table.value(r, cnt_col).as_int().unwrap())
             .sum();
         assert_eq!(total_a as usize, filtered.num_rows());
-        engine.drop_temp("r_filtered").unwrap();
+        session.engine_mut().drop_temp("r_filtered").unwrap();
     }
 }

@@ -170,35 +170,9 @@ fn source_io(
     }
 }
 
-/// Execute `plan` for `workload` against `engine`.
-///
-/// `size_estimate` guides the breadth-first/depth-first scheduling choice
-/// (§4.4.1); pass a cost model's `result_bytes` for faithful behaviour, or
-/// `None` for a neutral default.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::grouping_sets` (or `Session::run_plan` for an explicit plan); \
-            this free function remains as a thin compatibility shim"
-)]
-pub fn execute_plan(
-    plan: &LogicalPlan,
-    workload: &Workload,
-    engine: &mut Engine,
-    size_estimate: Option<&mut dyn FnMut(ColSet) -> f64>,
-) -> Result<ExecutionReport> {
-    run_plan(
-        plan,
-        workload,
-        engine,
-        size_estimate,
-        &GroupEstimates::default(),
-        &mut CacheHooks::default(),
-    )
-}
-
 /// Serial plan execution (the §5.2 client-side driver); internal
-/// non-deprecated implementation behind [`execute_plan`] and
-/// [`crate::session::Session`].
+/// non-deprecated implementation behind [`crate::session::Session`]'s
+/// `run_plan` / `run_plan_scheduled`.
 pub(crate) fn run_plan(
     plan: &LogicalPlan,
     workload: &Workload,

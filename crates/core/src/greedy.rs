@@ -106,21 +106,6 @@ impl GbMqo {
 
     /// Run the search of Figure 5: start from the naive plan and keep
     /// applying the best cost-improving SubPlanMerge until none improves.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::grouping_sets` (which adds plan caching), or `GbMqo::plan` \
-                for a direct search"
-    )]
-    pub fn optimize(
-        &self,
-        workload: &Workload,
-        model: &mut dyn CostModel,
-    ) -> Result<(LogicalPlan, SearchStats)> {
-        self.plan(workload, model)
-    }
-
-    /// Run the search of Figure 5: start from the naive plan and keep
-    /// applying the best cost-improving SubPlanMerge until none improves.
     pub fn plan(
         &self,
         workload: &Workload,

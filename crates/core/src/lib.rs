@@ -74,9 +74,9 @@
 //! assert_eq!(again.stats.optimizer_calls, 0);
 //! ```
 //!
-//! The pre-0.2 free functions ([`execute_grouping_sets`],
-//! [`executor::execute_plan`], [`GbMqo::optimize`]) still work but are
-//! deprecated shims over the same internals.
+//! The pre-0.2 free functions (`execute_grouping_sets`,
+//! `execute_plan`, `GbMqo::optimize`) have been removed; [`Session`]
+//! covers every path they served, with plan caching on top.
 
 #![warn(missing_docs)]
 
@@ -103,14 +103,10 @@ pub mod sql;
 pub mod workload;
 
 pub use advisor::{recommend_indexes, IndexRecommendation};
-#[allow(deprecated)]
-pub use api::execute_grouping_sets;
 pub use api::{ExecutionMode, GroupingSetsResult};
 pub use cache::{CacheStats, PlanCache, WorkloadFingerprint};
 pub use colset::ColSet;
 pub use error::{CoreError, Result};
-#[allow(deprecated)]
-pub use executor::execute_plan;
 pub use executor::{
     execute_plan_parallel, plan_group_estimates, ExecutionReport, GroupEstimates, ParallelOptions,
 };

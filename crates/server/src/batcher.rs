@@ -35,9 +35,9 @@
 
 use crate::error::ErrorCode;
 use crate::protocol::Response;
-use crate::server::{error_code_for, run_workload, send_reply, Shared};
+use crate::server::{error_code_for, run_workload, stream_results, ReplyHandle, Shared};
 use gbmqo_core::CacheControl;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 pub(crate) struct BatchJob {
     pub request_id: u64,
     pub deadline: Option<Instant>,
-    pub reply: Sender<Vec<u8>>,
+    pub reply: ReplyHandle,
     pub table: String,
     pub group_cols: Vec<String>,
     pub cache: CacheControl,
@@ -139,8 +139,7 @@ fn reorder_for(group_cols: &[String], result: &gbmqo_storage::Table) -> gbmqo_st
 fn reply_timeout(shared: &Shared, jobs: &[BatchJob], message: &str) {
     shared.counters().timeouts += jobs.len() as u64;
     for job in jobs {
-        send_reply(
-            &job.reply,
+        job.reply.send_response(
             job.request_id,
             &Response::Error {
                 code: ErrorCode::Timeout,
@@ -166,7 +165,7 @@ fn execute_group(shared: &Shared, table: &str, cache: CacheControl, mut group: V
         shared.counters().batches += 1;
 
         match run_workload(shared, table, &universe, &requests, deadline, cache) {
-            Ok(results) => {
+            Ok((results, metrics)) => {
                 for job in &group {
                     let tag = job.group_cols.join(",");
                     // Result sets are tagged with the workload's column
@@ -181,24 +180,20 @@ fn execute_group(shared: &Shared, table: &str, cache: CacheControl, mut group: V
                     });
                     match found {
                         Some((_, result)) => {
-                            send_reply(
-                                &job.reply,
+                            // Each constituent streams exactly its own
+                            // set, chunked like a non-batched reply.
+                            let own = vec![(tag, reorder_for(&job.group_cols, result))];
+                            stream_results(shared, &job.reply, job.request_id, &own, &metrics);
+                        }
+                        None => {
+                            job.reply.send_response(
                                 job.request_id,
-                                &Response::Batch {
-                                    set_tag: tag,
-                                    table: reorder_for(&job.group_cols, result),
+                                &Response::Error {
+                                    code: ErrorCode::Internal,
+                                    message: format!("merged plan produced no result for ({tag})"),
                                 },
                             );
-                            send_reply(&job.reply, job.request_id, &Response::Done { batches: 1 });
                         }
-                        None => send_reply(
-                            &job.reply,
-                            job.request_id,
-                            &Response::Error {
-                                code: ErrorCode::Internal,
-                                message: format!("merged plan produced no result for ({tag})"),
-                            },
-                        ),
                     }
                 }
                 return;
@@ -222,8 +217,7 @@ fn execute_group(shared: &Shared, table: &str, cache: CacheControl, mut group: V
             Err(e) => {
                 let code = error_code_for(&e);
                 for job in &group {
-                    send_reply(
-                        &job.reply,
+                    job.reply.send_response(
                         job.request_id,
                         &Response::Error {
                             code,
@@ -240,18 +234,17 @@ fn execute_group(shared: &Shared, table: &str, cache: CacheControl, mut group: V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
 
     fn job(table: &str, cols: &[&str]) -> BatchJob {
         job_with_cache(table, cols, CacheControl::Default)
     }
 
     fn job_with_cache(table: &str, cols: &[&str], cache: CacheControl) -> BatchJob {
-        let (tx, _rx) = mpsc::channel();
+        let (reply, _rx) = crate::server::test_reply_handle(1 << 20);
         BatchJob {
             request_id: 1,
             deadline: None,
-            reply: tx,
+            reply,
             table: table.into(),
             group_cols: cols.iter().map(|s| s.to_string()).collect(),
             cache,

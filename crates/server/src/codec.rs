@@ -1,16 +1,30 @@
 //! Byte-level encoding for the wire protocol: little-endian scalar
-//! helpers, length-prefixed strings, and a columnar table format.
+//! helpers, length-prefixed strings, a columnar table format with
+//! row-range (chunk) encoding, borrowed zero-copy decode views, and a
+//! reusable receive buffer.
 //!
 //! Tables go over the wire in their native columnar layout: a schema
 //! header, then per column an optional validity bitmap and a typed
 //! payload. Dictionary-encoded string columns ship their dictionary
-//! entries in code order followed by the per-row codes, so decoding
-//! re-interns the entries in the same order and the codes carry over
-//! verbatim — no per-row string materialization on either side.
+//! entries in code order followed by the per-row codes; a *chunk* of a
+//! table ships a chunk-local dictionary containing only the entries
+//! its rows reference, so a bounded row range is a bounded number of
+//! bytes regardless of the full column's dictionary size.
+//!
+//! Decoding is two-phase. [`TableView::parse`] walks a payload once,
+//! validating every length, type code, and dictionary code, and
+//! producing a *view* whose columns are borrowed slices of the frame
+//! buffer — no row data is copied. Callers that need an owned
+//! [`Table`] call [`TableView::to_table`] (or the [`get_table`]
+//! convenience); callers that only inspect values read through the
+//! view. Paired with [`RecvBuf`], a connection decodes every frame out
+//! of one reusable allocation.
 
 use crate::error::{ServerError, ServerResult};
 use gbmqo_storage::column::ColumnData;
-use gbmqo_storage::{Bitmap, Column, DataType, Dictionary, Field, Schema, Table};
+use gbmqo_storage::{Bitmap, Column, DataType, Dictionary, Field, Schema, Table, Value};
+use std::collections::HashMap;
+use std::io::Read;
 use std::sync::Arc;
 
 /// Hard cap on any length field read from the wire (strings, vectors,
@@ -71,7 +85,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn take(&mut self, n: usize) -> ServerResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> ServerResult<&'a [u8]> {
         if self.remaining() < n {
             return Err(malformed("truncated payload"));
         }
@@ -96,7 +110,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Read a length field, rejecting absurd values.
-    fn len(&mut self) -> ServerResult<usize> {
+    pub(crate) fn len(&mut self) -> ServerResult<usize> {
         let n = self.u32()? as usize;
         if n > MAX_WIRE_LEN || n > self.remaining().max(8) * 64 {
             return Err(malformed("length out of bounds"));
@@ -104,11 +118,17 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    /// Read a length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> ServerResult<String> {
+    /// Read a length-prefixed UTF-8 string as a borrowed slice of the
+    /// payload (the zero-copy variant of [`Cursor::str`]).
+    pub fn str_ref(&mut self) -> ServerResult<&'a str> {
         let n = self.len()?;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8"))
+        std::str::from_utf8(bytes).map_err(|_| malformed("invalid utf-8"))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> ServerResult<String> {
+        Ok(self.str_ref()?.to_string())
     }
 
     /// Read a length-prefixed list of strings.
@@ -137,9 +157,27 @@ fn dtype_from(code: u8) -> ServerResult<DataType> {
     })
 }
 
-/// Serialize a table: schema header, row count, then per-column
-/// validity + typed payload.
+fn fixed_width(t: DataType) -> Option<usize> {
+    match t {
+        DataType::Int64 | DataType::Float64 => Some(8),
+        DataType::Date32 => Some(4),
+        DataType::Utf8 => None,
+    }
+}
+
+/// Serialize the full table: equivalent to one chunk spanning every
+/// row.
 pub fn put_table(buf: &mut Vec<u8>, table: &Table) {
+    put_table_slice(buf, table, 0, table.num_rows());
+}
+
+/// Serialize rows `[start, end)` of `table` as a self-contained chunk:
+/// schema header, chunk row count, then per-column validity + typed
+/// payload. String columns ship a chunk-local dictionary holding only
+/// the entries referenced by the range, so the encoded size is bounded
+/// by the range, not the table.
+pub fn put_table_slice(buf: &mut Vec<u8>, table: &Table, start: usize, end: usize) {
+    debug_assert!(start <= end && end <= table.num_rows());
     let schema = table.schema();
     put_u32(buf, schema.fields().len() as u32);
     for f in schema.fields() {
@@ -147,7 +185,7 @@ pub fn put_table(buf: &mut Vec<u8>, table: &Table) {
         buf.push(dtype_code(f.data_type));
         buf.push(f.nullable as u8);
     }
-    let rows = table.num_rows();
+    let rows = end - start;
     put_u64(buf, rows as u64);
     for col in table.columns() {
         match col.validity() {
@@ -155,8 +193,8 @@ pub fn put_table(buf: &mut Vec<u8>, table: &Table) {
             Some(v) => {
                 buf.push(1);
                 let mut byte = 0u8;
-                for i in 0..rows {
-                    if v.get(i) {
+                for (i, row) in (start..end).enumerate() {
+                    if v.get(row) {
                         byte |= 1 << (i % 8);
                     }
                     if i % 8 == 7 {
@@ -171,133 +209,363 @@ pub fn put_table(buf: &mut Vec<u8>, table: &Table) {
         }
         match col.data() {
             ColumnData::Int64(vals) => {
-                for v in vals {
+                for v in &vals[start..end] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
             }
             ColumnData::Float64(vals) => {
-                for v in vals {
+                for v in &vals[start..end] {
                     buf.extend_from_slice(&v.to_bits().to_le_bytes());
                 }
             }
             ColumnData::Date32(vals) => {
-                for v in vals {
+                for v in &vals[start..end] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
             }
             ColumnData::Utf8 { codes, dict } => {
-                put_u32(buf, dict.len() as u32);
-                for code in 0..dict.len() as u32 {
+                // Chunk-local dictionary: entries referenced by this
+                // range, remapped to dense codes in first-seen order.
+                let mut remap: HashMap<u32, u32> = HashMap::new();
+                let mut entries: Vec<u32> = Vec::new();
+                let chunk_codes: Vec<u32> = codes[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let valid =
+                            col.validity().is_none_or(|v| v.get(start + i)) && c != u32::MAX;
+                        if !valid {
+                            return 0; // placeholder; decoder normalizes null rows
+                        }
+                        *remap.entry(c).or_insert_with(|| {
+                            entries.push(c);
+                            entries.len() as u32 - 1
+                        })
+                    })
+                    .collect();
+                put_u32(buf, entries.len() as u32);
+                for code in entries {
                     put_str(buf, dict.get(code));
                 }
-                for c in codes {
-                    put_u32(buf, *c);
+                for c in chunk_codes {
+                    put_u32(buf, c);
                 }
             }
         }
     }
 }
 
-/// Deserialize a table written by [`put_table`].
-pub fn get_table(cur: &mut Cursor<'_>) -> ServerResult<Table> {
-    let ncols = cur.len()?;
-    let mut fields = Vec::with_capacity(ncols);
-    for _ in 0..ncols {
-        let name = cur.str()?;
-        let data_type = dtype_from(cur.u8()?)?;
-        let nullable = cur.u8()? != 0;
-        fields.push(if nullable {
-            Field::new(name, data_type)
-        } else {
-            Field::not_null(name, data_type)
-        });
+/// One column of a [`TableView`]: borrowed slices of the frame buffer.
+enum ColView<'a> {
+    /// `Int64`/`Float64`/`Date32` raw little-endian values.
+    Fixed(&'a [u8]),
+    /// Dictionary entries (in code order) plus raw `u32` codes.
+    Utf8 { dict: Vec<&'a str>, codes: &'a [u8] },
+}
+
+/// A borrowed, validated decode of one encoded table (or table chunk).
+///
+/// Parsing performs every hostility check the owned decoder does —
+/// bounded lengths, known type codes, dictionary codes in range on
+/// valid rows — but copies nothing: columns are slices into the frame
+/// buffer. Use [`TableView::value`] to inspect, or
+/// [`TableView::to_table`] to materialize.
+pub struct TableView<'a> {
+    fields: Vec<(&'a str, DataType, bool)>,
+    rows: usize,
+    validity: Vec<Option<&'a [u8]>>,
+    cols: Vec<ColView<'a>>,
+}
+
+impl<'a> TableView<'a> {
+    /// Parse and validate an encoded table starting at `cur`.
+    pub fn parse(cur: &mut Cursor<'a>) -> ServerResult<TableView<'a>> {
+        let ncols = cur.len()?;
+        let mut fields = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = cur.str_ref()?;
+            let data_type = dtype_from(cur.u8()?)?;
+            let nullable = cur.u8()? != 0;
+            fields.push((name, data_type, nullable));
+        }
+        let rows = cur.u64()? as usize;
+        if rows > MAX_WIRE_LEN {
+            return Err(malformed("row count out of bounds"));
+        }
+        let mut validity = Vec::with_capacity(ncols);
+        let mut cols = Vec::with_capacity(ncols);
+        for &(_, data_type, _) in &fields {
+            let v = match cur.u8()? {
+                0 => None,
+                1 => Some(cur.take(rows.div_ceil(8))?),
+                _ => return Err(malformed("bad validity flag")),
+            };
+            let col = match fixed_width(data_type) {
+                Some(w) => ColView::Fixed(
+                    cur.take(
+                        rows.checked_mul(w)
+                            .ok_or_else(|| malformed("row count overflows"))?,
+                    )?,
+                ),
+                None => {
+                    let dict_len = cur.len()?;
+                    let mut dict = Vec::with_capacity(dict_len);
+                    let mut seen: HashMap<&str, ()> = HashMap::with_capacity(dict_len);
+                    for _ in 0..dict_len {
+                        let s = cur.str_ref()?;
+                        // Re-interning on materialization must reproduce
+                        // these codes exactly, so entries must be unique.
+                        if seen.insert(s, ()).is_some() {
+                            return Err(malformed("duplicate dictionary entry"));
+                        }
+                        dict.push(s);
+                    }
+                    let codes = cur.take(rows * 4)?;
+                    // Every valid row must index the dictionary — with
+                    // an empty dictionary no valid row is acceptable.
+                    // Null rows may carry any code; materialization
+                    // normalizes them to the engine's null sentinel.
+                    for i in 0..rows {
+                        let valid = match v {
+                            None => true,
+                            Some(bytes) => bytes[i / 8] & (1 << (i % 8)) != 0,
+                        };
+                        if valid {
+                            let code =
+                                u32::from_le_bytes(codes[i * 4..i * 4 + 4].try_into().unwrap());
+                            if code as usize >= dict_len {
+                                return Err(malformed("dictionary code out of range"));
+                            }
+                        }
+                    }
+                    ColView::Utf8 { dict, codes }
+                }
+            };
+            validity.push(v);
+            cols.push(col);
+        }
+        Ok(TableView {
+            fields,
+            rows,
+            validity,
+            cols,
+        })
     }
-    let rows = cur.u64()? as usize;
-    if rows > MAX_WIRE_LEN {
-        return Err(malformed("row count out of bounds"));
+
+    /// Rows in this view.
+    pub fn num_rows(&self) -> usize {
+        self.rows
     }
-    let mut columns = Vec::with_capacity(ncols);
-    for f in &fields {
-        let validity = match cur.u8()? {
-            0 => None,
-            1 => {
-                let bytes = cur.take(rows.div_ceil(8))?;
+
+    /// Columns in this view.
+    pub fn num_columns(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Column names, in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|&(name, _, _)| name)
+    }
+
+    fn is_valid(&self, row: usize, col: usize) -> bool {
+        match self.validity[col] {
+            None => true,
+            Some(bytes) => bytes[row / 8] & (1 << (row % 8)) != 0,
+        }
+    }
+
+    /// Read one value without materializing the column.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        assert!(row < self.rows && col < self.fields.len());
+        if !self.is_valid(row, col) {
+            return Value::Null;
+        }
+        match &self.cols[col] {
+            ColView::Fixed(bytes) => match self.fields[col].1 {
+                DataType::Int64 => Value::Int(i64::from_le_bytes(
+                    bytes[row * 8..row * 8 + 8].try_into().unwrap(),
+                )),
+                DataType::Float64 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                    bytes[row * 8..row * 8 + 8].try_into().unwrap(),
+                ))),
+                DataType::Date32 => Value::Date(i32::from_le_bytes(
+                    bytes[row * 4..row * 4 + 4].try_into().unwrap(),
+                )),
+                DataType::Utf8 => unreachable!("utf8 is never fixed-width"),
+            },
+            ColView::Utf8 { dict, codes } => {
+                let code = u32::from_le_bytes(codes[row * 4..row * 4 + 4].try_into().unwrap());
+                Value::str(dict[code as usize])
+            }
+        }
+    }
+
+    /// Materialize the view into an owned [`Table`].
+    pub fn to_table(&self) -> ServerResult<Table> {
+        let fields: Vec<Field> = self
+            .fields
+            .iter()
+            .map(|&(name, data_type, nullable)| {
+                if nullable {
+                    Field::new(name, data_type)
+                } else {
+                    Field::not_null(name, data_type)
+                }
+            })
+            .collect();
+        let mut columns = Vec::with_capacity(fields.len());
+        for (c, col) in self.cols.iter().enumerate() {
+            let validity = self.validity[c].map(|bytes| {
                 let mut bm = Bitmap::new();
-                for i in 0..rows {
+                for i in 0..self.rows {
                     bm.push(bytes[i / 8] & (1 << (i % 8)) != 0);
                 }
-                Some(bm)
-            }
-            _ => return Err(malformed("bad validity flag")),
-        };
-        let data = match f.data_type {
-            DataType::Int64 => {
-                let raw = cur.take(rows * 8)?;
-                ColumnData::Int64(
-                    raw.chunks_exact(8)
-                        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-                        .collect(),
-                )
-            }
-            DataType::Float64 => {
-                let raw = cur.take(rows * 8)?;
-                ColumnData::Float64(
-                    raw.chunks_exact(8)
-                        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-                        .collect(),
-                )
-            }
-            DataType::Date32 => {
-                let raw = cur.take(rows * 4)?;
-                ColumnData::Date32(
-                    raw.chunks_exact(4)
-                        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-                        .collect(),
-                )
-            }
-            DataType::Utf8 => {
-                let dict_len = cur.len()?;
-                let mut dict = Dictionary::new();
-                for expected in 0..dict_len as u32 {
-                    let s = cur.str()?;
-                    // Entries were written in code order, so re-interning
-                    // in order reproduces the sender's codes exactly.
-                    let code = dict.intern(&s);
-                    if code != expected {
-                        return Err(malformed("duplicate dictionary entry"));
+                bm
+            });
+            let data = match col {
+                ColView::Fixed(bytes) => match self.fields[c].1 {
+                    DataType::Int64 => ColumnData::Int64(
+                        bytes
+                            .chunks_exact(8)
+                            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                            .collect(),
+                    ),
+                    DataType::Float64 => ColumnData::Float64(
+                        bytes
+                            .chunks_exact(8)
+                            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+                            .collect(),
+                    ),
+                    DataType::Date32 => ColumnData::Date32(
+                        bytes
+                            .chunks_exact(4)
+                            .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+                            .collect(),
+                    ),
+                    DataType::Utf8 => unreachable!("utf8 is never fixed-width"),
+                },
+                ColView::Utf8 { dict, codes } => {
+                    let mut owned = Dictionary::new();
+                    for entry in dict {
+                        owned.intern(entry);
+                    }
+                    let values: Vec<u32> = (0..self.rows)
+                        .map(|i| {
+                            if self.is_valid(i, c) {
+                                u32::from_le_bytes(codes[i * 4..i * 4 + 4].try_into().unwrap())
+                            } else {
+                                u32::MAX // the engine's null sentinel
+                            }
+                        })
+                        .collect();
+                    ColumnData::Utf8 {
+                        codes: values,
+                        dict: Arc::new(owned),
                     }
                 }
-                let raw = cur.take(rows * 4)?;
-                let mut codes: Vec<u32> = raw
-                    .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
-                // Every valid row must index the dictionary — with an
-                // empty dictionary no valid row is acceptable. Null
-                // rows carry whatever code the sender wrote; normalize
-                // them to the engine's u32::MAX null sentinel so no
-                // downstream code can index the dictionary out of
-                // range via a null row either.
-                for (i, code) in codes.iter_mut().enumerate() {
-                    if validity.as_ref().is_none_or(|v| v.get(i)) {
-                        if *code as usize >= dict_len {
-                            return Err(malformed("dictionary code out of range"));
-                        }
-                    } else {
-                        *code = u32::MAX;
-                    }
-                }
-                ColumnData::Utf8 {
-                    codes,
-                    dict: Arc::new(dict),
-                }
-            }
-        };
-        columns
-            .push(Column::new(data, validity).map_err(|e| malformed(&format!("bad column: {e}")))?);
+            };
+            columns.push(
+                Column::new(data, validity).map_err(|e| malformed(&format!("bad column: {e}")))?,
+            );
+        }
+        let schema = Schema::new(fields).map_err(|e| malformed(&format!("bad schema: {e}")))?;
+        Table::new(schema, columns).map_err(|e| malformed(&format!("bad table: {e}")))
     }
-    let schema = Schema::new(fields).map_err(|e| malformed(&format!("bad schema: {e}")))?;
-    Table::new(schema, columns).map_err(|e| malformed(&format!("bad table: {e}")))
+}
+
+/// Deserialize an owned table written by [`put_table`] /
+/// [`put_table_slice`] (parse + materialize in one step).
+pub fn get_table(cur: &mut Cursor<'_>) -> ServerResult<Table> {
+    TableView::parse(cur)?.to_table()
+}
+
+/// A reusable frame-receive buffer: bytes are read into one growing
+/// allocation and complete frames are handed out as borrowed slices,
+/// so steady-state frame traffic performs no per-frame allocation.
+///
+/// Unlike a `read_exact` into `vec![0; declared_len]`, the buffer only
+/// grows as bytes actually arrive — a hostile length prefix cannot
+/// force a large allocation up front (the declared length is still
+/// capped by the caller-supplied maximum).
+#[derive(Default)]
+pub struct RecvBuf {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes.
+    start: usize,
+    /// End of received bytes.
+    end: usize,
+}
+
+/// What [`RecvBuf::try_frame`] found in the buffered bytes.
+pub enum FrameStatus {
+    /// A complete frame: `(payload_start, payload_end)` into the
+    /// buffer (resolve with [`RecvBuf::payload`]).
+    Ready(usize, usize),
+    /// More bytes are needed before the next frame completes.
+    Partial,
+}
+
+impl RecvBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RecvBuf::default()
+    }
+
+    /// Buffered-but-unconsumed byte count.
+    pub fn pending(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Drop consumed bytes and reclaim space when the live region has
+    /// drifted to the back of the allocation.
+    fn compact(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Read once from `r`, appending to the buffer. Returns the byte
+    /// count (0 = EOF). `WouldBlock` and friends surface as `Err`, as
+    /// do all other I/O errors — nonblocking callers match on the kind.
+    pub fn fill(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        self.compact();
+        // Always keep a readable tail of at least 16 KiB.
+        if self.buf.len() - self.end < 4096 {
+            self.buf.resize((self.buf.len() * 2).max(16 * 1024), 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Try to extract the next complete frame from buffered bytes.
+    /// `max_len` bounds the declared payload length.
+    pub fn try_frame(&mut self, max_len: usize) -> ServerResult<FrameStatus> {
+        if self.pending() < 4 {
+            return Ok(FrameStatus::Partial);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        if len > max_len {
+            return Err(malformed(&format!("frame too large: {len} bytes")));
+        }
+        if self.pending() < 4 + len {
+            return Ok(FrameStatus::Partial);
+        }
+        let payload_start = self.start + 4;
+        self.start += 4 + len;
+        Ok(FrameStatus::Ready(payload_start, payload_start + len))
+    }
+
+    /// Resolve a [`FrameStatus::Ready`] range into the payload bytes.
+    pub fn payload(&self, start: usize, end: usize) -> &[u8] {
+        &self.buf[start..end]
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +623,57 @@ mod tests {
                 assert_eq!(t.value(r, c), back.value(r, c), "row {r} col {c}");
             }
         }
+    }
+
+    #[test]
+    fn chunked_slices_reassemble_the_table() {
+        let t = sample_table();
+        let chunk = 7; // deliberately not a multiple of 8: bitmaps split mid-byte
+        let mut start = 0;
+        let mut row = 0;
+        while start < t.num_rows() {
+            let end = (start + chunk).min(t.num_rows());
+            let mut buf = Vec::new();
+            put_table_slice(&mut buf, &t, start, end);
+            let mut cur = Cursor::new(&buf);
+            let view = TableView::parse(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(view.num_rows(), end - start);
+            let owned = view.to_table().unwrap();
+            for r in 0..owned.num_rows() {
+                for c in 0..owned.num_columns() {
+                    assert_eq!(t.value(row + r, c), owned.value(r, c), "row {row}+{r}");
+                    assert_eq!(t.value(row + r, c), view.value(r, c), "view row {row}+{r}");
+                }
+            }
+            row += end - start;
+            start = end;
+        }
+    }
+
+    #[test]
+    fn chunk_local_dictionary_is_bounded_by_the_range() {
+        // 1000 distinct strings, but each 10-row chunk references ≤ 10.
+        let schema = Schema::new(vec![Field::new("s", DataType::Utf8)]).unwrap();
+        let mut tb = TableBuilder::new(schema);
+        for i in 0..1000 {
+            tb.push_row(&[Value::str(&format!("value-{i:04}"))])
+                .unwrap();
+        }
+        let t = tb.finish().unwrap();
+        let mut whole = Vec::new();
+        put_table(&mut whole, &t);
+        let mut chunk = Vec::new();
+        put_table_slice(&mut chunk, &t, 500, 510);
+        assert!(
+            chunk.len() < whole.len() / 20,
+            "10-row chunk ({} B) must not ship the 1000-entry dictionary ({} B)",
+            chunk.len(),
+            whole.len()
+        );
+        let view = TableView::parse(&mut Cursor::new(&chunk)).unwrap();
+        assert_eq!(view.value(0, 0), Value::str("value-0500"));
+        assert_eq!(view.value(9, 0), Value::str("value-0509"));
     }
 
     #[test]
@@ -449,10 +768,65 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_dictionary_entries_are_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_str(&mut buf, "x");
+        buf.push(2); // Utf8
+        buf.push(0); // not nullable
+        put_u64(&mut buf, 1);
+        buf.push(0); // no validity
+        put_u32(&mut buf, 2); // two dictionary entries...
+        put_str(&mut buf, "dup");
+        put_str(&mut buf, "dup"); // ...that collide on re-intern
+        put_u32(&mut buf, 1);
+        assert!(get_table(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
     fn hostile_lengths_do_not_allocate() {
         // a 4-byte payload claiming a 200 MB string
         let mut buf = Vec::new();
         put_u32(&mut buf, 200_000_000);
         assert!(Cursor::new(&buf).str().is_err());
+    }
+
+    #[test]
+    fn recv_buf_extracts_frames_across_split_reads() {
+        let mut wire = Vec::new();
+        for payload in [b"abc".as_slice(), b"defgh", b""] {
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(payload);
+        }
+        // Feed the wire bytes 2 at a time through a throttled reader.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(2).min(out.len());
+                out[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut r = Trickle(&wire);
+        let mut rb = RecvBuf::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < 3 {
+            match rb.try_frame(1024).unwrap() {
+                FrameStatus::Ready(s, e) => got.push(rb.payload(s, e).to_vec()),
+                FrameStatus::Partial => {
+                    assert!(rb.fill(&mut r).unwrap() > 0, "unexpected EOF");
+                }
+            }
+        }
+        assert_eq!(got, vec![b"abc".to_vec(), b"defgh".to_vec(), Vec::new()]);
+    }
+
+    #[test]
+    fn recv_buf_rejects_oversized_declared_length() {
+        let mut rb = RecvBuf::new();
+        let mut r = &(u32::MAX).to_le_bytes()[..];
+        rb.fill(&mut r).unwrap();
+        assert!(rb.try_frame(1 << 20).is_err());
     }
 }

@@ -66,6 +66,10 @@ pub enum ErrorCode {
     Internal = 5,
     /// The server is draining connections for shutdown.
     ShuttingDown = 6,
+    /// The peer spoke an unknown protocol version, set flag bits the
+    /// server does not understand, or used a feature (such as
+    /// compression) that was never negotiated.
+    Unsupported = 7,
 }
 
 impl ErrorCode {
@@ -78,6 +82,7 @@ impl ErrorCode {
             4 => ErrorCode::Timeout,
             5 => ErrorCode::Internal,
             6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Unsupported,
             _ => return None,
         })
     }

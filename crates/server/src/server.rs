@@ -1,25 +1,40 @@
-//! The server runtime: listener, admission control, worker pool, and
-//! per-connection reader/writer threads.
+//! The server runtime: a readiness-driven connection core feeding a
+//! worker pool, with bounded admission and credit-based streaming.
 //!
 //! ## Threading model
 //!
-//! One accept thread hands each connection a **reader** thread (parses
-//! frames, answers `Ping` inline, pushes everything else onto a bounded
-//! admission queue) and a **writer** thread (serializes response frames
-//! from an mpsc channel so workers, the batcher, and the reader can all
-//! reply to the same socket without interleaving). A fixed pool of
+//! One **event-loop** thread owns every socket: it accepts
+//! connections, reads frames into per-connection reusable buffers
+//! ([`crate::codec::RecvBuf`]), answers `Ping`/`Hello` inline, admits
+//! everything else onto a bounded queue, and writes queued response
+//! frames back out — all over nonblocking sockets driven by
+//! [`crate::reactor`] readiness (`epoll` on Linux). A connection costs
+//! a few hundred bytes of state, not two OS threads, so one process
+//! holds tens of thousands of open connections. A fixed pool of
 //! **worker** threads drains the admission queue and executes requests
 //! against the shared [`Session`]; when micro-batching is enabled,
 //! `Query` requests are routed to a dedicated **batcher** thread
 //! instead (see [`crate::batcher`]).
 //!
+//! ## Streaming and backpressure
+//!
+//! Workers never touch sockets. They hand encoded frames to the loop
+//! through a [`ReplyHandle`], which enforces a per-connection credit
+//! budget ([`ServerConfig::outbound_budget`]): a worker streaming a
+//! huge result blocks once the connection has that many bytes queued
+//! and unwritten, and resumes as the loop drains them to the socket.
+//! Server memory per connection is therefore bounded by the budget
+//! plus one chunk, no matter how many rows a result has. A client that
+//! stops reading for too long is declared dead and its stream is
+//! abandoned rather than pinning a worker forever.
+//!
 //! ## Admission and load shedding
 //!
 //! The admission queue is a `sync_channel` of depth
-//! [`ServerConfig::queue_capacity`]. Readers use `try_send`: when the
-//! queue is full the request is rejected *immediately* with a typed
-//! [`ErrorCode::ServerBusy`] error rather than queueing unboundedly —
-//! the client decides whether to back off and retry.
+//! [`ServerConfig::queue_capacity`]. The loop uses `try_send`: when
+//! the queue is full the request is rejected *immediately* with a
+//! typed [`ErrorCode::ServerBusy`] error rather than queueing
+//! unboundedly — the client decides whether to back off and retry.
 //!
 //! ## Deadlines and cancellation
 //!
@@ -32,22 +47,28 @@
 //!
 //! ## Shutdown
 //!
-//! [`ServerHandle::shutdown`] stops accepting connections, lets
-//! readers finish the frame they are on (new requests get
-//! [`ErrorCode::ShuttingDown`]), drains every admitted request, and
-//! joins all threads before returning.
+//! [`ServerHandle::shutdown`] sets the flag and wakes the loop, which
+//! closes the listener and drops its queue senders (new requests get
+//! [`ErrorCode::ShuttingDown`], in-flight ones drain). Once workers
+//! and batcher are joined, the loop flushes every outstanding write
+//! queue under a deadline, closes all connections, and exits.
 
 use crate::batcher::{run_batcher, BatchJob};
+use crate::codec::{FrameStatus, RecvBuf};
 use crate::error::ErrorCode;
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{self, FrameError, Request, Response};
+use crate::reactor::{Event, Poller, Waker};
 use gbmqo_core::{CacheControl, CancelToken, CoreError, Session, Workload};
 use gbmqo_exec::{ExecError, ExecMetrics};
-use gbmqo_storage::StorageError;
-use std::io::{self, Read};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use gbmqo_storage::{StorageError, Table};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -65,6 +86,15 @@ pub struct ServerConfig {
     pub batch_window: Option<Duration>,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Row cap per `ResultChunk` frame.
+    pub chunk_rows: usize,
+    /// Approximate encoded-byte cap per `ResultChunk` frame; a chunk
+    /// exceeding it is re-sliced with fewer rows.
+    pub chunk_bytes: usize,
+    /// Per-connection credit budget: the most response bytes that may
+    /// sit queued (encoded but unwritten) for one connection before
+    /// the producing worker blocks.
+    pub outbound_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +104,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             batch_window: None,
             default_deadline: None,
+            chunk_rows: 8192,
+            chunk_bytes: 1 << 20,
+            outbound_budget: 4 << 20,
         }
     }
 }
@@ -84,7 +117,7 @@ pub(crate) struct Counters {
     /// Execution metrics accumulated across every plan run (the
     /// engine's own counters reset per run).
     pub total: ExecMetrics,
-    /// Requests processed (everything except `Ping`).
+    /// Requests processed (everything except `Ping`/`Hello`).
     pub requests: u64,
     /// Requests shed because the admission queue was full.
     pub busy_rejections: u64,
@@ -100,7 +133,24 @@ pub(crate) struct Counters {
 pub(crate) struct Shared {
     pub session: Mutex<Session>,
     pub counters: Mutex<Counters>,
-    pub shutdown: AtomicBool,
+    /// Set once by [`ServerHandle::shutdown`]; never cleared. `Arc`d
+    /// separately so [`ReplyHandle`]s can hold it without the session.
+    pub shutdown: Arc<AtomicBool>,
+    /// Set by the handle after workers and batcher are joined; tells
+    /// the loop no more outbound frames can appear.
+    pub workers_done: AtomicBool,
+    /// Row cap per streamed chunk (from [`ServerConfig::chunk_rows`]).
+    pub chunk_rows: usize,
+    /// Byte cap per streamed chunk (from [`ServerConfig::chunk_bytes`]).
+    pub chunk_bytes: usize,
+    /// Result chunks streamed since startup.
+    pub streamed_chunks: AtomicU64,
+    /// High-water mark of any single connection's queued-but-unwritten
+    /// response bytes — the observable for "streaming stays within the
+    /// chunk budget".
+    pub outbound_peak: Arc<AtomicU64>,
+    /// Currently open client connections.
+    pub open_conns: AtomicU64,
 }
 
 impl Shared {
@@ -116,19 +166,160 @@ impl Shared {
     }
 }
 
+/// Loop-side token of the listener socket.
+const TOKEN_LISTENER: usize = 0;
+/// Loop-side token of the cross-thread waker.
+const TOKEN_WAKER: usize = 1;
+/// First token handed to a client connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a worker will wait on a full outbound budget before
+/// declaring the connection dead (the client stopped reading).
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// The same wait while the server is draining for shutdown.
+const DRAIN_STALL_TIMEOUT: Duration = Duration::from_secs(1);
+/// How long the exiting loop keeps flushing write queues.
+const FINAL_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Per-connection state shared between the loop and workers.
+pub(crate) struct ConnShared {
+    /// Connection id == poll token.
+    id: u64,
+    /// The loop closed (or doomed) this connection; senders give up.
+    dead: AtomicBool,
+    /// Negotiated feature bits (see [`protocol::FEATURE_LZ4`]).
+    features: AtomicU32,
+    /// Response bytes currently queued (credit taken, not yet written).
+    pending: Mutex<usize>,
+    /// Signalled whenever `pending` shrinks or `dead` flips.
+    cv: Condvar,
+}
+
+/// A worker's way to reply to a connection: encoded frames go through
+/// the outbound channel to the event loop, gated by the connection's
+/// credit budget so a slow client applies backpressure instead of
+/// growing an unbounded queue.
+pub(crate) struct ReplyHandle {
+    conn: Arc<ConnShared>,
+    out_tx: Sender<(u64, Vec<u8>)>,
+    waker: Arc<Waker>,
+    budget: usize,
+    shutdown: Arc<AtomicBool>,
+    peak: Arc<AtomicU64>,
+}
+
+impl Clone for ReplyHandle {
+    fn clone(&self) -> Self {
+        ReplyHandle {
+            conn: Arc::clone(&self.conn),
+            out_tx: self.out_tx.clone(),
+            waker: Arc::clone(&self.waker),
+            budget: self.budget,
+            shutdown: Arc::clone(&self.shutdown),
+            peak: Arc::clone(&self.peak),
+        }
+    }
+}
+
+impl ReplyHandle {
+    /// The connection's negotiated feature bits.
+    pub(crate) fn features(&self) -> u32 {
+        self.conn.features.load(Ordering::Acquire)
+    }
+
+    /// Queue one encoded frame, blocking while the connection's credit
+    /// budget is exhausted. Returns `false` when the connection is
+    /// gone (or declared dead after a write stall) — the caller should
+    /// abandon the rest of its stream.
+    pub(crate) fn send_frame(&self, frame: Vec<u8>) -> bool {
+        if self.conn.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let len = frame.len();
+        {
+            let mut pending = self.conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+            let started = Instant::now();
+            // A single frame larger than the whole budget may still go
+            // out alone (`*pending == 0`); otherwise wait for credit.
+            while *pending > 0 && *pending + len > self.budget {
+                if self.conn.dead.load(Ordering::Acquire) {
+                    return false;
+                }
+                let stall = if self.shutdown.load(Ordering::SeqCst) {
+                    DRAIN_STALL_TIMEOUT
+                } else {
+                    WRITE_STALL_TIMEOUT
+                };
+                if started.elapsed() > stall {
+                    // The client has not drained anything for the full
+                    // stall window: declare it dead so this worker (and
+                    // shutdown) cannot be pinned forever.
+                    self.conn.dead.store(true, Ordering::Release);
+                    self.conn.cv.notify_all();
+                    return false;
+                }
+                let (guard, _) = self
+                    .conn
+                    .cv
+                    .wait_timeout(pending, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                pending = guard;
+            }
+            *pending += len;
+            self.peak.fetch_max(*pending as u64, Ordering::Relaxed);
+        }
+        if self.out_tx.send((self.conn.id, frame)).is_err() {
+            return false;
+        }
+        self.waker.wake();
+        true
+    }
+
+    /// Encode (with the negotiated features) and send one response.
+    pub(crate) fn send_response(&self, request_id: u64, resp: &Response) -> bool {
+        self.send_frame(protocol::encode_response(request_id, resp, self.features()))
+    }
+}
+
+/// Build a detached [`ReplyHandle`] whose frames land on the returned
+/// receiver — for unit tests that exercise reply paths without a
+/// running event loop.
+#[cfg(test)]
+pub(crate) fn test_reply_handle(budget: usize) -> (ReplyHandle, Receiver<(u64, Vec<u8>)>) {
+    let poller = Poller::new().expect("poller");
+    let waker = poller.add_waker(TOKEN_WAKER).expect("waker");
+    let (out_tx, out_rx) = mpsc::channel();
+    let handle = ReplyHandle {
+        conn: Arc::new(ConnShared {
+            id: 1,
+            dead: AtomicBool::new(false),
+            features: AtomicU32::new(0),
+            pending: Mutex::new(0),
+            cv: Condvar::new(),
+        }),
+        out_tx,
+        waker: Arc::new(waker),
+        budget,
+        shutdown: Arc::new(AtomicBool::new(false)),
+        peak: Arc::new(AtomicU64::new(0)),
+    };
+    (handle, out_rx)
+}
+
 /// A unit of admitted work.
 pub(crate) struct Job {
     pub request_id: u64,
     pub deadline: Option<Instant>,
-    pub reply: mpsc::Sender<Vec<u8>>,
+    pub reply: ReplyHandle,
     pub kind: JobKind,
 }
 
 /// What an admitted request asks for.
 pub(crate) enum JobKind {
-    Register {
-        name: String,
-        table: gbmqo_storage::Table,
+    /// A `RegisterTable` body, copied raw off the loop thread so the
+    /// (potentially huge) table decode happens on a worker.
+    RegisterRaw {
+        body: Vec<u8>,
     },
     Workload {
         table: String,
@@ -152,11 +343,18 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             session: Mutex::new(session),
             counters: Mutex::new(Counters::default()),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers_done: AtomicBool::new(false),
+            chunk_rows: config.chunk_rows.max(1),
+            chunk_bytes: config.chunk_bytes.max(1024),
+            streamed_chunks: AtomicU64::new(0),
+            outbound_peak: Arc::new(AtomicU64::new(0)),
+            open_conns: AtomicU64::new(0),
         });
 
         let workers = config.workers.max(1);
@@ -186,49 +384,36 @@ impl Server {
             None => (None, None),
         };
 
-        let conn_joins = Arc::new(Mutex::new(Vec::new()));
-        let accept_join = {
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        let waker = Arc::new(poller.add_waker(TOKEN_WAKER)?);
+        let (out_tx, out_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+
+        let loop_join = {
             let shared = Arc::clone(&shared);
+            let waker = Arc::clone(&waker);
+            let config = config.clone();
             let job_tx = job_tx.clone();
             let batch_tx = batch_tx.clone();
-            let conn_joins = Arc::clone(&conn_joins);
-            let config = config.clone();
             thread::Builder::new()
-                .name("gbmqo-accept".into())
+                .name("gbmqo-event-loop".into())
                 .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shared.shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let shared = Arc::clone(&shared);
-                        let job_tx = job_tx.clone();
-                        let batch_tx = batch_tx.clone();
-                        let config = config.clone();
-                        let handle = thread::Builder::new()
-                            .name("gbmqo-conn".into())
-                            .spawn(move || {
-                                connection_loop(stream, shared, job_tx, batch_tx, &config)
-                            })
-                            .expect("spawn connection");
-                        conn_joins
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push(handle);
-                    }
+                    event_loop(
+                        poller, waker, listener, shared, config, out_tx, out_rx, job_tx, batch_tx,
+                    )
                 })
-                .expect("spawn acceptor")
+                .expect("spawn event loop")
         };
 
         Ok(ServerHandle {
             local_addr,
             shared,
+            waker,
             job_tx: Some(job_tx),
             batch_tx,
-            accept_join: Some(accept_join),
+            loop_join: Some(loop_join),
             worker_joins,
             batcher_join,
-            conn_joins,
         })
     }
 }
@@ -237,12 +422,12 @@ impl Server {
 pub struct ServerHandle {
     local_addr: std::net::SocketAddr,
     shared: Arc<Shared>,
+    waker: Arc<Waker>,
     job_tx: Option<SyncSender<Job>>,
     batch_tx: Option<SyncSender<BatchJob>>,
-    accept_join: Option<JoinHandle<()>>,
+    loop_join: Option<JoinHandle<()>>,
     worker_joins: Vec<JoinHandle<()>>,
     batcher_join: Option<JoinHandle<()>>,
-    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -252,29 +437,19 @@ impl ServerHandle {
     }
 
     /// Gracefully shut down: stop accepting, drain admitted requests,
-    /// join every thread.
+    /// flush responses, join every thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        if self.accept_join.is_none() {
+        let Some(loop_join) = self.loop_join.take() else {
             return;
-        }
+        };
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(j) = self.accept_join.take() {
-            let _ = j.join();
-        }
-        // Readers notice the flag within their poll interval; writers
-        // exit once every in-flight reply has been written.
-        let conns = std::mem::take(&mut *self.conn_joins.lock().unwrap_or_else(|e| e.into_inner()));
-        for j in conns {
-            let _ = j.join();
-        }
-        // With every reader gone, dropping our senders disconnects the
-        // queues; workers and the batcher drain what remains and exit.
+        self.waker.wake();
+        // The loop drops its queue senders on seeing the flag; once we
+        // drop ours the workers drain what remains and exit.
         self.job_tx = None;
         self.batch_tx = None;
         for j in self.worker_joins.drain(..) {
@@ -283,6 +458,10 @@ impl ServerHandle {
         if let Some(j) = self.batcher_join.take() {
             let _ = j.join();
         }
+        // No producer remains: tell the loop to flush and exit.
+        self.shared.workers_done.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        let _ = loop_join.join();
     }
 }
 
@@ -292,221 +471,308 @@ impl Drop for ServerHandle {
     }
 }
 
-/// How often an idle reader re-checks the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(100);
-
-fn is_retry(kind: io::ErrorKind) -> bool {
-    matches!(
-        kind,
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
-    )
+/// One queued outbound frame: bytes, write offset, and whether its
+/// bytes hold credit that must be returned when written or dropped.
+struct OutFrame {
+    bytes: Vec<u8>,
+    offset: usize,
+    credited: bool,
 }
 
-/// Like [`protocol::read_frame`] but with a read timeout installed on
-/// the stream: every retry iteration — between frames *and* mid-frame —
-/// polls `shutdown` and returns `Ok(None)` once the flag is set, so a
-/// client stalled mid-frame can never pin its reader thread (and with
-/// it [`ServerHandle::shutdown`]) forever. Partial state is kept across
-/// timeouts so framing never desynchronizes while the server is up.
-fn read_frame_polling(
-    stream: &mut TcpStream,
-    shutdown: &AtomicBool,
-) -> Result<Option<Vec<u8>>, crate::error::ServerError> {
-    let mut len_bytes = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
-        }
-        match stream.read(&mut len_bytes[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(crate::error::ServerError::Protocol(
-                    "connection closed mid-frame".into(),
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e) if is_retry(e.kind()) => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > protocol::MAX_FRAME_LEN {
-        return Err(crate::error::ServerError::Protocol(format!(
-            "frame too large: {len} bytes"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    let mut got = 0;
-    while got < len {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
-        }
-        match stream.read(&mut payload[got..]) {
-            Ok(0) => {
-                return Err(crate::error::ServerError::Protocol(
-                    "connection closed mid-frame".into(),
-                ))
-            }
-            Ok(n) => got += n,
-            Err(e) if is_retry(e.kind()) => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(Some(payload))
+/// Loop-side connection state.
+struct Conn {
+    stream: std::net::TcpStream,
+    recv: RecvBuf,
+    write_q: VecDeque<OutFrame>,
+    shared: Arc<ConnShared>,
+    /// Currently registered (read, write) interest.
+    interest: (bool, bool),
+    /// Reads are done (EOF, protocol violation, or doomed); close once
+    /// the write queue flushes.
+    closing: bool,
 }
 
-/// Per-connection reader: owns the socket's read half and the writer
-/// thread's lifetime.
-fn connection_loop(
-    mut stream: TcpStream,
-    shared: Arc<Shared>,
-    job_tx: SyncSender<Job>,
-    batch_tx: Option<SyncSender<BatchJob>>,
-    config: &ServerConfig,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
+impl Conn {
+    fn new(id: u64, stream: std::net::TcpStream) -> Conn {
+        Conn {
+            stream,
+            recv: RecvBuf::new(),
+            write_q: VecDeque::new(),
+            shared: Arc::new(ConnShared {
+                id,
+                dead: AtomicBool::new(false),
+                features: AtomicU32::new(0),
+                pending: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+            interest: (true, false),
+            closing: false,
+        }
+    }
+}
+
+fn return_credit(cshared: &ConnShared, amount: usize) {
+    let mut pending = cshared.pending.lock().unwrap_or_else(|e| e.into_inner());
+    *pending = pending.saturating_sub(amount);
+    drop(pending);
+    cshared.cv.notify_all();
+}
+
+/// Write as much of the queue as the socket accepts, returning credit
+/// per completed frame. `Err` means the connection is broken.
+fn flush_conn(conn: &mut Conn) -> io::Result<()> {
+    while let Some(front) = conn.write_q.front_mut() {
+        match conn.stream.write(&front.bytes[front.offset..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                front.offset += n;
+                if front.offset == front.bytes.len() {
+                    let done = conn.write_q.pop_front().expect("front exists");
+                    if done.credited {
+                        return_credit(&conn.shared, done.bytes.len());
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Sync the poller's interest set with the connection's state.
+fn update_interest(poller: &Poller, conn: &mut Conn, id: u64) {
+    let want = (!conn.closing, !conn.write_q.is_empty());
+    if want != conn.interest
+        && poller
+            .reregister(conn.stream.as_raw_fd(), id as usize, want.0, want.1)
+            .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+/// Remove a connection: unregister, return outstanding credit, mark it
+/// dead so blocked workers give up immediately.
+fn close_conn(conns: &mut HashMap<u64, Conn>, poller: &Poller, shared: &Shared, id: u64) {
+    let Some(conn) = conns.remove(&id) else {
+        return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
-    let writer = thread::Builder::new()
-        .name("gbmqo-conn-writer".into())
-        .spawn(move || writer_loop(write_half, reply_rx))
-        .expect("spawn writer");
-
-    loop {
-        let payload = match read_frame_polling(&mut stream, &shared.shutdown) {
-            Ok(Some(p)) => p,
-            Ok(None) => break,
-            Err(_) => break,
-        };
-        let (request_id, request) = match protocol::decode_request(&payload) {
-            Ok(ok) => ok,
-            Err(e) => {
-                // The id may be garbage too; echo id 0 and hang up,
-                // since framing can no longer be trusted.
-                send_reply(
-                    &reply_tx,
-                    0,
-                    &Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    },
-                );
-                break;
-            }
-        };
-        if matches!(request, Request::Ping) {
-            send_reply(&reply_tx, request_id, &Response::Pong);
-            continue;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            send_reply(
-                &reply_tx,
-                request_id,
-                &Response::Error {
-                    code: ErrorCode::ShuttingDown,
-                    message: "server is shutting down".into(),
-                },
-            );
-            continue;
-        }
-        admit(
-            request_id,
-            request,
-            &reply_tx,
-            &shared,
-            &job_tx,
-            batch_tx.as_ref(),
-            config,
-        );
-    }
-    drop(reply_tx);
-    let _ = writer.join();
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    conn.shared.dead.store(true, Ordering::Release);
+    let credit: usize = conn
+        .write_q
+        .iter()
+        .filter(|f| f.credited)
+        .map(|f| f.bytes.len())
+        .sum();
+    return_credit(&conn.shared, credit);
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
 }
 
-/// Route one decoded request onto the right queue, shedding load when
-/// the queue is full.
+/// Everything [`handle_payload`] needs besides the connection itself.
+struct LoopCtx<'a> {
+    shared: &'a Arc<Shared>,
+    config: &'a ServerConfig,
+    out_tx: &'a Sender<(u64, Vec<u8>)>,
+    waker: &'a Arc<Waker>,
+    job_tx: Option<&'a SyncSender<Job>>,
+    batch_tx: Option<&'a SyncSender<BatchJob>>,
+}
+
+#[derive(PartialEq)]
+enum FrameAction {
+    Continue,
+    /// Stop reading; flush queued replies, then close.
+    CloseAfterFlush,
+}
+
+fn error_frame(request_id: u64, code: ErrorCode, message: String) -> Vec<u8> {
+    protocol::encode_response(request_id, &Response::Error { code, message }, 0)
+}
+
+/// Interpret one complete payload on the loop thread. Scalar replies
+/// (Pong, HelloAck, typed errors) are pushed onto `replies` for the
+/// caller to queue; operational requests are admitted to the worker or
+/// batcher queue.
+fn handle_payload(
+    payload: &[u8],
+    cshared: &Arc<ConnShared>,
+    replies: &mut Vec<Vec<u8>>,
+    ctx: &LoopCtx<'_>,
+) -> FrameAction {
+    let features = cshared.features.load(Ordering::Acquire);
+    let frame = match protocol::parse_frame(payload, features) {
+        Ok(f) => f,
+        Err(FrameError::BadVersion(v)) => {
+            // Nothing after the version byte can be trusted — not even
+            // the request id. Reply on id 0 and hang up.
+            replies.push(error_frame(
+                0,
+                ErrorCode::Unsupported,
+                format!(
+                    "unsupported protocol version {v} (this server speaks {})",
+                    protocol::PROTOCOL_VERSION
+                ),
+            ));
+            return FrameAction::CloseAfterFlush;
+        }
+        Err(FrameError::Unsupported {
+            request_id,
+            message,
+        }) => {
+            // The header parsed; the connection survives.
+            replies.push(error_frame(request_id, ErrorCode::Unsupported, message));
+            return FrameAction::Continue;
+        }
+        Err(FrameError::Malformed(e)) => {
+            replies.push(error_frame(0, ErrorCode::BadRequest, e.to_string()));
+            return FrameAction::CloseAfterFlush;
+        }
+    };
+    let request_id = frame.request_id;
+    match frame.opcode {
+        protocol::OP_PING => {
+            replies.push(protocol::encode_response(request_id, &Response::Pong, 0));
+            FrameAction::Continue
+        }
+        protocol::OP_HELLO => match protocol::decode_request_body(frame.opcode, &frame.body) {
+            Ok(Request::Hello { features: offered }) => {
+                let accepted = offered & protocol::SUPPORTED_FEATURES;
+                cshared.features.store(accepted, Ordering::Release);
+                replies.push(protocol::encode_response(
+                    request_id,
+                    &Response::HelloAck { features: accepted },
+                    0,
+                ));
+                FrameAction::Continue
+            }
+            _ => {
+                replies.push(error_frame(
+                    request_id,
+                    ErrorCode::BadRequest,
+                    "malformed hello".into(),
+                ));
+                FrameAction::CloseAfterFlush
+            }
+        },
+        opcode => {
+            if ctx.job_tx.is_none() || ctx.shared.shutdown.load(Ordering::SeqCst) {
+                replies.push(error_frame(
+                    request_id,
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down".into(),
+                ));
+                return FrameAction::Continue;
+            }
+            admit(request_id, opcode, frame.body, cshared, replies, ctx)
+        }
+    }
+}
+
+/// Route one operational request onto the right queue, shedding load
+/// when the queue is full.
 fn admit(
     request_id: u64,
-    request: Request,
-    reply_tx: &mpsc::Sender<Vec<u8>>,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-    batch_tx: Option<&SyncSender<BatchJob>>,
-    config: &ServerConfig,
-) {
+    opcode: u8,
+    body: std::borrow::Cow<'_, [u8]>,
+    cshared: &Arc<ConnShared>,
+    replies: &mut Vec<Vec<u8>>,
+    ctx: &LoopCtx<'_>,
+) -> FrameAction {
+    let reply = ReplyHandle {
+        conn: Arc::clone(cshared),
+        out_tx: ctx.out_tx.clone(),
+        waker: Arc::clone(ctx.waker),
+        budget: ctx.config.outbound_budget.max(64 * 1024),
+        shutdown: Arc::clone(&ctx.shared.shutdown),
+        peak: Arc::clone(&ctx.shared.outbound_peak),
+    };
     let deadline_of = |ms: u32| -> Option<Instant> {
         if ms > 0 {
             Some(Instant::now() + Duration::from_millis(ms as u64))
         } else {
-            config.default_deadline.map(|d| Instant::now() + d)
+            ctx.config.default_deadline.map(|d| Instant::now() + d)
         }
     };
     enum Routed {
         Worker(Job),
         Batcher(BatchJob),
     }
-    let routed = match request {
-        Request::Ping => return, // handled by the caller
-        Request::RegisterTable { name, table } => Routed::Worker(Job {
+    let routed = match opcode {
+        protocol::OP_REGISTER => Routed::Worker(Job {
             request_id,
             deadline: None,
-            reply: reply_tx.clone(),
-            kind: JobKind::Register { name, table },
+            reply,
+            // Decoding a large table is worker business; copy the raw
+            // body out of the receive buffer and move on.
+            kind: JobKind::RegisterRaw {
+                body: body.into_owned(),
+            },
         }),
-        Request::Query {
-            table,
-            group_cols,
-            deadline_ms,
-            cache,
-        } => match batch_tx {
-            Some(_) => Routed::Batcher(BatchJob {
-                request_id,
-                deadline: deadline_of(deadline_ms),
-                reply: reply_tx.clone(),
+        _ => match protocol::decode_request_body(opcode, &body) {
+            Ok(Request::Query {
                 table,
                 group_cols,
+                deadline_ms,
                 cache,
-            }),
-            None => Routed::Worker(Job {
-                request_id,
-                deadline: deadline_of(deadline_ms),
-                reply: reply_tx.clone(),
-                kind: JobKind::Workload {
+            }) => match ctx.batch_tx {
+                Some(_) => Routed::Batcher(BatchJob {
+                    request_id,
+                    deadline: deadline_of(deadline_ms),
+                    reply,
                     table,
-                    universe: group_cols.clone(),
-                    requests: vec![group_cols],
+                    group_cols,
                     cache,
-                },
-            }),
-        },
-        Request::SubmitWorkload {
-            table,
-            universe,
-            requests,
-            deadline_ms,
-            cache,
-        } => Routed::Worker(Job {
-            request_id,
-            deadline: deadline_of(deadline_ms),
-            reply: reply_tx.clone(),
-            kind: JobKind::Workload {
+                }),
+                None => Routed::Worker(Job {
+                    request_id,
+                    deadline: deadline_of(deadline_ms),
+                    reply,
+                    kind: JobKind::Workload {
+                        table,
+                        universe: group_cols.clone(),
+                        requests: vec![group_cols],
+                        cache,
+                    },
+                }),
+            },
+            Ok(Request::SubmitWorkload {
                 table,
                 universe,
                 requests,
+                deadline_ms,
                 cache,
-            },
-        }),
-        Request::Stats => Routed::Worker(Job {
-            request_id,
-            deadline: None,
-            reply: reply_tx.clone(),
-            kind: JobKind::Stats,
-        }),
+            }) => Routed::Worker(Job {
+                request_id,
+                deadline: deadline_of(deadline_ms),
+                reply,
+                kind: JobKind::Workload {
+                    table,
+                    universe,
+                    requests,
+                    cache,
+                },
+            }),
+            Ok(Request::Stats) => Routed::Worker(Job {
+                request_id,
+                deadline: None,
+                reply,
+                kind: JobKind::Stats,
+            }),
+            Ok(_) | Err(_) => {
+                // Unknown opcode or a body that does not parse: the
+                // framing itself is intact, so reply and carry on.
+                replies.push(error_frame(
+                    request_id,
+                    ErrorCode::BadRequest,
+                    format!("malformed request (opcode {opcode:#04x})"),
+                ));
+                return FrameAction::Continue;
+            }
+        },
     };
     enum AdmitFailure {
         Full,
@@ -519,8 +785,13 @@ fn admit(
         }
     }
     let outcome = match routed {
-        Routed::Worker(job) => job_tx.try_send(job).map_err(failure),
-        Routed::Batcher(job) => batch_tx
+        Routed::Worker(job) => ctx
+            .job_tx
+            .expect("checked by caller")
+            .try_send(job)
+            .map_err(failure),
+        Routed::Batcher(job) => ctx
+            .batch_tx
             .expect("routed to batcher")
             .try_send(job)
             .map_err(failure),
@@ -529,21 +800,18 @@ fn admit(
         Ok(()) => {}
         // Queue full: shed load, the client decides whether to retry.
         Err(AdmitFailure::Full) => {
-            shared.counters().busy_rejections += 1;
-            send_reply(
-                reply_tx,
+            ctx.shared.counters().busy_rejections += 1;
+            replies.push(error_frame(
                 request_id,
-                &Response::Error {
-                    code: ErrorCode::ServerBusy,
-                    message: "admission queue full; retry later".into(),
-                },
-            );
+                ErrorCode::ServerBusy,
+                "admission queue full; retry later".into(),
+            ));
         }
         // Receiver gone: every worker (or the batcher) has exited.
         // Dropping the request silently would hang the client's wait,
         // so reply with a terminal error instead.
         Err(AdmitFailure::Disconnected) => {
-            let (code, message) = if shared.shutdown.load(Ordering::SeqCst) {
+            let (code, message) = if ctx.shared.shutdown.load(Ordering::SeqCst) {
                 (
                     ErrorCode::ShuttingDown,
                     "server is shutting down".to_string(),
@@ -554,25 +822,230 @@ fn admit(
                     "request queue is closed (no workers available)".to_string(),
                 )
             };
-            send_reply(reply_tx, request_id, &Response::Error { code, message });
+            replies.push(error_frame(request_id, code, message));
+        }
+    }
+    FrameAction::Continue
+}
+
+fn queue_frame(conn: &mut Conn, bytes: Vec<u8>, credited: bool) {
+    conn.write_q.push_back(OutFrame {
+        bytes,
+        offset: 0,
+        credited,
+    });
+}
+
+#[derive(PartialEq)]
+enum ConnVerdict {
+    Alive,
+    Broken,
+}
+
+/// Drain the socket: read until `WouldBlock`, handling every complete
+/// frame as it surfaces.
+fn handle_readable(conn: &mut Conn, ctx: &LoopCtx<'_>) -> ConnVerdict {
+    loop {
+        // Surface buffered frames before (and between) reads.
+        loop {
+            match conn.recv.try_frame(protocol::MAX_FRAME_LEN) {
+                Ok(FrameStatus::Partial) => break,
+                Ok(FrameStatus::Ready(s, e)) => {
+                    let mut replies = Vec::new();
+                    let action = {
+                        let payload = conn.recv.payload(s, e);
+                        handle_payload(payload, &conn.shared, &mut replies, ctx)
+                    };
+                    for frame in replies {
+                        queue_frame(conn, frame, false);
+                    }
+                    if action == FrameAction::CloseAfterFlush {
+                        conn.closing = true;
+                        return ConnVerdict::Alive;
+                    }
+                }
+                Err(e) => {
+                    // Framing is unrecoverable (oversized declared
+                    // length); reply and doom the connection.
+                    queue_frame(
+                        conn,
+                        error_frame(0, ErrorCode::BadRequest, e.to_string()),
+                        false,
+                    );
+                    conn.closing = true;
+                    return ConnVerdict::Alive;
+                }
+            }
+        }
+        match conn.recv.fill(&mut conn.stream) {
+            Ok(0) => {
+                // Clean EOF; flush whatever is queued, then close.
+                conn.closing = true;
+                return ConnVerdict::Alive;
+            }
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ConnVerdict::Alive,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ConnVerdict::Broken,
         }
     }
 }
 
-/// Serialize and enqueue one response frame; a send error means the
-/// connection is gone, which is not the sender's problem.
-pub(crate) fn send_reply(reply: &mpsc::Sender<Vec<u8>>, request_id: u64, resp: &Response) {
-    let _ = reply.send(protocol::encode_response(request_id, resp));
-}
+/// The connection core: every socket, one thread.
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    out_tx: Sender<(u64, Vec<u8>)>,
+    out_rx: Receiver<(u64, Vec<u8>)>,
+    job_tx: SyncSender<Job>,
+    batch_tx: Option<SyncSender<BatchJob>>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = FIRST_CONN_TOKEN;
+    let mut listener = Some(listener);
+    let mut job_tx = Some(job_tx);
+    let mut batch_tx = batch_tx;
+    let mut events: Vec<Event> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
 
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
-    let mut broken = false;
-    while let Ok(payload) = rx.recv() {
-        // Keep draining after a write failure: the peer is gone, but
-        // senders must never block or error on a dead channel.
-        if !broken && protocol::write_frame(&mut stream, &payload).is_err() {
-            broken = true;
+    loop {
+        events.clear();
+        if poller.wait(&mut events, 200).is_err() {
+            thread::sleep(Duration::from_millis(10));
         }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if let Some(l) = listener.take() {
+                let _ = poller.deregister(l.as_raw_fd());
+                // Dropping closes the listening socket.
+            }
+            // Dropping our senders lets workers drain and exit once
+            // the handle drops its clones too.
+            job_tx = None;
+            batch_tx = None;
+        }
+
+        let ctx = LoopCtx {
+            shared: &shared,
+            config: &config,
+            out_tx: &out_tx,
+            waker: &waker,
+            job_tx: job_tx.as_ref(),
+            batch_tx: batch_tx.as_ref(),
+        };
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    let Some(l) = listener.as_ref() else { continue };
+                    loop {
+                        match l.accept() {
+                            Ok((stream, _)) => {
+                                let _ = stream.set_nodelay(true);
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let id = next_id;
+                                next_id += 1;
+                                if poller
+                                    .register(stream.as_raw_fd(), id as usize, true, false)
+                                    .is_err()
+                                {
+                                    continue;
+                                }
+                                conns.insert(id, Conn::new(id, stream));
+                                shared.open_conns.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                TOKEN_WAKER => waker.drain(),
+                token => {
+                    let id = token as u64;
+                    let Some(conn) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    let mut broken = false;
+                    if ev.readable && !conn.closing {
+                        broken = handle_readable(conn, &ctx) == ConnVerdict::Broken;
+                    }
+                    if !broken && (ev.writable || !conn.write_q.is_empty()) {
+                        broken = flush_conn(conn).is_err();
+                    }
+                    if !broken && ev.hangup && conn.write_q.is_empty() {
+                        broken = true;
+                    }
+                    if broken || (conn.closing && conn.write_q.is_empty()) {
+                        to_close.push(id);
+                    } else {
+                        update_interest(&poller, conn, id);
+                    }
+                }
+            }
+        }
+        for id in to_close.drain(..) {
+            close_conn(&mut conns, &poller, &shared, id);
+        }
+
+        // Frames queued by workers since the last pass.
+        while let Ok((id, frame)) = out_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&id) else {
+                // Connection already closed; its ConnShared is marked
+                // dead, so the producer has stopped (or will, at its
+                // next send). The credit died with the connection.
+                continue;
+            };
+            queue_frame(conn, frame, true);
+            if flush_conn(conn).is_err() || (conn.closing && conn.write_q.is_empty()) {
+                to_close.push(id);
+            } else {
+                update_interest(&poller, conn, id);
+            }
+        }
+        for id in to_close.drain(..) {
+            close_conn(&mut conns, &poller, &shared, id);
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) && shared.workers_done.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    // Final drain: workers are gone, so out_rx holds the last frames.
+    while let Ok((id, frame)) = out_rx.try_recv() {
+        if let Some(conn) = conns.get_mut(&id) {
+            queue_frame(conn, frame, true);
+        }
+    }
+    let deadline = Instant::now() + FINAL_FLUSH_DEADLINE;
+    while Instant::now() < deadline && conns.values().any(|c| !c.write_q.is_empty()) {
+        events.clear();
+        let _ = poller.wait(&mut events, 50);
+        to_close.clear();
+        for (&id, conn) in conns.iter_mut() {
+            if conn.write_q.is_empty() {
+                continue;
+            }
+            if flush_conn(conn).is_err() {
+                to_close.push(id);
+            } else {
+                update_interest(&poller, conn, id);
+            }
+        }
+        for id in to_close.drain(..) {
+            close_conn(&mut conns, &poller, &shared, id);
+        }
+    }
+    let ids: Vec<u64> = conns.keys().copied().collect();
+    for id in ids {
+        close_conn(&mut conns, &poller, &shared, id);
     }
 }
 
@@ -600,18 +1073,34 @@ pub(crate) fn error_code_for(e: &CoreError) -> ErrorCode {
 fn process_job(job: Job, shared: &Shared) {
     shared.counters().requests += 1;
     match job.kind {
-        JobKind::Register { name, table } => {
-            let result = shared.session().register_table(name, table);
-            match result {
-                Ok(()) => send_reply(&job.reply, job.request_id, &Response::Ack),
-                Err(e) => send_reply(
-                    &job.reply,
-                    job.request_id,
-                    &Response::Error {
-                        code: error_code_for(&e),
-                        message: e.to_string(),
-                    },
-                ),
+        JobKind::RegisterRaw { body } => {
+            let decoded = protocol::decode_request_body(protocol::OP_REGISTER, &body);
+            match decoded {
+                Ok(Request::RegisterTable { name, table }) => {
+                    match shared.session().register_table(name, table) {
+                        Ok(()) => {
+                            job.reply.send_response(job.request_id, &Response::Ack);
+                        }
+                        Err(e) => {
+                            job.reply.send_response(
+                                job.request_id,
+                                &Response::Error {
+                                    code: error_code_for(&e),
+                                    message: e.to_string(),
+                                },
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    job.reply.send_response(
+                        job.request_id,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: "malformed register payload".into(),
+                        },
+                    );
+                }
             }
         }
         JobKind::Workload {
@@ -622,24 +1111,15 @@ fn process_job(job: Job, shared: &Shared) {
         } => {
             let outcome = run_workload(shared, &table, &universe, &requests, job.deadline, cache);
             match outcome {
-                Ok(results) => {
-                    let batches = results.len() as u32;
-                    for (set_tag, table) in results {
-                        send_reply(
-                            &job.reply,
-                            job.request_id,
-                            &Response::Batch { set_tag, table },
-                        );
-                    }
-                    send_reply(&job.reply, job.request_id, &Response::Done { batches });
+                Ok((results, metrics)) => {
+                    stream_results(shared, &job.reply, job.request_id, &results, &metrics);
                 }
                 Err(e) => {
                     let code = error_code_for(&e);
                     if code == ErrorCode::Timeout {
                         shared.counters().timeouts += 1;
                     }
-                    send_reply(
-                        &job.reply,
+                    job.reply.send_response(
                         job.request_id,
                         &Response::Error {
                             code,
@@ -651,9 +1131,69 @@ fn process_job(job: Job, shared: &Shared) {
         }
         JobKind::Stats => {
             let json = stats_json(shared);
-            send_reply(&job.reply, job.request_id, &Response::StatsReply { json });
+            job.reply
+                .send_response(job.request_id, &Response::StatsReply { json });
         }
     }
+}
+
+/// Stream one request's result tables as bounded chunks terminated by
+/// a `Finish` frame. Returns `false` if the connection died mid-stream
+/// (the rest of the result is abandoned).
+pub(crate) fn stream_results(
+    shared: &Shared,
+    reply: &ReplyHandle,
+    request_id: u64,
+    results: &[(String, Table)],
+    metrics: &ExecMetrics,
+) -> bool {
+    let mut total_chunks: u32 = 0;
+    let mut total_rows: u64 = 0;
+    for (set_tag, table) in results {
+        let rows = table.num_rows();
+        let mut start = 0usize;
+        let mut index: u32 = 0;
+        let mut cap = shared.chunk_rows;
+        loop {
+            let end = (start + cap).min(rows);
+            let last = end == rows;
+            let frame = protocol::encode_chunk_frame(
+                request_id,
+                set_tag,
+                index,
+                last,
+                table,
+                start,
+                end,
+                reply.features(),
+            );
+            // Over the byte cap with more than one row: re-slice
+            // smaller. (A single giant row must go out regardless.)
+            if frame.len() > shared.chunk_bytes && end - start > 1 {
+                cap = ((end - start) / 2).max(1);
+                continue;
+            }
+            if !reply.send_frame(frame) {
+                return false;
+            }
+            shared.streamed_chunks.fetch_add(1, Ordering::Relaxed);
+            total_chunks += 1;
+            total_rows += (end - start) as u64;
+            index += 1;
+            start = end;
+            if last {
+                break;
+            }
+        }
+    }
+    reply.send_response(
+        request_id,
+        &Response::Finish {
+            total_chunks,
+            total_rows,
+            metrics_json: metrics.to_json(),
+        },
+    )
 }
 
 /// Optimize and execute one workload under the shared session,
@@ -668,7 +1208,7 @@ pub(crate) fn run_workload(
     requests: &[Vec<String>],
     deadline: Option<Instant>,
     cache: CacheControl,
-) -> gbmqo_core::Result<Vec<(String, gbmqo_storage::Table)>> {
+) -> gbmqo_core::Result<(Vec<(String, Table)>, ExecMetrics)> {
     let mut session = shared.session();
     let workload = {
         let base = session.engine().catalog().table(table)?.clone();
@@ -684,19 +1224,24 @@ pub(crate) fn run_workload(
     session.set_cancel_token(None);
     drop(session);
     let outcome = outcome?;
-    shared.counters().total += outcome.report.metrics;
-    Ok(outcome
-        .report
-        .results
-        .into_iter()
-        .map(|(set, t)| (workload.col_names(set).join(","), t))
-        .collect())
+    let metrics = outcome.report.metrics;
+    shared.counters().total += metrics;
+    Ok((
+        outcome
+            .report
+            .results
+            .into_iter()
+            .map(|(set, t)| (workload.col_names(set).join(","), t))
+            .collect(),
+        metrics,
+    ))
 }
 
-/// Render the server-wide stats JSON: admission/batching counters,
-/// plan-cache statistics, materialized-aggregate-cache statistics,
-/// live temp-table count, and the accumulated [`ExecMetrics`] (same
-/// field names as `gbmqo profile --json`).
+/// Render the server-wide stats JSON: admission/batching/streaming
+/// counters, plan-cache statistics, materialized-aggregate-cache
+/// statistics, live temp-table and connection counts, and the
+/// accumulated [`ExecMetrics`] (same field names as
+/// `gbmqo profile --json`).
 fn stats_json(shared: &Shared) -> String {
     let (cache, mat, temp_tables) = {
         let session = shared.session();
@@ -717,6 +1262,18 @@ fn stats_json(shared: &Shared) -> String {
         ("timeouts", counters.timeouts),
         ("batches", counters.batches),
         ("batched_queries", counters.batched_queries),
+        (
+            "open_connections",
+            shared.open_conns.load(Ordering::Relaxed),
+        ),
+        (
+            "streamed_chunks",
+            shared.streamed_chunks.load(Ordering::Relaxed),
+        ),
+        (
+            "outbound_peak_bytes",
+            shared.outbound_peak.load(Ordering::Relaxed),
+        ),
         ("temp_tables", temp_tables as u64),
         ("cache_hits", cache.hits),
         ("cache_misses", cache.misses),
@@ -771,5 +1328,34 @@ mod tests {
             error_code_for(&CoreError::InvalidSession("odd".into())),
             ErrorCode::Internal
         );
+    }
+
+    #[test]
+    fn reply_handle_blocks_on_budget_and_resumes_on_credit() {
+        let (handle, rx) = test_reply_handle(1000);
+        // First frame takes the whole budget.
+        assert!(handle.send_frame(vec![0u8; 900]));
+        // Second would exceed it; unblock by returning credit from
+        // another thread (what the loop does as bytes hit the socket).
+        let conn = Arc::clone(&handle.conn);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            return_credit(&conn, 900);
+        });
+        let started = Instant::now();
+        assert!(handle.send_frame(vec![0u8; 900]));
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "second send must have waited for credit"
+        );
+        t.join().unwrap();
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn reply_handle_gives_up_on_dead_connection() {
+        let (handle, _rx) = test_reply_handle(1000);
+        handle.conn.dead.store(true, Ordering::Release);
+        assert!(!handle.send_frame(vec![0u8; 10]));
     }
 }

@@ -1,13 +1,8 @@
 //! Cross-crate integration tests for the GROUPING SETS facade (§5.1/§5.2),
 //! the spec parser, shared scans, and sort-based aggregation.
 
-// These tests exercise the pre-0.2 free-function entry points on
-// purpose: they are kept as regression coverage for the deprecated
-// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
-#![allow(deprecated)]
-
 use gbmqo_core::prelude::*;
-use gbmqo_core::{execute_grouping_sets, parse_grouping_sets, ExecutionMode};
+use gbmqo_core::{parse_grouping_sets, ExecutionMode};
 use gbmqo_cost::CardinalityCostModel;
 use gbmqo_datagen::{lineitem, sales};
 use gbmqo_exec::{hash_group_by, sort_group_by, AggSpec, ExecMetrics};
@@ -53,16 +48,13 @@ fn parsed_spec_to_tagged_result_end_to_end() {
         &request_refs,
     )
     .unwrap();
-    let mut engine = engine_with(table.clone(), "lineitem");
-    let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-    let out = execute_grouping_sets(
-        &mut engine,
-        &w,
-        &mut model,
-        SearchConfig::pruned(),
-        ExecutionMode::ClientSide,
-    )
-    .unwrap();
+    let mut session = Session::builder()
+        .table("lineitem", table.clone())
+        .search(SearchConfig::pruned())
+        .mode(ExecutionMode::ClientSide)
+        .build()
+        .unwrap();
+    let out = session.grouping_sets(&w).unwrap();
     // three grouping sets: 3 + 2 + 6 rows
     assert_eq!(out.table.num_rows(), 3 + 2 + 6);
     // grand-total check per tag
@@ -94,27 +86,20 @@ fn client_and_server_modes_agree_on_lineitem() {
         ],
     )
     .unwrap();
-    let mut engine = engine_with(table.clone(), "lineitem");
-    let mut m1 = CardinalityCostModel::new(ExactSource::new(&table));
-    let client = execute_grouping_sets(
-        &mut engine,
-        &w,
-        &mut m1,
-        SearchConfig::pruned(),
-        ExecutionMode::ClientSide,
-    )
-    .unwrap();
-    let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
-    let server = execute_grouping_sets(
-        &mut engine,
-        &w,
-        &mut m2,
-        SearchConfig::pruned(),
-        ExecutionMode::ServerSide,
-    )
-    .unwrap();
+    let mut session = Session::builder()
+        .table("lineitem", table.clone())
+        .search(SearchConfig::pruned())
+        .mode(ExecutionMode::ClientSide)
+        .build()
+        .unwrap();
+    let client = session.grouping_sets(&w).unwrap();
+    session.set_mode(ExecutionMode::ServerSide);
+    let server = session.grouping_sets(&w).unwrap();
     assert_eq!(tagged_norm(&client.table), tagged_norm(&server.table));
-    assert!(engine.catalog().temp_names().is_empty(), "temps leaked");
+    assert!(
+        session.engine().catalog().temp_names().is_empty(),
+        "temps leaked"
+    );
     // the server side shares scans: it must not scan more rows than the
     // client side (which re-scans per query)
     assert!(server.metrics.rows_scanned <= client.metrics.rows_scanned);
@@ -172,7 +157,7 @@ fn dot_rendering_of_an_optimized_plan() {
     )
     .unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-    let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+    let (plan, _) = GbMqo::new().plan(&w, &mut model).unwrap();
     let dot = plan.render_dot(&w.column_names);
     assert!(dot.contains("digraph plan"));
     assert_eq!(dot.matches(" -> ").count(), plan.node_count());

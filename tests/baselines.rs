@@ -2,17 +2,11 @@
 //! the exhaustive optimum, mirroring the paper's §6.1–§6.3 setups at
 //! test scale.
 
-// These tests exercise the pre-0.2 free-function entry points on
-// purpose: they are kept as regression coverage for the deprecated
-// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
-#![allow(deprecated)]
-
-use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::{grouping_sets_plan, optimal_plan, BaselineKind};
 use gbmqo_cost::{CardinalityCostModel, CostModel};
 use gbmqo_datagen::lineitem;
-use gbmqo_integration::{assert_same_results, engine_with};
+use gbmqo_integration::{assert_same_results, session_with};
 use gbmqo_stats::ExactSource;
 
 const SC7: [&str; 7] = [
@@ -36,7 +30,7 @@ fn grouping_sets_baseline_is_correct_but_weaker_on_sc() {
 
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (our_plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
 
     // cost comparison under one model
@@ -50,9 +44,9 @@ fn grouping_sets_baseline_is_correct_but_weaker_on_sc() {
     );
 
     // and both must produce the same answers
-    let mut engine = engine_with(t, "lineitem");
-    let gs = execute_plan(&gs_plan, &w, &mut engine, None).unwrap();
-    let ours = execute_plan(&our_plan, &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let gs = session.run_plan(&gs_plan, &w).unwrap();
+    let ours = session.run_plan(&our_plan, &w).unwrap();
     assert_same_results(&w, &gs, &ours, "GS vs GB-MQO");
 }
 
@@ -80,7 +74,7 @@ fn grouping_sets_baseline_shared_sort_on_cont() {
 
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (our_plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
 
     let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
@@ -93,9 +87,9 @@ fn grouping_sets_baseline_shared_sort_on_cont() {
         "on CONT ours ({our_cost}) should at least match shared sorts ({gs_cost})"
     );
 
-    let mut engine = engine_with(t, "lineitem");
-    let gs = execute_plan(&gs_plan, &w, &mut engine, None).unwrap();
-    let ours = execute_plan(&our_plan, &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let gs = session.run_plan(&gs_plan, &w).unwrap();
+    let ours = session.run_plan(&our_plan, &w).unwrap();
     assert_same_results(&w, &gs, &ours, "CONT");
 }
 
@@ -112,7 +106,7 @@ fn greedy_close_to_optimal_on_seven_columns() {
         opt_plan.validate(&w).unwrap();
 
         let mut m2 = CardinalityCostModel::new(ExactSource::new(&t));
-        let (greedy_plan, stats) = GbMqo::new().optimize(&w, &mut m2).unwrap();
+        let (greedy_plan, stats) = GbMqo::new().plan(&w, &mut m2).unwrap();
         greedy_plan.validate(&w).unwrap();
 
         assert!(opt_cost <= stats.final_cost + 1e-6, "seed {seed}");
@@ -123,9 +117,9 @@ fn greedy_close_to_optimal_on_seven_columns() {
         );
 
         // and the optimal plan actually executes correctly
-        let mut engine = engine_with(t, "lineitem");
-        let a = execute_plan(&opt_plan, &w, &mut engine, None).unwrap();
-        let b = execute_plan(&greedy_plan, &w, &mut engine, None).unwrap();
+        let mut session = session_with(t, "lineitem");
+        let a = session.run_plan(&opt_plan, &w).unwrap();
+        let b = session.run_plan(&greedy_plan, &w).unwrap();
         assert_same_results(&w, &a, &b, &format!("optimal vs greedy seed {seed}"));
     }
 }
@@ -140,7 +134,7 @@ fn pruning_reduces_calls_without_changing_binary_plans() {
 
     let run = |config: SearchConfig| {
         let mut m = CardinalityCostModel::new(ExactSource::new(&t));
-        let (_, stats) = GbMqo::with_config(config).optimize(&w, &mut m).unwrap();
+        let (_, stats) = GbMqo::with_config(config).plan(&w, &mut m).unwrap();
         (stats.final_cost, m.calls(), stats)
     };
     let binary = SearchConfig {

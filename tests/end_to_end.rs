@@ -1,19 +1,13 @@
 //! End-to-end integration: generators → optimizer → executor → results,
 //! across cost models, statistics sources and datasets.
 
-// These tests exercise the pre-0.2 free-function entry points on
-// purpose: they are kept as regression coverage for the deprecated
-// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
-#![allow(deprecated)]
-
-use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::render_sql;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
 use gbmqo_datagen::{
     lineitem, neighboring_seq, sales, LINEITEM_SC_COLUMNS, NREF_COLUMNS, SALES_COLUMNS,
 };
-use gbmqo_integration::{assert_same_results, engine_with};
+use gbmqo_integration::{assert_same_results, session_with};
 use gbmqo_stats::{CardinalitySource, DistinctEstimator, ExactSource, SampledSource};
 use gbmqo_storage::IndexKind;
 
@@ -23,7 +17,7 @@ fn lineitem_sc_exact_cardinality_model() {
     let w = Workload::single_columns("lineitem", &t, &LINEITEM_SC_COLUMNS).unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     plan.validate(&w).unwrap();
     assert!(
@@ -32,9 +26,9 @@ fn lineitem_sc_exact_cardinality_model() {
     );
     assert!(plan.materialized_count() >= 1);
 
-    let mut engine = engine_with(t, "lineitem");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "lineitem SC");
     assert_eq!(optimized.results.len(), 12);
 }
@@ -46,7 +40,7 @@ fn lineitem_sc_sampled_optimizer_model() {
     let source = SampledSource::new(&t, 2_000, DistinctEstimator::Hybrid, 9);
     let mut model = OptimizerCostModel::new(source, IndexSnapshot::none());
     let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     plan.validate(&w).unwrap();
     assert!(stats.final_cost <= stats.naive_cost);
@@ -54,9 +48,9 @@ fn lineitem_sc_sampled_optimizer_model() {
     let log = model.source().creation_log().unwrap();
     assert!(log.count() >= 12, "per-column stats plus merged sets");
 
-    let mut engine = engine_with(t, "lineitem");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "lineitem SC sampled");
 }
 
@@ -68,14 +62,14 @@ fn sales_two_column_workload() {
     assert_eq!(w.len(), 28);
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     plan.validate(&w).unwrap();
     assert!(stats.final_cost < stats.naive_cost);
 
-    let mut engine = engine_with(t, "sales");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "sales");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "sales TC");
 }
 
@@ -85,11 +79,11 @@ fn nref_single_columns() {
     let w = Workload::single_columns("nref", &t, &NREF_COLUMNS).unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
-    let mut engine = engine_with(t, "nref");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "nref");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "nref SC");
 }
 
@@ -98,10 +92,11 @@ fn physical_design_changes_plans_and_stays_correct() {
     let t = lineitem(15_000, 0.0, 4);
     let w = Workload::single_columns("lineitem", &t, &LINEITEM_SC_COLUMNS).unwrap();
 
-    let mut engine = engine_with(t.clone(), "lineitem");
+    let mut session = session_with(t.clone(), "lineitem");
     // index the high-cardinality comment column
     let comment_ord = t.schema().index_of("l_comment").unwrap();
-    engine
+    session
+        .engine_mut()
         .catalog_mut()
         .create_index(
             "lineitem",
@@ -111,16 +106,16 @@ fn physical_design_changes_plans_and_stays_correct() {
         )
         .unwrap();
 
-    let snap = IndexSnapshot::capture(engine.catalog(), "lineitem");
+    let snap = IndexSnapshot::capture(session.engine().catalog(), "lineitem");
     assert!(snap.serves_grouping(&[comment_ord]));
     let mut model = OptimizerCostModel::new(ExactSource::new(&t), snap);
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     plan.validate(&w).unwrap();
 
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "indexed lineitem");
 }
 
@@ -130,7 +125,7 @@ fn sql_script_matches_plan_shape() {
     let w = Workload::single_columns("lineitem", &t, &LINEITEM_SC_COLUMNS).unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     let sql = render_sql(&plan, &w);
     let selects = sql.iter().filter(|s| s.starts_with("SELECT")).count();
@@ -154,15 +149,15 @@ fn skewed_data_still_correct_and_cheaper() {
         let w = Workload::single_columns("lineitem", &t, &LINEITEM_SC_COLUMNS).unwrap();
         let mut model = CardinalityCostModel::new(ExactSource::new(&t));
         let (plan, stats) = GbMqo::with_config(SearchConfig::pruned())
-            .optimize(&w, &mut model)
+            .plan(&w, &mut model)
             .unwrap();
         assert!(
             stats.final_cost <= stats.naive_cost,
             "skew {skew}: optimized must not regress"
         );
-        let mut engine = engine_with(t, "lineitem");
-        let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-        let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+        let mut session = session_with(t, "lineitem");
+        let optimized = session.run_plan(&plan, &w).unwrap();
+        let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
         assert_same_results(&w, &naive, &optimized, &format!("skew {skew}"));
     }
 }
@@ -187,11 +182,11 @@ fn multi_aggregate_workload_roundtrips() {
     // carries them (§7.2's union-of-aggregates approach)
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
-    let mut engine = engine_with(t.clone(), "lineitem");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t.clone(), "lineitem");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
 
     for (set, nt) in &naive.results {
         let names = w.col_names(*set);

@@ -1,17 +1,11 @@
 //! Integration tests for the paper's §5.1.1 and §7 extensions.
 
-// These tests exercise the pre-0.2 free-function entry points on
-// purpose: they are kept as regression coverage for the deprecated
-// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
-#![allow(deprecated)]
-
-use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::{cube_rollup_pass, grouping_sets_over_join, NodeKind};
 use gbmqo_cost::{CardinalityCostModel, CostConstants, IndexSnapshot, OptimizerCostModel};
 use gbmqo_datagen::{lineitem, sales};
 use gbmqo_exec::{hash_group_by, hash_join, AggSpec, ExecMetrics};
-use gbmqo_integration::{assert_same_results, engine_with, normalize};
+use gbmqo_integration::{assert_same_results, normalize, session_with};
 use gbmqo_stats::ExactSource;
 use gbmqo_storage::{DataType, Field, Schema, TableBuilder, Value};
 
@@ -31,7 +25,7 @@ fn cube_rollup_pass_keeps_semantics() {
     .unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&t));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
 
     // force the rewrite to fire by making materialization expensive
@@ -44,9 +38,9 @@ fn cube_rollup_pass_keeps_semantics() {
     let (rewritten, converted) = cube_rollup_pass(&plan, &w, &mut opt_model);
     rewritten.validate(&w).unwrap();
 
-    let mut engine = engine_with(t, "lineitem");
-    let a = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let b = execute_plan(&rewritten, &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let a = session.run_plan(&plan, &w).unwrap();
+    let b = session.run_plan(&rewritten, &w).unwrap();
     assert_same_results(&w, &a, &b, "cube/rollup pass");
     // chain workload → if anything converted, it must be a rollup
     fn has_rollup(n: &gbmqo_core::SubNode) -> bool {
@@ -76,9 +70,9 @@ fn explicit_rollup_plan_equals_group_bys() {
         }],
     };
     plan.validate(&w).unwrap();
-    let mut engine = engine_with(t, "sales");
-    let rollup = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "sales");
+    let rollup = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &rollup, "explicit rollup");
 }
 
@@ -112,9 +106,9 @@ fn explicit_cube_plan_equals_group_bys() {
         }],
     };
     plan.validate(&w).unwrap();
-    let mut engine = engine_with(t, "sales");
-    let cube = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "sales");
+    let cube = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &cube, "explicit cube");
 }
 
@@ -141,15 +135,22 @@ fn join_pushdown_on_generated_data() {
     }
     let dim = db.finish().unwrap();
 
-    let mut engine = engine_with(t.clone(), "sales");
-    engine
+    let mut session = session_with(t.clone(), "sales");
+    session
+        .engine_mut()
         .catalog_mut()
         .register("stores", dim.clone())
         .unwrap();
 
     let requests = [vec!["region"], vec!["channel"], vec!["region", "channel"]];
-    let out =
-        grouping_sets_over_join(&mut engine, "sales", "stores", "store_id", &requests).unwrap();
+    let out = grouping_sets_over_join(
+        session.engine_mut(),
+        "sales",
+        "stores",
+        "store_id",
+        &requests,
+    )
+    .unwrap();
     assert_eq!(out.results.len(), 3);
 
     // reference computation
@@ -203,9 +204,9 @@ fn reaggregation_of_min_max_sum_is_lossless_through_three_levels() {
         }],
     };
     plan.validate(&w).unwrap();
-    let mut engine = engine_with(t, "lineitem");
-    let deep = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(t, "lineitem");
+    let deep = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     let full = |t: &gbmqo_storage::Table| {
         let mut rows: Vec<Vec<Value>> = (0..t.num_rows())
             .map(|r| (0..t.num_columns()).map(|c| t.value(r, c)).collect())

@@ -56,6 +56,16 @@ pub fn engine_with(table: Table, name: &str) -> Engine {
     Engine::new(catalog)
 }
 
+/// Wrap one base table in a serial client-side [`Session`] — the
+/// execution entry point the integration tests drive plans through.
+pub fn session_with(table: Table, name: &str) -> Session {
+    Session::builder()
+        .table(name, table)
+        .mode(ExecutionMode::ClientSide)
+        .build()
+        .expect("fresh session")
+}
+
 /// A small synthetic table with controllable per-column cardinalities;
 /// column `i` is named `c{i}` and holds `values[row] % card[i]` with a
 /// per-column stride so columns with equal cardinality still differ.

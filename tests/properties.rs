@@ -1,16 +1,10 @@
 //! Property-based tests over the optimizer's core invariants.
 
-// These tests exercise the pre-0.2 free-function entry points on
-// purpose: they are kept as regression coverage for the deprecated
-// compatibility shims (`execute_plan`, `GbMqo::optimize`, ...).
-#![allow(deprecated)]
-
-use gbmqo_core::executor::execute_plan;
 use gbmqo_core::prelude::*;
 use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak};
 use gbmqo_core::{optimal_plan, render_sql};
 use gbmqo_cost::CardinalityCostModel;
-use gbmqo_integration::{assert_same_results, col_names, engine_with, modular_table};
+use gbmqo_integration::{assert_same_results, col_names, modular_table, session_with};
 use gbmqo_stats::ExactSource;
 use proptest::prelude::*;
 
@@ -49,13 +43,13 @@ proptest! {
             ..Default::default()
         };
         let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-        let (plan, stats) = GbMqo::with_config(config).optimize(&w, &mut model).unwrap();
+        let (plan, stats) = GbMqo::with_config(config).plan(&w, &mut model).unwrap();
         plan.validate(&w).unwrap();
         prop_assert!(stats.final_cost <= stats.naive_cost + 1e-9);
 
-        let mut engine = engine_with(table, "t");
-        let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-        let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+        let mut session = session_with(table, "t");
+        let optimized = session.run_plan(&plan, &w).unwrap();
+        let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
         assert_same_results(&w, &naive, &optimized, "prop");
         // counts in every result sum to the row count
         for (_, t) in &optimized.results {
@@ -74,7 +68,7 @@ proptest! {
         let mut m1 = CardinalityCostModel::new(ExactSource::new(&table));
         let (_, opt_cost) = optimal_plan(&w, &mut m1).unwrap();
         let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
-        let (_, stats) = GbMqo::new().optimize(&w, &mut m2).unwrap();
+        let (_, stats) = GbMqo::new().plan(&w, &mut m2).unwrap();
         prop_assert!(opt_cost <= stats.final_cost + 1e-6);
         prop_assert!(stats.final_cost <= stats.naive_cost + 1e-6);
     }
@@ -89,7 +83,7 @@ proptest! {
         let binary = SearchConfig { binary_only: true, ..Default::default() };
         let run = |cfg: SearchConfig| {
             let mut m = CardinalityCostModel::new(ExactSource::new(&table));
-            GbMqo::with_config(cfg).optimize(&w, &mut m).unwrap().1.final_cost
+            GbMqo::with_config(cfg).plan(&w, &mut m).unwrap().1.final_cost
         };
         let plain = run(binary.clone());
         let pruned = run(SearchConfig {
@@ -107,7 +101,7 @@ proptest! {
         let table = modular_table(300, &cards);
         let w = workload_of(&table, cards.len());
         let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let (plan, _) = GbMqo::new().plan(&w, &mut model).unwrap();
         let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
         let mut coster = gbmqo_core::coster::EdgeCoster::new(&mut m2, w.base_ordinals.clone());
         let mut d = |s: ColSet| coster.result_bytes(s);
@@ -129,7 +123,7 @@ proptest! {
             max_intermediate_bytes: Some(budget),
             ..Default::default()
         })
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
         let mut m2 = CardinalityCostModel::new(ExactSource::new(&table));
         let mut coster = gbmqo_core::coster::EdgeCoster::new(&mut m2, w.base_ordinals.clone());
@@ -150,16 +144,16 @@ proptest! {
             binary_only: binary,
             ..Default::default()
         })
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
         let text = gbmqo_core::plan_to_text(&plan);
         let back = gbmqo_core::plan_from_text(&text).unwrap();
         prop_assert_eq!(&plan, &back);
         // and the deserialized plan still validates + executes identically
         back.validate(&w).unwrap();
-        let mut engine = engine_with(table, "t");
-        let a = execute_plan(&plan, &w, &mut engine, None).unwrap();
-        let b = execute_plan(&back, &w, &mut engine, None).unwrap();
+        let mut session = session_with(table, "t");
+        let a = session.run_plan(&plan, &w).unwrap();
+        let b = session.run_plan(&back, &w).unwrap();
         assert_same_results(&w, &a, &b, "roundtrip");
     }
 
@@ -169,7 +163,7 @@ proptest! {
         let table = modular_table(200, &cards);
         let w = workload_of(&table, cards.len());
         let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let (plan, _) = GbMqo::new().plan(&w, &mut model).unwrap();
         let sql = render_sql(&plan, &w);
         let selects = sql.iter().filter(|s| s.starts_with("SELECT")).count();
         let intos = sql.iter().filter(|s| s.contains(" INTO ")).count();
@@ -192,7 +186,7 @@ proptest! {
         let table = modular_table(300, &cards);
         let w = workload_of(&table, cards.len());
         let mut model = CardinalityCostModel::new(ExactSource::new(&table));
-        let (plan, _) = GbMqo::new().optimize(&w, &mut model).unwrap();
+        let (plan, _) = GbMqo::new().plan(&w, &mut model).unwrap();
 
         // Exact size of a node's materialization: run the Group By and
         // measure the result (count-only workloads make a set's result
@@ -230,11 +224,11 @@ fn overlapping_workloads_equivalent() {
     let w = Workload::two_columns("t", &table, &refs).unwrap();
     let mut model = CardinalityCostModel::new(ExactSource::new(&table));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned())
-        .optimize(&w, &mut model)
+        .plan(&w, &mut model)
         .unwrap();
     plan.validate(&w).unwrap();
-    let mut engine = engine_with(table, "t");
-    let optimized = execute_plan(&plan, &w, &mut engine, None).unwrap();
-    let naive = execute_plan(&LogicalPlan::naive(&w), &w, &mut engine, None).unwrap();
+    let mut session = session_with(table, "t");
+    let optimized = session.run_plan(&plan, &w).unwrap();
+    let naive = session.run_plan(&LogicalPlan::naive(&w), &w).unwrap();
     assert_same_results(&w, &naive, &optimized, "TC overlap");
 }

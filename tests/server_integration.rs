@@ -5,7 +5,8 @@ use gbmqo_core::prelude::*;
 use gbmqo_exec::{hash_group_by, AggSpec, ExecMetrics};
 use gbmqo_integration::{col_names, modular_table, normalize};
 use gbmqo_server::{
-    stats_field, CacheControl, Client, ErrorCode, Server, ServerConfig, ServerError,
+    stats_field, CacheControl, Client, ClientOptions, ErrorCode, Server, ServerConfig, ServerError,
+    FEATURE_LZ4,
 };
 use gbmqo_storage::Table;
 use std::sync::{Arc, Barrier};
@@ -52,6 +53,7 @@ fn sixteen_concurrent_clients_mixed_requests() {
             queue_capacity: 256,
             batch_window: Some(Duration::from_millis(2)),
             default_deadline: None,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -123,6 +125,7 @@ fn full_admission_queue_sheds_load_with_server_busy() {
             queue_capacity: 2,
             batch_window: None,
             default_deadline: None,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -187,6 +190,7 @@ fn expired_deadline_times_out_and_drops_temps() {
             queue_capacity: 16,
             batch_window: None,
             default_deadline: None,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -244,6 +248,7 @@ fn micro_batching_merges_concurrent_queries_into_one_plan() {
                 queue_capacity: 64,
                 batch_window: None,
                 default_deadline: None,
+                ..ServerConfig::default()
             },
         );
         let addr = handle.local_addr();
@@ -280,6 +285,7 @@ fn micro_batching_merges_concurrent_queries_into_one_plan() {
                 queue_capacity: 64,
                 batch_window: Some(Duration::from_millis(300)),
                 default_deadline: None,
+                ..ServerConfig::default()
             },
         );
         let addr = handle.local_addr();
@@ -348,6 +354,7 @@ fn batched_results_preserve_each_clients_column_order() {
             queue_capacity: 64,
             batch_window: Some(Duration::from_millis(200)),
             default_deadline: None,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -408,6 +415,7 @@ fn graceful_shutdown_drains_and_rejects_new_requests() {
             queue_capacity: 16,
             batch_window: None,
             default_deadline: None,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.local_addr();
@@ -490,5 +498,236 @@ fn shared_cache_serves_repeat_queries_across_connections() {
     let fresh = reader.query("r", &["c0", "c1"], 0).unwrap();
     assert_result(&table2, &["c0", "c1"], &fresh, "after replace");
 
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_large_result_arrives_in_bounded_chunks() {
+    let table = modular_table(30_000, &[9_973]);
+    let handle = serve(
+        table.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            chunk_rows: 512,
+            chunk_bytes: 64 << 10,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let mut chunks = 0u32;
+    let mut rows = 0u64;
+    {
+        let mut stream = client.stream_query("r", &["c0"], 0).unwrap();
+        for batch in &mut stream {
+            let batch = batch.unwrap();
+            assert_eq!(batch.set_tag, "c0");
+            assert!(
+                batch.rows.num_rows() <= 512,
+                "chunk of {} rows exceeds the configured cap",
+                batch.rows.num_rows()
+            );
+            chunks += 1;
+            rows += batch.rows.num_rows() as u64;
+        }
+        let summary = stream.summary().expect("stream ends with a summary");
+        assert_eq!(summary.total_chunks, chunks, "summary chunk count");
+        assert_eq!(summary.total_rows, rows, "summary row count");
+    }
+    assert!(chunks > 1, "9973 groups over 512-row chunks must split");
+    assert_eq!(rows, 9_973);
+
+    // The collect-style API sees the same data reassembled.
+    let got = client.query("r", &["c0"], 0).unwrap();
+    assert_result(&table, &["c0"], &got, "collected stream");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn abandoned_stream_leaves_the_connection_usable() {
+    let table = modular_table(30_000, &[9_973, 7]);
+    let handle = serve(
+        table.clone(),
+        ServerConfig {
+            chunk_rows: 256,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let mut stream = client.stream_query("r", &["c0"], 0).unwrap();
+    let first = stream.next().unwrap().unwrap();
+    assert!(first.rows.num_rows() > 0);
+    drop(stream); // walk away mid-stream
+
+    // Later traffic on the same connection drains the leftovers and
+    // gets clean responses.
+    let got = client.query("r", &["c1"], 0).unwrap();
+    assert_result(&table, &["c1"], &got, "query after abandoned stream");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn lz4_negotiation_and_compressed_results_roundtrip() {
+    let table = modular_table(20_000, &[4_001, 7]);
+    let handle = serve(table.clone(), ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut plain = Client::connect(addr).unwrap();
+    assert_eq!(plain.negotiated_features(), 0, "compression is opt-in");
+    let mut lz = Client::connect_with(addr, ClientOptions { compress: true }).unwrap();
+    assert_eq!(
+        lz.negotiated_features() & FEATURE_LZ4,
+        FEATURE_LZ4,
+        "server accepts the offered feature"
+    );
+
+    let a = plain.query("r", &["c0"], 0).unwrap();
+    let b = lz.query("r", &["c0"], 0).unwrap();
+    assert_eq!(
+        normalize(&a, &["c0"]),
+        normalize(&b, &["c0"]),
+        "compressed and plain connections agree"
+    );
+    drop((plain, lz));
+    handle.shutdown();
+}
+
+/// Read one length-prefixed frame off a raw socket.
+fn read_raw_frame(sock: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    sock.read_exact(&mut len).unwrap();
+    let mut frame = len.to_vec();
+    frame.resize(4 + u32::from_le_bytes(len) as usize, 0);
+    sock.read_exact(&mut frame[4..]).unwrap();
+    frame
+}
+
+fn raw_frame(version: u8, flags: u8, request_id: u64, opcode: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = vec![version, flags];
+    payload.extend_from_slice(&request_id.to_le_bytes());
+    payload.push(opcode);
+    payload.extend_from_slice(body);
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+#[test]
+fn unknown_version_gets_unsupported_and_a_hangup() {
+    use std::io::{Read, Write};
+    let table = modular_table(1_000, &[5]);
+    let handle = serve(table, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    sock.write_all(&raw_frame(0x7F, 0, 42, 0x00, &[])).unwrap();
+    let frame = read_raw_frame(&mut sock);
+    let (rid, resp) = gbmqo_server::protocol::decode_response(&frame, 0).unwrap();
+    assert_eq!(rid, 0, "nothing after a bad version byte can be trusted");
+    match resp {
+        gbmqo_server::Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Unsupported);
+            assert!(message.contains("version"), "{message}");
+        }
+        other => panic!("expected Unsupported error, got {other:?}"),
+    }
+    // ... and the connection is closed.
+    let mut rest = Vec::new();
+    sock.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no garbage after the error frame");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_flag_bits_get_unsupported_but_keep_the_connection() {
+    use std::io::Write;
+    let table = modular_table(1_000, &[5]);
+    let handle = serve(table, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    // Valid version, undefined flag bit: the header parses, so the
+    // error echoes the real request id and the connection survives.
+    sock.write_all(&raw_frame(
+        gbmqo_server::PROTOCOL_VERSION,
+        0x80,
+        7,
+        0x00,
+        &[],
+    ))
+    .unwrap();
+    let frame = read_raw_frame(&mut sock);
+    let (rid, resp) = gbmqo_server::protocol::decode_response(&frame, 0).unwrap();
+    assert_eq!(rid, 7, "the parsed request id is echoed");
+    match resp {
+        gbmqo_server::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::Unsupported)
+        }
+        other => panic!("expected Unsupported error, got {other:?}"),
+    }
+    // A well-formed ping on the same socket still works.
+    sock.write_all(&raw_frame(gbmqo_server::PROTOCOL_VERSION, 0, 8, 0x00, &[]))
+        .unwrap();
+    let frame = read_raw_frame(&mut sock);
+    let (rid, resp) = gbmqo_server::protocol::decode_response(&frame, 0).unwrap();
+    assert_eq!(rid, 8);
+    assert!(matches!(resp, gbmqo_server::Response::Pong));
+    handle.shutdown();
+}
+
+#[test]
+fn compressed_frame_without_negotiation_is_rejected() {
+    use std::io::Write;
+    let table = modular_table(1_000, &[5]);
+    let handle = serve(table, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    // FLAG_COMPRESSED (0x01) without a Hello that negotiated it.
+    sock.write_all(&raw_frame(
+        gbmqo_server::PROTOCOL_VERSION,
+        0x01,
+        9,
+        0x00,
+        &[0, 0, 0, 0],
+    ))
+    .unwrap();
+    let frame = read_raw_frame(&mut sock);
+    let (rid, resp) = gbmqo_server::protocol::decode_response(&frame, 0).unwrap();
+    assert_eq!(rid, 9);
+    match resp {
+        gbmqo_server::Response::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::Unsupported)
+        }
+        other => panic!("expected Unsupported error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_declared_length_closes_the_connection() {
+    use std::io::{Read, Write};
+    let table = modular_table(1_000, &[5]);
+    let handle = serve(table, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    sock.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    // The server must hang up rather than try to buffer 4 GiB.
+    let mut buf = Vec::new();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let got = sock.read_to_end(&mut buf);
+    assert!(
+        got.is_ok(),
+        "connection should be closed cleanly, not left hanging"
+    );
     handle.shutdown();
 }

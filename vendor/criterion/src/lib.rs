@@ -22,6 +22,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -29,14 +30,32 @@ impl Default for Criterion {
         Criterion {
             warm_up: Duration::from_millis(500),
             measurement: Duration::from_secs(2),
+            filter: None,
         }
     }
 }
 
 impl Criterion {
-    /// Parse CLI args (accepted and ignored by this shim).
-    pub fn configure_from_args(self) -> Self {
+    /// Parse CLI args: the first non-flag argument is a substring
+    /// filter on benchmark labels; `--quick` shortens the windows.
+    /// Other flags (`--bench`, cargo's pass-throughs) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => {
+                    self.warm_up = Duration::from_millis(100);
+                    self.measurement = Duration::from_millis(500);
+                }
+                flag if flag.starts_with('-') => {}
+                name if self.filter.is_none() => self.filter = Some(name.to_string()),
+                _ => {}
+            }
+        }
         self
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
     }
 
     /// Open a named group of related benchmarks.
@@ -47,6 +66,7 @@ impl Criterion {
             name: name.to_string(),
             warm_up: self.warm_up,
             measurement: self.measurement,
+            filter: self.filter.clone(),
             _parent: self,
         }
     }
@@ -56,7 +76,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.warm_up, self.measurement, &mut f);
+        if self.selected(name) {
+            run_one(name, self.warm_up, self.measurement, &mut f);
+        }
         self
     }
 }
@@ -66,10 +88,15 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     warm_up: Duration,
     measurement: Duration,
+    filter: Option<String>,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
     /// Criterion tunes iteration counts from this; the shim ignores it.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
@@ -93,7 +120,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&label, self.warm_up, self.measurement, &mut f);
+        if self.selected(&label) {
+            run_one(&label, self.warm_up, self.measurement, &mut f);
+        }
         self
     }
 
@@ -108,7 +137,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&label, self.warm_up, self.measurement, &mut |b| f(b, input));
+        if self.selected(&label) {
+            run_one(&label, self.warm_up, self.measurement, &mut |b| f(b, input));
+        }
         self
     }
 
@@ -236,7 +267,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default().configure_from_args();
             $($target(&mut c);)+
         }
     };
@@ -277,6 +308,7 @@ mod tests {
         let mut c = Criterion {
             warm_up: Duration::from_millis(1),
             measurement: Duration::from_millis(3),
+            filter: None,
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
