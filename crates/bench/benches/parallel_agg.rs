@@ -3,6 +3,7 @@
 //! across threads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_core::prelude::*;
 use gbmqo_datagen::lineitem;
 use gbmqo_exec::{hash_group_by, parallel_hash_group_by, AggSpec, ExecMetrics};
 
@@ -33,5 +34,53 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// The same high-cardinality grouping at 1M rows: the thread-parallel
+/// plateau above vs shard-parallel plan execution over a
+/// radix-partitioned base table (see `sharded_scan.rs` for the
+/// kernel-for-kernel shard ablation at 1M/4M rows).
+fn bench_sharded(c: &mut Criterion) {
+    let table = lineitem(1_000_000, 0.0, 77);
+    let cols = vec![
+        table.schema().index_of("l_orderkey").unwrap(),
+        table.schema().index_of("l_linenumber").unwrap(),
+    ];
+    let workload =
+        Workload::single_columns("lineitem", &table, &["l_orderkey", "l_linenumber"]).unwrap();
+    let mut group = c.benchmark_group("parallel_agg_highcard_1m");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut m = ExecMetrics::new();
+            hash_group_by(&table, &cols, &[AggSpec::count()], &mut m).unwrap()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut m = ExecMetrics::new();
+                parallel_hash_group_by(&table, &cols, &[AggSpec::count()], t, &mut m).unwrap()
+            })
+        });
+    }
+    for shards in [2u32, 4, 8] {
+        let mut session = Session::builder()
+            .table("lineitem", table.clone())
+            .shards(shards)
+            .mode(ExecutionMode::Parallel)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| {
+                session
+                    .run_workload(&workload, CacheControl::Default)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_sharded);
 criterion_main!(benches);

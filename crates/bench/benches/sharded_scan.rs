@@ -1,0 +1,59 @@
+//! Sharded base-table execution: one high-cardinality grouping (the
+//! `parallel_agg_highcard` workload class) over an unsharded table vs
+//! the same table radix-partitioned into 2/4/8 hash-disjoint shards.
+//!
+//! The machine is what it is — on a single core the win comes from the
+//! per-shard hash tables fitting cache (and the radix kernel's smaller
+//! per-shard group estimates), not from thread parallelism; groupings
+//! that cover the shard key also skip the re-aggregation merge
+//! entirely (pure concatenation of disjoint partials).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmqo_core::prelude::*;
+use gbmqo_datagen::lineitem;
+
+fn bench_rows(c: &mut Criterion, rows: usize) {
+    let table = lineitem(rows, 0.0, 77);
+    let workload =
+        Workload::single_columns("lineitem", &table, &["l_orderkey", "l_linenumber"]).unwrap();
+    let mut group = c.benchmark_group(format!("sharded_scan_{}m", rows / 1_000_000));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for shards in [1u32, 2, 4, 8] {
+        let mut session = Session::builder()
+            .table("lineitem", table.clone())
+            .shards(shards)
+            .mode(ExecutionMode::Parallel)
+            .build()
+            .unwrap();
+        let label = if shards == 1 {
+            "unsharded".to_string()
+        } else {
+            shards.to_string()
+        };
+        group.bench_with_input(BenchmarkId::new("shards", label), &shards, |b, _| {
+            b.iter(|| {
+                session
+                    .run_workload(&workload, CacheControl::Default)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_rows(c, 1_000_000);
+    bench_rows(c, 4_000_000);
+    // Optional extra point for scaling runs, e.g. GBMQO_SHARD_ROWS=16000000.
+    if let Some(rows) = std::env::var("GBMQO_SHARD_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        bench_rows(c, rows);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -37,6 +37,9 @@ pub struct Options {
     pub repeat: usize,
     /// Materialized-aggregate-cache budget in MiB (0 disables it).
     pub cache_budget_mb: usize,
+    /// Radix-partition the loaded table into this many hash-disjoint
+    /// shards (power of two; 0/1 = unsharded).
+    pub shards: u32,
 }
 
 impl Options {
@@ -55,6 +58,7 @@ impl Options {
             json: false,
             repeat: 1,
             cache_budget_mb: 0,
+            shards: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -105,6 +109,13 @@ impl Options {
                         .ok_or_else(|| "--cache-budget-mb needs a value".to_string())?
                         .parse()
                         .map_err(|e| format!("--cache-budget-mb: {e}"))?
+                }
+                "--shards" => {
+                    opts.shards = it
+                        .next()
+                        .ok_or_else(|| "--shards needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown option {flag}"));
@@ -203,6 +214,7 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         })
         .search(SearchConfig::pruned())
         .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
+        .shards(opts.shards)
         .build()
         .map_err(|e| e.to_string())?;
 
@@ -317,6 +329,12 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
             m.matcache_bytes / 1024
         );
     }
+    if m.shards > 0 {
+        println!(
+            "sharding: {} shards, {} shard rows scanned, {} merge rows, skew {}%",
+            m.shards, m.shard_rows, m.merge_rows, m.shard_skew
+        );
+    }
     Ok(())
 }
 
@@ -335,6 +353,9 @@ mod tests {
         assert!(o.sql);
         assert_eq!(o.top, 5);
         assert_eq!(o.sets.as_deref(), Some("a,b"));
+        let sharded = Options::parse(&["f.csv".into(), "--shards".into(), "4".into()]).unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert!(Options::parse(&["f.csv".into(), "--shards".into(), "x".into()]).is_err());
         assert!(Options::parse(&[]).is_err());
         assert!(Options::parse(&["f.csv".into(), "--bogus".into()]).is_err());
         assert!(Options::parse(&["f.csv".into(), "--top".into()]).is_err());
@@ -388,6 +409,7 @@ mod tests {
             json: false,
             repeat: 1,
             cache_budget_mb: 0,
+            shards: 0,
         };
         run(&opts).unwrap();
         // machine-readable metrics parse back into ExecMetrics
@@ -411,6 +433,17 @@ mod tests {
         run(&Options {
             sql: true,
             save_plan: None,
+            ..opts.clone()
+        })
+        .unwrap();
+        // a sharded run: same pipeline, shard-parallel execution, and
+        // the JSON metrics carry the per-shard counters
+        run(&Options {
+            save_plan: None,
+            explain: false,
+            plan: false,
+            shards: 4,
+            json: true,
             ..opts.clone()
         })
         .unwrap();

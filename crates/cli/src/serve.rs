@@ -30,6 +30,10 @@ pub struct Options {
     pub chunk_kb: usize,
     /// Per-connection outbound credit budget, in KiB.
     pub outbound_kb: usize,
+    /// Radix-partition registered tables into this many hash-disjoint
+    /// shards (power of two; 0/1 = unsharded). Applies to the preloaded
+    /// table and to tables clients register over the wire.
+    pub shards: u32,
 }
 
 impl Options {
@@ -47,6 +51,7 @@ impl Options {
             chunk_rows: ServerConfig::default().chunk_rows,
             chunk_kb: ServerConfig::default().chunk_bytes >> 10,
             outbound_kb: ServerConfig::default().outbound_budget >> 10,
+            shards: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -98,6 +103,11 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--outbound-kb: {e}"))?
                 }
+                "--shards" => {
+                    opts.shards = value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
                 path if opts.file.is_none() => opts.file = Some(path.to_string()),
                 extra => return Err(format!("unexpected argument {extra:?}")),
@@ -112,7 +122,8 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
     let mut builder = Session::builder()
         .search(SearchConfig::pruned())
         .plan_cache(64)
-        .mat_cache_budget_bytes(opts.cache_budget_mb << 20);
+        .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
+        .shards(opts.shards);
     if let Some(file) = &opts.file {
         let content = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
         let table = table_from_csv(&content).map_err(|e| e.to_string())?;
@@ -159,6 +170,12 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         config.chunk_bytes >> 10,
         config.outbound_budget >> 10
     );
+    if opts.shards > 1 {
+        println!(
+            "sharding: registered tables radix-partition into {} hash-disjoint shards",
+            opts.shards
+        );
+    }
     // Serve until the process is killed; the handle's Drop drains
     // in-flight requests if we ever get here.
     loop {
@@ -201,6 +218,8 @@ mod tests {
             "256",
             "--outbound-kb",
             "2048",
+            "--shards",
+            "4",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -209,6 +228,7 @@ mod tests {
         assert_eq!(o.chunk_rows, 1024);
         assert_eq!(o.chunk_kb, 256);
         assert_eq!(o.outbound_kb, 2048);
+        assert_eq!(o.shards, 4);
         // no file is fine: clients register tables over the wire
         assert!(Options::parse(&[]).is_ok());
     }

@@ -17,8 +17,9 @@
 use crate::colset::ColSet;
 use crate::error::Result;
 use crate::executor::{
-    cleanup_exec_temps, exec_prefix, exec_temp_name, execute_plan_parallel_with, next_exec_id,
-    run_plan, CacheHooks, GroupEstimates, ParallelOptions,
+    cleanup_exec_temps, exec_prefix, exec_temp_name, execute_plan_parallel_sharded,
+    execute_plan_parallel_with, next_exec_id, run_plan, CacheHooks, GroupEstimates,
+    ParallelOptions, ShardContext, WHOLE_TABLE_PIN,
 };
 use crate::greedy::SearchStats;
 use crate::plan::{LogicalPlan, NodeKind, SubNode};
@@ -85,6 +86,31 @@ pub(crate) fn run_mode(
     estimates: &GroupEstimates,
     hooks: &mut CacheHooks,
 ) -> Result<(Vec<(ColSet, Table)>, ExecMetrics)> {
+    // A radix-sharded base table executes shard-parallel in client-side
+    // and parallel modes: every plan edge fans out across the shard
+    // entries, with a final merge at delivery. Server-side shared scans
+    // keep reading the logical table, which the dual-resident layout
+    // registers alongside the shards.
+    if mode != ExecutionMode::ServerSide {
+        if let Some(desc) = engine.catalog().shard_desc(&workload.table).cloned() {
+            let ctx = ShardContext::build(&desc, workload);
+            let opts = if mode == ExecutionMode::ClientSide {
+                // Client-side stays serial: one engine query at a time,
+                // per shard — the fan-out still narrows each query's
+                // input and preserves per-shard cache granularity.
+                ParallelOptions {
+                    threads: 1,
+                    memory_budget: parallel.memory_budget,
+                }
+            } else {
+                parallel
+            };
+            let report = execute_plan_parallel_sharded(
+                plan, workload, engine, opts, estimates, hooks, &ctx,
+            )?;
+            return Ok((report.results, report.metrics));
+        }
+    }
     Ok(match mode {
         ExecutionMode::ClientSide => {
             let report = run_plan(plan, workload, engine, None, estimates, hooks)?;
@@ -165,7 +191,7 @@ fn server_side_levels(
     let mut frontier: Vec<(String, Vec<AggSpec>, Vec<&SubNode>)> = Vec::new();
     let mut base_nodes: Vec<&SubNode> = Vec::new();
     for node in &plan.subplans {
-        match hooks.roots.get(&node.cols.0) {
+        match hooks.roots.get(&(node.cols.0, WHOLE_TABLE_PIN)) {
             Some(pinned) if node.children.is_empty() && node.kind == NodeKind::GroupBy => {
                 frontier.push((pinned.clone(), reagg.clone(), vec![node]));
             }

@@ -10,8 +10,8 @@ use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::schedule::{level_plan, schedule_plan, PlanEdge, Step};
 use crate::workload::Workload;
 use gbmqo_cost::CostModel;
-use gbmqo_exec::{cube, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
-use gbmqo_storage::Table;
+use gbmqo_exec::{cube, hash_group_by, rollup, AggSpec, Engine, ExecMetrics, GroupByQuery};
+use gbmqo_storage::{shard_table_name, ShardDesc, Table};
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -85,6 +85,14 @@ pub(crate) fn exec_temp_name(exec_id: u64, cols: ColSet) -> String {
     format!("{}{:x}", exec_prefix(exec_id), cols.0)
 }
 
+/// Name of the temp holding shard `shard`'s partial of the node `cols`
+/// within execution `exec_id` (sharded executions materialize one temp
+/// per shard; see [`execute_waves_sharded`]). Shares [`exec_prefix`], so
+/// [`cleanup_exec_temps`] covers these too.
+pub(crate) fn shard_temp_name(exec_id: u64, cols: ColSet, shard: u32) -> String {
+    format!("{}_s{shard}", exec_temp_name(exec_id, cols))
+}
+
 /// Drop every temp table belonging to execution `exec_id`, ignoring
 /// individual drop failures (cleanup runs on error paths — a cancelled
 /// execution may not have materialized everything it scheduled).
@@ -101,16 +109,26 @@ pub(crate) fn cleanup_exec_temps(engine: &mut Engine, exec_id: u64) {
     }
 }
 
-/// Virtual-root sources for cache-served nodes: node column-set bits →
-/// catalog name of a pinned table holding a cached covering aggregate.
-/// An edge that would read the base relation reads the pinned table
-/// (with re-aggregation) instead when its target is listed here.
-pub(crate) type RootSources = FxHashMap<u128, String>;
+/// Shard slot meaning "the whole logical table" in [`RootSources`] and
+/// [`Harvest`] entries: pins and harvests of unsharded executions (and
+/// of logical-level cache hits over sharded tables) use this sentinel
+/// instead of a real shard ordinal.
+pub(crate) const WHOLE_TABLE_PIN: u32 = u32::MAX;
 
-/// Intermediates harvested for cache admission: the column set and the
+/// Virtual-root sources for cache-served nodes: (node column-set bits,
+/// shard ordinal) → catalog name of a pinned table holding a cached
+/// covering aggregate. An edge that would read the base relation reads
+/// the pinned table (with re-aggregation) instead when its target is
+/// listed here. Unsharded executions only consult the
+/// [`WHOLE_TABLE_PIN`] slot; the sharded executor consults per-shard
+/// slots so a partially warm cache still serves the shards it covers.
+pub(crate) type RootSources = FxHashMap<(u128, u32), String>;
+
+/// Intermediates harvested for cache admission: the column set, shard
+/// ordinal ([`WHOLE_TABLE_PIN`] for whole-table intermediates) and the
 /// materialized result of every temp an execution produced, captured
 /// just before the temp is dropped (an `Arc` clone, not a data copy).
-pub(crate) type Harvest = Vec<(ColSet, Arc<Table>)>;
+pub(crate) type Harvest = Vec<(ColSet, u32, Arc<Table>)>;
 
 /// Materialized-aggregate-cache integration handles threaded through
 /// plan execution. The default (no roots, no harvest) is a plain
@@ -126,9 +144,9 @@ pub(crate) struct CacheHooks {
 
 impl CacheHooks {
     /// Record a temp's contents before it is dropped.
-    fn keep(&mut self, cols: ColSet, table: Arc<Table>) {
+    fn keep(&mut self, cols: ColSet, shard: u32, table: Arc<Table>) {
         if let Some(h) = self.harvest.as_mut() {
-            h.push((cols, table));
+            h.push((cols, shard, table));
         }
     }
 
@@ -136,7 +154,7 @@ impl CacheHooks {
     pub(crate) fn harvest_temp(&mut self, engine: &Engine, exec_id: u64, cols: ColSet) {
         if self.harvest.is_some() {
             if let Ok(t) = engine.catalog().table_arc(&exec_temp_name(exec_id, cols)) {
-                self.keep(cols, t);
+                self.keep(cols, WHOLE_TABLE_PIN, t);
             }
         }
     }
@@ -162,7 +180,7 @@ fn source_io(
             .collect()
     };
     match source {
-        None => match roots.get(&target.0) {
+        None => match roots.get(&(target.0, WHOLE_TABLE_PIN)) {
             Some(pinned) => (pinned.clone(), reagg()),
             None => (workload.table.clone(), workload.aggregates.clone()),
         },
@@ -558,6 +576,390 @@ fn execute_waves(
         metrics,
         peak_temp_bytes: engine.catalog().accounting().peak_temp_bytes,
     })
+}
+
+/// Per-execution sharding context for a radix-partitioned base table:
+/// the catalog names of its shard entries plus the shard key mapped
+/// onto the workload's column universe.
+#[derive(Debug)]
+pub(crate) struct ShardContext {
+    /// Catalog names of the base table's shard entries, in shard order.
+    pub shard_names: Vec<String>,
+    /// Shard-key columns as workload bits. `None` when a key column is
+    /// outside the workload universe — merge elision is then impossible
+    /// and every cross-shard merge re-aggregates.
+    pub key_set: Option<ColSet>,
+}
+
+impl ShardContext {
+    /// Build the context for `workload`'s base table from its
+    /// [`ShardDesc`].
+    pub(crate) fn build(desc: &ShardDesc, workload: &Workload) -> Self {
+        let shard_names = (0..desc.shard_count)
+            .map(|s| shard_table_name(&workload.table, s))
+            .collect();
+        let mut bits = ColSet::EMPTY;
+        let mut all_mapped = true;
+        for key in &desc.key_cols {
+            match workload.column_names.iter().position(|c| c == key) {
+                Some(i) => bits = bits.union(ColSet::single(i)),
+                None => {
+                    all_mapped = false;
+                    break;
+                }
+            }
+        }
+        ShardContext {
+            shard_names,
+            key_set: all_mapped.then_some(bits),
+        }
+    }
+
+    /// True when grouping by `target` keeps shards hash-disjoint: the
+    /// target contains every shard-key column, so no group can span two
+    /// shards and per-shard partials concatenate into the final result
+    /// without re-aggregation.
+    fn covers_key(&self, target: ColSet) -> bool {
+        self.key_set.is_some_and(|k| (target.0 & k.0) == k.0)
+    }
+}
+
+/// [`execute_plan_parallel_with`] for a radix-sharded base table: every
+/// Group By edge fans out into one query per shard, intermediates stay
+/// per-shard partials all the way down, and required results merge at
+/// delivery — by pure concatenation when the grouping covers the shard
+/// key (hash-disjoint groups), by concatenation plus re-aggregation
+/// otherwise.
+pub(crate) fn execute_plan_parallel_sharded(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    options: ParallelOptions,
+    estimates: &GroupEstimates,
+    hooks: &mut CacheHooks,
+    ctx: &ShardContext,
+) -> Result<ExecutionReport> {
+    plan.validate(workload)?;
+    engine.reset_metrics();
+    let exec_id = next_exec_id();
+    let out = execute_waves_sharded(
+        plan, workload, engine, options, estimates, exec_id, hooks, ctx,
+    );
+    if out.is_err() {
+        cleanup_exec_temps(engine, exec_id);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_waves_sharded(
+    plan: &LogicalPlan,
+    workload: &Workload,
+    engine: &mut Engine,
+    options: ParallelOptions,
+    estimates: &GroupEstimates,
+    exec_id: u64,
+    hooks: &mut CacheHooks,
+    ctx: &ShardContext,
+) -> Result<ExecutionReport> {
+    let threads = options.effective_threads();
+    let nshards = ctx.shard_names.len() as u32;
+
+    let special = collect_special(plan);
+    let mut children: FxHashMap<u128, Vec<ColSet>> = FxHashMap::default();
+    fn walk_children(n: &SubNode, out: &mut FxHashMap<u128, Vec<ColSet>>) {
+        if n.kind == NodeKind::GroupBy && n.is_materialized() {
+            out.insert(n.cols.0, n.children.iter().map(|c| c.cols).collect());
+            for c in &n.children {
+                walk_children(c, out);
+            }
+        }
+    }
+    for sp in &plan.subplans {
+        walk_children(sp, &mut children);
+    }
+
+    let mut results: Vec<(ColSet, Table)> = Vec::new();
+    let mut extra = ExecMetrics::new();
+    let mut readers: FxHashMap<u128, usize> = FxHashMap::default();
+    let mut source_override: FxHashMap<u128, Option<ColSet>> = FxHashMap::default();
+    // Whether each materialized node's temps are per-shard partials
+    // (`true`) or one whole-table temp (`false` — the node was served
+    // from a logical-level pinned aggregate, which is already merged).
+    let mut per_shard: FxHashMap<u128, bool> = FxHashMap::default();
+
+    // Shard fan-out and skew are plan-independent facts of the layout.
+    let shard_sizes: Vec<u64> = ctx
+        .shard_names
+        .iter()
+        .map(|n| engine.catalog().table(n).map_or(0, |t| t.num_rows() as u64))
+        .collect();
+    extra.shards = u64::from(nshards);
+    let total_rows: u64 = shard_sizes.iter().sum();
+    let largest = shard_sizes.iter().copied().max().unwrap_or(0);
+    extra.shard_skew = (largest * 100 * u64::from(nshards))
+        .checked_div(total_rows)
+        .unwrap_or(0);
+
+    let reagg = |workload: &Workload| -> Vec<AggSpec> {
+        workload
+            .aggregates
+            .iter()
+            .map(AggSpec::reaggregate)
+            .collect()
+    };
+
+    for wave in level_plan(plan) {
+        engine.check_cancelled()?;
+        let mut batch: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
+        let mut specials: Vec<(PlanEdge, Option<ColSet>)> = Vec::new();
+        for edge in wave {
+            let src = source_override
+                .get(&edge.target.0)
+                .copied()
+                .unwrap_or(edge.source);
+            if edge.kind == NodeKind::GroupBy {
+                batch.push((edge, src));
+            } else {
+                specials.push((edge, src));
+            }
+        }
+
+        // Expand each Group By edge into its query instances: one per
+        // shard when its source is per-shard, a single query when the
+        // node reads a whole-table pinned aggregate. All instances of a
+        // wave run in one parallel batch.
+        let mut queries: Vec<GroupByQuery> = Vec::new();
+        let mut fan_outs: Vec<bool> = Vec::new();
+        for (edge, src) in &batch {
+            let group_cols: Vec<String> = workload
+                .col_names(edge.target)
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let fan_out = match src {
+                Some(s) => per_shard[&s.0],
+                None => !hooks.roots.contains_key(&(edge.target.0, WHOLE_TABLE_PIN)),
+            };
+            fan_outs.push(fan_out);
+            let est_full = estimates.get(&edge.target.0).copied();
+            if fan_out {
+                // A grouping that covers the shard key splits its groups
+                // across shards; any other grouping may repeat every
+                // group in every shard.
+                let est = if ctx.covers_key(edge.target) {
+                    est_full.map(|e| (e / u64::from(nshards)).max(1))
+                } else {
+                    est_full
+                };
+                for s in 0..nshards {
+                    let (input, aggs) = match src {
+                        Some(cols) => (shard_temp_name(exec_id, *cols, s), reagg(workload)),
+                        None => match hooks.roots.get(&(edge.target.0, s)) {
+                            Some(pinned) => (pinned.clone(), reagg(workload)),
+                            None => {
+                                extra.shard_rows += shard_sizes[s as usize];
+                                (
+                                    ctx.shard_names[s as usize].clone(),
+                                    workload.aggregates.clone(),
+                                )
+                            }
+                        },
+                    };
+                    queries.push(GroupByQuery {
+                        input,
+                        group_cols: group_cols.clone(),
+                        aggs,
+                        into: None,
+                        estimated_groups: est,
+                    });
+                }
+            } else {
+                let (input, aggs) = source_io(workload, *src, exec_id, &hooks.roots, edge.target);
+                queries.push(GroupByQuery {
+                    input,
+                    group_cols,
+                    aggs,
+                    into: None,
+                    estimated_groups: est_full,
+                });
+            }
+        }
+        let tables = engine.run_group_bys_parallel(&queries, threads)?;
+
+        let mut cursor = 0usize;
+        for (i, (edge, src)) in batch.iter().enumerate() {
+            let fan_out = fan_outs[i];
+            let len = if fan_out { nshards as usize } else { 1 };
+            let parts = &tables[cursor..cursor + len];
+            cursor += len;
+
+            if edge.required {
+                let merged = if fan_out {
+                    merge_shards(workload, edge.target, parts, ctx, &mut extra)?
+                } else {
+                    parts[0].clone()
+                };
+                results.push((edge.target, merged));
+            }
+            if !edge.materialize {
+                continue;
+            }
+            let kids = &children[&edge.target.0];
+            let bytes: usize = parts.iter().map(Table::byte_size).sum();
+            let fits = options
+                .memory_budget
+                .is_none_or(|b| engine.catalog().accounting().current_temp_bytes + bytes <= b);
+            if fits {
+                if fan_out {
+                    for (s, t) in parts.iter().enumerate() {
+                        engine.materialize_temp(
+                            &shard_temp_name(exec_id, edge.target, s as u32),
+                            t.clone(),
+                        )?;
+                    }
+                } else {
+                    engine.materialize_temp(
+                        &exec_temp_name(exec_id, edge.target),
+                        parts[0].clone(),
+                    )?;
+                }
+                per_shard.insert(edge.target.0, fan_out);
+                readers.insert(edge.target.0, kids.len());
+            } else {
+                for k in kids {
+                    source_override.insert(k.0, *src);
+                }
+                if let Some(s) = src {
+                    *readers.get_mut(&s.0).expect("source temp is live") += kids.len();
+                }
+            }
+        }
+
+        // ROLLUP/CUBE nodes descend a lattice over one combined input:
+        // a per-shard source concatenates into a scratch temp first (the
+        // descent's own re-aggregation absorbs overlapping groups); a
+        // base-relation source reads the logical table, which the
+        // dual-resident layout keeps registered alongside the shards.
+        for (edge, src) in &specials {
+            let node = special
+                .get(&edge.target.0)
+                .ok_or_else(|| CoreError::InvalidPlan("unknown rollup/cube node".into()))?;
+            let (input, aggs, scratch) = match src {
+                Some(cols) if per_shard[&cols.0] => {
+                    let shard_tables: Vec<Arc<Table>> = (0..nshards)
+                        .map(|s| {
+                            engine
+                                .catalog()
+                                .table_arc(&shard_temp_name(exec_id, *cols, s))
+                        })
+                        .collect::<gbmqo_storage::Result<_>>()?;
+                    let refs: Vec<&Table> = shard_tables.iter().map(Arc::as_ref).collect();
+                    let combined = Table::concat(&refs)?;
+                    extra.merge_rows += combined.num_rows() as u64;
+                    let name = format!("{}_m", exec_temp_name(exec_id, *cols));
+                    engine.materialize_temp(&name, combined)?;
+                    (name.clone(), reagg(workload), Some(name))
+                }
+                _ => {
+                    let (input, aggs) =
+                        source_io(workload, *src, exec_id, &hooks.roots, edge.target);
+                    (input, aggs, None)
+                }
+            };
+            match edge.kind {
+                NodeKind::Rollup => run_rollup(
+                    node,
+                    &input,
+                    workload,
+                    engine,
+                    &aggs,
+                    &mut results,
+                    &mut extra,
+                )?,
+                NodeKind::Cube => run_cube(
+                    node,
+                    &input,
+                    workload,
+                    engine,
+                    &aggs,
+                    &mut results,
+                    &mut extra,
+                )?,
+                NodeKind::GroupBy => unreachable!("partitioned above"),
+            }
+            if let Some(name) = scratch {
+                engine.drop_temp(&name)?;
+            }
+        }
+
+        // Decrement reader counts and retire fully-read temps — all of a
+        // node's shard temps go together, each offered to the aggregate
+        // cache under its own shard ordinal first.
+        for (_, src) in batch.iter().chain(specials.iter()) {
+            if let Some(s) = src {
+                let r = readers.get_mut(&s.0).expect("source temp is live");
+                *r -= 1;
+                if *r == 0 {
+                    readers.remove(&s.0);
+                    if per_shard[&s.0] {
+                        for sh in 0..nshards {
+                            let name = shard_temp_name(exec_id, *s, sh);
+                            if hooks.harvest.is_some() {
+                                if let Ok(t) = engine.catalog().table_arc(&name) {
+                                    hooks.keep(*s, sh, t);
+                                }
+                            }
+                            engine.drop_temp(&name)?;
+                        }
+                    } else {
+                        hooks.harvest_temp(engine, exec_id, *s);
+                        engine.drop_temp(&exec_temp_name(exec_id, *s))?;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(readers.is_empty(), "temps leaked: {readers:?}");
+
+    let mut metrics = engine.metrics();
+    metrics += extra;
+    Ok(ExecutionReport {
+        results,
+        metrics,
+        peak_temp_bytes: engine.catalog().accounting().peak_temp_bytes,
+    })
+}
+
+/// Combine per-shard partial aggregates of `target` into the final
+/// result. Shards are hash-disjoint on the shard key, so a grouping
+/// that covers the key concatenates directly; any other grouping may
+/// hold the same group in several shards and re-aggregates the
+/// concatenation (`SUM(cnt)`-style, per §7.2's lossless merge rules).
+fn merge_shards(
+    workload: &Workload,
+    target: ColSet,
+    parts: &[Table],
+    ctx: &ShardContext,
+    extra: &mut ExecMetrics,
+) -> Result<Table> {
+    let refs: Vec<&Table> = parts.iter().collect();
+    let combined = Table::concat(&refs)?;
+    if ctx.covers_key(target) {
+        return Ok(combined);
+    }
+    extra.merge_rows += combined.num_rows() as u64;
+    let group_cols: Vec<usize> = workload
+        .col_names(target)
+        .iter()
+        .map(|n| combined.schema().index_of(n))
+        .collect::<gbmqo_storage::Result<_>>()?;
+    let reagg: Vec<AggSpec> = workload
+        .aggregates
+        .iter()
+        .map(AggSpec::reaggregate)
+        .collect();
+    Ok(hash_group_by(&combined, &group_cols, &reagg, extra)?)
 }
 
 /// Column order over `node.cols` such that every child is a prefix
@@ -1127,6 +1529,120 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ok.results.len(), 3);
+    }
+
+    fn sharded_engine(shards: u32) -> Engine {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..60).map(|i| i % 3).collect()),
+                Column::from_i64((0..60).map(|i| i % 6).collect()),
+                Column::from_i64((0..60).map(|i| i % 4).collect()),
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register_sharded("r", t, shards, Some(vec!["a".into()]))
+            .unwrap();
+        Engine::new(cat)
+    }
+
+    #[test]
+    fn sharded_execution_matches_unsharded() {
+        let (mut plain, w) = setup();
+        let plan = merged_plan();
+        let sr = run_plan(
+            &plan,
+            &w,
+            &mut plain,
+            None,
+            &Default::default(),
+            &mut Default::default(),
+        )
+        .unwrap();
+        for shards in [2u32, 4] {
+            let mut engine = sharded_engine(shards);
+            let desc = engine.catalog().shard_desc("r").unwrap().clone();
+            let ctx = ShardContext::build(&desc, &w);
+            let report = execute_plan_parallel_sharded(
+                &plan,
+                &w,
+                &mut engine,
+                ParallelOptions::with_threads(2),
+                &Default::default(),
+                &mut Default::default(),
+                &ctx,
+            )
+            .unwrap();
+            assert_eq!(report.results.len(), sr.results.len());
+            for (set, st) in &sr.results {
+                let pt = &report.results.iter().find(|(s, _)| s == set).unwrap().1;
+                assert_eq!(norm(st), norm(pt), "{shards}-sharded differs for {set:?}");
+            }
+            assert_eq!(report.metrics.shards, u64::from(shards));
+            // Two base-reading edges ((a,b) and c), 60 rows each.
+            assert_eq!(report.metrics.shard_rows, 120);
+            assert!(report.metrics.shard_skew >= 100);
+            assert!(engine.catalog().temp_names().is_empty(), "temps leaked");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_elides_reaggregation_when_key_is_covered() {
+        let mut engine = sharded_engine(4);
+        let t = engine.catalog().table("r").unwrap().clone();
+
+        // Grouping by the shard key: hash-disjoint shards concatenate.
+        let w = Workload::single_columns("r", &t, &["a"]).unwrap();
+        let plan = LogicalPlan {
+            subplans: vec![SubNode::leaf(ColSet::single(0))],
+        };
+        let desc = engine.catalog().shard_desc("r").unwrap().clone();
+        let ctx = ShardContext::build(&desc, &w);
+        let report = execute_plan_parallel_sharded(
+            &plan,
+            &w,
+            &mut engine,
+            ParallelOptions::with_threads(2),
+            &Default::default(),
+            &mut Default::default(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(
+            report.metrics.merge_rows, 0,
+            "covered key must elide the merge"
+        );
+        assert_eq!(report.results[0].1.num_rows(), 3);
+
+        // Grouping that misses the key: partials overlap, merge
+        // re-aggregates and the combined rows are counted.
+        let w2 = Workload::new("r", &t, &["a", "c"], &[vec!["c"]]).unwrap();
+        let plan2 = LogicalPlan {
+            subplans: vec![SubNode::leaf(ColSet::single(1))],
+        };
+        let ctx2 = ShardContext::build(&desc, &w2);
+        let report2 = execute_plan_parallel_sharded(
+            &plan2,
+            &w2,
+            &mut engine,
+            ParallelOptions::with_threads(2),
+            &Default::default(),
+            &mut Default::default(),
+            &ctx2,
+        )
+        .unwrap();
+        assert!(
+            report2.metrics.merge_rows > 0,
+            "uncovered key must re-aggregate"
+        );
+        assert_eq!(report2.results[0].1.num_rows(), 4);
     }
 
     #[test]

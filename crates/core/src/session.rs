@@ -42,7 +42,7 @@ use crate::colset::ColSet;
 use crate::error::{CoreError, Result};
 use crate::executor::{
     next_exec_id, plan_group_estimates, CacheHooks, ExecutionReport, GroupEstimates,
-    ParallelOptions,
+    ParallelOptions, WHOLE_TABLE_PIN,
 };
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, SubNode};
@@ -51,7 +51,7 @@ use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
 use gbmqo_exec::{CancelToken, Engine, GroupByStrategy};
 use gbmqo_matcache::{agg_signature, CacheControl, CachedAggregate, MatCache, MatCacheStats};
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
-use gbmqo_storage::{Catalog, Table};
+use gbmqo_storage::{shard_table_name, Catalog, Table};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -131,6 +131,7 @@ pub struct SessionBuilder {
     io_ns_per_byte: f64,
     strategy: GroupByStrategy,
     mat_cache_budget_bytes: usize,
+    shards: u32,
 }
 
 impl SessionBuilder {
@@ -216,11 +217,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Radix-partition every base table registered through this session
+    /// into `shards` hash-disjoint shards (power of two; `0`/`1` keeps
+    /// tables unsharded, the default). Plans over sharded tables
+    /// execute shard-parallel with per-shard intermediates and a final
+    /// re-aggregation merge; the shard key defaults to each table's
+    /// highest-cardinality column. Applies to builder-registered tables
+    /// and to [`Session::register_table`] uploads alike.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session> {
         let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
         for (name, table) in self.tables {
-            engine.catalog_mut().register(name, table)?;
+            engine
+                .catalog_mut()
+                .register_sharded(name, table, self.shards, None)?;
         }
         if self.io_ns_per_byte > 0.0 {
             engine.set_io_ns_per_byte(self.io_ns_per_byte);
@@ -259,6 +274,7 @@ impl SessionBuilder {
             cache: PlanCache::new(self.plan_cache),
             mat_cache: MatCache::new(self.mat_cache_budget_bytes),
             stats_version: 0,
+            shards: self.shards,
         })
     }
 }
@@ -293,6 +309,9 @@ pub struct Session {
     /// Bumped whenever registered tables change; part of the plan-cache
     /// fingerprint so stale plans are not reused.
     stats_version: u64,
+    /// Default shard count applied to tables registered through the
+    /// session (`0`/`1` = unsharded).
+    shards: u32,
 }
 
 // A session is plain owned data (tables are `Arc`-shared but immutable),
@@ -357,6 +376,23 @@ impl Session {
         let base_rows = self.engine.catalog().table(&workload.table)?.num_rows();
         let agg_sig = agg_signature(&workload.aggregates);
 
+        // Shard layout of the base table, if any. Per-shard cache
+        // entries are keyed by shard entry name and that shard's own
+        // monotonic version, so a single-shard append invalidates only
+        // the shard it touched and the other shards stay warm.
+        let shard_desc = self.engine.catalog().shard_desc(&workload.table).cloned();
+        let shard_meta: Vec<(String, u64, usize)> = match &shard_desc {
+            Some(desc) => (0..desc.shard_count)
+                .map(|s| {
+                    let sname = shard_table_name(&workload.table, s);
+                    let ver = self.engine.catalog().table_version(&sname)?;
+                    let rows = self.engine.catalog().table(&sname)?.num_rows();
+                    Ok((sname, ver, rows))
+                })
+                .collect::<Result<_>>()?,
+            None => Vec::new(),
+        };
+
         // 1. Consult the cache: which requests does a cached (same
         // table contents, same aggregates) superset aggregate cover?
         let mut covered: Vec<(ColSet, CachedAggregate)> = Vec::new();
@@ -379,6 +415,42 @@ impl Session {
             }
         }
 
+        // 1b. Per-shard serving: a request not covered at the logical
+        // level may still be covered shard by shard. Every warm shard
+        // pins its cached partial; cold shards scan their shard entry
+        // directly — the sharded executor merges partials at delivery.
+        // Only the sharded executors consult per-shard pins, so this is
+        // skipped under server-side mode (which reads logical tables).
+        let mut shard_covered: Vec<(ColSet, u32, CachedAggregate)> = Vec::new();
+        let mut shard_served: Vec<ColSet> = Vec::new();
+        if use_cache && cache.allows_lookup() && self.mode != ExecutionMode::ServerSide {
+            for &req in &workload.requests {
+                if covered.iter().any(|(c, _)| *c == req) {
+                    continue;
+                }
+                let names: Vec<String> = workload
+                    .col_names(req)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let mut hits: Vec<(u32, CachedAggregate)> = Vec::new();
+                for (s, (sname, sver, srows)) in shard_meta.iter().enumerate() {
+                    if let Some(hit) = self
+                        .mat_cache
+                        .lookup_covering(sname, *sver, &names, agg_sig, *srows)
+                    {
+                        hits.push((s as u32, hit));
+                    }
+                }
+                if !hits.is_empty() {
+                    shard_served.push(req);
+                    for (s, hit) in hits {
+                        shard_covered.push((req, s, hit));
+                    }
+                }
+            }
+        }
+
         // 2. Run the merge search only over the uncovered remainder
         // (the plan cache applies to it; cache-dependent parts of the
         // plan are never memoized, so a later request with a colder
@@ -387,7 +459,7 @@ impl Session {
             .requests
             .iter()
             .copied()
-            .filter(|r| !covered.iter().any(|(c, _)| c == r))
+            .filter(|r| !covered.iter().any(|(c, _)| c == r) && !shard_served.contains(r))
             .collect();
         let (mut plan, stats, estimates) = if uncovered.is_empty() {
             (
@@ -415,7 +487,17 @@ impl Session {
             self.engine
                 .catalog_mut()
                 .register_arc(&name, Arc::clone(&hit.table))?;
-            hooks.roots.insert(cols.0, name);
+            hooks.roots.insert((cols.0, WHOLE_TABLE_PIN), name);
+            plan.subplans.push(SubNode::leaf(*cols));
+        }
+        for (cols, s, hit) in &shard_covered {
+            let name = format!("__gbmqo_mc_e{pin:x}_s{s}_{:x}", cols.0);
+            self.engine
+                .catalog_mut()
+                .register_arc(&name, Arc::clone(&hit.table))?;
+            hooks.roots.insert((cols.0, *s), name);
+        }
+        for cols in &shard_served {
             plan.subplans.push(SubNode::leaf(*cols));
         }
         if use_cache && cache.allows_admit() {
@@ -458,9 +540,22 @@ impl Session {
                     base_rows,
                 );
             };
-            for (cols, table) in hooks.harvest.take().into_iter().flatten() {
-                admitted.push(cols);
-                offer(&mut self.mat_cache, cols, table);
+            for (cols, shard, table) in hooks.harvest.take().into_iter().flatten() {
+                if shard == WHOLE_TABLE_PIN {
+                    admitted.push(cols);
+                    offer(&mut self.mat_cache, cols, table);
+                } else if let Some((sname, sver, srows)) = shard_meta.get(shard as usize) {
+                    // Per-shard partials are admitted under the shard
+                    // entry's own name and version — the granularity
+                    // that survives appends to sibling shards.
+                    let names: Vec<String> = workload
+                        .col_names(cols)
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                    self.mat_cache
+                        .admit(sname, *sver, &names, agg_sig, table, *srows);
+                }
             }
             for (cols, table) in &results {
                 let served_exact = covered.iter().any(|(c, h)| c == cols && h.exact);
@@ -612,10 +707,26 @@ impl Session {
     /// aggregate of the table.
     pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
         let name = name.into();
-        self.engine.catalog_mut().replace(&name, table)?;
+        let old_shards = self
+            .engine
+            .catalog()
+            .shard_desc(&name)
+            .map_or(0, |d| d.shard_count);
+        self.engine
+            .catalog_mut()
+            .replace_sharded(&name, table, self.shards, None)?;
         self.mat_cache.invalidate_table(&name);
+        for s in 0..old_shards.max(self.shards) {
+            self.mat_cache.invalidate_table(&shard_table_name(&name, s));
+        }
         self.stats_version += 1;
         Ok(())
+    }
+
+    /// The session's default shard count for registered tables
+    /// (`0`/`1` = unsharded).
+    pub fn shards(&self) -> u32 {
+        self.shards
     }
 
     /// Declare that table statistics changed (data refreshed in place,

@@ -41,6 +41,18 @@ pub struct ExecMetrics {
     pub matcache_evictions: u64,
     /// Estimated base-table rows whose scan was avoided by cache hits.
     pub matcache_rows_saved: u64,
+    /// Shards the executed plan fanned out across (a gauge: `+=` keeps
+    /// the larger side; 0 when the base table is unsharded).
+    pub shards: u64,
+    /// Base rows read through per-shard scans (summed across shards).
+    pub shard_rows: u64,
+    /// Rows fed through final cross-shard re-aggregation merges. Stays 0
+    /// for merge-elided deliveries (grouping covers the shard key) and
+    /// for concatenation-only merges.
+    pub merge_rows: u64,
+    /// Shard skew: largest shard's row share as a percentage of the
+    /// mean shard size (100 = perfectly even; a gauge, `+=` keeps max).
+    pub shard_skew: u64,
 }
 
 impl ExecMetrics {
@@ -89,6 +101,10 @@ impl ExecMetrics {
             ("matcache_bytes", self.matcache_bytes),
             ("matcache_evictions", self.matcache_evictions),
             ("matcache_rows_saved", self.matcache_rows_saved),
+            ("shards", self.shards),
+            ("shard_rows", self.shard_rows),
+            ("merge_rows", self.merge_rows),
+            ("shard_skew", self.shard_skew),
         ]
     }
 
@@ -132,6 +148,10 @@ impl ExecMetrics {
                 "matcache_bytes" => m.matcache_bytes = value,
                 "matcache_evictions" => m.matcache_evictions = value,
                 "matcache_rows_saved" => m.matcache_rows_saved = value,
+                "shards" => m.shards = value,
+                "shard_rows" => m.shard_rows = value,
+                "merge_rows" => m.merge_rows = value,
+                "shard_skew" => m.shard_skew = value,
                 _ => {}
             }
         }
@@ -157,6 +177,11 @@ impl AddAssign for ExecMetrics {
         self.matcache_bytes = self.matcache_bytes.max(rhs.matcache_bytes);
         self.matcache_evictions += rhs.matcache_evictions;
         self.matcache_rows_saved += rhs.matcache_rows_saved;
+        // Shard fan-out and skew are gauges like matcache_bytes.
+        self.shards = self.shards.max(rhs.shards);
+        self.shard_rows += rhs.shard_rows;
+        self.merge_rows += rhs.merge_rows;
+        self.shard_skew = self.shard_skew.max(rhs.shard_skew);
     }
 }
 
@@ -181,6 +206,10 @@ mod tests {
             matcache_bytes: 100,
             matcache_evictions: 1,
             matcache_rows_saved: 50,
+            shards: 4,
+            shard_rows: 40,
+            merge_rows: 10,
+            shard_skew: 110,
         };
         let b = ExecMetrics {
             rows_scanned: 5,
@@ -197,6 +226,10 @@ mod tests {
             matcache_bytes: 60,
             matcache_evictions: 0,
             matcache_rows_saved: 25,
+            shards: 2,
+            shard_rows: 15,
+            merge_rows: 5,
+            shard_skew: 130,
         };
         a += b;
         assert_eq!(a.rows_scanned, 15);
@@ -213,6 +246,10 @@ mod tests {
         assert_eq!(a.matcache_bytes, 100, "bytes is a gauge: max, not sum");
         assert_eq!(a.matcache_evictions, 1);
         assert_eq!(a.matcache_rows_saved, 75);
+        assert_eq!(a.shards, 4, "shards is a gauge: max, not sum");
+        assert_eq!(a.shard_rows, 55);
+        assert_eq!(a.merge_rows, 15);
+        assert_eq!(a.shard_skew, 130, "skew is a gauge: max, not sum");
     }
 
     #[test]
@@ -241,12 +278,17 @@ mod tests {
             matcache_bytes: 12,
             matcache_evictions: 13,
             matcache_rows_saved: 14,
+            shards: 15,
+            shard_rows: 16,
+            merge_rows: 17,
+            shard_skew: 18,
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"radix_partitions\":7"));
         // fields() enumerates every counter exactly once
-        assert_eq!(m.fields().len(), 14);
+        assert_eq!(m.fields().len(), 18);
+        assert!(json.contains("\"shard_rows\":16"));
         assert!(json.contains("\"matcache_hits\":11"));
         let back = ExecMetrics::from_json(&json).unwrap();
         assert_eq!(back, m);

@@ -4,6 +4,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::index::{Index, IndexKind};
+use crate::shard::{select_shard_key, shard_table_name, split_table, ShardDesc};
 use crate::table::Table;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -67,6 +68,13 @@ pub struct Catalog {
     /// Source of [`TableEntry::version`] values; starts at 1 so version
     /// 0 can mean "no such table" in callers that want a sentinel.
     next_version: u64,
+    /// Sharding metadata per sharded base table. A sharded table keeps
+    /// its full contiguous entry under its own name (statistics, plan
+    /// models and serial paths read it unchanged) plus one hidden base
+    /// entry per shard (`__gbmqo_shard_{name}_{i}`), each with its own
+    /// monotonic version so per-shard cached aggregates invalidate
+    /// independently.
+    shard_descs: FxHashMap<String, ShardDesc>,
 }
 
 // Compile-time guarantee for the parallel executor: worker threads borrow
@@ -117,7 +125,9 @@ impl Catalog {
     /// Register `table` under `name`, replacing any existing *base*
     /// table of that name (replacing a temp table is an error — temps
     /// are owned by plan executions). The old entry's indexes are
-    /// dropped: they describe the old data. Returns the new version.
+    /// dropped: they describe the old data. A previously sharded entry
+    /// is unsharded — its shard entries and descriptor go away. Returns
+    /// the new version.
     pub fn replace(&mut self, name: impl Into<String>, table: Table) -> Result<u64> {
         let name = name.into();
         if let Some(existing) = self.tables.get(&name) {
@@ -127,6 +137,7 @@ impl Catalog {
                 )));
             }
         }
+        self.drop_shards(&name);
         let version = self.bump_version();
         self.tables.insert(
             name,
@@ -140,10 +151,122 @@ impl Catalog {
         Ok(version)
     }
 
+    /// Register a base table split into `shards` hash-disjoint parts
+    /// (see [`crate::shard`]). The full contiguous table is registered
+    /// under `name` as usual; each part becomes a hidden base entry with
+    /// its own version. `key_cols` picks the routing columns; `None`
+    /// selects the highest-cardinality column automatically. A shard
+    /// count of 0 or 1 degrades to a plain [`Catalog::register`].
+    pub fn register_sharded(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+        shards: u32,
+        key_cols: Option<Vec<String>>,
+    ) -> Result<()> {
+        let name = name.into();
+        if shards <= 1 {
+            return self.register(name, table);
+        }
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        let table = Arc::new(table);
+        self.attach_shards(&name, &table, shards, key_cols)?;
+        self.register_arc(name, table)
+    }
+
+    /// [`Catalog::register_sharded`] with replace semantics: any
+    /// existing base entry (sharded or not) of this name is superseded.
+    /// Returns the new version of the logical table.
+    pub fn replace_sharded(
+        &mut self,
+        name: &str,
+        table: Table,
+        shards: u32,
+        key_cols: Option<Vec<String>>,
+    ) -> Result<u64> {
+        if let Some(existing) = self.tables.get(name) {
+            if existing.is_temp {
+                return Err(StorageError::Malformed(format!(
+                    "cannot replace temp table {name}"
+                )));
+            }
+        }
+        self.drop_shards(name);
+        let table = Arc::new(table);
+        if shards > 1 {
+            self.attach_shards(name, &table, shards, key_cols)?;
+        }
+        let version = self.bump_version();
+        self.tables.insert(
+            name.to_string(),
+            TableEntry {
+                table,
+                is_temp: false,
+                indexes: Vec::new(),
+                version,
+            },
+        );
+        Ok(version)
+    }
+
+    /// Sharding metadata for `name`, if it was registered sharded.
+    pub fn shard_desc(&self, name: &str) -> Option<&ShardDesc> {
+        self.shard_descs.get(name)
+    }
+
+    /// Split `table` into shard entries and record the descriptor. The
+    /// logical entry itself is the caller's business.
+    fn attach_shards(
+        &mut self,
+        name: &str,
+        table: &Table,
+        shards: u32,
+        key_cols: Option<Vec<String>>,
+    ) -> Result<()> {
+        let key_cols = match key_cols {
+            Some(k) if !k.is_empty() => k,
+            _ => vec![select_shard_key(table).ok_or_else(|| {
+                StorageError::Malformed(format!("cannot shard zero-column table {name}"))
+            })?],
+        };
+        for s in 0..shards {
+            let shard_name = shard_table_name(name, s);
+            if self.tables.contains_key(&shard_name) {
+                return Err(StorageError::TableExists(shard_name));
+            }
+        }
+        let parts = split_table(table, &key_cols, shards)?;
+        for (s, part) in parts.into_iter().enumerate() {
+            self.register(shard_table_name(name, s as u32), part)?;
+        }
+        self.shard_descs.insert(
+            name.to_string(),
+            ShardDesc {
+                key_cols,
+                shard_count: shards,
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove `name`'s shard entries and descriptor, if any.
+    fn drop_shards(&mut self, name: &str) {
+        if let Some(desc) = self.shard_descs.remove(name) {
+            for s in 0..desc.shard_count {
+                self.tables.remove(&shard_table_name(name, s));
+            }
+        }
+    }
+
     /// Append `rows` (same schema) to base table `name`, producing a new
-    /// generation: the stored data is rebuilt, the version bumps, and
-    /// existing indexes are dropped (they describe the old rows).
-    /// Returns the new version.
+    /// generation: the columns are concatenated, the version bumps, and
+    /// existing indexes are dropped (they describe the old rows). On a
+    /// sharded table the delta is routed by the shard key and appended
+    /// to the receiving shard entries only — shards no delta row landed
+    /// in keep their version, so their cached aggregates stay warm.
+    /// Returns the new version of the logical table.
     pub fn append(&mut self, name: &str, rows: Table) -> Result<u64> {
         let entry = self
             .tables
@@ -160,18 +283,16 @@ impl Catalog {
             )));
         }
         let old = Arc::clone(&entry.table);
-        let mut builder = crate::table::TableBuilder::with_capacity(
-            old.schema().clone(),
-            old.num_rows() + rows.num_rows(),
-        );
-        for t in [old.as_ref(), &rows] {
-            for r in 0..t.num_rows() {
-                let row: Vec<crate::value::Value> =
-                    (0..t.num_columns()).map(|c| t.value(r, c)).collect();
-                builder.push_row(&row)?;
+        let combined = Table::concat(&[old.as_ref(), &rows])?;
+        if let Some(desc) = self.shard_descs.get(name).cloned() {
+            let parts = split_table(&rows, &desc.key_cols, desc.shard_count)?;
+            for (s, part) in parts.into_iter().enumerate() {
+                if part.num_rows() == 0 {
+                    continue;
+                }
+                self.append(&shard_table_name(name, s as u32), part)?;
             }
         }
-        let combined = builder.finish()?;
         let version = self.bump_version();
         self.tables.insert(
             name.to_string(),
@@ -196,6 +317,7 @@ impl Catalog {
             ))),
             Some(_) => {
                 self.tables.remove(name);
+                self.drop_shards(name);
                 Ok(())
             }
         }
@@ -558,6 +680,77 @@ mod tests {
         c.create_temp("t3", probe.clone()).unwrap();
         c.set_temp_budget(None);
         c.create_temp("t4", probe).unwrap();
+    }
+
+    #[test]
+    fn sharded_register_append_and_cleanup() {
+        let mut c = Catalog::new();
+        c.register_sharded("t", tiny(64), 4, None).unwrap();
+        let desc = c.shard_desc("t").unwrap().clone();
+        assert_eq!(desc.shard_count, 4);
+        assert_eq!(desc.key_cols, vec!["x".to_string()]);
+        let total: usize = (0..4)
+            .map(|s| {
+                c.table(&crate::shard::shard_table_name("t", s))
+                    .unwrap()
+                    .num_rows()
+            })
+            .sum();
+        assert_eq!(total, 64);
+
+        // append a narrow delta: only receiving shards bump
+        let before: Vec<u64> = (0..4)
+            .map(|s| {
+                c.table_version(&crate::shard::shard_table_name("t", s))
+                    .unwrap()
+            })
+            .collect();
+        let logical_before = c.table_version("t").unwrap();
+        c.append("t", tiny(1)).unwrap(); // single row: exactly one shard receives it
+        assert!(c.table_version("t").unwrap() > logical_before);
+        assert_eq!(c.table("t").unwrap().num_rows(), 65);
+        let bumped: Vec<u32> = (0..4)
+            .filter(|&s| {
+                c.table_version(&crate::shard::shard_table_name("t", s))
+                    .unwrap()
+                    > before[s as usize]
+            })
+            .collect();
+        assert_eq!(bumped.len(), 1, "one-row delta must touch one shard");
+        let total: usize = (0..4)
+            .map(|s| {
+                c.table(&crate::shard::shard_table_name("t", s))
+                    .unwrap()
+                    .num_rows()
+            })
+            .sum();
+        assert_eq!(total, 65);
+
+        // remove cleans up shard entries and the descriptor
+        c.remove("t").unwrap();
+        assert!(c.shard_desc("t").is_none());
+        for s in 0..4 {
+            assert!(!c.contains(&crate::shard::shard_table_name("t", s)));
+        }
+    }
+
+    #[test]
+    fn replace_sharded_and_unshard() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(8)).unwrap();
+        let v = c.replace_sharded("t", tiny(32), 2, None).unwrap();
+        assert_eq!(c.table_version("t").unwrap(), v);
+        assert!(c.shard_desc("t").is_some());
+        assert!(c.contains(&crate::shard::shard_table_name("t", 0)));
+        // plain replace unshards
+        c.replace("t", tiny(4)).unwrap();
+        assert!(c.shard_desc("t").is_none());
+        assert!(!c.contains(&crate::shard::shard_table_name("t", 0)));
+        // shards <= 1 degrades to plain registration
+        c.register_sharded("u", tiny(4), 1, None).unwrap();
+        assert!(c.shard_desc("u").is_none());
+        // non-power-of-two rejected
+        assert!(c.register_sharded("w", tiny(4), 6, None).is_err());
     }
 
     #[test]

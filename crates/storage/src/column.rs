@@ -288,6 +288,114 @@ impl Column {
     pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.value(i))
     }
+
+    /// Concatenate same-typed columns into one. For string columns whose
+    /// parts share one dictionary (the common case: shards gathered from
+    /// one base table) the codes are concatenated and the dictionary
+    /// shared; parts with distinct dictionaries are re-interned through a
+    /// per-part remap table (O(dict + rows), never per-row hashing of
+    /// string bytes).
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let first = parts
+            .first()
+            .ok_or_else(|| StorageError::Malformed("concat of zero columns".into()))?;
+        let dt = first.data_type();
+        if let Some(bad) = parts.iter().find(|p| p.data_type() != dt) {
+            return Err(StorageError::TypeMismatch {
+                expected: dt,
+                got: format!("{:?}", bad.data_type()),
+            });
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let data = match dt {
+            DataType::Int64 => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    let ColumnData::Int64(v) = p.data() else {
+                        unreachable!()
+                    };
+                    out.extend_from_slice(v);
+                }
+                ColumnData::Int64(out)
+            }
+            DataType::Float64 => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    let ColumnData::Float64(v) = p.data() else {
+                        unreachable!()
+                    };
+                    out.extend_from_slice(v);
+                }
+                ColumnData::Float64(out)
+            }
+            DataType::Date32 => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    let ColumnData::Date32(v) = p.data() else {
+                        unreachable!()
+                    };
+                    out.extend_from_slice(v);
+                }
+                ColumnData::Date32(out)
+            }
+            DataType::Utf8 => {
+                let ColumnData::Utf8 { dict: d0, .. } = first.data() else {
+                    unreachable!()
+                };
+                let shared = parts.iter().all(|p| {
+                    let ColumnData::Utf8 { dict, .. } = p.data() else {
+                        unreachable!()
+                    };
+                    Arc::ptr_eq(dict, d0)
+                });
+                let mut out = Vec::with_capacity(total);
+                if shared {
+                    for p in parts {
+                        let ColumnData::Utf8 { codes, .. } = p.data() else {
+                            unreachable!()
+                        };
+                        out.extend_from_slice(codes);
+                    }
+                    ColumnData::Utf8 {
+                        codes: out,
+                        dict: Arc::clone(d0),
+                    }
+                } else {
+                    let mut merged = Dictionary::new();
+                    for p in parts {
+                        let ColumnData::Utf8 { codes, dict } = p.data() else {
+                            unreachable!()
+                        };
+                        let remap: Vec<u32> = (0..dict.len() as u32)
+                            .map(|c| merged.intern(dict.get(c)))
+                            .collect();
+                        out.extend(codes.iter().map(|&c| remap[c as usize]));
+                    }
+                    if merged.is_empty() && !out.is_empty() {
+                        // all-null parts carry empty dicts; keep code 0 valid
+                        merged.intern("");
+                    }
+                    ColumnData::Utf8 {
+                        codes: out,
+                        dict: Arc::new(merged),
+                    }
+                }
+            }
+        };
+        let validity = if parts.iter().any(|p| p.validity().is_some()) {
+            let mut bm = Bitmap::new();
+            for p in parts {
+                match p.validity() {
+                    Some(v) => (0..p.len()).for_each(|i| bm.push(v.get(i))),
+                    None => (0..p.len()).for_each(|_| bm.push(true)),
+                }
+            }
+            Some(bm)
+        } else {
+            None
+        };
+        Column::new(data, validity)
+    }
 }
 
 fn data_len(data: &ColumnData) -> usize {
@@ -619,6 +727,66 @@ mod tests {
         };
         assert_eq!(enc(0), enc(1));
         assert_ne!(enc(0), enc(2));
+    }
+
+    #[test]
+    fn concat_shares_dictionary_on_common_ancestor() {
+        let base = Column::from_strs(&["x", "y", "z", "x"]);
+        let a = base.gather(&[0, 2]);
+        let b = base.gather(&[1, 3]);
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 4);
+        let vals: Vec<Value> = c.iter_values().collect();
+        assert_eq!(
+            vals,
+            vec![
+                Value::str("x"),
+                Value::str("z"),
+                Value::str("y"),
+                Value::str("x")
+            ]
+        );
+        if let (ColumnData::Utf8 { dict: d0, .. }, ColumnData::Utf8 { dict: dc, .. }) =
+            (base.data(), c.data())
+        {
+            assert!(Arc::ptr_eq(d0, dc), "shared-ancestor concat must not copy");
+        } else {
+            panic!("expected Utf8");
+        }
+    }
+
+    #[test]
+    fn concat_remaps_distinct_dictionaries() {
+        let a = Column::from_strs(&["alpha", "beta"]);
+        let b = Column::from_strs(&["beta", "gamma"]);
+        let c = Column::concat(&[&a, &b]).unwrap();
+        let vals: Vec<Value> = c.iter_values().collect();
+        assert_eq!(
+            vals,
+            vec![
+                Value::str("alpha"),
+                Value::str("beta"),
+                Value::str("beta"),
+                Value::str("gamma")
+            ]
+        );
+    }
+
+    #[test]
+    fn concat_preserves_nulls_and_checks_types() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push_i64(1);
+        b.push_null();
+        let with_null = b.finish();
+        let plain = Column::from_i64(vec![7]);
+        let c = Column::concat(&[&with_null, &plain]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(7));
+        assert_eq!(c.null_count(), 1);
+        let err = Column::concat(&[&plain, &Column::from_dates(vec![1])]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert!(Column::concat(&[]).is_err());
     }
 
     #[test]

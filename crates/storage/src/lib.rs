@@ -28,6 +28,7 @@ pub mod index;
 pub mod key;
 pub mod packed;
 pub mod schema;
+pub mod shard;
 pub mod sort;
 pub mod table;
 pub mod value;
@@ -41,6 +42,7 @@ pub use index::{Index, IndexKind};
 pub use key::{KeyEncoder, RowKey};
 pub use packed::{KeyCode, PackedKeySpec};
 pub use schema::{Field, Schema};
+pub use shard::{route_rows, select_shard_key, shard_table_name, split_table, ShardDesc};
 pub use sort::sort_permutation;
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};

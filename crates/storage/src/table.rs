@@ -144,6 +144,29 @@ impl Table {
         Table::new(self.schema.clone(), columns).expect("gather is consistent")
     }
 
+    /// Concatenate same-schema tables into one (the row-wise union of
+    /// the parts, in order). This is the columnar fast path appends and
+    /// shard merges use instead of rebuilding row by row.
+    pub fn concat(parts: &[&Table]) -> Result<Table> {
+        let first = parts
+            .first()
+            .ok_or_else(|| StorageError::Malformed("concat of zero tables".into()))?;
+        if let Some(bad) = parts.iter().find(|p| p.schema() != first.schema()) {
+            return Err(StorageError::Malformed(format!(
+                "concat schema mismatch: {:?} vs {:?}",
+                bad.schema().names(),
+                first.schema().names()
+            )));
+        }
+        let columns: Vec<Column> = (0..first.num_columns())
+            .map(|c| {
+                let cols: Vec<&Column> = parts.iter().map(|p| p.column(c)).collect();
+                Column::concat(&cols)
+            })
+            .collect::<Result<_>>()?;
+        Table::new(first.schema().clone(), columns)
+    }
+
     /// Render the first `limit` rows as an aligned text block (debugging).
     pub fn display(&self, limit: usize) -> String {
         let mut out = String::new();
@@ -310,6 +333,24 @@ mod tests {
         assert_eq!(g.num_rows(), 2);
         assert_eq!(g.value(0, 0), Value::Int(3));
         assert_eq!(g.value(1, 1), Value::str("alice"));
+    }
+
+    #[test]
+    fn concat_round_trips_split_rows() {
+        let t = sample();
+        let a = t.gather(&[0]);
+        let b = t.gather(&[1, 2]);
+        let c = Table::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.num_rows(), 3);
+        for r in 0..3 {
+            for col in 0..3 {
+                assert_eq!(c.value(r, col), t.value(r, col), "row {r} col {col}");
+            }
+        }
+        // schema mismatch is rejected
+        let other = Table::empty(Schema::new(vec![Field::new("zzz", DataType::Int64)]).unwrap());
+        assert!(Table::concat(&[&t, &other]).is_err());
+        assert!(Table::concat(&[]).is_err());
     }
 
     #[test]
