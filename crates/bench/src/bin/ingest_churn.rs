@@ -1,0 +1,189 @@
+//! Warm cache hit-rate under sustained ingest: delta refresh vs
+//! invalidate-everything.
+//!
+//! A dashboard keeps re-asking the same grouping sets while an ingest
+//! pipeline appends rows to the base table. Before delta propagation,
+//! every append invalidated every cached aggregate, so a churning
+//! table pinned the warm hit-rate near zero — each refresh cycle paid
+//! a full base-table rescan per set. With delta propagation the stale
+//! entry is brought current by aggregating only the appended rows and
+//! merging (the paper's §7 union identity), so the cache keeps serving
+//! through churn.
+//!
+//! This binary runs the same racing workload twice over the wire —
+//! one writer connection streaming `Append` frames, one dashboard
+//! connection querying — differing only in the server's refresh
+//! policy, and prints both hit-rates.
+//!
+//! ```sh
+//! cargo run --release -p gbmqo-bench --bin ingest_churn
+//! GBMQO_ROWS=100000 cargo run --release -p gbmqo-bench --bin ingest_churn
+//! cargo run --release -p gbmqo-bench --bin ingest_churn -- --smoke  # CI: assert floors
+//! ```
+
+use gbmqo_core::prelude::*;
+use gbmqo_datagen::lineitem;
+use gbmqo_server::{stats_field, Client, Server, ServerConfig, ServerHandle};
+use gbmqo_storage::Table;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SKEW: f64 = 1.0;
+const SEED: u64 = 42;
+const ROUNDS: usize = 12;
+const APPEND_ROWS: usize = 2_000;
+
+/// The dashboard's repeated grouping sets.
+const QUERIES: &[&[&str]] = &[
+    &["l_returnflag"],
+    &["l_linestatus"],
+    &["l_shipmode"],
+    &["l_shipinstruct"],
+    &["l_returnflag", "l_linestatus"],
+    &["l_shipmode", "l_returnflag"],
+    &["l_linenumber"],
+    &["l_linenumber", "l_linestatus"],
+];
+
+fn rows() -> usize {
+    std::env::var("GBMQO_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500_000)
+}
+
+fn start(table: Table, policy: RefreshPolicy) -> ServerHandle {
+    let session = Session::builder()
+        .table("lineitem", table)
+        .search(SearchConfig::pruned())
+        .plan_cache(64)
+        .mat_cache_budget_bytes(32 << 20)
+        .refresh_policy(policy)
+        .build()
+        .unwrap();
+    Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+struct ChurnOutcome {
+    qps: f64,
+    hit_pct: u64,
+    appends: u64,
+    delta_refreshes: u64,
+    delta_fallbacks: u64,
+    refresh_rows_saved: u64,
+}
+
+/// Dashboard rounds racing a writer thread that streams appends until
+/// the reads finish. Returns throughput and the server's cache stats.
+fn drive(addr: std::net::SocketAddr, delta: &Table) -> ChurnOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let delta = delta.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                client.append("lineitem", &delta).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+    };
+
+    let mut client = Client::connect(addr).unwrap();
+    // Round zero warms the cache before the measured loop.
+    for cols in QUERIES {
+        client.query("lineitem", cols, 0).unwrap();
+    }
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for cols in QUERIES {
+            client.query("lineitem", cols, 0).unwrap();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+
+    let stats = client.stats().unwrap();
+    let field = |k: &str| stats_field(&stats, k).unwrap_or(0);
+    ChurnOutcome {
+        qps: (ROUNDS * QUERIES.len()) as f64 / secs,
+        hit_pct: field("matcache_hit_pct"),
+        appends: field("appends"),
+        delta_refreshes: field("delta_refreshes"),
+        delta_fallbacks: field("delta_fallbacks"),
+        refresh_rows_saved: field("refresh_rows_saved"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = if smoke { 60_000 } else { rows() };
+    eprintln!("generating {rows}-row lineitem (zipf z={SKEW}) ...");
+    let table = lineitem(rows, SKEW, SEED);
+    let delta = table.slice_rows(0, APPEND_ROWS.min(rows)).unwrap();
+
+    let off_handle = start(table.clone(), RefreshPolicy::Disabled);
+    let off = drive(off_handle.local_addr(), &delta);
+    off_handle.shutdown();
+
+    let lazy_handle = start(table, RefreshPolicy::Lazy);
+    let lazy = drive(lazy_handle.local_addr(), &delta);
+    lazy_handle.shutdown();
+
+    println!(
+        "ingest_churn: {rows} rows, {} queries x {ROUNDS} rounds, {APPEND_ROWS}-row appends racing",
+        QUERIES.len()
+    );
+    println!(
+        "  invalidate: {:>8.1} q/s, {:>3}% warm hits  ({} appends)",
+        off.qps, off.hit_pct, off.appends
+    );
+    println!(
+        "  delta     : {:>8.1} q/s, {:>3}% warm hits  ({} appends, {} refreshes, {} fallbacks, {} base rows saved)",
+        lazy.qps,
+        lazy.hit_pct,
+        lazy.appends,
+        lazy.delta_refreshes,
+        lazy.delta_fallbacks,
+        lazy.refresh_rows_saved
+    );
+    println!("  speedup   : {:.2}x", lazy.qps / off.qps.max(1e-9));
+
+    if smoke {
+        // CI floors: the delta pipeline must keep the cache warm under
+        // churn, refresh instead of falling back, and beat invalidation.
+        assert!(
+            lazy.hit_pct >= 25,
+            "smoke: warm hit-rate {}% under churn is below the 25% floor",
+            lazy.hit_pct
+        );
+        assert!(
+            lazy.delta_refreshes >= 1,
+            "smoke: no delta refreshes happened at all"
+        );
+        assert!(
+            lazy.delta_fallbacks <= lazy.appends,
+            "smoke: {} fallbacks exceed {} appends — refresh is not sticking",
+            lazy.delta_fallbacks,
+            lazy.appends
+        );
+        assert!(
+            lazy.hit_pct > off.hit_pct,
+            "smoke: delta refresh ({}%) did not beat invalidate-everything ({}%)",
+            lazy.hit_pct,
+            off.hit_pct
+        );
+        println!("smoke: OK");
+    }
+}

@@ -40,6 +40,11 @@ pub struct Options {
     /// Radix-partition the loaded table into this many hash-disjoint
     /// shards (power of two; 0/1 = unsharded).
     pub shards: u32,
+    /// Append this many rows (resampled from the file) between repeat
+    /// iterations, exercising the delta-refresh ingest path.
+    pub append_rows: usize,
+    /// How cached aggregates react to those appends.
+    pub refresh: RefreshPolicy,
 }
 
 impl Options {
@@ -59,6 +64,8 @@ impl Options {
             repeat: 1,
             cache_budget_mb: 0,
             shards: 0,
+            append_rows: 0,
+            refresh: RefreshPolicy::Lazy,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -116,6 +123,19 @@ impl Options {
                         .ok_or_else(|| "--shards needs a value".to_string())?
                         .parse()
                         .map_err(|e| format!("--shards: {e}"))?
+                }
+                "--append-rows" => {
+                    opts.append_rows = it
+                        .next()
+                        .ok_or_else(|| "--append-rows needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--append-rows: {e}"))?
+                }
+                "--refresh" => {
+                    opts.refresh = crate::serve::parse_refresh(
+                        it.next()
+                            .ok_or_else(|| "--refresh needs a value".to_string())?,
+                    )?
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown option {flag}"));
@@ -215,6 +235,7 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         .search(SearchConfig::pruned())
         .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
         .shards(opts.shards)
+        .refresh_policy(opts.refresh)
         .build()
         .map_err(|e| e.to_string())?;
 
@@ -268,7 +289,15 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
     let start = Instant::now();
     let mut metrics = gbmqo_exec::ExecMetrics::new();
     let mut last = None;
-    for _ in 0..opts.repeat.max(1) {
+    for iter in 0..opts.repeat.max(1) {
+        // Churn between iterations: append a resampled slice so warm
+        // repeats exercise the delta-refresh path instead of pure hits.
+        if iter > 0 && opts.append_rows > 0 {
+            let delta = table
+                .slice_rows(0, opts.append_rows.min(rows))
+                .map_err(|e| e.to_string())?;
+            session.append("data", delta).map_err(|e| e.to_string())?;
+        }
         let report = if explicit_plan {
             session.run_plan(&plan, &workload)
         } else {
@@ -335,6 +364,17 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
             m.shards, m.shard_rows, m.merge_rows, m.shard_skew
         );
     }
+    if opts.append_rows > 0 {
+        println!(
+            "ingest: {} delta refreshes ({} delta rows scanned, {} base rows saved), \
+             {} fallbacks to invalidation, {} reshard hints",
+            m.delta_refreshes,
+            m.delta_rows,
+            m.refresh_rows_saved,
+            m.delta_fallbacks,
+            m.reshard_hints
+        );
+    }
     Ok(())
 }
 
@@ -355,6 +395,16 @@ mod tests {
         assert_eq!(o.sets.as_deref(), Some("a,b"));
         let sharded = Options::parse(&["f.csv".into(), "--shards".into(), "4".into()]).unwrap();
         assert_eq!(sharded.shards, 4);
+        let churn = Options::parse(&[
+            "f.csv".into(),
+            "--append-rows".into(),
+            "500".into(),
+            "--refresh".into(),
+            "off".into(),
+        ])
+        .unwrap();
+        assert_eq!(churn.append_rows, 500);
+        assert_eq!(churn.refresh, RefreshPolicy::Disabled);
         assert!(Options::parse(&["f.csv".into(), "--shards".into(), "x".into()]).is_err());
         assert!(Options::parse(&[]).is_err());
         assert!(Options::parse(&["f.csv".into(), "--bogus".into()]).is_err());
@@ -410,6 +460,8 @@ mod tests {
             repeat: 1,
             cache_budget_mb: 0,
             shards: 0,
+            append_rows: 0,
+            refresh: RefreshPolicy::Lazy,
         };
         run(&opts).unwrap();
         // machine-readable metrics parse back into ExecMetrics
@@ -444,6 +496,17 @@ mod tests {
             plan: false,
             shards: 4,
             json: true,
+            ..opts.clone()
+        })
+        .unwrap();
+        // churn: appends between warm repeats go through delta refresh
+        run(&Options {
+            save_plan: None,
+            explain: false,
+            plan: false,
+            repeat: 3,
+            cache_budget_mb: 8,
+            append_rows: 20,
             ..opts.clone()
         })
         .unwrap();

@@ -15,6 +15,13 @@ pub enum Command {
         /// CSV path.
         file: String,
     },
+    /// Append CSV rows to a registered table.
+    Append {
+        /// Catalog name.
+        name: String,
+        /// CSV path (same schema as the registered table).
+        file: String,
+    },
     /// One Group By.
     Query {
         /// Table name.
@@ -91,6 +98,10 @@ impl Options {
                 name: name.to_string(),
                 file: file.to_string(),
             },
+            [c, name, file] if c.as_str() == "append" => Command::Append {
+                name: name.to_string(),
+                file: file.to_string(),
+            },
             [c, table, cols] if c.as_str() == "query" => Command::Query {
                 table: table.to_string(),
                 cols: cols.split(',').map(|s| s.trim().to_string()).collect(),
@@ -101,7 +112,8 @@ impl Options {
             },
             _ => {
                 return Err("expected: ping | stats | register <name> <file.csv> | \
-                     query <table> <cols> | workload <table> <sets>"
+                     append <name> <file.csv> | query <table> <cols> | \
+                     workload <table> <sets>"
                     .to_string())
             }
         };
@@ -169,6 +181,13 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
                 .register_table(name, &table)
                 .map_err(|e| e.to_string())?;
             println!("registered {name}: {} rows", table.num_rows());
+        }
+        Command::Append { name, file } => {
+            let content =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let rows = table_from_csv(&content).map_err(|e| e.to_string())?;
+            client.append(name, &rows).map_err(|e| e.to_string())?;
+            println!("appended {} rows to {name}", rows.num_rows());
         }
         Command::Query { table, cols } => {
             let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
@@ -247,6 +266,14 @@ mod tests {
             Command::Query { table, cols } => {
                 assert_eq!(table, "data");
                 assert_eq!(cols, vec!["a", "b"]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let o = Options::parse(&strs(&["h:1", "append", "data", "more.csv"])).unwrap();
+        match o.command {
+            Command::Append { name, file } => {
+                assert_eq!(name, "data");
+                assert_eq!(file, "more.csv");
             }
             other => panic!("wrong command: {other:?}"),
         }

@@ -34,6 +34,23 @@ pub struct Options {
     /// shards (power of two; 0/1 = unsharded). Applies to the preloaded
     /// table and to tables clients register over the wire.
     pub shards: u32,
+    /// How cached aggregates react to appends: `lazy` delta-refreshes
+    /// stale entries on lookup, `eager` refreshes inside the append,
+    /// `off` falls back to invalidate-everything.
+    pub refresh: RefreshPolicy,
+    /// Delta-refresh cutoff: when the pending delta exceeds this
+    /// fraction of the base table, invalidate instead of refreshing.
+    pub max_delta_fraction: f64,
+}
+
+/// Parse a `--refresh` value.
+pub(crate) fn parse_refresh(s: &str) -> std::result::Result<RefreshPolicy, String> {
+    match s {
+        "lazy" => Ok(RefreshPolicy::Lazy),
+        "eager" => Ok(RefreshPolicy::Eager),
+        "off" => Ok(RefreshPolicy::Disabled),
+        other => Err(format!("--refresh: expected lazy|eager|off, got {other:?}")),
+    }
 }
 
 impl Options {
@@ -52,6 +69,8 @@ impl Options {
             chunk_kb: ServerConfig::default().chunk_bytes >> 10,
             outbound_kb: ServerConfig::default().outbound_budget >> 10,
             shards: 0,
+            refresh: RefreshPolicy::Lazy,
+            max_delta_fraction: DEFAULT_MAX_DELTA_FRACTION,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -108,6 +127,12 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--shards: {e}"))?
                 }
+                "--refresh" => opts.refresh = parse_refresh(&value("--refresh")?)?,
+                "--max-delta-fraction" => {
+                    opts.max_delta_fraction = value("--max-delta-fraction")?
+                        .parse()
+                        .map_err(|e| format!("--max-delta-fraction: {e}"))?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
                 path if opts.file.is_none() => opts.file = Some(path.to_string()),
                 extra => return Err(format!("unexpected argument {extra:?}")),
@@ -123,7 +148,9 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         .search(SearchConfig::pruned())
         .plan_cache(64)
         .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
-        .shards(opts.shards);
+        .shards(opts.shards)
+        .refresh_policy(opts.refresh)
+        .max_delta_fraction(opts.max_delta_fraction);
     if let Some(file) = &opts.file {
         let content = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
         let table = table_from_csv(&content).map_err(|e| e.to_string())?;
@@ -176,6 +203,15 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
             opts.shards
         );
     }
+    println!(
+        "ingest: {} refresh of cached aggregates on append (delta cutoff {:.0}% of base)",
+        match opts.refresh {
+            RefreshPolicy::Lazy => "lazy",
+            RefreshPolicy::Eager => "eager",
+            RefreshPolicy::Disabled => "no",
+        },
+        opts.max_delta_fraction * 100.0
+    );
     // Serve until the process is killed; the handle's Drop drains
     // in-flight requests if we ever get here.
     loop {
@@ -220,6 +256,10 @@ mod tests {
             "2048",
             "--shards",
             "4",
+            "--refresh",
+            "eager",
+            "--max-delta-fraction",
+            "0.25",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -229,7 +269,17 @@ mod tests {
         assert_eq!(o.chunk_kb, 256);
         assert_eq!(o.outbound_kb, 2048);
         assert_eq!(o.shards, 4);
+        assert_eq!(o.refresh, RefreshPolicy::Eager);
+        assert!((o.max_delta_fraction - 0.25).abs() < 1e-9);
         // no file is fine: clients register tables over the wire
         assert!(Options::parse(&[]).is_ok());
+    }
+
+    #[test]
+    fn refresh_values_parse() {
+        assert_eq!(parse_refresh("lazy").unwrap(), RefreshPolicy::Lazy);
+        assert_eq!(parse_refresh("eager").unwrap(), RefreshPolicy::Eager);
+        assert_eq!(parse_refresh("off").unwrap(), RefreshPolicy::Disabled);
+        assert!(parse_refresh("sometimes").is_err());
     }
 }

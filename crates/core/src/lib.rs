@@ -121,7 +121,10 @@ pub use join_pushdown::grouping_sets_over_join;
 pub use parse::parse_grouping_sets;
 pub use plan::{LogicalPlan, NodeKind, SubNode};
 pub use serialize::{plan_from_text, plan_to_text};
-pub use session::{CostModelSpec, Session, SessionBuilder, WorkloadOutcome};
+pub use session::{
+    AppendOutcome, CostModelSpec, RefreshPolicy, Session, SessionBuilder, WorkloadOutcome,
+    DEFAULT_MAX_DELTA_FRACTION, RESHARD_SKEW_THRESHOLD,
+};
 pub use sql::render_sql;
 pub use workload::Workload;
 
@@ -134,7 +137,10 @@ pub mod prelude {
     pub use crate::executor::{ExecutionReport, ParallelOptions};
     pub use crate::greedy::{GbMqo, SearchConfig, SearchStats};
     pub use crate::plan::{LogicalPlan, SubNode};
-    pub use crate::session::{CostModelSpec, Session, SessionBuilder, WorkloadOutcome};
+    pub use crate::session::{
+        AppendOutcome, CostModelSpec, RefreshPolicy, Session, SessionBuilder, WorkloadOutcome,
+        DEFAULT_MAX_DELTA_FRACTION, RESHARD_SKEW_THRESHOLD,
+    };
     pub use crate::workload::Workload;
     pub use gbmqo_exec::{CancelToken, GroupByStrategy};
     pub use gbmqo_matcache::{CacheControl, MatCacheStats};

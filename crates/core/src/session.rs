@@ -48,8 +48,13 @@ use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, SubNode};
 use crate::workload::Workload;
 use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
-use gbmqo_exec::{CancelToken, Engine, GroupByStrategy};
-use gbmqo_matcache::{agg_signature, CacheControl, CachedAggregate, MatCache, MatCacheStats};
+use gbmqo_exec::{
+    hash_group_by, AggFunc, AggSpec, CancelToken, Engine, ExecMetrics, GroupByQuery,
+    GroupByStrategy,
+};
+use gbmqo_matcache::{
+    agg_signature, CacheControl, CachedAggregate, MatCache, MatCacheStats, StaleAggregate,
+};
 use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
 use gbmqo_storage::{shard_table_name, Catalog, Table};
 use std::hash::{Hash, Hasher};
@@ -117,6 +122,67 @@ impl CostModelSpec {
     }
 }
 
+/// When stale materialized aggregates are brought current after an
+/// append (see [`Session::append`]). Refreshing aggregates only the
+/// appended row range (the delta) and merges it into the cached result
+/// under the paper's §7 aggregate-union identity, instead of discarding
+/// the cache and rescanning the whole base table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Refresh a stale covering entry when a lookup first wants it (the
+    /// default): appends stay cheap, the first post-append request pays
+    /// the (delta-sized) merge.
+    #[default]
+    Lazy,
+    /// Refresh every stale entry synchronously inside
+    /// [`Session::append`]: appends pay the merges, requests always see
+    /// a warm cache.
+    Eager,
+    /// Never refresh: a stale entry is dropped the first time a lookup
+    /// misses over it — the old invalidate-everything behaviour.
+    Disabled,
+}
+
+/// What an [`Session::append`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Rows appended.
+    pub rows: usize,
+    /// The logical table's new contents version.
+    pub version: u64,
+    /// True when the append left shard sizes skewed enough (largest
+    /// shard at least [`RESHARD_SKEW_THRESHOLD`]% of fair share) that
+    /// [`Session::reshard`] is advisable. Appends route rows with the
+    /// shard key chosen at registration time; a delta with shifted
+    /// cardinalities can concentrate on few shards, and nothing
+    /// re-evaluates the key automatically.
+    pub reshard_hint: bool,
+}
+
+/// Shard skew (largest shard as a percentage of the mean; 100 =
+/// perfectly balanced) at or above which [`Session::append`] raises
+/// [`AppendOutcome::reshard_hint`] and counts an
+/// [`ExecMetrics::reshard_hints`].
+pub const RESHARD_SKEW_THRESHOLD: u64 = 200;
+
+/// Default [`SessionBuilder::max_delta_fraction`]: refresh is abandoned
+/// (stale entries dropped) when the unmerged delta exceeds this
+/// fraction of the base table.
+pub const DEFAULT_MAX_DELTA_FRACTION: f64 = 0.5;
+
+/// Whether every aggregate merges losslessly under append-only ingest
+/// (§7.2's merge rules): COUNT, SUM, MIN and MAX all do. The exhaustive
+/// match forces a decision here if a non-mergeable function (AVG,
+/// DISTINCT, …) ever lands.
+fn specs_mergeable(specs: &[AggSpec]) -> bool {
+    specs.iter().all(|s| {
+        matches!(
+            s.func,
+            AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max
+        )
+    })
+}
+
 /// Builder for [`Session`]; see the module docs for a walkthrough.
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
@@ -132,6 +198,8 @@ pub struct SessionBuilder {
     strategy: GroupByStrategy,
     mat_cache_budget_bytes: usize,
     shards: u32,
+    refresh_policy: RefreshPolicy,
+    max_delta_fraction: Option<f64>,
 }
 
 impl SessionBuilder {
@@ -229,6 +297,24 @@ impl SessionBuilder {
         self
     }
 
+    /// When stale cached aggregates are delta-refreshed after appends
+    /// (default [`RefreshPolicy::Lazy`]). Only meaningful with a
+    /// materialized aggregate cache budget.
+    pub fn refresh_policy(mut self, policy: RefreshPolicy) -> Self {
+        self.refresh_policy = policy;
+        self
+    }
+
+    /// Largest delta (as a fraction of the base table's rows) a refresh
+    /// will merge; beyond it stale entries are dropped and recomputed
+    /// cold (default [`DEFAULT_MAX_DELTA_FRACTION`]). At that size the
+    /// delta scan approaches a full rescan and merging on top of it
+    /// stops paying.
+    pub fn max_delta_fraction(mut self, fraction: f64) -> Self {
+        self.max_delta_fraction = Some(fraction);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session> {
         let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
@@ -264,6 +350,14 @@ impl SessionBuilder {
                 ));
             }
         }
+        let max_delta_fraction = self
+            .max_delta_fraction
+            .unwrap_or(DEFAULT_MAX_DELTA_FRACTION);
+        if !(0.0..=1.0).contains(&max_delta_fraction) {
+            return Err(CoreError::InvalidSession(format!(
+                "max_delta_fraction must be within [0, 1], got {max_delta_fraction}"
+            )));
+        }
         Ok(Session {
             engine,
             cost_model: self.cost_model,
@@ -275,6 +369,9 @@ impl SessionBuilder {
             mat_cache: MatCache::new(self.mat_cache_budget_bytes),
             stats_version: 0,
             shards: self.shards,
+            refresh_policy: self.refresh_policy,
+            max_delta_fraction,
+            pending: ExecMetrics::default(),
         })
     }
 }
@@ -312,6 +409,13 @@ pub struct Session {
     /// Default shard count applied to tables registered through the
     /// session (`0`/`1` = unsharded).
     shards: u32,
+    /// When stale cached aggregates are delta-refreshed.
+    refresh_policy: RefreshPolicy,
+    /// Largest refreshable delta, as a fraction of base-table rows.
+    max_delta_fraction: f64,
+    /// Ingest-side counters (eager refreshes, reshard hints) accrued
+    /// outside any request; drained into the next workload's metrics.
+    pending: ExecMetrics,
 }
 
 // A session is plain owned data (tables are `Arc`-shared but immutable),
@@ -393,23 +497,54 @@ impl Session {
             None => Vec::new(),
         };
 
+        // Ingest-side counters: whatever appends accrued since the last
+        // request (eager refreshes, reshard hints), plus any lazy delta
+        // refreshes this request performs below. Folded into the
+        // report's metrics at step 6.
+        let mut ingest = std::mem::take(&mut self.pending);
+
         // 1. Consult the cache: which requests does a cached (same
         // table contents, same aggregates) superset aggregate cover?
+        // Under the lazy refresh policy a miss over a *stale* covering
+        // entry first tries to bring it current by aggregating only the
+        // appended row range and merging (§7's aggregate-union
+        // identity); only when that is impossible or uneconomic do
+        // stale entries get dropped.
         let mut covered: Vec<(ColSet, CachedAggregate)> = Vec::new();
         if use_cache && cache.allows_lookup() {
+            self.engine.reset_metrics();
             for &req in &workload.requests {
                 let names: Vec<String> = workload
                     .col_names(req)
                     .iter()
                     .map(|s| s.to_string())
                     .collect();
-                if let Some(hit) = self.mat_cache.lookup_covering(
+                let mut hit = self.mat_cache.lookup_covering(
                     &workload.table,
                     table_version,
                     &names,
                     agg_sig,
                     base_rows,
-                ) {
+                );
+                if hit.is_none()
+                    && self.try_lazy_refresh(
+                        &workload.table,
+                        table_version,
+                        &names,
+                        agg_sig,
+                        base_rows,
+                        &mut ingest,
+                    )
+                {
+                    hit = self.mat_cache.lookup_covering(
+                        &workload.table,
+                        table_version,
+                        &names,
+                        agg_sig,
+                        base_rows,
+                    );
+                }
+                if let Some(hit) = hit {
                     covered.push((req, hit));
                 }
             }
@@ -435,10 +570,21 @@ impl Session {
                     .collect();
                 let mut hits: Vec<(u32, CachedAggregate)> = Vec::new();
                 for (s, (sname, sver, srows)) in shard_meta.iter().enumerate() {
-                    if let Some(hit) = self
+                    let mut hit = self
                         .mat_cache
-                        .lookup_covering(sname, *sver, &names, agg_sig, *srows)
-                    {
+                        .lookup_covering(sname, *sver, &names, agg_sig, *srows);
+                    if hit.is_none() {
+                        // Each shard entry has its own version and delta
+                        // chain; a shard left stale by a routed append
+                        // refreshes from just its own delta.
+                        if self.try_lazy_refresh(sname, *sver, &names, agg_sig, *srows, &mut ingest)
+                        {
+                            hit = self
+                                .mat_cache
+                                .lookup_covering(sname, *sver, &names, agg_sig, *srows);
+                        }
+                    }
+                    if let Some(hit) = hit {
                         hits.push((s as u32, hit));
                     }
                 }
@@ -449,6 +595,13 @@ impl Session {
                     }
                 }
             }
+        }
+
+        if use_cache && cache.allows_lookup() {
+            // Fold the delta scans' engine-side counters (delta_rows,
+            // rows scanned, elapsed) into this request's metrics before
+            // run_mode resets the engine for the main execution.
+            ingest += self.engine.metrics();
         }
 
         // 2. Run the merge search only over the uncovered remainder
@@ -536,6 +689,7 @@ impl Session {
                     table_version,
                     &names,
                     agg_sig,
+                    &workload.aggregates,
                     table,
                     base_rows,
                 );
@@ -553,8 +707,15 @@ impl Session {
                         .iter()
                         .map(|s| s.to_string())
                         .collect();
-                    self.mat_cache
-                        .admit(sname, *sver, &names, agg_sig, table, *srows);
+                    self.mat_cache.admit(
+                        sname,
+                        *sver,
+                        &names,
+                        agg_sig,
+                        &workload.aggregates,
+                        table,
+                        *srows,
+                    );
                 }
             }
             for (cols, table) in &results {
@@ -566,7 +727,9 @@ impl Session {
             }
         }
 
-        // 6. Surface this request's cache activity in the metrics.
+        // 6. Surface this request's cache and ingest activity in the
+        // metrics (delta counters sum; gauges take the max).
+        metrics += ingest;
         if use_cache {
             let after = self.mat_cache.stats();
             metrics.matcache_hits = after.hits - before.hits;
@@ -721,6 +884,219 @@ impl Session {
         }
         self.stats_version += 1;
         Ok(())
+    }
+
+    /// Append `rows` to base table `name` (schemas must match). The
+    /// catalog records a delta descriptor per touched entry — for a
+    /// sharded table the rows route through the existing shard key and
+    /// each receiving shard logs its own delta — so cached aggregates
+    /// are *refreshed* from just the appended range instead of being
+    /// invalidated (per the session's [`RefreshPolicy`]). Cached plans
+    /// stop matching automatically: the table's contents version is
+    /// part of the plan fingerprint.
+    ///
+    /// Appends never re-evaluate the shard key. When the delta's value
+    /// distribution differs from the registration-time contents, rows
+    /// can concentrate on few shards; the post-append skew is measured
+    /// here and surfaced as [`AppendOutcome::reshard_hint`] plus an
+    /// [`ExecMetrics::reshard_hints`] count — [`Session::reshard`] is
+    /// the escape hatch.
+    pub fn append(&mut self, name: &str, rows: Table) -> Result<AppendOutcome> {
+        let appended = rows.num_rows();
+        let version = self.engine.catalog_mut().append(name, rows)?;
+        let mut reshard_hint = false;
+        if let Some(desc) = self.engine.catalog().shard_desc(name).cloned() {
+            let sizes: Vec<u64> = (0..desc.shard_count)
+                .map(|s| {
+                    let sname = shard_table_name(name, s);
+                    self.engine
+                        .catalog()
+                        .table(&sname)
+                        .map_or(0, |t| t.num_rows() as u64)
+                })
+                .collect();
+            let total: u64 = sizes.iter().sum();
+            let largest = sizes.iter().copied().max().unwrap_or(0);
+            let skew = (largest * 100 * u64::from(desc.shard_count))
+                .checked_div(total)
+                .unwrap_or(0);
+            self.pending.shard_skew = self.pending.shard_skew.max(skew);
+            if skew >= RESHARD_SKEW_THRESHOLD {
+                reshard_hint = true;
+                self.pending.reshard_hints += 1;
+            }
+        }
+        if self.refresh_policy == RefreshPolicy::Eager && self.mat_cache.enabled() {
+            self.refresh_all_stale(name)?;
+        }
+        Ok(AppendOutcome {
+            rows: appended,
+            version,
+            reshard_hint,
+        })
+    }
+
+    /// Re-split `name` into the session's shard count with a freshly
+    /// selected shard key — the escape hatch when appends have skewed
+    /// the layout (see [`AppendOutcome::reshard_hint`]). Resharding
+    /// rewrites every shard entry, so it invalidates the table's cached
+    /// aggregates and plans; use it like a (rare) re-registration.
+    pub fn reshard(&mut self, name: &str) -> Result<()> {
+        let table = self.engine.catalog().table(name)?.clone();
+        let old_shards = self
+            .engine
+            .catalog()
+            .shard_desc(name)
+            .map_or(0, |d| d.shard_count);
+        self.engine
+            .catalog_mut()
+            .replace_sharded(name, table, self.shards, None)?;
+        self.mat_cache.invalidate_table(name);
+        for s in 0..old_shards.max(self.shards) {
+            self.mat_cache.invalidate_table(&shard_table_name(name, s));
+        }
+        self.stats_version += 1;
+        Ok(())
+    }
+
+    /// The session's refresh policy.
+    pub fn refresh_policy(&self) -> RefreshPolicy {
+        self.refresh_policy
+    }
+
+    /// Eagerly bring every stale cached aggregate of `name` (logical
+    /// entry and shard entries alike) current. Counters accrue in
+    /// `self.pending` and drain into the next request's metrics.
+    fn refresh_all_stale(&mut self, name: &str) -> Result<()> {
+        let mut entries: Vec<(String, u64, usize)> = Vec::new();
+        let push = |cat: &Catalog, ename: String, out: &mut Vec<(String, u64, usize)>| {
+            if let (Ok(v), Ok(t)) = (cat.table_version(&ename), cat.table(&ename)) {
+                out.push((ename, v, t.num_rows()));
+            }
+        };
+        push(self.engine.catalog(), name.to_string(), &mut entries);
+        if let Some(desc) = self.engine.catalog().shard_desc(name).cloned() {
+            for s in 0..desc.shard_count {
+                push(
+                    self.engine.catalog(),
+                    shard_table_name(name, s),
+                    &mut entries,
+                );
+            }
+        }
+        self.engine.reset_metrics();
+        let mut ingest = ExecMetrics::default();
+        for (ename, version, rows) in entries {
+            for stale in self.mat_cache.stale_entries(&ename, version) {
+                self.refresh_stale_entry(&ename, version, rows, stale, &mut ingest);
+            }
+        }
+        ingest += self.engine.metrics();
+        self.engine.reset_metrics();
+        self.pending += ingest;
+        Ok(())
+    }
+
+    /// Lazy-refresh hook for a cache miss at lookup time: find the best
+    /// stale covering entry and try to bring it current. Returns true
+    /// when a refresh landed (the caller's next lookup will hit).
+    fn try_lazy_refresh(
+        &mut self,
+        entry: &str,
+        version: u64,
+        want_cols: &[String],
+        agg_sig: u64,
+        base_rows: usize,
+        metrics: &mut ExecMetrics,
+    ) -> bool {
+        match self.refresh_policy {
+            RefreshPolicy::Lazy => {}
+            RefreshPolicy::Eager => return false, // nothing stale survives an append
+            RefreshPolicy::Disabled => {
+                self.mat_cache.drop_stale(entry, version);
+                return false;
+            }
+        }
+        let Some(stale) = self
+            .mat_cache
+            .lookup_stale(entry, version, want_cols, agg_sig)
+        else {
+            return false;
+        };
+        self.refresh_stale_entry(entry, version, base_rows, stale, metrics)
+    }
+
+    /// Bring one stale cached aggregate of catalog entry `entry`
+    /// current at `version`: aggregate only the delta row range with
+    /// the entry's original specs, concatenate with the cached partial,
+    /// and re-aggregate under the §7.2 lossless merge rules
+    /// ([`AggSpec::reaggregate`] — `SUM(cnt)`-style). Falls back to
+    /// dropping the table's stale entries when the delta chain is
+    /// broken (compacted or replaced), an aggregate is not mergeable,
+    /// or the delta exceeds `max_delta_fraction` of the base.
+    fn refresh_stale_entry(
+        &mut self,
+        entry: &str,
+        version: u64,
+        base_rows: usize,
+        stale: StaleAggregate,
+        metrics: &mut ExecMetrics,
+    ) -> bool {
+        let fallback = |mc: &mut MatCache, metrics: &mut ExecMetrics| {
+            mc.drop_stale(entry, version);
+            metrics.delta_fallbacks += 1;
+            false
+        };
+        let chain = match self.engine.catalog().delta_chain(entry, stale.version) {
+            Some(c) if c.to_version == version && specs_mergeable(&stale.specs) => c,
+            _ => return fallback(&mut self.mat_cache, metrics),
+        };
+        if (chain.rows as f64) > self.max_delta_fraction * base_rows as f64 {
+            return fallback(&mut self.mat_cache, metrics);
+        }
+        // The cached payload's schema is its group columns followed by
+        // one output per spec; aggregating the delta with the same
+        // specs in that column order makes the two concat-compatible.
+        let ngroup = stale.table.schema().fields().len() - stale.specs.len();
+        let group_cols: Vec<String> = stale.table.schema().fields()[..ngroup]
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let q = GroupByQuery {
+            input: entry.to_string(),
+            group_cols,
+            aggs: stale.specs.clone(),
+            into: None,
+            estimated_groups: None,
+        };
+        let merged = self
+            .engine
+            .run_group_by_range(&q, chain.start_row, chain.rows)
+            .and_then(|delta| {
+                let combined = Table::concat(&[stale.table.as_ref(), &delta])?;
+                let reagg: Vec<AggSpec> = stale.specs.iter().map(AggSpec::reaggregate).collect();
+                let idx: Vec<usize> = (0..ngroup).collect();
+                hash_group_by(&combined, &idx, &reagg, metrics)
+            });
+        let Ok(merged) = merged else {
+            return fallback(&mut self.mat_cache, metrics);
+        };
+        if self.mat_cache.refresh(
+            entry,
+            &stale.cols,
+            stale.agg_sig,
+            stale.version,
+            version,
+            Arc::new(merged),
+            base_rows,
+        ) {
+            metrics.delta_refreshes += 1;
+            // Rows *not* rescanned: everything before the delta range.
+            metrics.refresh_rows_saved += chain.start_row as u64;
+            true
+        } else {
+            false
+        }
     }
 
     /// The session's default shard count for registered tables
@@ -933,6 +1309,140 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidSession(_)));
+    }
+
+    /// Rows as order-independent `name=value` strings (the UNION ALL's
+    /// column order varies with the plan; only the cell values matter).
+    fn rows_sorted(t: &Table) -> Vec<String> {
+        let names = t.schema().names();
+        let mut v: Vec<String> = (0..t.num_rows())
+            .map(|r| {
+                let mut cells: Vec<String> = (0..t.num_columns())
+                    .map(|c| format!("{}={:?}", names[c], t.value(r, c)))
+                    .filter(|s| !s.ends_with("=Null"))
+                    .collect();
+                cells.sort();
+                cells.join("|")
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn cached_session(shards: u32, policy: RefreshPolicy) -> (Session, Workload) {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let s = Session::builder()
+            .table("r", t)
+            .mat_cache_budget_bytes(1 << 20)
+            .shards(shards)
+            .refresh_policy(policy)
+            .build()
+            .unwrap();
+        (s, w)
+    }
+
+    #[test]
+    fn append_then_lazy_refresh_matches_cold_recompute() {
+        for shards in [0u32, 4] {
+            let (mut s, w) = cached_session(shards, RefreshPolicy::Lazy);
+            s.grouping_sets(&w).unwrap(); // warm the cache
+            let out = s.append("r", table()).unwrap();
+            assert_eq!(out.rows, 240);
+            let warm = s.grouping_sets(&w).unwrap();
+            assert!(
+                warm.metrics.delta_refreshes >= 1,
+                "shards={shards}: expected delta refreshes, got {:?}",
+                warm.metrics
+            );
+            assert_eq!(warm.metrics.delta_fallbacks, 0, "shards={shards}");
+            assert!(warm.metrics.delta_rows >= 240, "shards={shards}");
+            assert!(warm.metrics.refresh_rows_saved >= 240, "shards={shards}");
+
+            let doubled = Table::concat(&[&table(), &table()]).unwrap();
+            let mut cold = Session::builder().table("r", doubled).build().unwrap();
+            let cold_out = cold.grouping_sets(&w).unwrap();
+            assert_eq!(
+                rows_sorted(&warm.table),
+                rows_sorted(&cold_out.table),
+                "shards={shards}: refreshed cache must equal cold recompute"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_policy_refreshes_inside_append() {
+        let (mut s, w) = cached_session(0, RefreshPolicy::Eager);
+        s.grouping_sets(&w).unwrap();
+        s.append("r", table()).unwrap();
+        assert!(
+            s.mat_cache_stats().refreshes >= 1,
+            "append itself refreshes"
+        );
+        let warm = s.grouping_sets(&w).unwrap();
+        // Pending append-side counters drain into the next request.
+        assert!(warm.metrics.delta_refreshes >= 1);
+        assert!(warm.metrics.matcache_hits >= 1, "cache is warm post-append");
+    }
+
+    #[test]
+    fn disabled_policy_drops_stale_entries() {
+        let (mut s, w) = cached_session(0, RefreshPolicy::Disabled);
+        s.grouping_sets(&w).unwrap();
+        s.append("r", table()).unwrap();
+        let after = s.grouping_sets(&w).unwrap();
+        assert_eq!(after.metrics.delta_refreshes, 0);
+        assert!(s.mat_cache_stats().stale_drops >= 1);
+    }
+
+    #[test]
+    fn oversized_delta_falls_back_to_invalidation() {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut s = Session::builder()
+            .table("r", t)
+            .mat_cache_budget_bytes(1 << 20)
+            .max_delta_fraction(0.1)
+            .build()
+            .unwrap();
+        s.grouping_sets(&w).unwrap();
+        // Doubling the table is far beyond a 10% delta budget.
+        s.append("r", table()).unwrap();
+        let after = s.grouping_sets(&w).unwrap();
+        assert_eq!(after.metrics.delta_refreshes, 0);
+        assert!(after.metrics.delta_fallbacks >= 1);
+    }
+
+    #[test]
+    fn skewed_append_hints_reshard_and_reshard_recovers() {
+        let (mut s, w) = cached_session(4, RefreshPolicy::Lazy);
+        s.grouping_sets(&w).unwrap();
+        // A constant-key delta routes every row to one shard.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let skewed = Table::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1; 2000]),
+                Column::from_i64(vec![2; 2000]),
+                Column::from_i64(vec![3; 2000]),
+            ],
+        )
+        .unwrap();
+        let out = s.append("r", skewed).unwrap();
+        assert!(out.reshard_hint, "one-shard delta must flag skew");
+        let report = s.grouping_sets(&w).unwrap();
+        assert_eq!(report.metrics.reshard_hints, 1);
+        assert!(report.metrics.shard_skew >= RESHARD_SKEW_THRESHOLD);
+
+        s.reshard("r").unwrap();
+        let again = s.grouping_sets(&w).unwrap();
+        assert_eq!(again.metrics.reshard_hints, 0);
+        assert_eq!(rows_sorted(&again.table), rows_sorted(&report.table));
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub struct ExecMetrics {
     /// Shard skew: largest shard's row share as a percentage of the
     /// mean shard size (100 = perfectly even; a gauge, `+=` keeps max).
     pub shard_skew: u64,
+    /// Appended rows aggregated through delta scans (ingest pipeline).
+    pub delta_rows: u64,
+    /// Stale cached aggregates brought current by merging a delta
+    /// aggregate instead of recomputing from the base table.
+    pub delta_refreshes: u64,
+    /// Stale cached aggregates dropped instead of refreshed (delta chain
+    /// compacted away, chain too large a fraction of the base, or the
+    /// refresh policy disabled).
+    pub delta_fallbacks: u64,
+    /// Base rows a delta refresh did *not* rescan: the rows already
+    /// summarized by the stale entry (base size minus delta size).
+    pub refresh_rows_saved: u64,
+    /// Appends whose delta pushed shard skew past the resharding
+    /// threshold — the signal that `Session::reshard` is worth calling.
+    pub reshard_hints: u64,
 }
 
 impl ExecMetrics {
@@ -105,6 +120,11 @@ impl ExecMetrics {
             ("shard_rows", self.shard_rows),
             ("merge_rows", self.merge_rows),
             ("shard_skew", self.shard_skew),
+            ("delta_rows", self.delta_rows),
+            ("delta_refreshes", self.delta_refreshes),
+            ("delta_fallbacks", self.delta_fallbacks),
+            ("refresh_rows_saved", self.refresh_rows_saved),
+            ("reshard_hints", self.reshard_hints),
         ]
     }
 
@@ -152,6 +172,11 @@ impl ExecMetrics {
                 "shard_rows" => m.shard_rows = value,
                 "merge_rows" => m.merge_rows = value,
                 "shard_skew" => m.shard_skew = value,
+                "delta_rows" => m.delta_rows = value,
+                "delta_refreshes" => m.delta_refreshes = value,
+                "delta_fallbacks" => m.delta_fallbacks = value,
+                "refresh_rows_saved" => m.refresh_rows_saved = value,
+                "reshard_hints" => m.reshard_hints = value,
                 _ => {}
             }
         }
@@ -182,6 +207,11 @@ impl AddAssign for ExecMetrics {
         self.shard_rows += rhs.shard_rows;
         self.merge_rows += rhs.merge_rows;
         self.shard_skew = self.shard_skew.max(rhs.shard_skew);
+        self.delta_rows += rhs.delta_rows;
+        self.delta_refreshes += rhs.delta_refreshes;
+        self.delta_fallbacks += rhs.delta_fallbacks;
+        self.refresh_rows_saved += rhs.refresh_rows_saved;
+        self.reshard_hints += rhs.reshard_hints;
     }
 }
 
@@ -210,6 +240,11 @@ mod tests {
             shard_rows: 40,
             merge_rows: 10,
             shard_skew: 110,
+            delta_rows: 20,
+            delta_refreshes: 2,
+            delta_fallbacks: 1,
+            refresh_rows_saved: 200,
+            reshard_hints: 1,
         };
         let b = ExecMetrics {
             rows_scanned: 5,
@@ -230,6 +265,11 @@ mod tests {
             shard_rows: 15,
             merge_rows: 5,
             shard_skew: 130,
+            delta_rows: 5,
+            delta_refreshes: 1,
+            delta_fallbacks: 2,
+            refresh_rows_saved: 100,
+            reshard_hints: 0,
         };
         a += b;
         assert_eq!(a.rows_scanned, 15);
@@ -250,6 +290,11 @@ mod tests {
         assert_eq!(a.shard_rows, 55);
         assert_eq!(a.merge_rows, 15);
         assert_eq!(a.shard_skew, 130, "skew is a gauge: max, not sum");
+        assert_eq!(a.delta_rows, 25);
+        assert_eq!(a.delta_refreshes, 3);
+        assert_eq!(a.delta_fallbacks, 3);
+        assert_eq!(a.refresh_rows_saved, 300);
+        assert_eq!(a.reshard_hints, 1);
     }
 
     #[test]
@@ -282,12 +327,18 @@ mod tests {
             shard_rows: 16,
             merge_rows: 17,
             shard_skew: 18,
+            delta_rows: 19,
+            delta_refreshes: 20,
+            delta_fallbacks: 21,
+            refresh_rows_saved: 22,
+            reshard_hints: 23,
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"radix_partitions\":7"));
         // fields() enumerates every counter exactly once
-        assert_eq!(m.fields().len(), 18);
+        assert_eq!(m.fields().len(), 23);
+        assert!(json.contains("\"delta_refreshes\":20"));
         assert!(json.contains("\"shard_rows\":16"));
         assert!(json.contains("\"matcache_hits\":11"));
         let back = ExecMetrics::from_json(&json).unwrap();

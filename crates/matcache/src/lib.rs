@@ -15,12 +15,20 @@
 //! saves, refreshed on every hit and decayed as the cache churns, and
 //! eviction removes the lowest benefit-per-byte entry first.
 //!
-//! Keying is `(table name, table version, column set, aggregate
-//! signature)`. The version comes from [`gbmqo_storage::Catalog`]'s
-//! monotonic counter, bumped whenever a table's contents change
-//! (register / replace / append), so a stale aggregate is structurally
-//! unreachable: a lookup under the current version purges any entries
-//! cached under an older one.
+//! Keying is `(table name, column set, aggregate signature)`, and every
+//! entry records the table *version* (the [`gbmqo_storage::Catalog`]'s
+//! monotonic contents counter) it was computed at, together with the
+//! aggregate specs needed to merge more rows into it. Entries are
+//! **version-interval-valid**, not snapshot-valid: a lookup at the
+//! current version serves only entries computed at that version, but an
+//! entry left behind by an append is *not* purged — it is surfaced
+//! through [`MatCache::lookup_stale`] so the session can aggregate just
+//! the appended row range and [`MatCache::refresh`] the entry forward
+//! (the paper's §7 aggregate-union identity: a group-by over a union of
+//! disjoint partitions is the merge of per-partition aggregates). Only
+//! when a delta chain is unavailable or uneconomic does the caller fall
+//! back to [`MatCache::drop_stale`] — the old invalidate-everything
+//! behaviour, now the exception instead of the rule.
 
 #![warn(missing_docs)]
 
@@ -91,6 +99,32 @@ pub struct MatCacheStats {
     pub bytes: u64,
     /// Entries currently held.
     pub entries: u64,
+    /// Stale entries brought current by a delta merge.
+    pub refreshes: u64,
+    /// Stale entries dropped because a delta merge was unavailable or
+    /// uneconomic.
+    pub stale_drops: u64,
+}
+
+/// A stale cache entry eligible for delta refresh: the aggregate as of
+/// an older table version, plus everything needed to merge the appended
+/// rows into it.
+#[derive(Debug, Clone)]
+pub struct StaleAggregate {
+    /// Base-table column names of the cached aggregate, sorted.
+    pub cols: Vec<String>,
+    /// The materialized result at `version`.
+    pub table: Arc<Table>,
+    /// Row count of the cached aggregate.
+    pub rows: usize,
+    /// Table version the aggregate was computed at.
+    pub version: u64,
+    /// Aggregate signature the entry was cached under.
+    pub agg_sig: u64,
+    /// The workload's original aggregate specs (the merge specs: their
+    /// [`AggSpec::reaggregate`] forms combine partial aggregates
+    /// losslessly for COUNT/SUM/MIN/MAX under append-only ingest).
+    pub specs: Vec<AggSpec>,
 }
 
 /// One cached aggregate for a table.
@@ -102,6 +136,12 @@ struct Entry {
     table: Arc<Table>,
     rows: usize,
     bytes: usize,
+    /// Table version the payload reflects. Entries behind the table's
+    /// current version are stale-but-refreshable, not garbage.
+    version: u64,
+    /// Original aggregate specs, kept so a delta aggregate over the
+    /// appended rows can be merged into the payload.
+    specs: Vec<AggSpec>,
     /// Estimated base rows saved per serve; refreshed on hits, decayed
     /// on admissions, so entries that stop earning fade out.
     benefit: f64,
@@ -114,14 +154,6 @@ impl Entry {
     }
 }
 
-/// All cached aggregates for one base table, pinned to one version of
-/// its contents.
-#[derive(Debug, Default)]
-struct Slot {
-    version: u64,
-    entries: Vec<Entry>,
-}
-
 /// A bounded, benefit-weighted cache of materialized group-by results.
 ///
 /// A budget of zero disables the cache entirely: every lookup misses
@@ -130,7 +162,7 @@ struct Slot {
 pub struct MatCache {
     budget_bytes: usize,
     total_bytes: usize,
-    slots: FxHashMap<String, Slot>,
+    slots: FxHashMap<String, Vec<Entry>>,
     stats: MatCacheStats,
 }
 
@@ -163,7 +195,7 @@ impl MatCache {
     pub fn stats(&self) -> MatCacheStats {
         let mut s = self.stats;
         s.bytes = self.total_bytes as u64;
-        s.entries = self.slots.values().map(|s| s.entries.len() as u64).sum();
+        s.entries = self.slots.values().map(|s| s.len() as u64).sum();
         s
     }
 
@@ -171,8 +203,9 @@ impl MatCache {
     /// `version`, under aggregate signature `agg_sig`) whose column set
     /// covers `want_cols`. "Cheapest" is fewest rows — the paper's cost
     /// model charges re-aggregation by input cardinality. Entries
-    /// cached under an older version of the table are purged, never
-    /// served.
+    /// cached under an older version are skipped, never served — but
+    /// they stay resident as refresh candidates (see
+    /// [`MatCache::lookup_stale`]).
     pub fn lookup_covering(
         &mut self,
         table: &str,
@@ -188,19 +221,11 @@ impl MatCache {
             self.stats.misses += 1;
             return None;
         };
-        if slot.version != version {
-            let freed: usize = slot.entries.iter().map(|e| e.bytes).sum();
-            self.total_bytes -= freed;
-            self.slots.remove(table);
-            self.stats.misses += 1;
-            return None;
-        }
         let mut want = want_cols.to_vec();
         want.sort_unstable();
         let Some(hit) = slot
-            .entries
             .iter_mut()
-            .filter(|e| e.agg_sig == agg_sig && covers(&e.cols, &want))
+            .filter(|e| e.version == version && e.agg_sig == agg_sig && covers(&e.cols, &want))
             .min_by_key(|e| e.rows)
         else {
             self.stats.misses += 1;
@@ -218,17 +243,175 @@ impl MatCache {
         })
     }
 
+    /// Find the best *stale* covering aggregate of `table`: one cached
+    /// at a version older than `version` (the table's current one)
+    /// whose column set covers `want_cols`. The caller decides whether
+    /// to bring it current via a delta merge ([`MatCache::refresh`]) or
+    /// drop it ([`MatCache::drop_stale`]). The most recent qualifying
+    /// version wins (shortest delta chain), fewest rows breaking ties.
+    /// Does not touch hit/miss counters — the fresh lookup already
+    /// recorded the miss.
+    pub fn lookup_stale(
+        &mut self,
+        table: &str,
+        version: u64,
+        want_cols: &[String],
+        agg_sig: u64,
+    ) -> Option<StaleAggregate> {
+        if !self.enabled() {
+            return None;
+        }
+        let slot = self.slots.get(table)?;
+        let mut want = want_cols.to_vec();
+        want.sort_unstable();
+        let hit = slot
+            .iter()
+            .filter(|e| e.version < version && e.agg_sig == agg_sig && covers(&e.cols, &want))
+            .max_by(|a, b| a.version.cmp(&b.version).then(b.rows.cmp(&a.rows)))?;
+        Some(StaleAggregate {
+            cols: hit.cols.clone(),
+            table: Arc::clone(&hit.table),
+            rows: hit.rows,
+            version: hit.version,
+            agg_sig: hit.agg_sig,
+            specs: hit.specs.clone(),
+        })
+    }
+
+    /// Every stale entry of `table` (cached at a version older than
+    /// `version`), regardless of column set or aggregate signature.
+    /// The eager refresh policy walks this list right after an append.
+    pub fn stale_entries(&self, table: &str, version: u64) -> Vec<StaleAggregate> {
+        let Some(slot) = self.slots.get(table) else {
+            return Vec::new();
+        };
+        slot.iter()
+            .filter(|e| e.version < version)
+            .map(|e| StaleAggregate {
+                cols: e.cols.clone(),
+                table: Arc::clone(&e.table),
+                rows: e.rows,
+                version: e.version,
+                agg_sig: e.agg_sig,
+                specs: e.specs.clone(),
+            })
+            .collect()
+    }
+
+    /// Replace the payload of the stale entry `(cols, agg_sig)` cached
+    /// at `from_version` with `result` computed at `to_version` — the
+    /// commit step of a delta refresh. Benefit carries over (the entry
+    /// keeps its earned standing; it answered this request too). If the
+    /// refreshed payload grew past the budget, lower-density *other*
+    /// entries are evicted. Returns false if no such entry exists (it
+    /// was evicted in the meantime) or the cache is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refresh(
+        &mut self,
+        table: &str,
+        cols: &[String],
+        agg_sig: u64,
+        from_version: u64,
+        to_version: u64,
+        result: Arc<Table>,
+        base_rows: usize,
+    ) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut cols = cols.to_vec();
+        cols.sort_unstable();
+        let Some(slot) = self.slots.get_mut(table) else {
+            return false;
+        };
+        let Some(idx) = slot
+            .iter()
+            .position(|e| e.version == from_version && e.agg_sig == agg_sig && e.cols == cols)
+        else {
+            return false;
+        };
+        let rows = result.num_rows();
+        let bytes = result.byte_size();
+        {
+            let e = &mut slot[idx];
+            self.total_bytes = self.total_bytes - e.bytes + bytes;
+            e.table = result;
+            e.rows = rows;
+            e.bytes = bytes;
+            e.version = to_version;
+            e.benefit = e.benefit.max(base_rows.saturating_sub(rows) as f64);
+        }
+        self.stats.refreshes += 1;
+        self.evict_over_budget(Some((table, &cols, agg_sig, to_version)));
+        true
+    }
+
+    /// Drop every entry of `table` cached at a version other than
+    /// `version` — the invalidation fallback for deltas that cannot (or
+    /// should not) be merged. Returns how many entries were dropped.
+    pub fn drop_stale(&mut self, table: &str, version: u64) -> usize {
+        let Some(slot) = self.slots.get_mut(table) else {
+            return 0;
+        };
+        let before = slot.len();
+        let mut freed = 0usize;
+        slot.retain(|e| {
+            if e.version == version {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        let dropped = before - slot.len();
+        if slot.is_empty() {
+            self.slots.remove(table);
+        }
+        self.total_bytes -= freed;
+        self.stats.stale_drops += dropped as u64;
+        dropped
+    }
+
+    /// Evict lowest-density entries until the cache fits its budget,
+    /// never touching `keep` (the entry just refreshed).
+    fn evict_over_budget(&mut self, keep: Option<(&str, &[String], u64, u64)>) {
+        while self.total_bytes > self.budget_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .flat_map(|(t, s)| s.iter().enumerate().map(move |(i, e)| (t, i, e)))
+                .filter(|(t, _, e)| {
+                    keep.is_none_or(|(kt, kc, ks, kv)| {
+                        !(*t == kt && e.cols == kc && e.agg_sig == ks && e.version == kv)
+                    })
+                })
+                .min_by(|a, b| a.2.density().total_cmp(&b.2.density()));
+            let Some((vt, vi, _)) = victim else { break };
+            let (vt, vi) = (vt.clone(), vi);
+            let removed = self.slots.get_mut(&vt).expect("victim slot").remove(vi);
+            self.total_bytes -= removed.bytes;
+            self.stats.evictions += 1;
+            if self.slots[&vt].is_empty() {
+                self.slots.remove(&vt);
+            }
+        }
+    }
+
     /// Offer a freshly materialized aggregate of `table` (at contents
-    /// `version`) on `cols` for admission. Returns whether it was
-    /// kept. Rejects aggregates no smaller than the base table (no
-    /// re-aggregation benefit) and aggregates that cannot fit the
-    /// budget without evicting entries of higher benefit density.
+    /// `version`) on `cols` for admission, carrying the workload's
+    /// aggregate `specs` so the entry can later be delta-refreshed.
+    /// Returns whether it was kept. Rejects aggregates no smaller than
+    /// the base table (no re-aggregation benefit) and aggregates that
+    /// cannot fit the budget without evicting entries of higher benefit
+    /// density.
+    #[allow(clippy::too_many_arguments)]
     pub fn admit(
         &mut self,
         table: &str,
         version: u64,
         cols: &[String],
         agg_sig: u64,
+        specs: &[AggSpec],
         result: Arc<Table>,
         base_rows: usize,
     ) -> bool {
@@ -244,7 +427,7 @@ impl MatCache {
         // Each admission round ages everything a little, so benefit
         // reflects recent traffic rather than one ancient hot streak.
         for slot in self.slots.values_mut() {
-            for e in &mut slot.entries {
+            for e in slot.iter_mut() {
                 e.benefit *= DECAY;
             }
         }
@@ -253,22 +436,24 @@ impl MatCache {
         let benefit = base_rows.saturating_sub(rows) as f64;
 
         let slot = self.slots.entry(table.to_string()).or_default();
-        if slot.version != version {
-            let freed: usize = slot.entries.iter().map(|e| e.bytes).sum();
-            self.total_bytes -= freed;
-            slot.entries.clear();
-            slot.version = version;
-        }
         if let Some(e) = slot
-            .entries
             .iter_mut()
             .find(|e| e.agg_sig == agg_sig && e.cols == cols)
         {
-            // Same key: refresh the payload and re-seed the benefit.
+            // Same key: one entry per (cols, sig) — the cache keeps the
+            // newest version of each aggregate, never two generations.
+            if version < e.version {
+                // A late admission from an older snapshot must not roll
+                // a fresher payload backwards.
+                self.stats.rejected += 1;
+                return false;
+            }
             self.total_bytes = self.total_bytes - e.bytes + bytes;
             e.table = result;
             e.rows = rows;
             e.bytes = bytes;
+            e.version = version;
+            e.specs = specs.to_vec();
             e.benefit = e.benefit.max(benefit);
             return true;
         }
@@ -277,7 +462,7 @@ impl MatCache {
             let victim = self
                 .slots
                 .iter()
-                .flat_map(|(t, s)| s.entries.iter().enumerate().map(move |(i, e)| (t, i, e)))
+                .flat_map(|(t, s)| s.iter().enumerate().map(move |(i, e)| (t, i, e)))
                 .min_by(|a, b| a.2.density().total_cmp(&b.2.density()));
             let Some((vt, vi, ve)) = victim else { break };
             if ve.density() >= density {
@@ -287,15 +472,10 @@ impl MatCache {
                 return false;
             }
             let (vt, vi) = (vt.clone(), vi);
-            let removed = self
-                .slots
-                .get_mut(&vt)
-                .expect("victim slot")
-                .entries
-                .remove(vi);
+            let removed = self.slots.get_mut(&vt).expect("victim slot").remove(vi);
             self.total_bytes -= removed.bytes;
             self.stats.evictions += 1;
-            if self.slots[&vt].entries.is_empty() {
+            if self.slots[&vt].is_empty() {
                 self.slots.remove(&vt);
             }
         }
@@ -303,17 +483,15 @@ impl MatCache {
         self.stats.insertions += 1;
         self.slots
             .entry(table.to_string())
-            .or_insert_with(|| Slot {
-                version,
-                entries: Vec::new(),
-            })
-            .entries
+            .or_default()
             .push(Entry {
                 cols,
                 agg_sig,
                 table: result,
                 rows,
                 bytes,
+                version,
+                specs: specs.to_vec(),
                 benefit,
             });
         true
@@ -323,7 +501,7 @@ impl MatCache {
     /// when the table is replaced or mutated out of band.
     pub fn invalidate_table(&mut self, table: &str) {
         if let Some(slot) = self.slots.remove(table) {
-            let freed: usize = slot.entries.iter().map(|e| e.bytes).sum();
+            let freed: usize = slot.iter().map(|e| e.bytes).sum();
             self.total_bytes -= freed;
         }
     }
@@ -372,6 +550,10 @@ mod tests {
         names.iter().map(|s| s.to_string()).collect()
     }
 
+    fn specs() -> Vec<AggSpec> {
+        vec![AggSpec::count()]
+    }
+
     const SIG: u64 = 7;
     const BASE: usize = 1_000_000;
 
@@ -383,6 +565,7 @@ mod tests {
             1,
             &cols(&["a", "b", "c"]),
             SIG,
+            &specs(),
             agg_table(&["a", "b", "c"], 500),
             BASE
         ));
@@ -391,6 +574,7 @@ mod tests {
             1,
             &cols(&["a", "b"]),
             SIG,
+            &specs(),
             agg_table(&["a", "b"], 100),
             BASE
         ));
@@ -419,35 +603,162 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_purges_and_never_serves() {
+    fn stale_entries_survive_misses_and_refresh_forward() {
         let mut mc = MatCache::new(1 << 20);
-        mc.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 10), BASE);
+        mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 10),
+            BASE,
+        );
+        // A lookup at a newer version misses — but the entry survives.
         assert!(mc
             .lookup_covering("r", 2, &cols(&["a"]), SIG, BASE)
             .is_none());
-        // The stale entry is gone even when asked at the old version.
-        assert!(mc
-            .lookup_covering("r", 1, &cols(&["a"]), SIG, BASE)
-            .is_none());
-        assert_eq!(mc.stats().bytes, 0);
+        assert_eq!(mc.stats().entries, 1);
 
-        // Admission under a new version clears older-version residents.
-        mc.admit("r", 3, &cols(&["a"]), SIG, agg_table(&["a"], 10), BASE);
-        mc.admit("r", 4, &cols(&["b"]), SIG, agg_table(&["b"], 10), BASE);
-        assert!(mc
-            .lookup_covering("r", 4, &cols(&["a"]), SIG, BASE)
-            .is_none());
+        // The surviving entry is surfaced as a refresh candidate, with
+        // its merge specs intact.
+        let stale = mc.lookup_stale("r", 2, &cols(&["a"]), SIG).unwrap();
+        assert_eq!(stale.version, 1);
+        assert_eq!(stale.rows, 10);
+        assert_eq!(stale.specs, specs());
+        // Entries at the current version are not "stale".
+        assert!(mc.lookup_stale("r", 1, &cols(&["a"]), SIG).is_none());
+
+        // Committing a delta merge brings it current; it serves again.
+        assert!(mc.refresh("r", &cols(&["a"]), SIG, 1, 2, agg_table(&["a"], 12), BASE));
+        let hit = mc
+            .lookup_covering("r", 2, &cols(&["a"]), SIG, BASE)
+            .unwrap();
+        assert_eq!(hit.rows, 12);
+        assert_eq!(mc.stats().refreshes, 1);
+        // Refreshing an entry that no longer exists at that version fails.
+        assert!(!mc.refresh("r", &cols(&["a"]), SIG, 1, 3, agg_table(&["a"], 12), BASE));
+    }
+
+    #[test]
+    fn lookup_stale_prefers_the_most_recent_version() {
+        let mut mc = MatCache::new(1 << 20);
+        mc.admit(
+            "r",
+            1,
+            &cols(&["a", "b"]),
+            SIG,
+            &specs(),
+            agg_table(&["a", "b"], 50),
+            BASE,
+        );
+        mc.admit(
+            "r",
+            3,
+            &cols(&["a", "c"]),
+            SIG,
+            &specs(),
+            agg_table(&["a", "c"], 90),
+            BASE,
+        );
+        // Both cover {a}; the version-3 entry needs the shortest delta
+        // chain even though it has more rows.
+        let stale = mc.lookup_stale("r", 5, &cols(&["a"]), SIG).unwrap();
+        assert_eq!(stale.version, 3);
+        assert_eq!(stale.cols, cols(&["a", "c"]));
+    }
+
+    #[test]
+    fn drop_stale_removes_only_old_versions() {
+        let mut mc = MatCache::new(1 << 20);
+        mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 10),
+            BASE,
+        );
+        mc.admit(
+            "r",
+            4,
+            &cols(&["b"]),
+            SIG,
+            &specs(),
+            agg_table(&["b"], 10),
+            BASE,
+        );
+        assert_eq!(mc.drop_stale("r", 4), 1);
         assert!(mc
             .lookup_covering("r", 4, &cols(&["b"]), SIG, BASE)
             .is_some());
+        assert!(mc.lookup_stale("r", 4, &cols(&["a"]), SIG).is_none());
+        assert_eq!(mc.stats().stale_drops, 1);
         assert_eq!(mc.stats().entries, 1);
+    }
+
+    #[test]
+    fn same_key_admission_is_version_guarded() {
+        let mut mc = MatCache::new(1 << 20);
+        assert!(mc.admit(
+            "r",
+            3,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 10),
+            BASE
+        ));
+        // A same-key admit from an older snapshot must not roll the
+        // payload backwards.
+        assert!(!mc.admit(
+            "r",
+            2,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 9),
+            BASE
+        ));
+        // A newer-version admit overwrites in place.
+        assert!(mc.admit(
+            "r",
+            5,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 11),
+            BASE
+        ));
+        assert_eq!(mc.stats().entries, 1);
+        let hit = mc
+            .lookup_covering("r", 5, &cols(&["a"]), SIG, BASE)
+            .unwrap();
+        assert_eq!(hit.rows, 11);
     }
 
     #[test]
     fn invalidate_table_frees_bytes() {
         let mut mc = MatCache::new(1 << 20);
-        mc.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 10), BASE);
-        mc.admit("s", 1, &cols(&["x"]), SIG, agg_table(&["x"], 10), BASE);
+        mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 10),
+            BASE,
+        );
+        mc.admit(
+            "s",
+            1,
+            &cols(&["x"]),
+            SIG,
+            &specs(),
+            agg_table(&["x"], 10),
+            BASE,
+        );
         let before = mc.stats().bytes;
         mc.invalidate_table("r");
         assert!(mc.stats().bytes < before);
@@ -465,8 +776,24 @@ mod tests {
         let unit = small.byte_size();
         // Room for exactly two entries.
         let mut mc = MatCache::new(2 * unit);
-        assert!(mc.admit("r", 1, &cols(&["a"]), SIG, Arc::clone(&small), BASE));
-        assert!(mc.admit("r", 1, &cols(&["b"]), SIG, agg_table(&["b"], 64), BASE));
+        assert!(mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            Arc::clone(&small),
+            BASE
+        ));
+        assert!(mc.admit(
+            "r",
+            1,
+            &cols(&["b"]),
+            SIG,
+            &specs(),
+            agg_table(&["b"], 64),
+            BASE
+        ));
         assert!(mc.stats().bytes <= 2 * unit as u64);
 
         // Make {a} clearly the most valuable resident.
@@ -475,7 +802,15 @@ mod tests {
                 .unwrap();
         }
         // A third entry must evict the colder {b}, not {a}.
-        assert!(mc.admit("r", 1, &cols(&["c"]), SIG, agg_table(&["c"], 64), BASE));
+        assert!(mc.admit(
+            "r",
+            1,
+            &cols(&["c"]),
+            SIG,
+            &specs(),
+            agg_table(&["c"], 64),
+            BASE
+        ));
         assert!(mc.stats().bytes <= 2 * unit as u64);
         assert_eq!(mc.stats().evictions, 1);
         assert!(mc
@@ -490,14 +825,38 @@ mod tests {
     fn admission_rejects_no_benefit_oversized_and_outscored() {
         let mut mc = MatCache::new(1 << 20);
         // As many rows as the base table: re-aggregation saves nothing.
-        assert!(!mc.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 100), 100));
+        assert!(!mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 100),
+            100
+        ));
         // Larger than the whole budget.
         let mut tiny = MatCache::new(8);
-        assert!(!tiny.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 100), BASE));
+        assert!(!tiny.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 100),
+            BASE
+        ));
         // Disabled cache: no lookups, no admissions, no counters.
         let mut off = MatCache::new(0);
         assert!(!off.enabled());
-        assert!(!off.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 10), BASE));
+        assert!(!off.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 10),
+            BASE
+        ));
         assert!(off
             .lookup_covering("r", 1, &cols(&["a"]), SIG, BASE)
             .is_none());
@@ -507,13 +866,21 @@ mod tests {
         // for a low-benefit candidate.
         let small = agg_table(&["a"], 64);
         let mut mc = MatCache::new(small.byte_size());
-        assert!(mc.admit("r", 1, &cols(&["a"]), SIG, small, BASE));
+        assert!(mc.admit("r", 1, &cols(&["a"]), SIG, &specs(), small, BASE));
         for _ in 0..10 {
             mc.lookup_covering("r", 1, &cols(&["a"]), SIG, BASE)
                 .unwrap();
         }
         // Nearly as many rows as base: minuscule benefit.
-        assert!(!mc.admit("r", 1, &cols(&["b"]), SIG, agg_table(&["b"], 64), 65));
+        assert!(!mc.admit(
+            "r",
+            1,
+            &cols(&["b"]),
+            SIG,
+            &specs(),
+            agg_table(&["b"], 64),
+            65
+        ));
         assert!(mc
             .lookup_covering("r", 1, &cols(&["a"]), SIG, BASE)
             .is_some());
@@ -522,8 +889,24 @@ mod tests {
     #[test]
     fn same_key_admission_refreshes_in_place() {
         let mut mc = MatCache::new(1 << 20);
-        assert!(mc.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 50), BASE));
-        assert!(mc.admit("r", 1, &cols(&["a"]), SIG, agg_table(&["a"], 40), BASE));
+        assert!(mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 50),
+            BASE
+        ));
+        assert!(mc.admit(
+            "r",
+            1,
+            &cols(&["a"]),
+            SIG,
+            &specs(),
+            agg_table(&["a"], 40),
+            BASE
+        ));
         assert_eq!(mc.stats().entries, 1);
         let hit = mc
             .lookup_covering("r", 1, &cols(&["a"]), SIG, BASE)

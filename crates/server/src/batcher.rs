@@ -49,6 +49,12 @@ pub(crate) struct BatchJob {
     pub table: String,
     pub group_cols: Vec<String>,
     pub cache: CacheControl,
+    /// Table version the event loop observed at admission. Jobs that
+    /// straddle an append carry different versions and must not merge
+    /// into one plan: the early job was admitted against the pre-append
+    /// table, the late one against the post-append table, and a shared
+    /// cached result would serve one of them stale data.
+    pub version: u64,
 }
 
 /// Batcher thread body: collect a window's worth of queries, merge,
@@ -71,26 +77,27 @@ pub(crate) fn run_batcher(rx: Receiver<BatchJob>, shared: Arc<Shared>, window: D
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        for ((table, cache), group) in group_by_table(jobs) {
+        for ((table, cache, _version), group) in group_by_table(jobs) {
             execute_group(&shared, &table, cache, group);
         }
     }
 }
 
-/// Partition a window's jobs by `(base table, cache control)`,
-/// preserving arrival order. Cache control is part of the key so a
-/// `Bypass` or `Refresh` request never silently downgrades (or
-/// upgrades) the cache behavior of jobs it happens to share a window
-/// with.
-fn group_by_table(jobs: Vec<BatchJob>) -> Vec<((String, CacheControl), Vec<BatchJob>)> {
-    let mut groups: Vec<((String, CacheControl), Vec<BatchJob>)> = Vec::new();
+/// Partition a window's jobs by `(base table, cache control, table
+/// version)`, preserving arrival order. Cache control is part of the
+/// key so a `Bypass` or `Refresh` request never silently downgrades
+/// (or upgrades) the cache behavior of jobs it happens to share a
+/// window with. Version is part of the key so requests that straddle
+/// an append can never merge into one mixed-version plan.
+fn group_by_table(jobs: Vec<BatchJob>) -> Vec<((String, CacheControl, u64), Vec<BatchJob>)> {
+    let mut groups: Vec<((String, CacheControl, u64), Vec<BatchJob>)> = Vec::new();
     for job in jobs {
         match groups
             .iter_mut()
-            .find(|((t, c), _)| *t == job.table && *c == job.cache)
+            .find(|((t, c, v), _)| *t == job.table && *c == job.cache && *v == job.version)
         {
             Some((_, g)) => g.push(job),
-            None => groups.push(((job.table.clone(), job.cache), vec![job])),
+            None => groups.push(((job.table.clone(), job.cache, job.version), vec![job])),
         }
     }
     groups
@@ -240,6 +247,10 @@ mod tests {
     }
 
     fn job_with_cache(table: &str, cols: &[&str], cache: CacheControl) -> BatchJob {
+        job_at_version(table, cols, cache, 0)
+    }
+
+    fn job_at_version(table: &str, cols: &[&str], cache: CacheControl, version: u64) -> BatchJob {
         let (reply, _rx) = crate::server::test_reply_handle(1 << 20);
         BatchJob {
             request_id: 1,
@@ -248,6 +259,7 @@ mod tests {
             table: table.into(),
             group_cols: cols.iter().map(|s| s.to_string()).collect(),
             cache,
+            version,
         }
     }
 
@@ -268,9 +280,25 @@ mod tests {
             job("r", &["c"]),
         ]);
         assert_eq!(groups.len(), 2);
-        assert_eq!(groups[0].0, ("r".to_string(), CacheControl::Default));
+        assert_eq!(groups[0].0, ("r".to_string(), CacheControl::Default, 0));
         assert_eq!(groups[0].1.len(), 2);
-        assert_eq!(groups[1].0, ("r".to_string(), CacheControl::Bypass));
+        assert_eq!(groups[1].0, ("r".to_string(), CacheControl::Bypass, 0));
+        assert_eq!(groups[1].1.len(), 1);
+    }
+
+    #[test]
+    fn table_version_splits_a_window_straddling_an_append() {
+        // Two jobs admitted before an append, one after: the post-append
+        // job must not merge into the pre-append plan.
+        let groups = group_by_table(vec![
+            job_at_version("r", &["a"], CacheControl::Default, 1),
+            job_at_version("r", &["b"], CacheControl::Default, 1),
+            job_at_version("r", &["a"], CacheControl::Default, 2),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, ("r".to_string(), CacheControl::Default, 1));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, ("r".to_string(), CacheControl::Default, 2));
         assert_eq!(groups[1].1.len(), 1);
     }
 

@@ -172,6 +172,17 @@ impl Client {
         })
     }
 
+    /// Pipelined send: append `rows` to the table registered under
+    /// `name`. The rows must match the registered schema; the server
+    /// refreshes or invalidates cached aggregates per its refresh
+    /// policy.
+    pub fn send_append(&mut self, name: &str, rows: &Table) -> ServerResult<u64> {
+        self.send(&Request::Append {
+            name: name.to_string(),
+            rows: rows.clone(),
+        })
+    }
+
     /// Pipelined send: one Group By (eligible for server-side
     /// micro-batching). `deadline_ms` of `0` means no deadline.
     pub fn send_query(
@@ -461,6 +472,15 @@ impl Client {
     /// Register a table.
     pub fn register_table(&mut self, name: &str, table: &Table) -> ServerResult<()> {
         let id = self.send_register_table(name, table)?;
+        match self.wait(id)? {
+            Reply::Ack => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Append rows to a registered table (streaming ingest).
+    pub fn append(&mut self, name: &str, rows: &Table) -> ServerResult<()> {
+        let id = self.send_append(name, rows)?;
         match self.wait(id)? {
             Reply::Ack => Ok(()),
             other => Err(unexpected(&other)),

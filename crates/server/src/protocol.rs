@@ -111,6 +111,17 @@ pub enum Request {
     },
     /// Fetch server-wide counters and accumulated execution metrics.
     Stats,
+    /// Stream rows onto an existing base table. The appended range is
+    /// recorded as a delta, so cached aggregates of the table refresh
+    /// incrementally instead of being invalidated (the session's
+    /// [`gbmqo_core::RefreshPolicy`] decides when). Schemas must match
+    /// the registered table's.
+    Append {
+        /// Catalog name of the table to extend.
+        name: String,
+        /// The rows to append.
+        rows: Table,
+    },
 }
 
 /// Request opcode: [`Request::Ping`].
@@ -125,6 +136,8 @@ pub const OP_WORKLOAD: u8 = 0x03;
 pub const OP_STATS: u8 = 0x04;
 /// Request opcode: [`Request::Hello`].
 pub const OP_HELLO: u8 = 0x05;
+/// Request opcode: [`Request::Append`].
+pub const OP_APPEND: u8 = 0x06;
 
 /// A server-to-client message.
 #[derive(Debug)]
@@ -405,6 +418,11 @@ fn encode_request_body(req: &Request) -> (u8, Vec<u8>) {
             OP_WORKLOAD
         }
         Request::Stats => OP_STATS,
+        Request::Append { name, rows } => {
+            codec::put_str(&mut buf, name);
+            codec::put_table(&mut buf, rows);
+            OP_APPEND
+        }
     };
     (opcode, buf)
 }
@@ -453,6 +471,10 @@ pub fn decode_request_body(opcode: u8, body: &[u8]) -> ServerResult<Request> {
             }
         }
         OP_STATS => Request::Stats,
+        OP_APPEND => Request::Append {
+            name: cur.str()?,
+            rows: codec::get_table(&mut cur)?,
+        },
         other => {
             return Err(ServerError::Protocol(format!(
                 "unknown request opcode {other:#04x}"
@@ -680,6 +702,10 @@ mod tests {
                 cache: CacheControl::Refresh,
             },
             Request::Stats,
+            Request::Append {
+                name: "r".into(),
+                rows: tiny_table(),
+            },
         ];
         for (i, req) in cases.iter().enumerate() {
             let id = 1000 + i as u64;

@@ -127,6 +127,10 @@ pub(crate) struct Counters {
     pub batches: u64,
     /// Individual `Query` requests absorbed into those batches.
     pub batched_queries: u64,
+    /// `Append` requests applied.
+    pub appends: u64,
+    /// Rows ingested across all appends.
+    pub appended_rows: u64,
 }
 
 /// State shared by every thread of a running server.
@@ -151,6 +155,12 @@ pub(crate) struct Shared {
     pub outbound_peak: Arc<AtomicU64>,
     /// Currently open client connections.
     pub open_conns: AtomicU64,
+    /// Last-known contents version per table, maintained by workers on
+    /// register/append. The event loop reads it when stamping batch
+    /// jobs so the batcher never merges requests from both sides of an
+    /// append into one mixed-version plan — it must not lock the
+    /// session itself (a long-running plan would stall every socket).
+    pub version_hints: Mutex<HashMap<String, u64>>,
 }
 
 impl Shared {
@@ -163,6 +173,24 @@ impl Shared {
     /// Lock the counters (same poisoning policy).
     pub fn counters(&self) -> MutexGuard<'_, Counters> {
         self.counters.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The last version a worker reported for `table` (0 = never seen).
+    pub fn version_hint(&self, table: &str) -> u64 {
+        self.version_hints
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(table)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record `table`'s contents version after a mutation.
+    pub fn set_version_hint(&self, table: &str, version: u64) {
+        self.version_hints
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(table.to_string(), version);
     }
 }
 
@@ -321,6 +349,10 @@ pub(crate) enum JobKind {
     RegisterRaw {
         body: Vec<u8>,
     },
+    /// An `Append` body, decoded on a worker for the same reason.
+    AppendRaw {
+        body: Vec<u8>,
+    },
     Workload {
         table: String,
         universe: Vec<String>,
@@ -355,6 +387,7 @@ impl Server {
             streamed_chunks: AtomicU64::new(0),
             outbound_peak: Arc::new(AtomicU64::new(0)),
             open_conns: AtomicU64::new(0),
+            version_hints: Mutex::new(HashMap::new()),
         });
 
         let workers = config.workers.max(1);
@@ -712,6 +745,14 @@ fn admit(
                 body: body.into_owned(),
             },
         }),
+        protocol::OP_APPEND => Routed::Worker(Job {
+            request_id,
+            deadline: None,
+            reply,
+            kind: JobKind::AppendRaw {
+                body: body.into_owned(),
+            },
+        }),
         _ => match protocol::decode_request_body(opcode, &body) {
             Ok(Request::Query {
                 table,
@@ -719,14 +760,22 @@ fn admit(
                 deadline_ms,
                 cache,
             }) => match ctx.batch_tx {
-                Some(_) => Routed::Batcher(BatchJob {
-                    request_id,
-                    deadline: deadline_of(deadline_ms),
-                    reply,
-                    table,
-                    group_cols,
-                    cache,
-                }),
+                Some(_) => {
+                    // Stamp the table version the event loop believes is
+                    // current (worker-maintained hint — never locks the
+                    // session here) so the batcher cannot merge requests
+                    // that straddle an append into one mixed-version plan.
+                    let version = ctx.shared.version_hint(&table);
+                    Routed::Batcher(BatchJob {
+                        request_id,
+                        deadline: deadline_of(deadline_ms),
+                        reply,
+                        table,
+                        group_cols,
+                        cache,
+                        version,
+                    })
+                }
                 None => Routed::Worker(Job {
                     request_id,
                     deadline: deadline_of(deadline_ms),
@@ -1065,6 +1114,8 @@ pub(crate) fn error_code_for(e: &CoreError) -> ErrorCode {
     match e {
         CoreError::Exec(ExecError::Cancelled { .. }) => ErrorCode::Timeout,
         CoreError::Storage(StorageError::TableNotFound(_)) => ErrorCode::NotFound,
+        // Schema mismatches on append/register are the client's doing.
+        CoreError::Storage(StorageError::Malformed(_)) => ErrorCode::BadRequest,
         CoreError::InvalidWorkload(_) | CoreError::InvalidPlan(_) => ErrorCode::BadRequest,
         _ => ErrorCode::Internal,
     }
@@ -1077,8 +1128,20 @@ fn process_job(job: Job, shared: &Shared) {
             let decoded = protocol::decode_request_body(protocol::OP_REGISTER, &body);
             match decoded {
                 Ok(Request::RegisterTable { name, table }) => {
-                    match shared.session().register_table(name, table) {
+                    let registered = name.clone();
+                    // Bind before matching: the scrutinee's session guard
+                    // would otherwise live across the arms and deadlock
+                    // the version lookup below.
+                    let result = shared.session().register_table(name, table);
+                    match result {
                         Ok(()) => {
+                            let version = shared
+                                .session()
+                                .engine()
+                                .catalog()
+                                .table_version(&registered)
+                                .unwrap_or(0);
+                            shared.set_version_hint(&registered, version);
                             job.reply.send_response(job.request_id, &Response::Ack);
                         }
                         Err(e) => {
@@ -1098,6 +1161,43 @@ fn process_job(job: Job, shared: &Shared) {
                         &Response::Error {
                             code: ErrorCode::BadRequest,
                             message: "malformed register payload".into(),
+                        },
+                    );
+                }
+            }
+        }
+        JobKind::AppendRaw { body } => {
+            let decoded = protocol::decode_request_body(protocol::OP_APPEND, &body);
+            match decoded {
+                Ok(Request::Append { name, rows }) => {
+                    let appended = rows.num_rows() as u64;
+                    let result = shared.session().append(&name, rows);
+                    match result {
+                        Ok(out) => {
+                            shared.set_version_hint(&name, out.version);
+                            let mut counters = shared.counters();
+                            counters.appends += 1;
+                            counters.appended_rows += appended;
+                            drop(counters);
+                            job.reply.send_response(job.request_id, &Response::Ack);
+                        }
+                        Err(e) => {
+                            job.reply.send_response(
+                                job.request_id,
+                                &Response::Error {
+                                    code: error_code_for(&e),
+                                    message: e.to_string(),
+                                },
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    job.reply.send_response(
+                        job.request_id,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: "malformed append payload".into(),
                         },
                     );
                 }
@@ -1262,6 +1362,8 @@ fn stats_json(shared: &Shared) -> String {
         ("timeouts", counters.timeouts),
         ("batches", counters.batches),
         ("batched_queries", counters.batched_queries),
+        ("appends", counters.appends),
+        ("appended_rows", counters.appended_rows),
         (
             "open_connections",
             shared.open_conns.load(Ordering::Relaxed),

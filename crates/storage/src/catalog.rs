@@ -30,6 +30,44 @@ pub struct TableEntry {
     pub version: u64,
 }
 
+/// One append's footprint on a table: which contiguous row range the
+/// delta occupies and which version interval it spans. The catalog keeps
+/// a bounded log of these per base table (and per shard entry of a
+/// sharded table — the shard router supplies per-shard deltas), so
+/// consumers holding an aggregate computed at an older version can
+/// re-aggregate *only the appended rows* and merge, instead of
+/// recomputing from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaDesc {
+    /// Version of the table immediately before the append.
+    pub from_version: u64,
+    /// Version assigned by the append.
+    pub to_version: u64,
+    /// Rows the table held before the append — the delta's first row.
+    pub base_rows: usize,
+    /// Rows the append added.
+    pub delta_rows: usize,
+}
+
+/// A resolved chain of [`DeltaDesc`]s: the contiguous row range that was
+/// appended between a consumer's snapshot version and the table's
+/// current version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRange {
+    /// First appended row (row offset of the consumer's snapshot end).
+    pub start_row: usize,
+    /// Total appended rows across the chain.
+    pub rows: usize,
+    /// The version the chain catches the consumer up to (the table's
+    /// current version).
+    pub to_version: u64,
+}
+
+/// Delta descriptors retained per table before the oldest is compacted
+/// away. A consumer further behind than this many appends falls back to
+/// recomputation — the chain no longer reaches its snapshot version.
+pub const MAX_DELTA_LOG: usize = 64;
+
 /// Running + peak bytes consumed by temporary tables.
 ///
 /// This is the quantity the paper's `Storage(u)` recursion (§4.4.1)
@@ -75,6 +113,10 @@ pub struct Catalog {
     /// monotonic version so per-shard cached aggregates invalidate
     /// independently.
     shard_descs: FxHashMap<String, ShardDesc>,
+    /// Append history per table (see [`DeltaDesc`]). Bounded at
+    /// [`MAX_DELTA_LOG`] entries; replace/remove clear the log because
+    /// the new contents share no row prefix with the old.
+    delta_logs: FxHashMap<String, Vec<DeltaDesc>>,
 }
 
 // Compile-time guarantee for the parallel executor: worker threads borrow
@@ -110,6 +152,7 @@ impl Catalog {
             return Err(StorageError::TableExists(name));
         }
         let version = self.bump_version();
+        self.delta_logs.remove(&name);
         self.tables.insert(
             name,
             TableEntry {
@@ -139,6 +182,7 @@ impl Catalog {
         }
         self.drop_shards(&name);
         let version = self.bump_version();
+        self.delta_logs.remove(&name);
         self.tables.insert(
             name,
             TableEntry {
@@ -199,6 +243,7 @@ impl Catalog {
             self.attach_shards(name, &table, shards, key_cols)?;
         }
         let version = self.bump_version();
+        self.delta_logs.remove(name);
         self.tables.insert(
             name.to_string(),
             TableEntry {
@@ -255,7 +300,9 @@ impl Catalog {
     fn drop_shards(&mut self, name: &str) {
         if let Some(desc) = self.shard_descs.remove(name) {
             for s in 0..desc.shard_count {
-                self.tables.remove(&shard_table_name(name, s));
+                let sname = shard_table_name(name, s);
+                self.tables.remove(&sname);
+                self.delta_logs.remove(&sname);
             }
         }
     }
@@ -283,6 +330,7 @@ impl Catalog {
             )));
         }
         let old = Arc::clone(&entry.table);
+        let from_version = entry.version;
         let combined = Table::concat(&[old.as_ref(), &rows])?;
         if let Some(desc) = self.shard_descs.get(name).cloned() {
             let parts = split_table(&rows, &desc.key_cols, desc.shard_count)?;
@@ -294,6 +342,20 @@ impl Catalog {
             }
         }
         let version = self.bump_version();
+        let log = self.delta_logs.entry(name.to_string()).or_default();
+        log.push(DeltaDesc {
+            from_version,
+            to_version: version,
+            base_rows: old.num_rows(),
+            delta_rows: rows.num_rows(),
+        });
+        // Compaction: drop the oldest descriptors once the log outgrows
+        // its bound. Consumers behind the surviving chain head can no
+        // longer catch up incrementally and fall back to recompute.
+        if log.len() > MAX_DELTA_LOG {
+            let excess = log.len() - MAX_DELTA_LOG;
+            log.drain(..excess);
+        }
         self.tables.insert(
             name.to_string(),
             TableEntry {
@@ -304,6 +366,50 @@ impl Catalog {
             },
         );
         Ok(version)
+    }
+
+    /// The append history of `name` still retained (oldest first). Empty
+    /// for tables that were never appended to (or whose log was cleared
+    /// by replace/remove).
+    pub fn delta_log(&self, name: &str) -> &[DeltaDesc] {
+        self.delta_logs.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Resolve the contiguous appended row range between `since_version`
+    /// (a consumer's snapshot of table `name`) and the table's current
+    /// version. Returns `None` when the consumer cannot catch up
+    /// incrementally: its version precedes the retained log (compacted
+    /// away), the table was replaced (log cleared), or the chain does
+    /// not link up to the current version. A consumer already at the
+    /// current version gets an empty range.
+    pub fn delta_chain(&self, name: &str, since_version: u64) -> Option<DeltaRange> {
+        let current = self.tables.get(name).filter(|e| !e.is_temp)?.version;
+        if since_version == current {
+            return Some(DeltaRange {
+                start_row: self.tables[name].table.num_rows(),
+                rows: 0,
+                to_version: current,
+            });
+        }
+        let log = self.delta_logs.get(name)?;
+        let first = log.iter().position(|d| d.from_version == since_version)?;
+        let mut rows = 0usize;
+        let mut at = since_version;
+        for d in &log[first..] {
+            if d.from_version != at {
+                return None; // chain broken (should not happen in practice)
+            }
+            rows += d.delta_rows;
+            at = d.to_version;
+        }
+        if at != current {
+            return None;
+        }
+        Some(DeltaRange {
+            start_row: log[first].base_rows,
+            rows,
+            to_version: current,
+        })
     }
 
     /// Remove a *base* table (e.g. a pinned shared table registered via
@@ -317,6 +423,7 @@ impl Catalog {
             ))),
             Some(_) => {
                 self.tables.remove(name);
+                self.delta_logs.remove(name);
                 self.drop_shards(name);
                 Ok(())
             }
@@ -751,6 +858,97 @@ mod tests {
         assert!(c.shard_desc("u").is_none());
         // non-power-of-two rejected
         assert!(c.register_sharded("w", tiny(4), 6, None).is_err());
+    }
+
+    #[test]
+    fn delta_chain_resolves_append_ranges() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(10)).unwrap();
+        let v0 = c.table_version("t").unwrap();
+        assert_eq!(c.delta_log("t").len(), 0);
+        // caught-up consumer: empty range at the current end
+        let r = c.delta_chain("t", v0).unwrap();
+        assert_eq!((r.start_row, r.rows, r.to_version), (10, 0, v0));
+
+        let v1 = c.append("t", tiny(4)).unwrap();
+        let v2 = c.append("t", tiny(6)).unwrap();
+        assert_eq!(c.delta_log("t").len(), 2);
+
+        // from v0: both appends combine into one contiguous range
+        let r = c.delta_chain("t", v0).unwrap();
+        assert_eq!((r.start_row, r.rows, r.to_version), (10, 10, v2));
+        // from v1: only the second append
+        let r = c.delta_chain("t", v1).unwrap();
+        assert_eq!((r.start_row, r.rows, r.to_version), (14, 6, v2));
+        // unknown / pre-history versions cannot catch up
+        assert!(c.delta_chain("t", 0).is_none());
+        assert!(c.delta_chain("t", v2 + 1).is_none());
+        assert!(c.delta_chain("ghost", v0).is_none());
+
+        // replace severs the chain entirely
+        let v3 = c.replace("t", tiny(3)).unwrap();
+        assert!(c.delta_chain("t", v0).is_none());
+        assert!(c.delta_chain("t", v2).is_none());
+        assert_eq!(c.delta_log("t").len(), 0);
+        assert_eq!(c.delta_chain("t", v3).unwrap().rows, 0);
+    }
+
+    #[test]
+    fn delta_log_compacts_past_the_bound() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(1)).unwrap();
+        let v0 = c.table_version("t").unwrap();
+        let mut mid = 0;
+        for i in 0..(MAX_DELTA_LOG + 8) {
+            if i == 8 {
+                mid = c.table_version("t").unwrap();
+            }
+            c.append("t", tiny(1)).unwrap();
+        }
+        assert_eq!(c.delta_log("t").len(), MAX_DELTA_LOG);
+        // the oldest chain head was compacted away; a recent one survives
+        assert!(c.delta_chain("t", v0).is_none());
+        let r = c.delta_chain("t", mid).unwrap();
+        assert_eq!(r.rows, MAX_DELTA_LOG);
+        assert_eq!(r.start_row, 1 + 8);
+    }
+
+    #[test]
+    fn sharded_append_logs_per_shard_deltas() {
+        let mut c = Catalog::new();
+        c.register_sharded("t", tiny(64), 4, None).unwrap();
+        let before: Vec<u64> = (0..4)
+            .map(|s| {
+                c.table_version(&crate::shard::shard_table_name("t", s))
+                    .unwrap()
+            })
+            .collect();
+        c.append("t", tiny(1)).unwrap();
+        // exactly the receiving shard gained a delta descriptor whose
+        // range matches its pre-append row count
+        let mut logged = 0;
+        for s in 0..4u32 {
+            let sname = crate::shard::shard_table_name("t", s);
+            let log = c.delta_log(&sname);
+            if log.is_empty() {
+                continue;
+            }
+            logged += 1;
+            let r = c.delta_chain(&sname, before[s as usize]).unwrap();
+            assert_eq!(r.rows, 1);
+            assert_eq!(
+                r.start_row + 1,
+                c.table(&sname).unwrap().num_rows(),
+                "delta range must sit at the shard's tail"
+            );
+        }
+        assert_eq!(logged, 1);
+        // remove clears shard logs too
+        c.remove("t").unwrap();
+        assert_eq!(
+            c.delta_log(&crate::shard::shard_table_name("t", 0)).len(),
+            0
+        );
     }
 
     #[test]

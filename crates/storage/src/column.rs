@@ -289,6 +289,33 @@ impl Column {
         (0..self.len()).map(move |i| self.value(i))
     }
 
+    /// A new column holding rows `[start, start + len)`. String columns
+    /// share the dictionary (codes are copied, strings are not), so
+    /// slicing an appended delta off a large table costs O(len), never
+    /// O(table). Panics if the range exceeds the column.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        assert!(
+            start + len <= self.len(),
+            "slice [{start}, {}) exceeds column of {} rows",
+            start + len,
+            self.len()
+        );
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v[start..start + len].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[start..start + len].to_vec()),
+            ColumnData::Utf8 { codes, dict } => ColumnData::Utf8 {
+                codes: codes[start..start + len].to_vec(),
+                dict: Arc::clone(dict),
+            },
+            ColumnData::Date32(v) => ColumnData::Date32(v[start..start + len].to_vec()),
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| (start..start + len).map(|i| v.get(i)).collect());
+        Column::new(data, validity).expect("slice preserves lengths")
+    }
+
     /// Concatenate same-typed columns into one. For string columns whose
     /// parts share one dictionary (the common case: shards gathered from
     /// one base table) the codes are concatenated and the dictionary
@@ -800,5 +827,124 @@ mod tests {
         // gather must not panic on the placeholder codes
         let g = col.gather(&[1, 0]);
         assert_eq!(g.value(0), Value::Null);
+    }
+
+    #[test]
+    fn concat_remap_preserves_nulls_in_divergent_dictionaries() {
+        // Two independently built string columns: disjoint dictionaries
+        // *and* null slots whose normalized placeholder codes must not
+        // leak a dictionary value through the remap.
+        let mut a = ColumnBuilder::new(DataType::Utf8);
+        a.push_str("alpha");
+        a.push_null();
+        a.push_str("beta");
+        let mut b = ColumnBuilder::new(DataType::Utf8);
+        b.push_null();
+        b.push_str("beta");
+        b.push_str("gamma");
+        let c = Column::concat(&[&a.finish(), &b.finish()]).unwrap();
+        let vals: Vec<Value> = c.iter_values().collect();
+        assert_eq!(
+            vals,
+            vec![
+                Value::str("alpha"),
+                Value::Null,
+                Value::str("beta"),
+                Value::Null,
+                Value::str("beta"),
+                Value::str("gamma"),
+            ]
+        );
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn concat_remap_handles_an_empty_dictionary_side() {
+        // A zero-row string column carries an empty dictionary; an
+        // all-null column carries the placeholder-only dictionary. Both
+        // must remap cleanly against a populated side, in either order.
+        let empty = Column::from_strs::<&str>(&[]);
+        let mut b = ColumnBuilder::new(DataType::Utf8);
+        b.push_null();
+        b.push_null();
+        let all_null = b.finish();
+        let full = Column::from_strs(&["x", "y"]);
+
+        let c = Column::concat(&[&empty, &full]).unwrap();
+        assert_eq!(
+            c.iter_values().collect::<Vec<_>>(),
+            vec![Value::str("x"), Value::str("y")]
+        );
+        let c = Column::concat(&[&full, &empty, &all_null]).unwrap();
+        assert_eq!(
+            c.iter_values().collect::<Vec<_>>(),
+            vec![Value::str("x"), Value::str("y"), Value::Null, Value::Null]
+        );
+        assert_eq!(c.null_count(), 2);
+        // nothing but empties/nulls: the merged dictionary still
+        // resolves every code
+        let c = Column::concat(&[&all_null, &empty]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.value(0), Value::Null);
+    }
+}
+
+#[cfg(test)]
+mod concat_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Map one generated payload onto every column type, so a single
+    /// generator drives ints, floats, dates, and strings (whose small
+    /// alphabet forces both overlapping and divergent dictionaries).
+    /// The leading bool marks a NULL slot.
+    fn to_value(dt: DataType, x: (bool, i64)) -> Value {
+        let (null, v) = x;
+        if null {
+            return Value::Null;
+        }
+        match dt {
+            DataType::Int64 => Value::Int(v),
+            DataType::Float64 => Value::Float(v as f64 * 0.5),
+            DataType::Date32 => Value::Date((v % 50_000) as i32),
+            DataType::Utf8 => Value::str(&format!("s{}", v.rem_euclid(7))),
+        }
+    }
+
+    fn column_of(dt: DataType, xs: &[(bool, i64)]) -> Column {
+        let mut b = ColumnBuilder::new(dt);
+        for x in xs {
+            b.push(&to_value(dt, *x)).unwrap();
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn concat_row_equals_parts_for_every_type(
+            a in prop::collection::vec((any::<bool>(), any::<i64>()), 0..24),
+            b in prop::collection::vec((any::<bool>(), any::<i64>()), 0..24),
+        ) {
+            for dt in [
+                DataType::Int64,
+                DataType::Float64,
+                DataType::Date32,
+                DataType::Utf8,
+            ] {
+                let ca = column_of(dt, &a);
+                let cb = column_of(dt, &b);
+                let c = Column::concat(&[&ca, &cb]).unwrap();
+                prop_assert_eq!(c.len(), a.len() + b.len());
+                for (i, x) in a.iter().chain(b.iter()).enumerate() {
+                    prop_assert_eq!(c.value(i), to_value(dt, *x));
+                }
+                prop_assert_eq!(
+                    c.null_count(),
+                    a.iter().chain(b.iter()).filter(|(n, _)| *n).count()
+                );
+            }
+        }
     }
 }

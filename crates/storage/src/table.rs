@@ -144,6 +144,22 @@ impl Table {
         Table::new(self.schema.clone(), columns).expect("gather is consistent")
     }
 
+    /// New table holding rows `[start, start + len)` of this one — the
+    /// delta-scan primitive: aggregating only an appended tail slices it
+    /// off in O(len) (string dictionaries are shared, not copied).
+    /// Errors if the range exceeds the table.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Result<Table> {
+        if start + len > self.num_rows {
+            return Err(StorageError::Malformed(format!(
+                "slice_rows [{start}, {}) exceeds table of {} rows",
+                start + len,
+                self.num_rows
+            )));
+        }
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.slice(start, len)).collect();
+        Table::new(self.schema.clone(), columns)
+    }
+
     /// Concatenate same-schema tables into one (the row-wise union of
     /// the parts, in order). This is the columnar fast path appends and
     /// shard merges use instead of rebuilding row by row.
@@ -351,6 +367,33 @@ mod tests {
         let other = Table::empty(Schema::new(vec![Field::new("zzz", DataType::Int64)]).unwrap());
         assert!(Table::concat(&[&t, &other]).is_err());
         assert!(Table::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn slice_rows_matches_gather_and_shares_dictionaries() {
+        let t = sample();
+        let s = t.slice_rows(1, 2).unwrap();
+        assert_eq!(s.num_rows(), 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(s.value(r, c), t.value(r + 1, c), "row {r} col {c}");
+            }
+        }
+        // nulls survive the slice
+        assert_eq!(s.value(0, 1), Value::Null);
+        // string slice shares the dictionary with its source
+        use crate::column::ColumnData;
+        if let (ColumnData::Utf8 { dict: d0, .. }, ColumnData::Utf8 { dict: d1, .. }) =
+            (t.column(1).data(), s.column(1).data())
+        {
+            assert!(std::sync::Arc::ptr_eq(d0, d1));
+        } else {
+            panic!("expected Utf8 columns");
+        }
+        // empty and full slices work; out-of-range is rejected
+        assert_eq!(t.slice_rows(3, 0).unwrap().num_rows(), 0);
+        assert_eq!(t.slice_rows(0, 3).unwrap().num_rows(), 3);
+        assert!(t.slice_rows(2, 2).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use gbmqo_core::{optimal_plan, render_sql};
 use gbmqo_cost::CardinalityCostModel;
 use gbmqo_integration::{assert_same_results, col_names, modular_table, session_with};
 use gbmqo_stats::ExactSource;
+use gbmqo_storage::Table;
 use proptest::prelude::*;
 
 /// Strategy: 2–6 columns with cardinalities from tiny to row count.
@@ -212,6 +213,110 @@ proptest! {
             report.peak_temp_bytes, simulated
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Delta-propagation invariant: under any append schedule, a warm
+    /// session whose cached aggregates are delta-refreshed returns
+    /// exactly what a cold session computes from scratch over the full
+    /// table — serial and parallel, sharded and unsharded, count-only
+    /// and SUM/MIN/MAX workloads alike.
+    #[test]
+    fn refreshed_cache_equals_cold_recompute(
+        cards in prop::collection::vec(prop::sample::select(vec![3usize, 7, 20, 400]), 2..=4),
+        appends in prop::collection::vec(20usize..150, 1..=3),
+        shards in prop::sample::select(vec![0u32, 4]),
+        parallel in any::<bool>(),
+        rich_aggs in any::<bool>(),
+    ) {
+        let base_rows = 300usize;
+        let base = modular_table(base_rows, &cards);
+        let names = col_names(cards.len());
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut w = Workload::single_columns("t", &base, &refs).unwrap();
+        if rich_aggs {
+            // every mergeable aggregate kind rides along with the count
+            w = w.with_aggregates(vec![
+                gbmqo_exec::AggSpec::count(),
+                gbmqo_exec::AggSpec::sum("c0", "sum_c0"),
+                gbmqo_exec::AggSpec::min("c1", "min_c1"),
+                gbmqo_exec::AggSpec::max("c0", "max_c0"),
+            ]);
+        }
+
+        let mode = if parallel { ExecutionMode::Parallel } else { ExecutionMode::ClientSide };
+        let mut warm = Session::builder()
+            .table("t", base.clone())
+            .search(SearchConfig::pruned())
+            .mode(mode)
+            .shards(shards)
+            .mat_cache_budget_bytes(1 << 20)
+            .build()
+            .unwrap();
+        warm.run_workload(&w, CacheControl::Default).unwrap();
+
+        let mut parts: Vec<Table> = vec![base];
+        let mut offset = base_rows;
+        for (i, &n) in appends.iter().enumerate() {
+            // Slice past the rows generated so far, so high-cardinality
+            // columns introduce group keys the cached aggregate has
+            // never seen.
+            let delta = modular_table(offset + n, &cards)
+                .slice_rows(offset, n)
+                .unwrap();
+            offset += n;
+            warm.append("t", delta.clone()).unwrap();
+            parts.push(delta);
+
+            let warm_out = warm.run_workload(&w, CacheControl::Default).unwrap();
+
+            let all: Vec<&Table> = parts.iter().collect();
+            let mut cold = Session::builder()
+                .table("t", Table::concat(&all).unwrap())
+                .search(SearchConfig::pruned())
+                .mode(mode)
+                .shards(shards)
+                .build()
+                .unwrap();
+            let cold_out = cold.run_workload(&w, CacheControl::Default).unwrap();
+            // Full-column comparison (not just keys + count): SUM/MIN/MAX
+            // payloads must survive the delta merge bit-for-bit.
+            for (set, warm_t) in &warm_out.report.results {
+                let cold_t = &cold_out
+                    .report
+                    .results
+                    .iter()
+                    .find(|(s, _)| s == set)
+                    .unwrap_or_else(|| panic!("append {i}: cold run missing a set"))
+                    .1;
+                prop_assert_eq!(
+                    rows_by_name(warm_t),
+                    rows_by_name(cold_t),
+                    "append {} (shards {}, parallel {}, set {:?})",
+                    i, shards, parallel, w.col_names(*set)
+                );
+            }
+        }
+    }
+}
+
+/// Every row of `t` as sorted `name=value` cells, with rows sorted —
+/// equality independent of row and column order.
+fn rows_by_name(t: &Table) -> Vec<Vec<String>> {
+    let names = t.schema().names();
+    let mut rows: Vec<Vec<String>> = (0..t.num_rows())
+        .map(|r| {
+            let mut cells: Vec<String> = (0..t.num_columns())
+                .map(|c| format!("{}={:?}", names[c], t.value(r, c)))
+                .collect();
+            cells.sort();
+            cells
+        })
+        .collect();
+    rows.sort();
+    rows
 }
 
 /// Non-proptest regression: overlapping (TC-style) workloads also satisfy

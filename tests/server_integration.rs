@@ -502,6 +502,64 @@ fn shared_cache_serves_repeat_queries_across_connections() {
 }
 
 #[test]
+fn wire_append_refreshes_cached_aggregates() {
+    let cards = [4usize, 9];
+    let table = modular_table(4_000, &cards);
+    let delta = modular_table(1_000, &cards);
+    let session = Session::builder()
+        .table("r", table.clone())
+        .search(SearchConfig::pruned())
+        .plan_cache(32)
+        .mat_cache_budget_bytes(8 << 20)
+        .build()
+        .unwrap();
+    let handle = Server::bind("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Warm the cache, then append rows over the wire.
+    let warm = client.query("r", &["c0", "c1"], 0).unwrap();
+    assert_result(&table, &["c0", "c1"], &warm, "warming query");
+    client.append("r", &delta).unwrap();
+
+    // The repeat query must reflect the appended rows; under the lazy
+    // refresh policy the stale entry is delta-refreshed, not recomputed.
+    let combined = Table::concat(&[&table, &delta]).unwrap();
+    let after = client.query("r", &["c0", "c1"], 0).unwrap();
+    assert_result(&combined, &["c0", "c1"], &after, "post-append query");
+
+    let json = client.stats().unwrap();
+    assert_eq!(stats_field(&json, "appends"), Some(1), "stats: {json}");
+    assert_eq!(
+        stats_field(&json, "appended_rows"),
+        Some(1_000),
+        "stats: {json}"
+    );
+    assert!(
+        stats_field(&json, "delta_refreshes").unwrap() >= 1,
+        "stats: {json}"
+    );
+    assert_eq!(
+        stats_field(&json, "delta_fallbacks"),
+        Some(0),
+        "stats: {json}"
+    );
+
+    // A mismatched schema is the client's fault, not a server error.
+    let bad = modular_table(10, &[4]);
+    match client.append("r", &bad).unwrap_err() {
+        ServerError::Remote {
+            code: ErrorCode::BadRequest,
+            ..
+        } => {}
+        other => panic!("expected BadRequest, got {other}"),
+    }
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
 fn streaming_large_result_arrives_in_bounded_chunks() {
     let table = modular_table(30_000, &[9_973]);
     let handle = serve(

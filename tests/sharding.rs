@@ -117,7 +117,11 @@ fn delta_for_one_shard(schema: &Schema, key_col: usize, shards: u32, rows: usize
 
 /// The acceptance property from the issue: appending to one shard
 /// invalidates only that shard's cached aggregates; the sibling
-/// shards' entries stay warm and keep serving.
+/// shards' entries stay warm and keep serving. Refresh is disabled so
+/// the logical-level entries die with the append and the per-shard
+/// path is what serves — under the default lazy policy the logical
+/// entry would be delta-refreshed instead and cover both requests
+/// outright (see `refreshed_cache_equals_cold_recompute`).
 #[test]
 fn single_shard_append_keeps_sibling_shards_warm() {
     let t = modular_table(4000, &[3, 7]);
@@ -127,6 +131,7 @@ fn single_shard_append_keeps_sibling_shards_warm() {
         .shards(4)
         .mode(ExecutionMode::ClientSide)
         .mat_cache_budget_bytes(1 << 20)
+        .refresh_policy(RefreshPolicy::Disabled)
         .build()
         .unwrap();
     assert_eq!(s.shards(), 4);
