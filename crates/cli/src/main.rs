@@ -11,6 +11,7 @@
 mod advise;
 mod csv;
 mod profile;
+mod query;
 mod remote;
 mod serve;
 
@@ -27,6 +28,8 @@ USAGE:
                   [--chunk-rows <n>] [--chunk-kb <n>] [--outbound-kb <n>]
     gbmqo client  <addr> <ping|stats|register <name> <file.csv>|
                   query <table> <cols>|workload <table> <sets>>
+                  [--deadline-ms <n>] [--limit <n>] [--compress] [--stream]
+    gbmqo query   <addr> <sql>
                   [--deadline-ms <n>] [--limit <n>] [--compress] [--stream]
 
 OPTIONS:
@@ -50,6 +53,9 @@ stream back as bounded chunk frames (--chunk-rows/--chunk-kb caps each
 chunk, --outbound-kb caps per-connection send credit).
 `client` issues one request against a running server; --stream prints
 chunks as they arrive and --compress negotiates LZ4-style frames.
+`query` runs one SQL statement (aggregates over a fact table with
+optional star joins and GROUP BY GROUPING SETS | CUBE | ROLLUP) on a
+running server.
 ";
 
 fn main() -> ExitCode {
@@ -96,6 +102,19 @@ fn main() -> ExitCode {
         },
         Some("client") => match remote::Options::parse(&args[1..]) {
             Ok(opts) => match remote::run(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("query") => match query::Options::parse(&args[1..]) {
+            Ok(opts) => match query::run(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

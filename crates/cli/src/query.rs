@@ -1,0 +1,136 @@
+//! The `query` subcommand: run one SQL statement against a running
+//! `gbmqo serve` instance.
+//!
+//! ```text
+//! gbmqo query localhost:4816 \
+//!     "SELECT brand, region, COUNT(*) FROM sales \
+//!      JOIN product ON sales.prod_key = product.prod_key \
+//!      GROUP BY CUBE (prod_key, store_key)"
+//! ```
+//!
+//! The statement is the server's `gbmqo-sqlfe` subset: aggregates over
+//! a fact table, optional star joins on keyed dimensions, optional
+//! WHERE conjuncts, and `GROUP BY GROUPING SETS (...) | CUBE (...) |
+//! ROLLUP (...) | <cols>`. Parse and bind errors come back from the
+//! server as structured wire errors carrying a caret diagnostic.
+
+use crate::remote::print_stream;
+use gbmqo_server::{Client, ClientOptions};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Server address.
+    pub addr: String,
+    /// The SQL statement to run.
+    pub sql: String,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u32,
+    /// Rows to print per result table.
+    pub limit: usize,
+    /// Offer LZ4-style frame compression during the handshake.
+    pub compress: bool,
+    /// Print result chunks as they stream in instead of collecting.
+    pub stream: bool,
+}
+
+impl Options {
+    /// Parse `query` arguments: `<addr> <sql> [flags]`.
+    pub fn parse(args: &[String]) -> std::result::Result<Self, String> {
+        let mut positional: Vec<&String> = Vec::new();
+        let mut deadline_ms = 0u32;
+        let mut limit = 10usize;
+        let mut compress = false;
+        let mut stream = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--compress" => compress = true,
+                "--stream" => stream = true,
+                "--deadline-ms" => {
+                    deadline_ms = it
+                        .next()
+                        .ok_or_else(|| "--deadline-ms needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?
+                }
+                "--limit" => {
+                    limit = it
+                        .next()
+                        .ok_or_else(|| "--limit needs a value".to_string())?
+                        .parse()
+                        .map_err(|e| format!("--limit: {e}"))?
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+                _ => positional.push(a),
+            }
+        }
+        let [addr, sql] = positional.as_slice() else {
+            return Err("expected: gbmqo query <addr> <sql>".to_string());
+        };
+        Ok(Options {
+            addr: addr.to_string(),
+            sql: sql.to_string(),
+            deadline_ms,
+            limit,
+            compress,
+            stream,
+        })
+    }
+}
+
+/// Run the subcommand.
+pub fn run(opts: &Options) -> std::result::Result<(), String> {
+    let mut client = Client::connect_with(
+        opts.addr.as_str(),
+        ClientOptions {
+            compress: opts.compress,
+        },
+    )
+    .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
+    if opts.stream {
+        let stream = client
+            .stream_sql(&opts.sql, opts.deadline_ms)
+            .map_err(|e| e.to_string())?;
+        print_stream(stream, opts.limit)?;
+    } else {
+        let results = client
+            .sql(&opts.sql, opts.deadline_ms)
+            .map_err(|e| e.to_string())?;
+        for (tag, result) in results {
+            println!("GROUP BY ({tag}): {} rows", result.num_rows());
+            print!("{}", result.display(opts.limit));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_sql_and_flags() {
+        let o = Options::parse(&strs(&[
+            "localhost:4816",
+            "SELECT a, COUNT(*) FROM t GROUP BY CUBE (a, b)",
+            "--deadline-ms",
+            "250",
+            "--limit",
+            "5",
+            "--stream",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "localhost:4816");
+        assert!(o.sql.starts_with("SELECT"));
+        assert_eq!(o.deadline_ms, 250);
+        assert_eq!(o.limit, 5);
+        assert!(o.stream && !o.compress);
+        assert!(Options::parse(&strs(&["h:1"])).is_err());
+        assert!(Options::parse(&strs(&["h:1", "SELECT 1", "--bogus"])).is_err());
+    }
+}

@@ -129,8 +129,12 @@ impl Options {
 }
 
 /// Print a chunk stream as it arrives: a header per grouping set, up to
-/// `limit` rows per set, then the stream summary.
-fn print_stream(mut stream: ResultStream<'_>, limit: usize) -> std::result::Result<(), String> {
+/// `limit` rows per set, then the stream summary. Shared with the
+/// `query` (SQL) subcommand.
+pub(crate) fn print_stream(
+    mut stream: ResultStream<'_>,
+    limit: usize,
+) -> std::result::Result<(), String> {
     let mut current: Option<String> = None;
     let mut printed = 0usize;
     for batch in &mut stream {

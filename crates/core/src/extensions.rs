@@ -14,8 +14,10 @@ use crate::workload::Workload;
 use gbmqo_cost::CostModel;
 
 /// Maximum node width for which a CUBE alternative is considered
-/// (costing a cube enumerates all 2^k subsets).
-const MAX_CUBE_WIDTH: usize = 10;
+/// (costing a cube enumerates all 2^k subsets). Shared with the in-search
+/// CUBE/ROLLUP merge alternatives
+/// ([`crate::greedy::SearchConfig::cube_rollup_merges`]).
+pub const MAX_CUBE_WIDTH: usize = 10;
 
 /// Apply the §7.1 rewriting. Returns the (possibly) rewritten plan and
 /// how many nodes were converted.

@@ -5,8 +5,9 @@
 use crate::colset::ColSet;
 use crate::coster::EdgeCoster;
 use crate::error::Result;
+use crate::extensions::MAX_CUBE_WIDTH;
 use crate::merge::sub_plan_merge;
-use crate::plan::{LogicalPlan, SubNode};
+use crate::plan::{LogicalPlan, NodeKind, SubNode};
 use crate::schedule::min_storage;
 use crate::workload::Workload;
 use gbmqo_cost::CostModel;
@@ -21,6 +22,13 @@ pub struct SearchConfig {
     pub subsumption_pruning: bool,
     /// Monotonicity-based pruning (§4.3.2).
     pub monotonicity_pruning: bool,
+    /// §7.1 in-search extension: besides the Group By tree shapes of
+    /// SubPlanMerge, propose a single native `CUBE(v1 ∪ v2)` /
+    /// `ROLLUP(v1 ∪ v2)` node covering *every* required set of both
+    /// sub-plans as a merge alternative. One accepted CUBE can thereby
+    /// replace a whole subtree of earlier pairwise merges. Off by
+    /// default (the paper's core algorithm).
+    pub cube_rollup_merges: bool,
     /// Reject merges whose sub-plan needs more intermediate storage than
     /// this many bytes (§4.4.2's constrained search).
     pub max_intermediate_bytes: Option<f64>,
@@ -34,6 +42,7 @@ impl Default for SearchConfig {
             binary_only: false,
             subsumption_pruning: false,
             monotonicity_pruning: false,
+            cube_rollup_merges: false,
             max_intermediate_bytes: None,
             epsilon: 1e-9,
         }
@@ -261,8 +270,12 @@ impl GbMqo {
         stats: &mut SearchStats,
     ) -> Option<(SubNode, f64)> {
         stats.merges_evaluated += 1;
+        let mut candidates = sub_plan_merge(a, b, self.config.binary_only);
+        if self.config.cube_rollup_merges {
+            candidates.extend(cube_rollup_candidates(a, b));
+        }
         let mut best: Option<(SubNode, f64)> = None;
-        for cand in sub_plan_merge(a, b, self.config.binary_only) {
+        for cand in candidates {
             if let Some(limit) = self.config.max_intermediate_bytes {
                 let mut d = |s: ColSet| coster.result_bytes(s);
                 if min_storage(&cand, &mut d) > limit {
@@ -276,6 +289,59 @@ impl GbMqo {
         }
         best
     }
+}
+
+/// §7.1's in-search merge alternatives: one native CUBE (and, when the
+/// required sets nest, ROLLUP) node over `a.cols ∪ b.cols` whose
+/// children are *all* required sets of both sub-plans, flattened to
+/// leaves. Because the node absorbs every required set at once, a single
+/// accepted candidate can replace a whole subtree of pairwise Group By
+/// merges accumulated in earlier rounds.
+fn cube_rollup_candidates(a: &SubNode, b: &SubNode) -> Vec<SubNode> {
+    let union = a.cols.union(b.cols);
+    let mut required: Vec<ColSet> = Vec::new();
+    a.collect_required(&mut required);
+    b.collect_required(&mut required);
+    let root_required = required.contains(&union);
+    let children: Vec<SubNode> = required
+        .iter()
+        .filter(|&&r| r != union)
+        .map(|&r| SubNode::leaf(r))
+        .collect();
+    if children.is_empty() {
+        // Only the union itself is required: a plain Group By already
+        // covers it, and CUBE/ROLLUP would pay for unneeded subsets.
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    if union.len() <= MAX_CUBE_WIDTH {
+        out.push(SubNode {
+            cols: union,
+            required: root_required,
+            kind: NodeKind::Cube,
+            children: children.clone(),
+        });
+    }
+    let mut chain: Vec<ColSet> = children.iter().map(|c| c.cols).collect();
+    chain.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let nested = {
+        let mut prev = union;
+        chain.iter().all(|&s| {
+            let ok = s.is_strict_subset_of(prev);
+            prev = s;
+            ok
+        })
+    };
+    if nested {
+        out.push(SubNode {
+            cols: union,
+            required: root_required,
+            kind: NodeKind::Rollup,
+            children,
+        });
+    }
+    out
 }
 
 fn pair_key(a: u64, b: u64) -> (u64, u64) {
@@ -431,5 +497,131 @@ mod tests {
         assert_eq!(root.children.len(), 1);
         // naive: 200; merged: R→ab (100) + ab→a (5) = 105
         assert_eq!(stats.final_cost, 105.0);
+    }
+
+    /// An [`gbmqo_cost::OptimizerCostModel`] where materializing
+    /// intermediates is expensive — the regime where a pipelined
+    /// CUBE/ROLLUP beats a forest of materialized Group Bys.
+    fn expensive_write_model(t: &Table) -> gbmqo_cost::OptimizerCostModel<ExactSource<'_>> {
+        let constants = gbmqo_cost::CostConstants {
+            byte_write: 50.0,
+            ..Default::default()
+        };
+        gbmqo_cost::OptimizerCostModel::new(ExactSource::new(t), gbmqo_cost::IndexSnapshot::none())
+            .with_constants(constants)
+    }
+
+    #[test]
+    fn cube_merge_replaces_pairwise_subtree() {
+        // All non-empty subsets of {a,b,c} — the workload a SQL `CUBE
+        // (a, b, c)` expands to: seven required sets. A Group By forest
+        // covering them needs ≥ 3 pairwise merges with materialized
+        // intermediates; one CUBE(a,b,c) node computes all seven
+        // pipelined. With materialization priced high, the in-search
+        // CUBE alternative must absorb the whole subtree. All three
+        // columns are low-cardinality so every cube level stays small.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..600).map(|i| i % 4).collect()),
+                Column::from_i64((0..600).map(|i| i % 5).collect()),
+                Column::from_i64((0..600).map(|i| i % 3).collect()),
+            ],
+        )
+        .unwrap();
+        let w = Workload::up_to_k_columns("r", &t, &["a", "b", "c"], 3).unwrap();
+        assert_eq!(w.requests.len(), 7);
+
+        let mut model = expensive_write_model(&t);
+        let (baseline, base_stats) = GbMqo::new().plan(&w, &mut model).unwrap();
+        baseline.validate(&w).unwrap();
+        assert!(!baseline
+            .subplans
+            .iter()
+            .any(|sp| sp.kind == NodeKind::Cube || sp.kind == NodeKind::Rollup));
+
+        let mut model = expensive_write_model(&t);
+        let config = SearchConfig {
+            cube_rollup_merges: true,
+            ..Default::default()
+        };
+        let (plan, stats) = GbMqo::with_config(config).plan(&w, &mut model).unwrap();
+        plan.validate(&w).unwrap();
+
+        let cube = plan
+            .subplans
+            .iter()
+            .find(|sp| sp.kind == NodeKind::Cube)
+            .expect("a CUBE node should be accepted: {plan:?}");
+        let mut covered = Vec::new();
+        cube.collect_required(&mut covered);
+        // Covering ≥ 4 required sets means the node stands in for ≥ 3
+        // pairwise merges' worth of tree.
+        assert!(covered.len() >= 4, "cube covers {covered:?}");
+        assert!(stats.final_cost <= base_stats.final_cost);
+        assert!(stats.final_cost < stats.naive_cost);
+    }
+
+    #[test]
+    fn cube_merges_beat_exhaustive_group_by_forest() {
+        // Disjoint single columns admit the exhaustive harness. Under the
+        // expensive-write model the accepted CUBE must cost no more than
+        // the *optimal* Group By forest (the exhaustive search cannot
+        // propose CUBE nodes).
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut model = expensive_write_model(&t);
+        let (_, optimal_cost) = crate::exhaustive::optimal_plan(&w, &mut model).unwrap();
+
+        let mut model = expensive_write_model(&t);
+        let config = SearchConfig {
+            cube_rollup_merges: true,
+            ..Default::default()
+        };
+        let (plan, stats) = GbMqo::with_config(config).plan(&w, &mut model).unwrap();
+        plan.validate(&w).unwrap();
+        assert!(
+            stats.final_cost <= optimal_cost + 1e-6,
+            "cube search {} vs exhaustive {}",
+            stats.final_cost,
+            optimal_cost
+        );
+    }
+
+    #[test]
+    fn rollup_merge_accepted_on_nested_chain() {
+        // (a) ⊂ (a,b): the union's required sets form a chain, so the
+        // ROLLUP alternative is proposed alongside CUBE and plain merges.
+        let t = table();
+        let w = Workload::new("r", &t, &["a", "b"], &[vec!["a"], vec!["a", "b"]]).unwrap();
+        let mut model = expensive_write_model(&t);
+        let config = SearchConfig {
+            cube_rollup_merges: true,
+            ..Default::default()
+        };
+        let (plan, stats) = GbMqo::with_config(config).plan(&w, &mut model).unwrap();
+        plan.validate(&w).unwrap();
+        assert_eq!(plan.subplans.len(), 1);
+        assert!(matches!(
+            plan.subplans[0].kind,
+            NodeKind::Rollup | NodeKind::Cube
+        ));
+        assert!(stats.final_cost < stats.naive_cost);
+    }
+
+    #[test]
+    fn cube_merges_off_by_default_keeps_pinned_costs() {
+        // The flag must not perturb the paper-pinned default behavior.
+        assert!(!SearchConfig::default().cube_rollup_merges);
+        let (plan, stats, w) = optimize(SearchConfig::default());
+        plan.validate(&w).unwrap();
+        assert_eq!(stats.final_cost, 210.0);
+        assert!(plan.subplans.iter().all(|sp| sp.kind == NodeKind::GroupBy));
     }
 }

@@ -36,6 +36,22 @@ pub struct JoinGroupingSets {
     pub metrics: ExecMetrics,
 }
 
+/// One dimension of a star join: `fact.fact_key = table.dim_key`, with
+/// an optional selection over the dimension (applied *before* the join —
+/// for an inner join against a keyed dimension that is equivalent to
+/// filtering afterwards, and far cheaper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarDim {
+    /// Dimension table name.
+    pub table: String,
+    /// Join key column on the fact side.
+    pub fact_key: String,
+    /// Join key column on the dimension side (must be a key — validated).
+    pub dim_key: String,
+    /// ANDed WHERE conjuncts over this dimension's columns.
+    pub filter: Option<Predicate>,
+}
+
 /// Execute GROUPING SETS `requests` (columns of `left`) over
 /// `Join(left, right)` on `left.join_col = right.join_col`, using the
 /// GB-MQO optimizer for the pushed-down Group Bys.
@@ -46,26 +62,112 @@ pub fn grouping_sets_over_join(
     join_col: &str,
     requests: &[Vec<&str>],
 ) -> Result<JoinGroupingSets> {
+    let dim = StarDim {
+        table: right.to_string(),
+        fact_key: join_col.to_string(),
+        dim_key: join_col.to_string(),
+        filter: None,
+    };
+    grouping_sets_over_star(engine, left, &[dim], requests, None, &[AggSpec::count()])
+}
+
+/// Scratch temp holding the filtered fact table while a star pushdown
+/// with a fact-side selection executes.
+const FILTERED_BASE_TEMP: &str = "__gbmqo_sqlfe_filtered_base";
+
+/// The §5.1.1 rewrite generalized to a star: GROUPING SETS `requests`
+/// (columns of `fact`) over `fact ⋈ dims[0] ⋈ dims[1] ⋈ …`, each join an
+/// equi-join on a key of its dimension.
+///
+/// Each request `s` is pushed below the joins as
+/// `GROUP BY s ∪ {all fact keys}` over the (optionally filtered) fact
+/// table — one GB-MQO workload, so the optimizer shares work across the
+/// pushed-down queries. The per-set aggregates are UNION ALL'ed with a
+/// `Grp-Tag`, joined once per dimension, and re-aggregated per set above
+/// the joins with the tag as the selector.
+///
+/// `aggregates` are the per-set aggregates; over a non-empty `dims` list
+/// they must all re-aggregate losslessly through the join (COUNT/SUM —
+/// the callers' binder enforces COUNT-only), and the final aggregation
+/// applies [`AggSpec::reaggregate`] to each.
+pub fn grouping_sets_over_star(
+    engine: &mut Engine,
+    fact: &str,
+    dims: &[StarDim],
+    requests: &[Vec<&str>],
+    fact_filter: Option<&Predicate>,
+    aggregates: &[AggSpec],
+) -> Result<JoinGroupingSets> {
+    // Resolve and validate every dimension before any temp is created.
     // Arc clones, not deep copies of the tables' columns.
-    let left_table = engine.catalog().table_arc(left)?;
-    let right_table = engine.catalog().table_arc(right)?;
-    let right_key = right_table
-        .schema()
-        .index_of(join_col)
-        .map_err(CoreError::Storage)?;
-    // Key requirement on S (see module docs).
-    {
+    let mut dim_tables: Vec<Table> = Vec::with_capacity(dims.len());
+    for dim in dims {
+        let table = engine.catalog().table_arc(&dim.table)?;
         let mut m = ExecMetrics::new();
-        let keys = hash_group_by(&right_table, &[right_key], &[AggSpec::count()], &mut m)?;
-        if keys.num_rows() != right_table.num_rows() {
+        let table = match &dim.filter {
+            Some(pred) => filter(&table, pred, &mut m)?,
+            None => (*table).clone(),
+        };
+        let dim_key = table
+            .schema()
+            .index_of(&dim.dim_key)
+            .map_err(CoreError::Storage)?;
+        // Key requirement on every dimension (see module docs).
+        let keys = hash_group_by(&table, &[dim_key], &[AggSpec::count()], &mut m)?;
+        if keys.num_rows() != table.num_rows() {
             return Err(CoreError::InvalidWorkload(format!(
-                "join column {join_col} is not a key of {right}"
+                "join column {} is not a key of {}",
+                dim.dim_key, dim.table
             )));
         }
+        dim_tables.push(table);
     }
 
-    // Push down: each request becomes s ∪ {a} over R.
-    let mut universe: Vec<&str> = vec![join_col];
+    // Optionally push the fact-side selection below everything,
+    // materializing the filtered fact as a scratch temp the pushed-down
+    // workload runs over.
+    let (base_name, base_table) = match fact_filter {
+        Some(pred) => {
+            let _ = engine.drop_temp(FILTERED_BASE_TEMP); // leaked by an earlier error?
+            let filtered = engine.run_filter(fact, pred, Some(FILTERED_BASE_TEMP))?;
+            (FILTERED_BASE_TEMP.to_string(), filtered)
+        }
+        None => (
+            fact.to_string(),
+            (*engine.catalog().table_arc(fact)?).clone(),
+        ),
+    };
+    let result = star_over_base(
+        engine,
+        &base_name,
+        &base_table,
+        dims,
+        &dim_tables,
+        requests,
+        aggregates,
+    );
+    if fact_filter.is_some() {
+        let _ = engine.drop_temp(FILTERED_BASE_TEMP);
+    }
+    result
+}
+
+fn star_over_base(
+    engine: &mut Engine,
+    base_name: &str,
+    base_table: &Table,
+    dims: &[StarDim],
+    dim_tables: &[Table],
+    requests: &[Vec<&str>],
+    aggregates: &[AggSpec],
+) -> Result<JoinGroupingSets> {
+    // Push down: each request becomes s ∪ {fact keys} over the fact.
+    let mut universe: Vec<&str> = Vec::new();
+    for dim in dims {
+        if !universe.contains(&dim.fact_key.as_str()) {
+            universe.push(&dim.fact_key);
+        }
+    }
     for req in requests {
         for c in req {
             if !universe.contains(c) {
@@ -77,16 +179,19 @@ pub fn grouping_sets_over_join(
         .iter()
         .map(|req| {
             let mut v = req.clone();
-            if !v.contains(&join_col) {
-                v.push(join_col);
+            for dim in dims {
+                if !v.contains(&dim.fact_key.as_str()) {
+                    v.push(&dim.fact_key);
+                }
             }
             v
         })
         .collect();
-    let workload = Workload::new(left, &left_table, &universe, &pushed)?;
+    let workload = Workload::new(base_name, base_table, &universe, &pushed)?
+        .with_aggregates(aggregates.to_vec());
 
     // Optimize and execute the pushed-down Group Bys (work sharing!).
-    let mut model = CardinalityCostModel::new(ExactSource::new(&left_table));
+    let mut model = CardinalityCostModel::new(ExactSource::new(base_table));
     let (plan, _) = GbMqo::with_config(SearchConfig::pruned()).plan(&workload, &mut model)?;
     let report = run_plan(
         &plan,
@@ -98,39 +203,61 @@ pub fn grouping_sets_over_join(
     )?;
     let mut metrics = report.metrics;
 
-    // Tag + union-all (Figure 8's Union-All below the join).
     let tag_of = |req: &Vec<&str>| req.join(",");
-    let mut tagged: Vec<(String, &Table)> = Vec::new();
-    for (req, pushed_req) in requests.iter().zip(&pushed) {
-        let table = &report
+    let find_result = |pushed_req: &Vec<&str>| {
+        report
             .results
             .iter()
             .find(|(s, _)| {
                 let names = workload.col_names(*s);
                 pushed_req.iter().all(|c| names.contains(c)) && names.len() == pushed_req.len()
             })
+            .map(|(_, t)| t)
             .expect("result for pushed request")
-            .1;
-        tagged.push((tag_of(req), table));
+    };
+
+    // With no dimensions the pushed sets *are* the requests: nothing to
+    // join, the per-set aggregates stream out directly.
+    if dims.is_empty() {
+        let results = requests
+            .iter()
+            .zip(&pushed)
+            .map(|(req, p)| (tag_of(req), find_result(p).clone()))
+            .collect();
+        return Ok(JoinGroupingSets {
+            results,
+            tagged_union_rows: 0,
+            metrics,
+        });
+    }
+
+    // Tag + union-all (Figure 8's Union-All below the join).
+    let mut tagged: Vec<(String, &Table)> = Vec::new();
+    for (req, pushed_req) in requests.iter().zip(&pushed) {
+        tagged.push((tag_of(req), find_result(pushed_req)));
     }
     let tagged_refs: Vec<(&str, &Table)> = tagged.iter().map(|(t, tb)| (t.as_str(), *tb)).collect();
     let union = union_all_tagged(&tagged_refs, "grp_tag", &mut metrics)?;
     let tagged_union_rows = union.num_rows();
 
-    // Join once with S.
-    let union_key = union
-        .schema()
-        .index_of(join_col)
-        .map_err(CoreError::Storage)?;
-    let joined = gbmqo_exec::hash_join(
-        &union,
-        &right_table,
-        &[union_key],
-        &[right_key],
-        &mut metrics,
-    )?;
+    // One join per dimension (each a key join, so row counts only drop).
+    let mut joined = union;
+    for (dim, dim_table) in dims.iter().zip(dim_tables) {
+        let left_key = joined
+            .schema()
+            .index_of(&dim.fact_key)
+            .map_err(CoreError::Storage)?;
+        let right_key = dim_table
+            .schema()
+            .index_of(&dim.dim_key)
+            .map_err(CoreError::Storage)?;
+        joined =
+            gbmqo_exec::hash_join(&joined, dim_table, &[left_key], &[right_key], &mut metrics)?;
+    }
 
-    // Final per-set aggregation above the join, filtered by Grp-Tag.
+    // Final per-set aggregation above the joins, filtered by Grp-Tag.
+    // Each aggregate re-aggregates from its pushed-down partial.
+    let final_aggs: Vec<AggSpec> = aggregates.iter().map(AggSpec::reaggregate).collect();
     let mut results = Vec::with_capacity(requests.len());
     for req in requests {
         let tag = tag_of(req);
@@ -143,7 +270,7 @@ pub fn grouping_sets_over_join(
             .iter()
             .map(|c| relevant.schema().index_of(c))
             .collect::<gbmqo_storage::Result<_>>()?;
-        let out = hash_group_by(&relevant, &cols, &[AggSpec::sum_count()], &mut metrics)?;
+        let out = hash_group_by(&relevant, &cols, &final_aggs, &mut metrics)?;
         results.push((tag, out));
     }
 
@@ -249,5 +376,151 @@ mod tests {
     fn missing_tables_error() {
         let mut engine = setup();
         assert!(grouping_sets_over_join(&mut engine, "ghost", "s", "a", &[vec!["b"]]).is_err());
+    }
+
+    /// R(a, b, c) fact plus two keyed dimensions S(a, s) and D(b, d).
+    fn star_setup() -> Engine {
+        let mut engine = setup();
+        let d_schema = Schema::new(vec![
+            Field::new("b", DataType::Int64),
+            Field::new("d", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut db = TableBuilder::new(d_schema);
+        for i in 0..5i64 {
+            db.push_row(&[Value::Int(i), Value::str(&format!("d{i}"))])
+                .unwrap();
+        }
+        engine
+            .catalog_mut()
+            .register("d", db.finish().unwrap())
+            .unwrap();
+        engine
+    }
+
+    fn star_dims() -> Vec<StarDim> {
+        vec![
+            StarDim {
+                table: "s".into(),
+                fact_key: "a".into(),
+                dim_key: "a".into(),
+                filter: None,
+            },
+            StarDim {
+                table: "d".into(),
+                fact_key: "b".into(),
+                dim_key: "b".into(),
+                filter: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn two_dim_star_matches_join_then_group() {
+        let mut engine = star_setup();
+        let out = grouping_sets_over_star(
+            &mut engine,
+            "r",
+            &star_dims(),
+            &[vec!["c"], vec!["a", "c"]],
+            None,
+            &[AggSpec::count()],
+        )
+        .unwrap();
+        assert_eq!(out.results.len(), 2);
+
+        // Reference: join both dims first, then group directly.
+        let r = engine.catalog().table("r").unwrap().clone();
+        let s = engine.catalog().table("s").unwrap().clone();
+        let d = engine.catalog().table("d").unwrap().clone();
+        let mut m = ExecMetrics::new();
+        let j1 = gbmqo_exec::hash_join(&r, &s, &[0], &[0], &mut m).unwrap();
+        let bk = j1.schema().index_of("b").unwrap();
+        let joined = gbmqo_exec::hash_join(&j1, &d, &[bk], &[0], &mut m).unwrap();
+        for (tag, table) in &out.results {
+            let cols: Vec<usize> = tag
+                .split(',')
+                .map(|c| joined.schema().index_of(c).unwrap())
+                .collect();
+            let direct = hash_group_by(&joined, &cols, &[AggSpec::count()], &mut m).unwrap();
+            assert_eq!(norm(table), norm(&direct), "grouping set {tag}");
+        }
+    }
+
+    #[test]
+    fn fact_filter_pushes_below_the_joins() {
+        let mut engine = star_setup();
+        let pred = Predicate::Eq("c".into(), Value::Int(1));
+        let out = grouping_sets_over_star(
+            &mut engine,
+            "r",
+            &star_dims(),
+            &[vec!["b"]],
+            Some(&pred),
+            &[AggSpec::count()],
+        )
+        .unwrap();
+
+        // Reference: filter, join, group.
+        let r = engine.catalog().table("r").unwrap().clone();
+        let s = engine.catalog().table("s").unwrap().clone();
+        let d = engine.catalog().table("d").unwrap().clone();
+        let mut m = ExecMetrics::new();
+        let filtered = filter(&r, &pred, &mut m).unwrap();
+        let j1 = gbmqo_exec::hash_join(&filtered, &s, &[0], &[0], &mut m).unwrap();
+        let bk = j1.schema().index_of("b").unwrap();
+        let joined = gbmqo_exec::hash_join(&j1, &d, &[bk], &[0], &mut m).unwrap();
+        let direct = hash_group_by(&joined, &[bk], &[AggSpec::count()], &mut m).unwrap();
+        assert_eq!(norm(&out.results[0].1), norm(&direct));
+        // The scratch temp is cleaned up.
+        assert!(engine.catalog().table(super::FILTERED_BASE_TEMP).is_err());
+    }
+
+    #[test]
+    fn dim_filter_applies_before_the_join() {
+        let mut engine = star_setup();
+        let dims = vec![StarDim {
+            table: "s".into(),
+            fact_key: "a".into(),
+            dim_key: "a".into(),
+            filter: Some(Predicate::Eq("s".into(), Value::str("dim1"))),
+        }];
+        let out = grouping_sets_over_star(
+            &mut engine,
+            "r",
+            &dims,
+            &[vec!["b"]],
+            None,
+            &[AggSpec::count()],
+        )
+        .unwrap();
+        // Only fact rows with a = 1 survive the keyed inner join: 30 of
+        // 90 rows, spread over the 5 values of b.
+        let total: i64 = (0..out.results[0].1.num_rows())
+            .map(|r| out.results[0].1.value(r, 1).as_int().unwrap())
+            .sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn zero_dims_is_plain_grouping_sets_with_filter() {
+        let mut engine = star_setup();
+        let pred = Predicate::Ge("c".into(), Value::Int(1));
+        let out = grouping_sets_over_star(
+            &mut engine,
+            "r",
+            &[],
+            &[vec!["a"], vec!["a", "b"]],
+            Some(&pred),
+            &[AggSpec::count()],
+        )
+        .unwrap();
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.tagged_union_rows, 0);
+        let r = engine.catalog().table("r").unwrap().clone();
+        let mut m = ExecMetrics::new();
+        let filtered = filter(&r, &pred, &mut m).unwrap();
+        let direct = hash_group_by(&filtered, &[0], &[AggSpec::count()], &mut m).unwrap();
+        assert_eq!(norm(&out.results[0].1), norm(&direct));
     }
 }

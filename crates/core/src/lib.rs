@@ -117,7 +117,7 @@ pub use gbmqo_exec::{CancelToken, GroupByStrategy};
 pub use gbmqo_matcache::{CacheControl, MatCacheStats};
 pub use greedy::{GbMqo, SearchConfig, SearchStats};
 pub use grouping_sets::{grouping_sets_plan, BaselineKind};
-pub use join_pushdown::grouping_sets_over_join;
+pub use join_pushdown::{grouping_sets_over_join, grouping_sets_over_star, StarDim};
 pub use parse::parse_grouping_sets;
 pub use plan::{LogicalPlan, NodeKind, SubNode};
 pub use serialize::{plan_from_text, plan_to_text};
@@ -125,7 +125,7 @@ pub use session::{
     AppendOutcome, CostModelSpec, RefreshPolicy, Session, SessionBuilder, WorkloadOutcome,
     DEFAULT_MAX_DELTA_FRACTION, RESHARD_SKEW_THRESHOLD,
 };
-pub use sql::render_sql;
+pub use sql::{quote_sql_ident, render_sql};
 pub use workload::Workload;
 
 /// Convenient glob-import surface.

@@ -12,6 +12,31 @@ use crate::plan::{LogicalPlan, NodeKind};
 use crate::schedule::{schedule_plan, Step};
 use crate::workload::Workload;
 
+/// SQL keywords that force quoting when used as an identifier. Covers
+/// everything the rendered scripts themselves use plus the usual
+/// query-clause words a grouping column is likely to collide with.
+const SQL_KEYWORDS: &[&str] = &[
+    "all", "and", "as", "asc", "by", "count", "cross", "cube", "desc", "distinct", "drop", "from",
+    "group", "grouping", "having", "inner", "into", "join", "left", "limit", "max", "min", "not",
+    "null", "on", "or", "order", "outer", "right", "rollup", "select", "sets", "sum", "table",
+    "union", "where",
+];
+
+/// Quote `name` for use as a SQL identifier when necessary: plain
+/// lower-case identifiers that are not keywords render bare; anything
+/// else is double-quoted with embedded `"` doubled.
+pub fn quote_sql_ident(name: &str) -> String {
+    let mut chars = name.chars();
+    let plain = matches!(chars.next(), Some('a'..='z' | '_'))
+        && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+        && !SQL_KEYWORDS.contains(&name);
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
 /// Render `plan` as an ordered SQL script (one statement per entry).
 pub fn render_sql(plan: &LogicalPlan, workload: &Workload) -> Vec<String> {
     let mut d = |_: ColSet| 1.0;
@@ -27,9 +52,14 @@ pub fn render_sql(plan: &LogicalPlan, workload: &Workload) -> Vec<String> {
                 kind,
                 ..
             } => {
-                let cols = workload.col_names(*target).join(", ");
+                let cols = workload
+                    .col_names(*target)
+                    .iter()
+                    .map(|c| quote_sql_ident(c))
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let (from, agg) = match source {
-                    None => (workload.table.clone(), "COUNT(*)".to_string()),
+                    None => (quote_sql_ident(&workload.table), "COUNT(*)".to_string()),
                     Some(s) => (temp_name(*s), "SUM(cnt)".to_string()),
                 };
                 let into = match materialize {
@@ -130,5 +160,42 @@ mod tests {
         drop(w);
         let sql = render_sql(&plan, &w2);
         assert!(sql[0].contains("GROUP BY ROLLUP"), "{}", sql[0]);
+    }
+
+    #[test]
+    fn keyword_identifiers_are_quoted() {
+        // Columns named after SQL keywords (and mixed-case names) must be
+        // quoted; plain names must stay bare.
+        let schema = Schema::new(vec![
+            Field::new("order", DataType::Int64),
+            Field::new("Group", DataType::Int64),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])],
+        )
+        .unwrap();
+        let w = Workload::single_columns("select", &t, &["order", "Group"]).unwrap();
+        let sql = render_sql(&LogicalPlan::naive(&w), &w);
+        assert_eq!(
+            sql[0],
+            "SELECT \"order\", COUNT(*) AS cnt FROM \"select\" GROUP BY \"order\";"
+        );
+        assert_eq!(
+            sql[1],
+            "SELECT \"Group\", COUNT(*) AS cnt FROM \"select\" GROUP BY \"Group\";"
+        );
+    }
+
+    #[test]
+    fn quote_sql_ident_rules() {
+        assert_eq!(quote_sql_ident("lineitem"), "lineitem");
+        assert_eq!(quote_sql_ident("l_returnflag"), "l_returnflag");
+        assert_eq!(quote_sql_ident("from"), "\"from\"");
+        assert_eq!(quote_sql_ident("Cap"), "\"Cap\"");
+        assert_eq!(quote_sql_ident("1col"), "\"1col\"");
+        assert_eq!(quote_sql_ident("odd name"), "\"odd name\"");
+        assert_eq!(quote_sql_ident("has\"quote"), "\"has\"\"quote\"");
     }
 }

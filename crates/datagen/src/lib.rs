@@ -23,11 +23,13 @@
 pub mod nref;
 pub mod sales;
 pub mod spec;
+pub mod star;
 pub mod tpch;
 pub mod zipf;
 
 pub use nref::{neighboring_seq, NREF_COLUMNS};
 pub use sales::{sales, SALES_COLUMNS};
 pub use spec::{ColumnGen, TableSpec};
+pub use star::{star, StarSchema, STAR_FACT_COLUMNS, STAR_PRODUCT_COLUMNS, STAR_STORE_COLUMNS};
 pub use tpch::{lineitem, widened_lineitem, LINEITEM_SC_COLUMNS};
 pub use zipf::ZipfSampler;

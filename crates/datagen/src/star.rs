@@ -1,0 +1,216 @@
+//! A TPC-H-style star schema: a sales fact table with foreign keys into
+//! two keyed dimensions (`product`, `store`). This is the shape the
+//! paper's §5 join-pushdown optimization targets — grouping columns on
+//! the fact side let Group By nodes run below the join — and the shape
+//! the SQL front end's star-join lowering expects: every dimension key
+//! is dense and unique, every fact foreign key lands inside its
+//! dimension's key domain.
+
+use crate::spec::{ColumnGen, TableSpec};
+use gbmqo_storage::Table;
+
+/// Column names of the star fact table.
+pub const STAR_FACT_COLUMNS: [&str; 7] = [
+    "prod_key",
+    "store_key",
+    "qty",
+    "channel",
+    "promo",
+    "price",
+    "sale_date",
+];
+
+/// Column names of the `product` dimension.
+pub const STAR_PRODUCT_COLUMNS: [&str; 3] = ["prod_key", "brand", "category"];
+
+/// Column names of the `store` dimension.
+pub const STAR_STORE_COLUMNS: [&str; 3] = ["store_key", "city", "region"];
+
+/// A generated star schema: one fact table plus two dimensions.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    /// Fact table `sales(prod_key, store_key, qty, channel, promo,
+    /// price, sale_date)` — foreign keys into the dimensions plus
+    /// low-cardinality degenerate dimensions (`qty`, `channel`,
+    /// `promo`), the natural CUBE targets.
+    pub sales: Table,
+    /// Dimension `product(prod_key, brand, category)` with a dense
+    /// unique `prod_key`.
+    pub product: Table,
+    /// Dimension `store(store_key, city, region)` with a dense unique
+    /// `store_key`.
+    pub store: Table,
+}
+
+impl StarSchema {
+    /// The schema as `(name, table)` pairs ready to register in a
+    /// catalog or server.
+    pub fn tables(&self) -> Vec<(&'static str, &Table)> {
+        vec![
+            ("sales", &self.sales),
+            ("product", &self.product),
+            ("store", &self.store),
+        ]
+    }
+}
+
+/// Number of product-dimension rows for a fact table of `fact_rows`.
+pub fn star_products(fact_rows: usize) -> usize {
+    (fact_rows / 25).max(8)
+}
+
+/// Number of store-dimension rows for a fact table of `fact_rows`.
+pub fn star_stores(fact_rows: usize) -> usize {
+    (fact_rows / 200).max(4)
+}
+
+/// Generate a star schema with `fact_rows` fact rows. Dimension sizes
+/// scale with the fact ([`star_products`], [`star_stores`]); fact
+/// foreign keys are Zipf-skewed toward popular products and stores, as
+/// retail data is.
+pub fn star(fact_rows: usize, seed: u64) -> StarSchema {
+    let products = star_products(fact_rows);
+    let stores = star_stores(fact_rows);
+    let sales = TableSpec::new(
+        vec![
+            ("prod_key".into(), ColumnGen::IntCat { distinct: products }),
+            ("store_key".into(), ColumnGen::IntCat { distinct: stores }),
+            ("qty".into(), ColumnGen::IntCat { distinct: 20 }),
+            (
+                "channel".into(),
+                ColumnGen::Text {
+                    distinct: 4,
+                    avg_len: 6,
+                },
+            ),
+            ("promo".into(), ColumnGen::IntCat { distinct: 6 }),
+            (
+                "price".into(),
+                ColumnGen::Float {
+                    distinct: 500,
+                    step: 0.25,
+                },
+            ),
+            (
+                "sale_date".into(),
+                ColumnGen::Date {
+                    base: 11000,
+                    distinct: 365,
+                },
+            ),
+        ],
+        seed,
+    )
+    .with_skew(0.5)
+    .generate(fact_rows);
+
+    // Dimensions: IntKey { rows_per_key: 1 } is the dense unique key
+    // 0..n that star-join lowering validates against.
+    let product = TableSpec::new(
+        vec![
+            ("prod_key".into(), ColumnGen::IntKey { rows_per_key: 1 }),
+            (
+                "brand".into(),
+                ColumnGen::Text {
+                    distinct: (products / 4).max(2),
+                    avg_len: 7,
+                },
+            ),
+            (
+                "category".into(),
+                ColumnGen::Text {
+                    distinct: 12,
+                    avg_len: 8,
+                },
+            ),
+        ],
+        seed ^ 0x9e37_79b9,
+    )
+    .generate(products);
+
+    let store = TableSpec::new(
+        vec![
+            ("store_key".into(), ColumnGen::IntKey { rows_per_key: 1 }),
+            (
+                "city".into(),
+                ColumnGen::Text {
+                    distinct: (stores / 2).max(2),
+                    avg_len: 9,
+                },
+            ),
+            (
+                "region".into(),
+                ColumnGen::Text {
+                    distinct: 8,
+                    avg_len: 6,
+                },
+            ),
+        ],
+        seed ^ 0x7f4a_7c15,
+    )
+    .generate(stores);
+
+    StarSchema {
+        sales,
+        product,
+        store,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_schema() {
+        let s = star(2000, 1);
+        assert_eq!(s.sales.num_rows(), 2000);
+        assert_eq!(s.product.num_rows(), star_products(2000));
+        assert_eq!(s.store.num_rows(), star_stores(2000));
+        for c in STAR_FACT_COLUMNS {
+            assert!(s.sales.schema().index_of(c).is_ok(), "{c}");
+        }
+        for c in STAR_PRODUCT_COLUMNS {
+            assert!(s.product.schema().index_of(c).is_ok(), "{c}");
+        }
+        for c in STAR_STORE_COLUMNS {
+            assert!(s.store.schema().index_of(c).is_ok(), "{c}");
+        }
+    }
+
+    #[test]
+    fn dimension_keys_are_dense_and_unique() {
+        let s = star(1000, 3);
+        for (dim, key) in [(&s.product, "prod_key"), (&s.store, "store_key")] {
+            let ki = dim.schema().index_of(key).unwrap();
+            for r in 0..dim.num_rows() {
+                assert_eq!(dim.value(r, ki).as_int().unwrap(), r as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn fact_keys_land_in_dimension_domains() {
+        let s = star(1500, 7);
+        for (col, n) in [
+            ("prod_key", s.product.num_rows()),
+            ("store_key", s.store.num_rows()),
+        ] {
+            let ci = s.sales.schema().index_of(col).unwrap();
+            for r in 0..s.sales.num_rows() {
+                let k = s.sales.value(r, ci).as_int().unwrap();
+                assert!((0..n as i64).contains(&k), "{col} row {r}: {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = star(300, 11);
+        let b = star(300, 11);
+        for r in 0..300 {
+            assert_eq!(a.sales.value(r, 0), b.sales.value(r, 0));
+        }
+        assert_eq!(a.product.num_rows(), b.product.num_rows());
+    }
+}

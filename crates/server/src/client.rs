@@ -250,6 +250,28 @@ impl Client {
         })
     }
 
+    /// Pipelined send: one SQL statement (the server's `gbmqo-sqlfe`
+    /// subset — GROUPING SETS/CUBE/ROLLUP over a star join).
+    /// `deadline_ms` of `0` means no deadline.
+    pub fn send_sql(&mut self, sql: &str, deadline_ms: u32) -> ServerResult<u64> {
+        self.send_sql_with(sql, deadline_ms, CacheControl::Default)
+    }
+
+    /// Like [`Client::send_sql`] with explicit control over the
+    /// server's materialized aggregate cache for this request.
+    pub fn send_sql_with(
+        &mut self,
+        sql: &str,
+        deadline_ms: u32,
+        cache: CacheControl,
+    ) -> ServerResult<u64> {
+        self.send(&Request::SqlQuery {
+            sql: sql.to_string(),
+            deadline_ms,
+            cache,
+        })
+    }
+
     /// Pipelined send: fetch server stats.
     pub fn send_stats(&mut self) -> ServerResult<u64> {
         self.send(&Request::Stats)
@@ -447,6 +469,14 @@ impl Client {
         Ok(self.stream_wait(id))
     }
 
+    /// Run one SQL statement, streaming all grouping sets' chunks in
+    /// arrival order (each chunk's tag is its set's comma-joined
+    /// grouping columns).
+    pub fn stream_sql(&mut self, sql: &str, deadline_ms: u32) -> ServerResult<ResultStream<'_>> {
+        let id = self.send_sql(sql, deadline_ms)?;
+        Ok(self.stream_wait(id))
+    }
+
     /// Run a multi-query workload, streaming all result sets' chunks
     /// in arrival order (each chunk carries its set tag).
     pub fn stream_workload(
@@ -527,6 +557,26 @@ impl Client {
         deadline_ms: u32,
     ) -> ServerResult<Vec<(String, Table)>> {
         let id = self.send_workload(table, universe, requests, deadline_ms)?;
+        match self.wait(id)? {
+            Reply::Results(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run one SQL statement; returns `(set_tag, table)` pairs, one
+    /// per grouping set the statement expands to.
+    pub fn sql(&mut self, sql: &str, deadline_ms: u32) -> ServerResult<Vec<(String, Table)>> {
+        self.sql_with(sql, deadline_ms, CacheControl::Default)
+    }
+
+    /// Like [`Client::sql`] with explicit cache control.
+    pub fn sql_with(
+        &mut self,
+        sql: &str,
+        deadline_ms: u32,
+        cache: CacheControl,
+    ) -> ServerResult<Vec<(String, Table)>> {
+        let id = self.send_sql_with(sql, deadline_ms, cache)?;
         match self.wait(id)? {
             Reply::Results(r) => Ok(r),
             other => Err(unexpected(&other)),

@@ -122,7 +122,26 @@ pub enum Request {
         /// The rows to append.
         rows: Table,
     },
+    /// One SQL statement (the `gbmqo-sqlfe` subset: GROUPING
+    /// SETS/CUBE/ROLLUP over a star join). The text is parsed, bound
+    /// against the server catalog, lowered, and executed; results
+    /// stream back as the standard [`Response::Chunk`] sequence with
+    /// one `set_tag` per grouping set. Parse/bind errors come back as
+    /// a single structured [`Response::Error`].
+    SqlQuery {
+        /// UTF-8 statement text (at most [`MAX_SQL_LEN`] bytes).
+        sql: String,
+        /// Per-request deadline in milliseconds; `0` means none.
+        deadline_ms: u32,
+        /// Materialized-aggregate-cache behavior for this request.
+        cache: CacheControl,
+    },
 }
+
+/// Upper bound on the byte length of one [`Request::SqlQuery`]
+/// statement. Generous for any handwritten query, small enough that a
+/// hostile length prefix cannot balloon the decode.
+pub const MAX_SQL_LEN: usize = 1 << 20;
 
 /// Request opcode: [`Request::Ping`].
 pub const OP_PING: u8 = 0x00;
@@ -138,6 +157,8 @@ pub const OP_STATS: u8 = 0x04;
 pub const OP_HELLO: u8 = 0x05;
 /// Request opcode: [`Request::Append`].
 pub const OP_APPEND: u8 = 0x06;
+/// Request opcode: [`Request::SqlQuery`].
+pub const OP_SQL: u8 = 0x07;
 
 /// A server-to-client message.
 #[derive(Debug)]
@@ -423,6 +444,16 @@ fn encode_request_body(req: &Request) -> (u8, Vec<u8>) {
             codec::put_table(&mut buf, rows);
             OP_APPEND
         }
+        Request::SqlQuery {
+            sql,
+            deadline_ms,
+            cache,
+        } => {
+            codec::put_str(&mut buf, sql);
+            codec::put_u32(&mut buf, *deadline_ms);
+            buf.push(cache_code(*cache));
+            OP_SQL
+        }
     };
     (opcode, buf)
 }
@@ -475,6 +506,21 @@ pub fn decode_request_body(opcode: u8, body: &[u8]) -> ServerResult<Request> {
             name: cur.str()?,
             rows: codec::get_table(&mut cur)?,
         },
+        OP_SQL => {
+            let sql = cur.str()?;
+            if sql.len() > MAX_SQL_LEN {
+                return Err(ServerError::Protocol(format!(
+                    "SQL statement of {} bytes exceeds the {} byte limit",
+                    sql.len(),
+                    MAX_SQL_LEN
+                )));
+            }
+            Request::SqlQuery {
+                sql,
+                deadline_ms: cur.u32()?,
+                cache: cache_from_code(cur.u8()?)?,
+            }
+        }
         other => {
             return Err(ServerError::Protocol(format!(
                 "unknown request opcode {other:#04x}"
@@ -706,6 +752,11 @@ mod tests {
                 name: "r".into(),
                 rows: tiny_table(),
             },
+            Request::SqlQuery {
+                sql: "SELECT a, COUNT(*) FROM r GROUP BY CUBE (a, b)".into(),
+                deadline_ms: 100,
+                cache: CacheControl::Default,
+            },
         ];
         for (i, req) in cases.iter().enumerate() {
             let id = 1000 + i as u64;
@@ -896,6 +947,26 @@ mod tests {
         // The cache-control code is the final payload byte.
         *buf.last_mut().unwrap() = 9;
         assert!(decode_request(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn oversized_sql_statement_is_rejected() {
+        let req = Request::SqlQuery {
+            sql: "x".repeat(MAX_SQL_LEN + 1),
+            deadline_ms: 0,
+            cache: CacheControl::Default,
+        };
+        let buf = encode_request(3, &req, 0);
+        let err = decode_request(&buf, 0).unwrap_err();
+        assert!(err.to_string().contains("byte limit"), "{err}");
+        // One byte under the limit decodes fine.
+        let req = Request::SqlQuery {
+            sql: "x".repeat(MAX_SQL_LEN),
+            deadline_ms: 0,
+            cache: CacheControl::Default,
+        };
+        let buf = encode_request(3, &req, 0);
+        assert!(decode_request(&buf, 0).is_ok());
     }
 
     #[test]

@@ -131,6 +131,8 @@ pub(crate) struct Counters {
     pub appends: u64,
     /// Rows ingested across all appends.
     pub appended_rows: u64,
+    /// `SqlQuery` requests executed (successfully or not).
+    pub sql_queries: u64,
 }
 
 /// State shared by every thread of a running server.
@@ -357,6 +359,11 @@ pub(crate) enum JobKind {
         table: String,
         universe: Vec<String>,
         requests: Vec<Vec<String>>,
+        cache: CacheControl,
+    },
+    /// A SQL statement, compiled and executed on the worker.
+    Sql {
+        sql: String,
         cache: CacheControl,
     },
     Stats,
@@ -805,15 +812,36 @@ fn admit(
                     cache,
                 },
             }),
+            Ok(Request::SqlQuery {
+                sql,
+                deadline_ms,
+                cache,
+            }) => Routed::Worker(Job {
+                request_id,
+                deadline: deadline_of(deadline_ms),
+                reply,
+                kind: JobKind::Sql { sql, cache },
+            }),
             Ok(Request::Stats) => Routed::Worker(Job {
                 request_id,
                 deadline: None,
                 reply,
                 kind: JobKind::Stats,
             }),
-            Ok(_) | Err(_) => {
-                // Unknown opcode or a body that does not parse: the
-                // framing itself is intact, so reply and carry on.
+            Err(e) => {
+                // A body that does not parse: the framing itself is
+                // intact, so reply with the decode diagnostic and
+                // carry on.
+                replies.push(error_frame(
+                    request_id,
+                    ErrorCode::BadRequest,
+                    format!("malformed request (opcode {opcode:#04x}): {e}"),
+                ));
+                return FrameAction::Continue;
+            }
+            Ok(_) => {
+                // A request this frame path never routes (e.g. a
+                // second Hello): framing intact, reply and carry on.
                 replies.push(error_frame(
                     request_id,
                     ErrorCode::BadRequest,
@@ -1229,12 +1257,81 @@ fn process_job(job: Job, shared: &Shared) {
                 }
             }
         }
+        JobKind::Sql { sql, cache } => {
+            shared.counters().sql_queries += 1;
+            match run_sql(shared, &sql, job.deadline, cache) {
+                Ok((results, metrics)) => {
+                    stream_results(shared, &job.reply, job.request_id, &results, &metrics);
+                }
+                Err(SqlJobError::Sql(e)) => {
+                    // A compile-time failure: the statement never ran.
+                    // Unknown tables/columns are NotFound; everything
+                    // else (syntax, types, unsupported shapes) is the
+                    // client's request.
+                    let code = match e.kind {
+                        gbmqo_sqlfe::SqlErrorKind::Unresolved => ErrorCode::NotFound,
+                        _ => ErrorCode::BadRequest,
+                    };
+                    job.reply.send_response(
+                        job.request_id,
+                        &Response::Error {
+                            code,
+                            message: e.render(&sql),
+                        },
+                    );
+                }
+                Err(SqlJobError::Core(e)) => {
+                    let code = error_code_for(&e);
+                    if code == ErrorCode::Timeout {
+                        shared.counters().timeouts += 1;
+                    }
+                    job.reply.send_response(
+                        job.request_id,
+                        &Response::Error {
+                            code,
+                            message: e.to_string(),
+                        },
+                    );
+                }
+            }
+        }
         JobKind::Stats => {
             let json = stats_json(shared);
             job.reply
                 .send_response(job.request_id, &Response::StatsReply { json });
         }
     }
+}
+
+/// Why a SQL job failed: at compile time (parse/bind/lower — mapped to
+/// `BadRequest`/`NotFound` with a caret diagnostic) or at run time
+/// (mapped like any workload error).
+enum SqlJobError {
+    Sql(gbmqo_sqlfe::SqlError),
+    Core(CoreError),
+}
+
+/// Compile and execute one SQL statement under the shared session,
+/// installing (and always removing) the deadline token — the SQL
+/// sibling of [`run_workload`]. Single-table statements go through
+/// `Session::run_workload`, so they share the plan cache and
+/// materialized aggregates with every other client.
+fn run_sql(
+    shared: &Shared,
+    sql: &str,
+    deadline: Option<Instant>,
+    cache: CacheControl,
+) -> Result<(Vec<(String, Table)>, ExecMetrics), SqlJobError> {
+    let mut session = shared.session();
+    let lowered =
+        gbmqo_sqlfe::compile(sql, session.engine().catalog()).map_err(SqlJobError::Sql)?;
+    session.set_cancel_token(deadline.map(CancelToken::with_deadline_at));
+    let out = gbmqo_sqlfe::execute(&lowered, &mut session, cache);
+    session.set_cancel_token(None);
+    drop(session);
+    let out = out.map_err(SqlJobError::Core)?;
+    shared.counters().total += out.metrics;
+    Ok((out.results, out.metrics))
 }
 
 /// Stream one request's result tables as bounded chunks terminated by
@@ -1364,6 +1461,7 @@ fn stats_json(shared: &Shared) -> String {
         ("batched_queries", counters.batched_queries),
         ("appends", counters.appends),
         ("appended_rows", counters.appended_rows),
+        ("sql_queries", counters.sql_queries),
         (
             "open_connections",
             shared.open_conns.load(Ordering::Relaxed),

@@ -1,0 +1,438 @@
+//! The abstract syntax tree of the SQL subset, plus a canonical
+//! pretty-printer ([`fmt::Display`] on [`Query`]) whose output re-parses
+//! to the same tree (the round-trip property the test suite checks).
+
+use crate::error::Span;
+use std::fmt;
+
+/// Keywords that must be double-quoted when printed as identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "GROUPING", "SETS", "CUBE", "ROLLUP", "JOIN",
+    "INNER", "ON", "AND", "AS", "COUNT", "SUM", "MIN", "MAX", "INTO", "ORDER", "TABLE", "DROP",
+    "UNION", "ALL", "OR", "NOT", "NULL",
+];
+
+/// True if `name` can be printed bare: `[a-z_][a-z0-9_]*` and not a
+/// keyword. Anything else needs `"…"` quoting.
+pub fn is_plain_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    let ok_head = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+    ok_head
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !KEYWORDS.contains(&name.to_ascii_uppercase().as_str())
+}
+
+/// Quote `name` for SQL output when it is not a plain identifier.
+pub fn quote_ident(name: &str) -> String {
+    if is_plain_ident(name) {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The (unquoted) name.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// An identifier with an empty span (for synthesized nodes).
+    pub fn synth(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", quote_ident(&self.name))
+    }
+}
+
+/// A possibly table-qualified column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Optional qualifying table name.
+    pub table: Option<Ident>,
+    /// The column.
+    pub column: Ident,
+}
+
+impl ColumnRef {
+    /// Span covering the whole reference.
+    pub fn span(&self) -> Span {
+        match &self.table {
+            Some(t) => t.span.to(self.column.span),
+            None => self.column.span,
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write!(f, "{t}.")?;
+        }
+        write!(f, "{}", self.column)
+    }
+}
+
+/// The aggregate functions of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFuncName {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFuncName {
+    fn label(self) -> &'static str {
+        match self {
+            AggFuncName::Count => "COUNT",
+            AggFuncName::Sum => "SUM",
+            AggFuncName::Min => "MIN",
+            AggFuncName::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate call in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The function.
+    pub func: AggFuncName,
+    /// The argument column; `None` only for `COUNT(*)`.
+    pub arg: Option<ColumnRef>,
+    /// Optional `AS alias`.
+    pub alias: Option<Ident>,
+    /// Span of the whole call.
+    pub span: Span,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)", self.func.label())?,
+            Some(c) => write!(f, "{}({c})", self.func.label())?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One entry of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A grouping column echoed in the output.
+    Column(ColumnRef),
+    /// An aggregate.
+    Agg(AggCall),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Agg(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// An `[INNER] JOIN dim ON left = right` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined (dimension) table.
+    pub table: Ident,
+    /// Left side of the equi-join condition.
+    pub left: ColumnRef,
+    /// Right side of the equi-join condition.
+    pub right: ColumnRef,
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JOIN {} ON {} = {}", self.table, self.left, self.right)
+    }
+}
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                // Always keep a decimal point so the literal re-lexes as
+                // a float.
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Comparison operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One `col op literal` conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WherePred {
+    /// The compared column.
+    pub col: ColumnRef,
+    /// The operator.
+    pub op: CmpOp,
+    /// The literal.
+    pub value: Literal,
+    /// Span of the literal (for bind errors about its type).
+    pub value_span: Span,
+}
+
+impl fmt::Display for WherePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.col, self.op, self.value)
+    }
+}
+
+/// The GROUP BY clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupSpec {
+    /// `GROUP BY a, b` — a single grouping set.
+    Plain(Vec<ColumnRef>),
+    /// `GROUP BY GROUPING SETS ((a), (a, b), …)`.
+    GroupingSets(Vec<Vec<ColumnRef>>),
+    /// `GROUP BY CUBE (a, b, …)`.
+    Cube(Vec<ColumnRef>),
+    /// `GROUP BY ROLLUP (a, b, …)`.
+    Rollup(Vec<ColumnRef>),
+}
+
+impl fmt::Display for GroupSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(cols: &[ColumnRef]) -> String {
+            cols.iter()
+                .map(ColumnRef::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        match self {
+            GroupSpec::Plain(cols) => write!(f, "GROUP BY {}", list(cols)),
+            GroupSpec::Cube(cols) => write!(f, "GROUP BY CUBE ({})", list(cols)),
+            GroupSpec::Rollup(cols) => write!(f, "GROUP BY ROLLUP ({})", list(cols)),
+            GroupSpec::GroupingSets(sets) => {
+                let rendered: Vec<String> = sets.iter().map(|s| format!("({})", list(s))).collect();
+                write!(f, "GROUP BY GROUPING SETS ({})", rendered.join(", "))
+            }
+        }
+    }
+}
+
+/// A full parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The select list.
+    pub select: Vec<SelectItem>,
+    /// The fact (FROM) table.
+    pub from: Ident,
+    /// Zero or more dimension joins.
+    pub joins: Vec<Join>,
+    /// ANDed WHERE conjuncts (empty = no WHERE).
+    pub predicates: Vec<WherePred>,
+    /// The grouping clause.
+    pub group: GroupSpec,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let select: Vec<String> = self.select.iter().map(SelectItem::to_string).collect();
+        write!(f, "SELECT {} FROM {}", select.join(", "), self.from)?;
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        if !self.predicates.is_empty() {
+            let preds: Vec<String> = self.predicates.iter().map(WherePred::to_string).collect();
+            write!(f, " WHERE {}", preds.join(" AND "))?;
+        }
+        write!(f, " {}", self.group)
+    }
+}
+
+impl Query {
+    /// A copy with every span zeroed — lets tests compare trees from
+    /// different source texts (the round-trip property).
+    pub fn strip_spans(&self) -> Query {
+        fn ident(i: &Ident) -> Ident {
+            Ident::synth(i.name.clone())
+        }
+        fn colref(c: &ColumnRef) -> ColumnRef {
+            ColumnRef {
+                table: c.table.as_ref().map(ident),
+                column: ident(&c.column),
+            }
+        }
+        Query {
+            select: self
+                .select
+                .iter()
+                .map(|it| match it {
+                    SelectItem::Column(c) => SelectItem::Column(colref(c)),
+                    SelectItem::Agg(a) => SelectItem::Agg(AggCall {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(colref),
+                        alias: a.alias.as_ref().map(ident),
+                        span: Span::default(),
+                    }),
+                })
+                .collect(),
+            from: ident(&self.from),
+            joins: self
+                .joins
+                .iter()
+                .map(|j| Join {
+                    table: ident(&j.table),
+                    left: colref(&j.left),
+                    right: colref(&j.right),
+                })
+                .collect(),
+            predicates: self
+                .predicates
+                .iter()
+                .map(|p| WherePred {
+                    col: colref(&p.col),
+                    op: p.op,
+                    value: p.value.clone(),
+                    value_span: Span::default(),
+                })
+                .collect(),
+            group: match &self.group {
+                GroupSpec::Plain(c) => GroupSpec::Plain(c.iter().map(colref).collect()),
+                GroupSpec::Cube(c) => GroupSpec::Cube(c.iter().map(colref).collect()),
+                GroupSpec::Rollup(c) => GroupSpec::Rollup(c.iter().map(colref).collect()),
+                GroupSpec::GroupingSets(sets) => GroupSpec::GroupingSets(
+                    sets.iter()
+                        .map(|s| s.iter().map(colref).collect())
+                        .collect(),
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_quote_when_needed() {
+        assert_eq!(quote_ident("abc_1"), "abc_1");
+        assert_eq!(quote_ident("group"), "\"group\"");
+        assert_eq!(quote_ident("Mixed"), "\"Mixed\"");
+        assert_eq!(quote_ident("a\"b"), "\"a\"\"b\"");
+        assert!(is_plain_ident("_x"));
+        assert!(!is_plain_ident("1x"));
+        assert!(!is_plain_ident(""));
+    }
+
+    #[test]
+    fn query_prints_canonically() {
+        let q = Query {
+            select: vec![
+                SelectItem::Column(ColumnRef {
+                    table: None,
+                    column: Ident::synth("a"),
+                }),
+                SelectItem::Agg(AggCall {
+                    func: AggFuncName::Count,
+                    arg: None,
+                    alias: Some(Ident::synth("cnt")),
+                    span: Span::default(),
+                }),
+            ],
+            from: Ident::synth("sales"),
+            joins: vec![Join {
+                table: Ident::synth("product"),
+                left: ColumnRef {
+                    table: Some(Ident::synth("sales")),
+                    column: Ident::synth("prod_key"),
+                },
+                right: ColumnRef {
+                    table: Some(Ident::synth("product")),
+                    column: Ident::synth("prod_key"),
+                },
+            }],
+            predicates: vec![WherePred {
+                col: ColumnRef {
+                    table: None,
+                    column: Ident::synth("qty"),
+                },
+                op: CmpOp::Le,
+                value: Literal::Int(5),
+                value_span: Span::default(),
+            }],
+            group: GroupSpec::Cube(vec![
+                ColumnRef {
+                    table: None,
+                    column: Ident::synth("a"),
+                },
+                ColumnRef {
+                    table: None,
+                    column: Ident::synth("b"),
+                },
+            ]),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT a, COUNT(*) AS cnt FROM sales \
+             JOIN product ON sales.prod_key = product.prod_key \
+             WHERE qty <= 5 GROUP BY CUBE (a, b)"
+        );
+    }
+}

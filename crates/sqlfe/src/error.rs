@@ -1,0 +1,171 @@
+//! Spanned front-end errors: every lex, parse, bind, and lowering
+//! failure points at the byte range of the offending input.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Which pipeline stage rejected the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Tokenization failed (stray byte, unterminated string, …).
+    Lex,
+    /// The token stream does not match the grammar.
+    Parse,
+    /// A name did not resolve against the catalog (unknown table or
+    /// column). Maps to `NotFound` on the wire.
+    Unresolved,
+    /// Names resolved but the query is ill-typed or ambiguous.
+    Bind,
+    /// Valid SQL the engine cannot lower (e.g. grouping by a dimension
+    /// column, aggregates other than COUNT(*) over a join).
+    Unsupported,
+}
+
+impl SqlErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            SqlErrorKind::Lex => "lex error",
+            SqlErrorKind::Parse => "parse error",
+            SqlErrorKind::Unresolved => "name error",
+            SqlErrorKind::Bind => "bind error",
+            SqlErrorKind::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// A front-end error with the stage, message, and source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// The pipeline stage that failed.
+    pub kind: SqlErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte range of the offending input, when known.
+    pub span: Option<Span>,
+}
+
+impl SqlError {
+    /// Build an error with a span.
+    pub fn new(kind: SqlErrorKind, message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            kind,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Build an error with no useful span (e.g. unexpected end of input
+    /// past the last token).
+    pub fn spanless(kind: SqlErrorKind, message: impl Into<String>) -> Self {
+        SqlError {
+            kind,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Render a caret diagnostic against the original SQL text:
+    ///
+    /// ```text
+    /// bind error: unknown column `qy` in table `sales`
+    ///   SELECT COUNT(*) FROM sales GROUP BY qy
+    ///                                        ^^
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let mut out = self.to_string();
+        if let Some(span) = self.span {
+            // Clamp to char boundaries so hostile inputs cannot panic us.
+            let start = floor_char_boundary(sql, span.start.min(sql.len()));
+            let end = floor_char_boundary(sql, span.end.min(sql.len())).max(start);
+            let line_start = sql[..start].rfind('\n').map_or(0, |p| p + 1);
+            let line_end = sql[start..].find('\n').map_or(sql.len(), |p| start + p);
+            let line = &sql[line_start..line_end];
+            let pad = sql[line_start..start].chars().count();
+            let width = sql[start..end.min(line_end)].chars().count().max(1);
+            out.push_str(&format!(
+                "\n  {line}\n  {}{}",
+                " ".repeat(pad),
+                "^".repeat(width)
+            ));
+        }
+        out
+    }
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(
+                f,
+                "{} at {}..{}: {}",
+                self.kind.label(),
+                s.start,
+                s.end,
+                self.message
+            ),
+            None => write!(f, "{}: {}", self.kind.label(), self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Front-end result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_render() {
+        let err = SqlError::new(SqlErrorKind::Bind, "unknown column `qy`", Span::new(10, 12));
+        assert_eq!(err.to_string(), "bind error at 10..12: unknown column `qy`");
+        let rendered = err.render("SELECT a, qy FROM t");
+        assert!(rendered.contains("SELECT a, qy FROM t"));
+        assert!(rendered.ends_with("          ^^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_and_multibyte() {
+        let err = SqlError::new(SqlErrorKind::Lex, "boom", Span::new(100, 200));
+        let _ = err.render("short");
+        let err = SqlError::new(SqlErrorKind::Lex, "boom", Span::new(1, 2));
+        let _ = err.render("héllo"); // span lands mid-codepoint
+    }
+
+    #[test]
+    fn span_union() {
+        assert_eq!(Span::new(2, 5).to(Span::new(7, 9)), Span::new(2, 9));
+    }
+}

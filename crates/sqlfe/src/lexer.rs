@@ -1,0 +1,287 @@
+//! Hand-written tokenizer for the SQL subset.
+//!
+//! Identifiers are case-preserving; keywords are recognized
+//! case-insensitively. Every token carries its byte [`Span`] so later
+//! stages can point at the exact input region.
+
+use crate::error::{Result, Span, SqlError, SqlErrorKind};
+
+/// A token kind plus any payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A bare identifier (possibly a keyword — the parser decides by
+    /// calling [`Token::keyword`]).
+    Ident(String),
+    /// A `"double quoted"` identifier (never a keyword; `""` unescapes
+    /// to `"`).
+    QuotedIdent(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A `'single quoted'` string literal (`''` unescapes to `'`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte range in the input.
+    pub span: Span,
+}
+
+impl Token {
+    /// The uppercased keyword form of an identifier token, if it is one.
+    pub fn keyword(&self) -> Option<String> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize `sql`; errors point at the offending byte.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' | b')' | b',' | b'.' | b'*' | b'=' | b';' => {
+                let tok = match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b',' => Tok::Comma,
+                    b'.' => Tok::Dot,
+                    b'*' => Tok::Star,
+                    b'=' => Tok::Eq,
+                    _ => Tok::Semi,
+                };
+                i += 1;
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            b'<' | b'>' => {
+                if bytes.get(i + 1) != Some(&b'=') {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Lex,
+                        format!(
+                            "unsupported operator `{}` (only =, <=, >= are supported)",
+                            b as char
+                        ),
+                        Span::new(start, start + 1),
+                    ));
+                }
+                let tok = if b == b'<' { Tok::Le } else { Tok::Ge };
+                i += 2;
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::new(
+                                SqlErrorKind::Lex,
+                                if quote == b'\'' {
+                                    "unterminated string literal"
+                                } else {
+                                    "unterminated quoted identifier"
+                                },
+                                Span::new(start, sql.len()),
+                            ))
+                        }
+                        Some(&c) if c == quote => {
+                            if bytes.get(i + 1) == Some(&quote) {
+                                s.push(quote as char);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one full UTF-8 character (the input
+                            // is a &str, so boundaries are well-formed).
+                            let ch = sql[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                let tok = if quote == b'\'' {
+                    Tok::Str(s)
+                } else {
+                    Tok::QuotedIdent(s)
+                };
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' | b'-' => {
+                if b == b'-' && !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Lex,
+                        "`-` must start a numeric literal",
+                        Span::new(start, start + 1),
+                    ));
+                }
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !is_float && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..i];
+                let span = Span::new(start, i);
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        SqlError::new(SqlErrorKind::Lex, "invalid float literal", span)
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        SqlError::new(SqlErrorKind::Lex, "integer literal out of i64 range", span)
+                    })?)
+                };
+                out.push(Token { tok, span });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(sql[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let ch = sql[i..].chars().next().unwrap();
+                return Err(SqlError::new(
+                    SqlErrorKind::Lex,
+                    format!("unexpected character `{}`", ch.escape_default()),
+                    Span::new(i, i + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a, COUNT(*) FROM t;"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("COUNT".into()),
+                Tok::LParen,
+                Tok::Star,
+                Tok::RParen,
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        assert_eq!(
+            kinds("x <= -3 y >= 2.5 z = 'it''s'"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Le,
+                Tok::Int(-3),
+                Tok::Ident("y".into()),
+                Tok::Ge,
+                Tok::Float(2.5),
+                Tok::Ident("z".into()),
+                Tok::Eq,
+                Tok::Str("it's".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_unescape() {
+        assert_eq!(
+            kinds(r#""group" "a""b""#),
+            vec![
+                Tok::QuotedIdent("group".into()),
+                Tok::QuotedIdent("a\"b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_at_input() {
+        let toks = lex("SELECT  ab").unwrap();
+        assert_eq!(toks[1].span, Span::new(8, 10));
+    }
+
+    #[test]
+    fn errors_are_spanned() {
+        for bad in [
+            "SELECT @",
+            "'open",
+            "\"open",
+            "a < b",
+            "99999999999999999999",
+            "- x",
+        ] {
+            let err = lex(bad).unwrap_err();
+            assert_eq!(err.kind, SqlErrorKind::Lex, "{bad}");
+            assert!(err.span.is_some(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The SQL front end, end to end: parser round-trip and never-panic
+//! properties, equivalence of SQL-lowered execution with hand-built
+//! workloads across every execution mode, and hostile `SqlQuery`
+//! frames over the wire.
+
+use gbmqo_core::prelude::*;
+use gbmqo_integration::{modular_table, normalize};
+use gbmqo_server::protocol::{
+    decode_response, encode_frame, encode_request, read_frame, write_frame, Request, Response,
+    MAX_SQL_LEN, OP_SQL,
+};
+use gbmqo_server::{codec, Client, ErrorCode, Server, ServerConfig, ServerError, ServerHandle};
+use gbmqo_sqlfe::ast::{
+    AggCall, AggFuncName, ColumnRef, GroupSpec, Ident, Join, Literal, Query, SelectItem, WherePred,
+};
+use gbmqo_sqlfe::{compile, execute, parse, LoweredQuery, Span, SqlErrorKind};
+use gbmqo_storage::{Catalog, Table};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// AST strategies: names that exercise quoting (keywords, mixed case,
+// spaces, embedded quotes), every aggregate, every grouping spec.
+// ---------------------------------------------------------------------
+
+/// `Some`/`None` with equal weight — the vendored proptest shim has no
+/// `prop::option` module.
+fn opt<V: Clone + 'static>(s: impl Strategy<Value = V> + 'static) -> BoxedStrategy<Option<V>> {
+    prop_oneof![Just(None), s.prop_map(Some)].boxed()
+}
+
+fn ident_name() -> impl Strategy<Value = String> {
+    // A plain `[a-z_][a-z0-9_]{0,5}` name, built from a seed (the shim
+    // has no regex strategies).
+    let plain = (any::<u64>(), 0usize..6).prop_map(|(seed, extra)| {
+        const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut x = seed;
+        let mut s = String::new();
+        s.push(HEAD[(x % HEAD.len() as u64) as usize] as char);
+        for _ in 0..extra {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.push(TAIL[((x >> 33) % TAIL.len() as u64) as usize] as char);
+        }
+        s
+    });
+    prop_oneof![
+        4 => plain,
+        1 => prop::sample::select(vec!["select", "group", "cube", "from", "sets", "where"])
+            .prop_map(String::from),
+        1 => prop::sample::select(vec!["Mixed", "we ird", "qu\"ote", "1digit"])
+            .prop_map(String::from),
+    ]
+}
+
+fn ident() -> impl Strategy<Value = Ident> {
+    ident_name().prop_map(Ident::synth)
+}
+
+fn colref() -> impl Strategy<Value = ColumnRef> {
+    (opt(ident()), ident()).prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn agg() -> impl Strategy<Value = AggCall> {
+    let func = prop::sample::select(vec![AggFuncName::Sum, AggFuncName::Min, AggFuncName::Max]);
+    prop_oneof![
+        opt(ident()).prop_map(|alias| AggCall {
+            func: AggFuncName::Count,
+            arg: None,
+            alias,
+            span: Span::default(),
+        }),
+        (func, colref(), opt(ident())).prop_map(|(func, arg, alias)| AggCall {
+            func,
+            arg: Some(arg),
+            alias,
+            span: Span::default(),
+        }),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        colref().prop_map(SelectItem::Column),
+        agg().prop_map(SelectItem::Agg),
+    ]
+}
+
+fn join() -> impl Strategy<Value = Join> {
+    (ident(), colref(), colref()).prop_map(|(table, left, right)| Join { table, left, right })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (0i64..1_000_000).prop_map(Literal::Int),
+        (0i32..1000).prop_map(|i| Literal::Float(f64::from(i) + 0.5)),
+        prop::sample::select(vec!["", "abc", "o'brien", "''", "it s", "a'b'c"])
+            .prop_map(|s| Literal::Str(s.to_string())),
+    ]
+}
+
+fn where_pred() -> impl Strategy<Value = WherePred> {
+    let op = prop::sample::select(vec![
+        gbmqo_sqlfe::ast::CmpOp::Eq,
+        gbmqo_sqlfe::ast::CmpOp::Le,
+        gbmqo_sqlfe::ast::CmpOp::Ge,
+    ]);
+    (colref(), op, literal()).prop_map(|(col, op, value)| WherePred {
+        col,
+        op,
+        value,
+        value_span: Span::default(),
+    })
+}
+
+fn group_spec() -> impl Strategy<Value = GroupSpec> {
+    let cols = || prop::collection::vec(colref(), 1..4);
+    prop_oneof![
+        cols().prop_map(GroupSpec::Plain),
+        cols().prop_map(GroupSpec::Cube),
+        cols().prop_map(GroupSpec::Rollup),
+        prop::collection::vec(prop::collection::vec(colref(), 1..3), 1..4)
+            .prop_map(GroupSpec::GroupingSets),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    // Nested tuples: the shim only implements tuple strategies up to 4.
+    (
+        (prop::collection::vec(select_item(), 1..4), ident()),
+        (
+            prop::collection::vec(join(), 0..3),
+            prop::collection::vec(where_pred(), 0..3),
+        ),
+        group_spec(),
+    )
+        .prop_map(|((select, from), (joins, predicates), group)| Query {
+            select,
+            from,
+            joins,
+            predicates,
+            group,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pretty-printing any AST and re-parsing the text yields the same
+    /// tree — identifier quoting, literal escaping, and every grouping
+    /// spec survive the round trip.
+    #[test]
+    fn pretty_printed_query_reparses(q in query()) {
+        let sql = q.to_string();
+        let parsed = match parse(&sql) {
+            Ok(p) => p,
+            Err(e) => panic!("{}", e.render(&sql)),
+        };
+        prop_assert_eq!(parsed.strip_spans(), q.strip_spans());
+    }
+
+    /// The parser never panics on arbitrary input, printable or not.
+    #[test]
+    fn arbitrary_input_never_panics(
+        s in prop::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+    ) {
+        let _ = parse(&s);
+    }
+
+    /// Truncating or splicing junk into a valid statement never panics
+    /// the parser or the full compile pipeline.
+    #[test]
+    fn mutated_statement_never_panics(
+        q in query(),
+        frac in 0.0f64..1.0,
+        junk in prop::sample::select(vec!['\0', '(', ')', '\'', '"', ';', '\u{20ac}', 'x']),
+    ) {
+        let sql = q.to_string();
+        let boundaries: Vec<usize> = sql
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(sql.len()))
+            .collect();
+        let cut = boundaries[(frac * (boundaries.len() - 1) as f64) as usize];
+        let _ = parse(&sql[..cut]);
+        let mut spliced = sql[..cut].to_string();
+        spliced.push(junk);
+        spliced.push_str(&sql[cut..]);
+        let _ = parse(&spliced);
+        let _ = compile(&spliced, &small_catalog());
+    }
+}
+
+fn small_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register("t", modular_table(40, &[4, 3, 5, 2])).unwrap();
+    cat
+}
+
+/// A fixed corpus of hostile statements: none may panic, and the
+/// invalid ones must come back as structured errors with the right
+/// kind.
+#[test]
+fn malformed_corpus_is_rejected_not_panicked() {
+    let cat = small_catalog();
+    let corpus: Vec<String> = vec![
+        String::new(),
+        "\0\0\0".into(),
+        "SELECT".into(),
+        "SELECT FROM GROUP BY".into(),
+        "SELECT * FROM t GROUP BY c0".into(),
+        "SELECT COUNT(* FROM t GROUP BY c0".into(),
+        "SELECT COUNT(*) FROM t GROUP BY GROUPING SETS ((".into(),
+        "SELECT COUNT(*) FROM t GROUP BY CUBE".into(),
+        "SELECT COUNT(*) FROM t WHERE c0 = GROUP BY c0".into(),
+        "SELECT COUNT(*) FROM t GROUP BY c0; DROP TABLE t".into(),
+        "SELECT COUNT(*) FROM t GROUP BY \"unterminated".into(),
+        "SELECT COUNT(*) FROM t WHERE c0 = 'unterminated".into(),
+        format!(
+            "SELECT COUNT(*) FROM t GROUP BY {}",
+            "c0, ".repeat(5000) + "c0"
+        ),
+        format!(
+            "SELECT COUNT(*) FROM t GROUP BY CUBE ({})",
+            (0..16)
+                .map(|i| format!("c{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        "(".repeat(10_000),
+        format!("SELECT COUNT(*) FROM t GROUP BY {}", "x".repeat(100_000)),
+    ];
+    for sql in &corpus {
+        let _ = compile(sql, &cat); // must return, never panic
+    }
+    // A couple of targeted kinds.
+    let err = compile("SELECT COUNT(*) FROM t GROUP BY", &cat).unwrap_err();
+    assert_eq!(err.kind, SqlErrorKind::Parse);
+    let err = compile("SELECT COUNT(*) FROM ghost GROUP BY c0", &cat).unwrap_err();
+    assert_eq!(err.kind, SqlErrorKind::Unresolved);
+    assert!(err
+        .render("SELECT COUNT(*) FROM ghost GROUP BY c0")
+        .contains('^'));
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: SQL-lowered execution == hand-built workload execution,
+// in every execution mode and on a sharded session.
+// ---------------------------------------------------------------------
+
+fn sets_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    // Sorted-deduped column index sets (the shim has no btree_set
+    // strategy); len >= 1 survives dedup since every draw is non-empty.
+    prop::collection::vec(prop::collection::vec(0usize..4, 1..4), 1..5).prop_map(|sets| {
+        sets.into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect()
+    })
+}
+
+fn session_in(table: &Table, mode: ExecutionMode, shards: u32) -> Session {
+    Session::builder()
+        .table("t", table.clone())
+        .mode(mode)
+        .shards(shards)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random grouping-set workloads, compiling the equivalent SQL
+    /// and executing it produces exactly the rows of the hand-built
+    /// workload path — under serial, server-side, parallel, and
+    /// sharded execution.
+    #[test]
+    fn sql_matches_hand_built_workload_in_every_mode(
+        raw_sets in sets_strategy(),
+        rows in 60usize..240,
+    ) {
+        let table = modular_table(rows, &[4, 3, 5, 2]);
+        // dedup whole sets, as the binder does
+        let mut sets: Vec<Vec<String>> = Vec::new();
+        for s in &raw_sets {
+            let named: Vec<String> = s.iter().map(|i| format!("c{i}")).collect();
+            if !sets.contains(&named) {
+                sets.push(named);
+            }
+        }
+        let sql = format!(
+            "SELECT COUNT(*) AS cnt FROM t GROUP BY GROUPING SETS ({})",
+            sets.iter()
+                .map(|s| format!("({})", s.join(", ")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let mut universe: Vec<&str> = Vec::new();
+        for s in &sets {
+            for c in s {
+                if !universe.contains(&c.as_str()) {
+                    universe.push(c);
+                }
+            }
+        }
+        let requests: Vec<Vec<&str>> = sets
+            .iter()
+            .map(|s| s.iter().map(String::as_str).collect())
+            .collect();
+        let workload = Workload::new("t", &table, &universe, &requests).unwrap();
+
+        for (mode, shards) in [
+            (ExecutionMode::ClientSide, 1),
+            (ExecutionMode::ServerSide, 1),
+            (ExecutionMode::Parallel, 1),
+            (ExecutionMode::Parallel, 4),
+        ] {
+            let mut sql_session = session_in(&table, mode, shards);
+            let lowered = compile(&sql, sql_session.engine().catalog())
+                .unwrap_or_else(|e| panic!("{}", e.render(&sql)));
+            prop_assert!(matches!(lowered, LoweredQuery::Workload { .. }));
+            let sql_out = execute(&lowered, &mut sql_session, CacheControl::Default).unwrap();
+
+            let mut raw_session = session_in(&table, mode, shards);
+            let raw_out = raw_session
+                .run_workload(&workload, CacheControl::Default)
+                .unwrap();
+
+            prop_assert_eq!(sql_out.results.len(), sets.len());
+            for (set, (tag, sql_table)) in sets.iter().zip(&sql_out.results) {
+                prop_assert_eq!(tag.clone(), set.join(","));
+                let names: Vec<&str> = set.iter().map(String::as_str).collect();
+                let raw_table = raw_out
+                    .report
+                    .results
+                    .iter()
+                    .find(|(cols, _)| {
+                        let got = workload.col_names(*cols);
+                        got.len() == names.len() && names.iter().all(|n| got.contains(n))
+                    })
+                    .map(|(_, t)| t)
+                    .unwrap_or_else(|| panic!("no raw result for {names:?}"));
+                prop_assert_eq!(
+                    normalize(sql_table, &names),
+                    normalize(raw_table, &names),
+                    "mode {:?} shards {}: set {:?}",
+                    mode,
+                    shards,
+                    names
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire: SqlQuery over a live server — the happy path matches the
+// workload opcode, and hostile frames get structured errors without
+// killing the connection.
+// ---------------------------------------------------------------------
+
+fn serve(table: Table) -> ServerHandle {
+    let session = Session::builder().table("t", table).build().unwrap();
+    Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn sql_over_wire_matches_workload_opcode() {
+    let table = modular_table(300, &[4, 3, 5, 2]);
+    let handle = serve(table);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let sql_results = client
+        .sql(
+            "SELECT COUNT(*) AS cnt FROM t \
+             GROUP BY GROUPING SETS ((c0), (c1), (c0, c2))",
+            0,
+        )
+        .unwrap();
+    let raw_results = client
+        .submit_workload(
+            "t",
+            &["c0", "c1", "c2"],
+            &[vec!["c0"], vec!["c1"], vec!["c0", "c2"]],
+            0,
+        )
+        .unwrap();
+    assert_eq!(sql_results.len(), 3);
+    assert_eq!(raw_results.len(), 3);
+    // The workload opcode reports sets in plan order, the SQL opcode in
+    // statement order — match by tag.
+    for (tag, ta) in &sql_results {
+        let tb = raw_results
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map(|(_, t)| t)
+            .unwrap_or_else(|| panic!("no workload result tagged {tag}"));
+        let names: Vec<&str> = tag.split(',').collect();
+        assert_eq!(normalize(ta, &names), normalize(tb, &names), "set {tag}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_sql_statement_gets_structured_error_and_connection_survives() {
+    let handle = serve(modular_table(50, &[4, 3]));
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let huge = format!(
+        "SELECT COUNT(*) FROM t GROUP BY {}",
+        "c".repeat(MAX_SQL_LEN + 1)
+    );
+    match client.sql(&huge, 0) {
+        Err(ServerError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("byte limit"), "{message}");
+        }
+        other => panic!("expected a BadRequest error, got {other:?}"),
+    }
+    // Same connection keeps working.
+    client.ping().unwrap();
+    let results = client.sql("SELECT COUNT(*) FROM t GROUP BY c0", 0).unwrap();
+    assert_eq!(results.len(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_names_in_sql_map_to_not_found_with_diagnostics() {
+    let handle = serve(modular_table(50, &[4, 3]));
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    for (sql, needle) in [
+        ("SELECT COUNT(*) FROM ghost GROUP BY c0", "unknown table"),
+        ("SELECT COUNT(*) FROM t GROUP BY ghost", "unknown column"),
+    ] {
+        match client.sql(sql, 0) {
+            Err(ServerError::Remote { code, message }) => {
+                assert_eq!(code, ErrorCode::NotFound, "{sql}");
+                assert!(message.contains(needle), "{sql}: {message}");
+                // the rendered diagnostic carries the caret line
+                assert!(message.contains('^'), "{sql}: {message}");
+            }
+            other => panic!("{sql}: expected NotFound, got {other:?}"),
+        }
+    }
+    // Parse errors are BadRequest, not NotFound.
+    match client.sql("SELECT COUNT(*) FROM t GROUP", 0) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The connection survived all of it.
+    let results = client.sql("SELECT COUNT(*) FROM t GROUP BY c1", 0).unwrap();
+    assert_eq!(results.len(), 1);
+    handle.shutdown();
+}
+
+/// Re-attach the length prefix [`read_frame`] strips, giving the full
+/// frame [`decode_response`] expects.
+fn reframe(payload: Vec<u8>) -> Vec<u8> {
+    let mut full = Vec::with_capacity(payload.len() + 4);
+    codec::put_u32(&mut full, payload.len() as u32);
+    full.extend_from_slice(&payload);
+    full
+}
+
+/// A raw `SqlQuery` frame whose statement bytes are not UTF-8: the
+/// decode must fail into a structured error frame, and the connection
+/// must keep serving.
+#[test]
+fn invalid_utf8_sql_frame_is_rejected_cleanly() {
+    let handle = serve(modular_table(50, &[4, 3]));
+    let mut sock = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+
+    // Handshake exactly as the real client does.
+    write_frame(
+        &mut sock,
+        &encode_request(1, &Request::Hello { features: 0 }, 0),
+    )
+    .unwrap();
+    let frame = reframe(read_frame(&mut sock).unwrap().expect("hello ack"));
+    let (id, resp) = decode_response(&frame, 0).unwrap();
+    assert_eq!(id, 1);
+    assert!(matches!(resp, Response::HelloAck { .. }));
+
+    // SqlQuery body: length-prefixed "string" holding invalid UTF-8,
+    // then deadline_ms and the cache-control byte.
+    let mut body = Vec::new();
+    codec::put_u32(&mut body, 4);
+    body.extend_from_slice(&[0xff, 0xfe, 0x80, 0x81]);
+    codec::put_u32(&mut body, 0); // deadline_ms
+    body.push(0); // CacheControl::Default
+    write_frame(&mut sock, &encode_frame(2, OP_SQL, &body, 0)).unwrap();
+
+    let frame = reframe(read_frame(&mut sock).unwrap().expect("error reply"));
+    let (id, resp) = decode_response(&frame, 0).unwrap();
+    assert_eq!(id, 2);
+    match resp {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("utf-8"), "{message}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // The connection still answers.
+    write_frame(&mut sock, &encode_request(3, &Request::Ping, 0)).unwrap();
+    let frame = reframe(read_frame(&mut sock).unwrap().expect("pong"));
+    let (id, resp) = decode_response(&frame, 0).unwrap();
+    assert_eq!(id, 3);
+    assert!(matches!(resp, Response::Pong));
+    handle.shutdown();
+}
