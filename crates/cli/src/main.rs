@@ -43,6 +43,9 @@ OPTIONS:
     --save-plan <f>  write the chosen logical plan to a file
     --load-plan <f>  replay a previously saved plan instead of optimizing
     --explain        print per-query cost estimates (EXPLAIN)
+    --adaptive       feed observed cardinalities back into the optimizer;
+                     drifted cached plans re-optimize (profile always
+                     prints the estimated-vs-observed q-error report)
 
 `advise` recommends single-column indexes for the workload via what-if
 re-optimization (--max: number of indexes, default 3).

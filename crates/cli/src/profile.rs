@@ -45,6 +45,9 @@ pub struct Options {
     pub append_rows: usize,
     /// How cached aggregates react to those appends.
     pub refresh: RefreshPolicy,
+    /// Run the adaptive feedback loop: observed cardinalities correct
+    /// the optimizer's estimates and drifted cached plans re-optimize.
+    pub adaptive: bool,
 }
 
 impl Options {
@@ -66,6 +69,7 @@ impl Options {
             shards: 0,
             append_rows: 0,
             refresh: RefreshPolicy::Lazy,
+            adaptive: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -78,6 +82,7 @@ impl Options {
                     )
                 }
                 "--sql" => opts.sql = true,
+                "--adaptive" => opts.adaptive = true,
                 "--json" => opts.json = true,
                 "--explain" => opts.explain = true,
                 "--naive" => opts.naive = true,
@@ -236,6 +241,7 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
         .mat_cache_budget_bytes(opts.cache_budget_mb << 20)
         .shards(opts.shards)
         .refresh_policy(opts.refresh)
+        .adaptive(opts.adaptive)
         .build()
         .map_err(|e| e.to_string())?;
 
@@ -375,6 +381,32 @@ pub fn run(opts: &Options) -> std::result::Result<(), String> {
             m.reshard_hints
         );
     }
+    // The q-error report: estimated vs. observed distinct groups for
+    // every plan node of the last iteration. Printed with or without
+    // --adaptive — the observations are always collected.
+    let cards = session.last_node_cards();
+    if !cards.is_empty() {
+        println!("\ncardinality estimates (last iteration):");
+        for card in cards {
+            println!(
+                "    ({:<30}) est {:>10}  observed {:>10}  q-error {:.2}",
+                card.cols.join(", "),
+                card.estimated,
+                card.observed,
+                card.q_error()
+            );
+        }
+    }
+    if opts.adaptive {
+        println!(
+            "adaptive: {} observations over {} column sets, \
+             {} plan re-optimizations, {} sketch refreshes",
+            m.feedback_observations,
+            session.feedback_len(),
+            m.plan_reopts,
+            m.sketch_refreshes
+        );
+    }
     Ok(())
 }
 
@@ -405,6 +437,8 @@ mod tests {
         .unwrap();
         assert_eq!(churn.append_rows, 500);
         assert_eq!(churn.refresh, RefreshPolicy::Disabled);
+        let adaptive = Options::parse(&["f.csv".into(), "--adaptive".into()]).unwrap();
+        assert!(adaptive.adaptive);
         assert!(Options::parse(&["f.csv".into(), "--shards".into(), "x".into()]).is_err());
         assert!(Options::parse(&[]).is_err());
         assert!(Options::parse(&["f.csv".into(), "--bogus".into()]).is_err());
@@ -462,6 +496,7 @@ mod tests {
             shards: 0,
             append_rows: 0,
             refresh: RefreshPolicy::Lazy,
+            adaptive: false,
         };
         run(&opts).unwrap();
         // machine-readable metrics parse back into ExecMetrics
@@ -507,6 +542,18 @@ mod tests {
             repeat: 3,
             cache_budget_mb: 8,
             append_rows: 20,
+            ..opts.clone()
+        })
+        .unwrap();
+        // the adaptive loop under churn: observations correct estimates
+        // between the warm repeats
+        run(&Options {
+            save_plan: None,
+            explain: false,
+            plan: false,
+            repeat: 3,
+            append_rows: 20,
+            adaptive: true,
             ..opts.clone()
         })
         .unwrap();

@@ -222,8 +222,14 @@ fn server_side_levels(
                         .collect()
                 })
                 .collect();
+            let in_rows = hooks
+                .observing()
+                .then(|| crate::executor::input_rows_of(engine, &source));
             let tables = engine.run_shared_group_bys(&source, &groupings, &aggs)?;
             for (node, table) in plain.iter().zip(tables) {
+                if let Some(rows) = in_rows {
+                    hooks.observe(node.cols, rows, table.num_rows() as u64, 0);
+                }
                 if node.required {
                     results.push((node.cols, table.clone()));
                 }
@@ -248,15 +254,23 @@ fn server_side_levels(
             // supported here (plan validation enforces child ⊂ parent, so
             // special nodes under temps would need node-local workloads).
             debug_assert_eq!(source, workload.table, "CUBE/ROLLUP under a temp");
+            // The sub-workload shares the outer column universe, so the
+            // inner executor's observations transfer directly: lend it
+            // the sink and take it back afterwards.
+            let mut inner = CacheHooks {
+                observations: hooks.observations.take(),
+                ..Default::default()
+            };
             let report = run_plan(
                 &sub,
                 &sub_workload(workload, node),
                 engine,
                 None,
                 estimates,
-                &mut CacheHooks::default(),
-            )?;
-            results.extend(report.results);
+                &mut inner,
+            );
+            hooks.observations = inner.observations;
+            results.extend(report?.results);
         }
     }
 

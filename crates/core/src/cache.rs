@@ -64,6 +64,8 @@ impl WorkloadFingerprint {
         config.binary_only.hash(&mut h);
         config.subsumption_pruning.hash(&mut h);
         config.monotonicity_pruning.hash(&mut h);
+        config.cube_rollup_merges.hash(&mut h);
+        config.benefit_greedy.hash(&mut h);
         config.max_intermediate_bytes.map(f64::to_bits).hash(&mut h);
         config.epsilon.to_bits().hash(&mut h);
         stats_version.hash(&mut h);
@@ -203,6 +205,23 @@ impl PlanCache {
                 self.map.remove(&lru);
                 self.evictions += 1;
             }
+        }
+    }
+
+    /// Drop the entry cached under `key`, if any, so the next lookup
+    /// misses and re-runs the search. This is the adaptive feedback
+    /// loop's re-optimization hook: when execution-corrected estimates
+    /// shift a cached plan's cost past the session's threshold, the
+    /// entry is invalidated rather than served stale. Returns true when
+    /// an entry was removed.
+    pub fn invalidate(&mut self, key: WorkloadFingerprint) -> bool {
+        if self.map.remove(&key.0).is_some() {
+            if let Some(pos) = self.order.iter().position(|&k| k == key.0) {
+                self.order.remove(pos);
+            }
+            true
+        } else {
+            false
         }
     }
 
@@ -371,6 +390,52 @@ mod tests {
         assert!(cache.get(keys[1]).is_none(), "LRU entry was evicted");
         assert!(cache.get(keys[0]).is_some());
         assert!(cache.get(keys[2]).is_some());
+    }
+
+    #[test]
+    fn fingerprint_covers_merge_variant_flags() {
+        let w = workload(&[vec!["a"], vec!["b"]]);
+        let base = key_of(&w);
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(
+                &w,
+                &SearchConfig {
+                    cube_rollup_merges: true,
+                    ..Default::default()
+                },
+                0,
+                0,
+                0
+            ),
+            "cube/rollup merge alternatives change the search trajectory"
+        );
+        assert_ne!(
+            base,
+            WorkloadFingerprint::compute(
+                &w,
+                &SearchConfig {
+                    benefit_greedy: true,
+                    ..Default::default()
+                },
+                0,
+                0,
+                0
+            ),
+            "benefit-greedy ordering changes the search trajectory"
+        );
+    }
+
+    #[test]
+    fn invalidate_forces_reoptimization() {
+        let w = workload(&[vec!["a"]]);
+        let mut cache = PlanCache::new(4);
+        let key = key_of(&w);
+        assert!(!cache.invalidate(key), "nothing cached yet");
+        cache.insert(key, plan_of(&w), SearchStats::default(), Default::default());
+        assert!(cache.invalidate(key));
+        assert!(cache.get(key).is_none(), "invalidated entry must miss");
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

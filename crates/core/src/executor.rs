@@ -130,9 +130,30 @@ pub(crate) type RootSources = FxHashMap<(u128, u32), String>;
 /// just before the temp is dropped (an `Arc` clone, not a data copy).
 pub(crate) type Harvest = Vec<(ColSet, u32, Arc<Table>)>;
 
+/// One whole-table Group By observed during plan execution. Every
+/// GroupBy plan node — whether it reads the base relation, a temp, or a
+/// pinned cached aggregate — computes the *complete* distinct-group set
+/// of its target columns over the logical table, so its output row count
+/// is the true cardinality the optimizer estimated. (Per-shard partials
+/// of a fan-out edge are the one exception and are never observed; see
+/// [`execute_waves_sharded`].)
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanObservation {
+    /// The node's target column set.
+    pub cols: ColSet,
+    /// Rows of the node's immediate input (base, temp, or pinned root).
+    pub input_rows: u64,
+    /// Rows of the node's result — the true distinct-group count.
+    pub output_groups: u64,
+    /// Measured wall-clock of the node's query, when individually
+    /// attributable (serial execution); 0 inside parallel waves, where
+    /// per-node time cannot be separated.
+    pub elapsed_ns: u64,
+}
+
 /// Materialized-aggregate-cache integration handles threaded through
-/// plan execution. The default (no roots, no harvest) is a plain
-/// cache-less run.
+/// plan execution. The default (no roots, no harvest, no observations)
+/// is a plain cache-less run.
 #[derive(Debug, Default)]
 pub(crate) struct CacheHooks {
     /// Nodes served from pinned cached aggregates instead of the base
@@ -140,6 +161,9 @@ pub(crate) struct CacheHooks {
     pub roots: RootSources,
     /// `Some` collects every materialized intermediate for admission.
     pub harvest: Option<Harvest>,
+    /// `Some` collects per-node cardinality observations for the
+    /// adaptive feedback loop (and the q-error report).
+    pub observations: Option<Vec<PlanObservation>>,
 }
 
 impl CacheHooks {
@@ -147,6 +171,30 @@ impl CacheHooks {
     fn keep(&mut self, cols: ColSet, shard: u32, table: Arc<Table>) {
         if let Some(h) = self.harvest.as_mut() {
             h.push((cols, shard, table));
+        }
+    }
+
+    /// True when an observation sink is attached (callers can then skip
+    /// the catalog lookups that feed it).
+    pub(crate) fn observing(&self) -> bool {
+        self.observations.is_some()
+    }
+
+    /// Record one whole-table Group By outcome (no-op without a sink).
+    pub(crate) fn observe(
+        &mut self,
+        cols: ColSet,
+        input_rows: u64,
+        output_groups: u64,
+        elapsed_ns: u64,
+    ) {
+        if let Some(o) = self.observations.as_mut() {
+            o.push(PlanObservation {
+                cols,
+                input_rows,
+                output_groups,
+                elapsed_ns,
+            });
         }
     }
 
@@ -188,9 +236,34 @@ fn source_io(
     }
 }
 
-/// Serial plan execution (the §5.2 client-side driver); internal
-/// non-deprecated implementation behind [`crate::session::Session`]'s
-/// `run_plan` / `run_plan_scheduled`.
+/// Rows of catalog table `name`, 0 when it is not registered. Feeds
+/// [`PlanObservation::input_rows`]; an unregistered input only happens on
+/// error paths, where the observation is discarded with the execution.
+pub(crate) fn input_rows_of(engine: &Engine, name: &str) -> u64 {
+    engine
+        .catalog()
+        .table(name)
+        .map_or(0, |t| t.num_rows() as u64)
+}
+
+/// Observe freshly delivered ROLLUP/CUBE level results: the lattice
+/// descent materializes each required level as a complete whole-table
+/// aggregate, so every one is a valid cardinality observation. `in_rows`
+/// is `None` when no sink is attached.
+pub(crate) fn observe_delivered(
+    hooks: &mut CacheHooks,
+    delivered: &[(ColSet, Table)],
+    in_rows: Option<u64>,
+) {
+    let Some(rows) = in_rows else { return };
+    for (cols, t) in delivered {
+        hooks.observe(*cols, rows, t.num_rows() as u64, 0);
+    }
+}
+
+/// Serial plan execution (the §5.2 client-side driver), reached through
+/// [`crate::session::Session`]'s `run_workload` when the execution mode
+/// is serial.
 pub(crate) fn run_plan(
     plan: &LogicalPlan,
     workload: &Workload,
@@ -260,6 +333,7 @@ fn run_plan_steps(
                 kind,
             } => {
                 let (input, aggs) = source_io(workload, *source, exec_id, &hooks.roots, *target);
+                let in_rows = hooks.observing().then(|| input_rows_of(engine, &input));
                 match kind {
                     NodeKind::GroupBy => {
                         let q = GroupByQuery {
@@ -273,7 +347,16 @@ fn run_plan_steps(
                             into: materialize.then(|| exec_temp_name(exec_id, *target)),
                             estimated_groups: estimates.get(&target.0).copied(),
                         };
+                        let started = std::time::Instant::now();
                         let out = engine.run_group_by(&q)?;
+                        if let Some(rows) = in_rows {
+                            hooks.observe(
+                                *target,
+                                rows,
+                                out.num_rows() as u64,
+                                started.elapsed().as_nanos() as u64,
+                            );
+                        }
                         if *required {
                             results.push((*target, out));
                         }
@@ -282,6 +365,7 @@ fn run_plan_steps(
                         let node = special
                             .get(&target.0)
                             .ok_or_else(|| CoreError::InvalidPlan("unknown rollup".into()))?;
+                        let before = results.len();
                         run_rollup(
                             node,
                             &input,
@@ -291,11 +375,13 @@ fn run_plan_steps(
                             &mut results,
                             &mut extra,
                         )?;
+                        observe_delivered(hooks, &results[before..], in_rows);
                     }
                     NodeKind::Cube => {
                         let node = special
                             .get(&target.0)
                             .ok_or_else(|| CoreError::InvalidPlan("unknown cube".into()))?;
+                        let before = results.len();
                         run_cube(
                             node,
                             &input,
@@ -305,6 +391,7 @@ fn run_plan_steps(
                             &mut results,
                             &mut extra,
                         )?;
+                        observe_delivered(hooks, &results[before..], in_rows);
                     }
                 }
             }
@@ -488,9 +575,22 @@ fn execute_waves(
                 }
             })
             .collect();
+        // Input sizes must be read before the batch runs: a temp source
+        // may be dropped later in this very wave.
+        let query_input_rows: Vec<u64> = if hooks.observing() {
+            queries
+                .iter()
+                .map(|q| input_rows_of(engine, &q.input))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let tables = engine.run_group_bys_parallel(&queries, threads)?;
 
-        for ((edge, src), table) in batch.iter().zip(tables) {
+        for (k, ((edge, src), table)) in batch.iter().zip(tables).enumerate() {
+            if hooks.observing() {
+                hooks.observe(edge.target, query_input_rows[k], table.num_rows() as u64, 0);
+            }
             if edge.required {
                 results.push((edge.target, table.clone()));
             }
@@ -521,6 +621,8 @@ fn execute_waves(
         // re-aggregates level-by-level internally.
         for (edge, src) in &specials {
             let (input, aggs) = source_io(workload, *src, exec_id, &hooks.roots, edge.target);
+            let in_rows = hooks.observing().then(|| input_rows_of(engine, &input));
+            let before = results.len();
             let node = special
                 .get(&edge.target.0)
                 .ok_or_else(|| CoreError::InvalidPlan("unknown rollup/cube node".into()))?;
@@ -545,6 +647,7 @@ fn execute_waves(
                 )?,
                 NodeKind::GroupBy => unreachable!("partitioned above"),
             }
+            observe_delivered(hooks, &results[before..], in_rows);
         }
 
         // Every edge of this wave has read its source once: decrement
@@ -785,6 +888,16 @@ fn execute_waves_sharded(
                 });
             }
         }
+        // Input sizes before the batch runs (shard temps of this wave's
+        // sources are dropped at the end of the wave).
+        let query_input_rows: Vec<u64> = if hooks.observing() {
+            queries
+                .iter()
+                .map(|q| input_rows_of(engine, &q.input))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let tables = engine.run_group_bys_parallel(&queries, threads)?;
 
         let mut cursor = 0usize;
@@ -792,6 +905,11 @@ fn execute_waves_sharded(
             let fan_out = fan_outs[i];
             let len = if fan_out { nshards as usize } else { 1 };
             let parts = &tables[cursor..cursor + len];
+            // Whole-logical-table input of this node: the sum over its
+            // query instances.
+            let in_rows = hooks
+                .observing()
+                .then(|| query_input_rows[cursor..cursor + len].iter().sum::<u64>());
             cursor += len;
 
             if edge.required {
@@ -800,7 +918,19 @@ fn execute_waves_sharded(
                 } else {
                     parts[0].clone()
                 };
+                if let Some(rows) = in_rows {
+                    hooks.observe(edge.target, rows, merged.num_rows() as u64, 0);
+                }
                 results.push((edge.target, merged));
+            } else if !fan_out {
+                // A non-fan-out node read a whole-table pinned aggregate,
+                // so its single result is a complete group count. Fan-out
+                // intermediates stay per-shard partials — a group can
+                // repeat across shards, so their row counts are NOT
+                // whole-table observations and are skipped.
+                if let Some(rows) = in_rows {
+                    hooks.observe(edge.target, rows, parts[0].num_rows() as u64, 0);
+                }
             }
             if !edge.materialize {
                 continue;
@@ -867,6 +997,8 @@ fn execute_waves_sharded(
                     (input, aggs, None)
                 }
             };
+            let in_rows = hooks.observing().then(|| input_rows_of(engine, &input));
+            let before = results.len();
             match edge.kind {
                 NodeKind::Rollup => run_rollup(
                     node,
@@ -888,6 +1020,7 @@ fn execute_waves_sharded(
                 )?,
                 NodeKind::GroupBy => unreachable!("partitioned above"),
             }
+            observe_delivered(hooks, &results[before..], in_rows);
             if let Some(name) = scratch {
                 engine.drop_temp(&name)?;
             }

@@ -122,8 +122,8 @@ pub use parse::parse_grouping_sets;
 pub use plan::{LogicalPlan, NodeKind, SubNode};
 pub use serialize::{plan_from_text, plan_to_text};
 pub use session::{
-    AppendOutcome, CostModelSpec, RefreshPolicy, Session, SessionBuilder, WorkloadOutcome,
-    DEFAULT_MAX_DELTA_FRACTION, RESHARD_SKEW_THRESHOLD,
+    AppendOutcome, CostModelSpec, NodeCardReport, RefreshPolicy, Session, SessionBuilder,
+    WorkloadOutcome, DEFAULT_MAX_DELTA_FRACTION, DEFAULT_REOPT_THRESHOLD, RESHARD_SKEW_THRESHOLD,
 };
 pub use sql::{quote_sql_ident, render_sql};
 pub use workload::Workload;
@@ -138,8 +138,9 @@ pub mod prelude {
     pub use crate::greedy::{GbMqo, SearchConfig, SearchStats};
     pub use crate::plan::{LogicalPlan, SubNode};
     pub use crate::session::{
-        AppendOutcome, CostModelSpec, RefreshPolicy, Session, SessionBuilder, WorkloadOutcome,
-        DEFAULT_MAX_DELTA_FRACTION, RESHARD_SKEW_THRESHOLD,
+        AppendOutcome, CostModelSpec, NodeCardReport, RefreshPolicy, Session, SessionBuilder,
+        WorkloadOutcome, DEFAULT_MAX_DELTA_FRACTION, DEFAULT_REOPT_THRESHOLD,
+        RESHARD_SKEW_THRESHOLD,
     };
     pub use crate::workload::Workload;
     pub use gbmqo_exec::{CancelToken, GroupByStrategy};

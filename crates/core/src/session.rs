@@ -42,21 +42,23 @@ use crate::colset::ColSet;
 use crate::error::{CoreError, Result};
 use crate::executor::{
     next_exec_id, plan_group_estimates, CacheHooks, ExecutionReport, GroupEstimates,
-    ParallelOptions, WHOLE_TABLE_PIN,
+    ParallelOptions, PlanObservation, WHOLE_TABLE_PIN,
 };
 use crate::greedy::{GbMqo, SearchConfig, SearchStats};
 use crate::plan::{LogicalPlan, SubNode};
 use crate::workload::Workload;
-use gbmqo_cost::{CardinalityCostModel, IndexSnapshot, OptimizerCostModel};
+use gbmqo_cost::{CardinalityCostModel, CostModel, IndexSnapshot, OptimizerCostModel};
 use gbmqo_exec::{
     hash_group_by, AggFunc, AggSpec, CancelToken, Engine, ExecMetrics, GroupByQuery,
     GroupByStrategy,
 };
+use gbmqo_feedback::{q_error, AdaptiveCardinalitySource, FeedbackStore, NodeObservation};
 use gbmqo_matcache::{
     agg_signature, CacheControl, CachedAggregate, MatCache, MatCacheStats, StaleAggregate,
 };
-use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource};
+use gbmqo_stats::{DistinctEstimator, ExactSource, SampledSource, TableSketches};
 use gbmqo_storage::{shard_table_name, Catalog, Table};
+use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -170,6 +172,44 @@ pub const RESHARD_SKEW_THRESHOLD: u64 = 200;
 /// fraction of the base table.
 pub const DEFAULT_MAX_DELTA_FRACTION: f64 = 0.5;
 
+/// Default [`SessionBuilder::reopt_threshold`]: a cached plan is
+/// invalidated for re-optimization when feedback-corrected cardinalities
+/// shift its estimated cost by more than this relative fraction.
+pub const DEFAULT_REOPT_THRESHOLD: f64 = 0.3;
+
+/// The adaptive feedback loop's session state (see `gbmqo-feedback`):
+/// observed cardinalities from executed plans, per-table distinct
+/// sketches maintained incrementally from append deltas, and the
+/// re-optimization threshold.
+#[derive(Debug)]
+struct AdaptiveState {
+    feedback: FeedbackStore,
+    sketches: FxHashMap<String, TableSketches>,
+    reopt_threshold: f64,
+}
+
+/// Estimated vs. observed distinct-group count of one executed plan
+/// node; see [`Session::last_node_cards`]. Produced for every node the
+/// optimizer estimated, adaptive mode or not — this is the q-error
+/// report `gbmqo profile` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCardReport {
+    /// Group-by column names of the node.
+    pub cols: Vec<String>,
+    /// The optimizer's distinct-group estimate going in.
+    pub estimated: u64,
+    /// The distinct-group count execution actually produced.
+    pub observed: u64,
+}
+
+impl NodeCardReport {
+    /// The node's q-error: `max(est/obs, obs/est)` with both clamped to
+    /// at least 1. Perfect estimates score 1.0.
+    pub fn q_error(&self) -> f64 {
+        q_error(self.estimated as f64, self.observed as f64)
+    }
+}
+
 /// Whether every aggregate merges losslessly under append-only ingest
 /// (§7.2's merge rules): COUNT, SUM, MIN and MAX all do. The exhaustive
 /// match forces a decision here if a non-mergeable function (AVG,
@@ -181,6 +221,37 @@ fn specs_mergeable(specs: &[AggSpec]) -> bool {
             AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max
         )
     })
+}
+
+/// Run the merge search and per-node estimation with `model`. Shared by
+/// every [`CostModelSpec`] arm of the planner so the adaptive overlay
+/// wrapping stays in one place per arm instead of four.
+fn search_and_estimate(
+    gbmqo: &GbMqo,
+    workload: &Workload,
+    model: &mut dyn CostModel,
+) -> Result<(LogicalPlan, SearchStats, GroupEstimates)> {
+    let (plan, stats) = gbmqo.plan(workload, model)?;
+    let est = plan_group_estimates(&plan, workload, model);
+    Ok((plan, stats, est))
+}
+
+/// Total scan cost of `plan` under the §3.2.1 cardinality model with
+/// node cardinalities supplied by `d` (keyed by column-set bits): each
+/// root reads the `base` relation, each child reads its parent's
+/// result.
+fn plan_scan_cost(plan: &LogicalPlan, base: f64, d: &mut dyn FnMut(u128) -> f64) -> f64 {
+    fn walk(n: &SubNode, source_rows: f64, d: &mut dyn FnMut(u128) -> f64) -> f64 {
+        let mut cost = source_rows;
+        if !n.children.is_empty() {
+            let own = d(n.cols.0);
+            for child in &n.children {
+                cost += walk(child, own, d);
+            }
+        }
+        cost
+    }
+    plan.subplans.iter().map(|sp| walk(sp, base, d)).sum()
 }
 
 /// Builder for [`Session`]; see the module docs for a walkthrough.
@@ -200,6 +271,8 @@ pub struct SessionBuilder {
     shards: u32,
     refresh_policy: RefreshPolicy,
     max_delta_fraction: Option<f64>,
+    adaptive: bool,
+    reopt_threshold: Option<f64>,
 }
 
 impl SessionBuilder {
@@ -315,6 +388,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Enable the adaptive feedback loop (default off): every execution
+    /// records its per-node observed group counts, the optimizer's
+    /// cardinality source overlays those observations (and online
+    /// distinct sketches kept fresh across appends) on the configured
+    /// statistics, and cached plans whose feedback-corrected cost shifts
+    /// past [`SessionBuilder::reopt_threshold`] are invalidated for
+    /// re-optimization. Both cost models benefit — the overlay sits
+    /// below them, behind the same `CardinalitySource` trait.
+    pub fn adaptive(mut self, enabled: bool) -> Self {
+        self.adaptive = enabled;
+        self
+    }
+
+    /// Relative estimated-cost shift beyond which the adaptive loop
+    /// marks a cached plan for re-optimization (default
+    /// [`DEFAULT_REOPT_THRESHOLD`]). Only meaningful with
+    /// [`SessionBuilder::adaptive`].
+    pub fn reopt_threshold(mut self, threshold: f64) -> Self {
+        self.reopt_threshold = Some(threshold);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session> {
         let mut engine = self.engine.unwrap_or_else(|| Engine::new(Catalog::new()));
@@ -358,6 +453,12 @@ impl SessionBuilder {
                 "max_delta_fraction must be within [0, 1], got {max_delta_fraction}"
             )));
         }
+        let reopt_threshold = self.reopt_threshold.unwrap_or(DEFAULT_REOPT_THRESHOLD);
+        if !reopt_threshold.is_finite() || reopt_threshold <= 0.0 {
+            return Err(CoreError::InvalidSession(format!(
+                "reopt_threshold must be a positive finite fraction, got {reopt_threshold}"
+            )));
+        }
         Ok(Session {
             engine,
             cost_model: self.cost_model,
@@ -372,6 +473,12 @@ impl SessionBuilder {
             refresh_policy: self.refresh_policy,
             max_delta_fraction,
             pending: ExecMetrics::default(),
+            adaptive: self.adaptive.then(|| AdaptiveState {
+                feedback: FeedbackStore::new(),
+                sketches: FxHashMap::default(),
+                reopt_threshold,
+            }),
+            last_node_cards: Vec::new(),
         })
     }
 }
@@ -416,6 +523,12 @@ pub struct Session {
     /// Ingest-side counters (eager refreshes, reshard hints) accrued
     /// outside any request; drained into the next workload's metrics.
     pending: ExecMetrics,
+    /// `Some` when the adaptive feedback loop is on (see
+    /// [`SessionBuilder::adaptive`]).
+    adaptive: Option<AdaptiveState>,
+    /// Estimated-vs-observed group counts of the last executed workload
+    /// (populated adaptive or not; see [`Session::last_node_cards`]).
+    last_node_cards: Vec<NodeCardReport>,
 }
 
 // A session is plain owned data (tables are `Arc`-shared but immutable),
@@ -614,20 +727,23 @@ impl Session {
             .copied()
             .filter(|r| !covered.iter().any(|(c, _)| c == r) && !shard_served.contains(r))
             .collect();
-        let (mut plan, stats, estimates) = if uncovered.is_empty() {
+        let (mut plan, stats, estimates, planned_key) = if uncovered.is_empty() {
             (
                 LogicalPlan { subplans: vec![] },
                 SearchStats::default(),
                 GroupEstimates::default(),
+                None,
             )
         } else if uncovered.len() == workload.requests.len() {
-            self.plan_with_estimates(workload)?
+            let (p, s, e, k) = self.plan_with_estimates_keyed(workload)?;
+            (p, s, e, Some(k))
         } else {
             let sub = Workload {
                 requests: uncovered,
                 ..workload.clone()
             };
-            self.plan_with_estimates(&sub)?
+            let (p, s, e, k) = self.plan_with_estimates_keyed(&sub)?;
+            (p, s, e, Some(k))
         };
 
         // 3. Seed the plan with the covered requests as virtual roots:
@@ -656,6 +772,10 @@ impl Session {
         if use_cache && cache.allows_admit() {
             hooks.harvest = Some(Vec::new());
         }
+        // Always collect per-node observations: the q-error report is
+        // produced regardless of adaptive mode; adaptive mode further
+        // feeds them into the feedback store below.
+        hooks.observations = Some(Vec::new());
 
         // 4. Execute; unpin the cached roots afterwards even on error.
         let parallel = self.parallel_options();
@@ -672,6 +792,22 @@ impl Session {
             let _ = self.engine.catalog_mut().remove(name);
         }
         let (results, mut metrics) = run?;
+
+        // 4b. Observe → correct → re-optimize: fold the execution's
+        // per-node cardinality observations into the q-error report and
+        // (when adaptive) the feedback store; invalidate the cached plan
+        // when corrected estimates shift its cost past the threshold.
+        let observations = hooks.observations.take().unwrap_or_default();
+        self.digest_observations(
+            workload,
+            table_version,
+            planned_key,
+            &plan,
+            base_rows,
+            &estimates,
+            &observations,
+            &mut metrics,
+        );
 
         // 5. Admission: offer the scheduler's materialized
         // intermediates and the request results themselves. Requests
@@ -762,8 +898,28 @@ impl Session {
         &mut self,
         workload: &Workload,
     ) -> Result<(LogicalPlan, SearchStats, GroupEstimates)> {
+        let (plan, stats, estimates, _) = self.plan_with_estimates_keyed(workload)?;
+        Ok((plan, stats, estimates))
+    }
+
+    /// [`Session::plan_with_estimates`] plus the plan-cache fingerprint
+    /// the result is cached under, so the adaptive loop can invalidate
+    /// exactly this entry when corrected estimates drift.
+    fn plan_with_estimates_keyed(
+        &mut self,
+        workload: &Workload,
+    ) -> Result<(
+        LogicalPlan,
+        SearchStats,
+        GroupEstimates,
+        WorkloadFingerprint,
+    )> {
         // The base table's contents version is part of the key: a
         // replaced or appended-to table can never reuse a stale plan.
+        // The feedback generation is deliberately NOT hashed in — that
+        // would turn every repeat of a workload into a miss and defeat
+        // the cache; instead the post-execution recost invalidates
+        // entries whose corrected cost drifts (see digest_observations).
         let table_version = self
             .engine
             .catalog()
@@ -776,18 +932,47 @@ impl Session {
             self.cost_model.tag(),
             table_version,
         );
-        if let Some(hit) = self.cache.get(key) {
-            return Ok(hit);
+        if let Some((plan, stats, estimates)) = self.cache.get(key) {
+            return Ok((plan, stats, estimates, key));
+        }
+        // First contact with this table in adaptive mode builds its
+        // distinct sketches with one full scan; appends keep them fresh
+        // incrementally afterwards ([`Session::append`]).
+        if let Some(ad) = self.adaptive.as_mut() {
+            if !ad.sketches.contains_key(&workload.table) {
+                if let Ok(t) = self.engine.catalog().table(&workload.table) {
+                    ad.sketches
+                        .insert(workload.table.clone(), TableSketches::build(t));
+                }
+            }
         }
         let (plan, stats, estimates) = {
             let table = self.engine.catalog().table(&workload.table)?;
             let gbmqo = GbMqo::with_config(self.search.clone());
+            // The adaptive overlay wraps whichever source the spec
+            // produces — the cost models are generic over
+            // `CardinalitySource`, so both benefit without API changes.
+            let adaptive = self.adaptive.as_ref();
             match &self.cost_model {
                 CostModelSpec::Cardinality => {
-                    let mut model = CardinalityCostModel::new(ExactSource::new(table));
-                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
-                    let est = plan_group_estimates(&plan, workload, &mut model);
-                    (plan, stats, est)
+                    let source = ExactSource::new(table);
+                    match adaptive {
+                        Some(ad) => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut CardinalityCostModel::new(AdaptiveCardinalitySource::new(
+                                source,
+                                &workload.table,
+                                &ad.feedback,
+                                ad.sketches.get(&workload.table),
+                            )),
+                        )?,
+                        None => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut CardinalityCostModel::new(source),
+                        )?,
+                    }
                 }
                 CostModelSpec::SampledCardinality {
                     sample_size,
@@ -795,10 +980,23 @@ impl Session {
                     seed,
                 } => {
                     let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
-                    let mut model = CardinalityCostModel::new(source);
-                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
-                    let est = plan_group_estimates(&plan, workload, &mut model);
-                    (plan, stats, est)
+                    match adaptive {
+                        Some(ad) => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut CardinalityCostModel::new(AdaptiveCardinalitySource::new(
+                                source,
+                                &workload.table,
+                                &ad.feedback,
+                                ad.sketches.get(&workload.table),
+                            )),
+                        )?,
+                        None => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut CardinalityCostModel::new(source),
+                        )?,
+                    }
                 }
                 CostModelSpec::Optimizer {
                     sample_size,
@@ -807,16 +1005,126 @@ impl Session {
                 } => {
                     let source = SampledSource::try_new(table, *sample_size, *estimator, *seed)?;
                     let indexes = IndexSnapshot::capture(self.engine.catalog(), &workload.table);
-                    let mut model = OptimizerCostModel::new(source, indexes);
-                    let (plan, stats) = gbmqo.plan(workload, &mut model)?;
-                    let est = plan_group_estimates(&plan, workload, &mut model);
-                    (plan, stats, est)
+                    match adaptive {
+                        Some(ad) => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut OptimizerCostModel::new(
+                                AdaptiveCardinalitySource::new(
+                                    source,
+                                    &workload.table,
+                                    &ad.feedback,
+                                    ad.sketches.get(&workload.table),
+                                ),
+                                indexes,
+                            ),
+                        )?,
+                        None => search_and_estimate(
+                            &gbmqo,
+                            workload,
+                            &mut OptimizerCostModel::new(source, indexes),
+                        )?,
+                    }
                 }
             }
         };
         self.cache
             .insert(key, plan.clone(), stats, estimates.clone());
-        Ok((plan, stats, estimates))
+        Ok((plan, stats, estimates, key))
+    }
+
+    /// Step 4b of [`Session::run_workload`]: turn the execution's raw
+    /// per-node observations into (a) the always-on estimated-vs-observed
+    /// q-error report, (b) feedback-store corrections (adaptive mode),
+    /// and (c) a plan-cache invalidation when the corrected cost of the
+    /// planned subtree drifts past the re-optimization threshold or a
+    /// planned node's q-error exceeds `1 + threshold`.
+    #[allow(clippy::too_many_arguments)]
+    fn digest_observations(
+        &mut self,
+        workload: &Workload,
+        table_version: u64,
+        planned_key: Option<WorkloadFingerprint>,
+        plan: &LogicalPlan,
+        base_rows: usize,
+        estimates: &GroupEstimates,
+        observations: &[PlanObservation],
+        metrics: &mut ExecMetrics,
+    ) {
+        self.last_node_cards.clear();
+        let mut max_qe = 1.0f64;
+        for obs in observations {
+            // Nodes the optimizer never estimated (cache-served virtual
+            // roots) have no q-error to report.
+            let Some(&est) = estimates.get(&obs.cols.0) else {
+                continue;
+            };
+            let qe = q_error(est as f64, obs.output_groups as f64);
+            max_qe = max_qe.max(qe);
+            let x100 = (qe * 100.0).round() as u64;
+            metrics.qerror_nodes += 1;
+            metrics.qerror_sum_x100 += x100;
+            metrics.qerror_max_x100 = metrics.qerror_max_x100.max(x100);
+            self.last_node_cards.push(NodeCardReport {
+                cols: workload
+                    .col_names(obs.cols)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                estimated: est,
+                observed: obs.output_groups,
+            });
+        }
+
+        let Some(ad) = self.adaptive.as_mut() else {
+            return;
+        };
+        for obs in observations {
+            ad.feedback.record(&NodeObservation {
+                table: workload.table.clone(),
+                cols: workload.base_cols(obs.cols),
+                input_rows: obs.input_rows,
+                output_groups: obs.output_groups,
+                elapsed_ns: obs.elapsed_ns,
+                table_version,
+            });
+        }
+        metrics.feedback_observations += observations.len() as u64;
+
+        // Re-cost the planned subtree under corrected cardinalities:
+        // root edges scan the base relation, child edges scan their
+        // parent's result (the §3.2.1 cardinality model). Column sets
+        // without feedback keep their original estimates, so the shift
+        // isolates what was actually learned. Cache-served leaf roots
+        // price identically on both sides and cancel out of the ratio's
+        // numerator.
+        let Some(key) = planned_key else {
+            return;
+        };
+        let base = base_rows as f64;
+        let old = plan_scan_cost(plan, base, &mut |bits| {
+            estimates.get(&bits).map_or(base, |&e| e as f64)
+        });
+        let feedback = &ad.feedback;
+        let corrected = plan_scan_cost(plan, base, &mut |bits| {
+            feedback
+                .observed_groups(&workload.table, &workload.base_cols(ColSet(bits)))
+                .unwrap_or_else(|| estimates.get(&bits).map_or(base, |&e| e as f64))
+        });
+        // Two re-plan triggers. Scan-cost drift catches estimates whose
+        // error changes what the plan *costs*; the q-error gate catches
+        // nodes that are badly estimated but cheap in absolute scan
+        // terms — without it the loop can settle on a suboptimal plan
+        // whose mispriced nodes are too small to move the total. Every
+        // executed node lands in the feedback store, so each re-plan
+        // runs with strictly more observed column sets and the loop
+        // terminates once the search picks a fully-observed plan
+        // (q-error 1.0).
+        let drifted = (corrected - old).abs() > ad.reopt_threshold * old.max(1.0);
+        let misestimated = max_qe > 1.0 + ad.reopt_threshold;
+        if (drifted || misestimated) && self.cache.invalidate(key) {
+            metrics.plan_reopts += 1;
+        }
     }
 
     /// Execute an explicit plan for `workload` under the session's
@@ -882,6 +1190,12 @@ impl Session {
         for s in 0..old_shards.max(self.shards) {
             self.mat_cache.invalidate_table(&shard_table_name(&name, s));
         }
+        if let Some(ad) = self.adaptive.as_mut() {
+            // The contents were replaced wholesale: sketches and
+            // observed cardinalities describe the old rows.
+            ad.sketches.remove(&name);
+            ad.feedback.forget_table(&name);
+        }
         self.stats_version += 1;
         Ok(())
     }
@@ -926,6 +1240,18 @@ impl Session {
                 self.pending.reshard_hints += 1;
             }
         }
+        // Fold just the appended range into the table's distinct
+        // sketches — corrected estimates stay fresh under churn without
+        // a full re-sample (the sketch tracks rows already seen).
+        if let Some(ad) = self.adaptive.as_mut() {
+            if let Some(sketches) = ad.sketches.get_mut(name) {
+                if let Ok(t) = self.engine.catalog().table(name) {
+                    if sketches.update(t) > 0 {
+                        self.pending.sketch_refreshes += 1;
+                    }
+                }
+            }
+        }
         if self.refresh_policy == RefreshPolicy::Eager && self.mat_cache.enabled() {
             self.refresh_all_stale(name)?;
         }
@@ -954,6 +1280,12 @@ impl Session {
         self.mat_cache.invalidate_table(name);
         for s in 0..old_shards.max(self.shards) {
             self.mat_cache.invalidate_table(&shard_table_name(name, s));
+        }
+        if let Some(ad) = self.adaptive.as_mut() {
+            // Same logical rows, new physical layout: observed
+            // cardinalities stay valid, but the sketches track a scan
+            // cursor into the old layout and must rebuild.
+            ad.sketches.remove(name);
         }
         self.stats_version += 1;
         Ok(())
@@ -1124,6 +1456,26 @@ impl Session {
     /// Materialized-aggregate-cache counters (all zero when disabled).
     pub fn mat_cache_stats(&self) -> MatCacheStats {
         self.mat_cache.stats()
+    }
+
+    /// Per-node estimated vs. observed group counts from the most
+    /// recent [`Session::run_workload`], in execution order — the
+    /// q-error report `gbmqo profile` prints. Populated whether or not
+    /// adaptive mode is on; empty before the first request.
+    pub fn last_node_cards(&self) -> &[NodeCardReport] {
+        &self.last_node_cards
+    }
+
+    /// Whether the adaptive feedback loop is on (see
+    /// [`SessionBuilder::adaptive`]).
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// Number of distinct (table, column-set) cardinality observations
+    /// held by the feedback store. Zero when adaptive mode is off.
+    pub fn feedback_len(&self) -> usize {
+        self.adaptive.as_ref().map_or(0, |ad| ad.feedback.len())
     }
 
     /// Drop every cached materialized aggregate (counters survive).
@@ -1455,5 +1807,158 @@ mod tests {
         s.register_table("r2", table()).unwrap();
         assert!(s.engine().catalog().contains("r2"));
         assert_eq!(s.stats_version(), 1);
+    }
+
+    #[test]
+    fn qerror_report_is_produced_without_adaptive_mode() {
+        let (mut s, w) = session(ExecutionMode::ClientSide);
+        assert!(s.last_node_cards().is_empty(), "empty before first run");
+        let out = s.grouping_sets(&w).unwrap();
+        let cards = s.last_node_cards();
+        assert!(cards.len() >= 3, "every executed plan node is reported");
+        for card in cards {
+            // The exact cardinality model estimates perfectly, so every
+            // node's q-error is exactly 1.
+            assert_eq!(card.estimated, card.observed, "node {:?}", card.cols);
+            assert_eq!(card.q_error(), 1.0);
+        }
+        assert_eq!(out.metrics.qerror_nodes, cards.len() as u64);
+        assert_eq!(out.metrics.qerror_sum_x100, 100 * cards.len() as u64);
+        assert_eq!(out.metrics.qerror_max_x100, 100);
+        // No feedback loop without adaptive mode.
+        assert_eq!(out.metrics.feedback_observations, 0);
+        assert_eq!(s.feedback_len(), 0);
+        assert!(!s.adaptive_enabled());
+    }
+
+    #[test]
+    fn adaptive_results_match_static_across_modes() {
+        for mode in [
+            ExecutionMode::ClientSide,
+            ExecutionMode::ServerSide,
+            ExecutionMode::Parallel,
+        ] {
+            for shards in [0u32, 4] {
+                let t = table();
+                let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+                let build = |adaptive: bool| {
+                    Session::builder()
+                        .table("r", t.clone())
+                        .search(SearchConfig::pruned())
+                        .mode(mode)
+                        .shards(shards)
+                        .adaptive(adaptive)
+                        .build()
+                        .unwrap()
+                };
+                let (mut plain, mut adaptive) = (build(false), build(true));
+                let expect = plain.grouping_sets(&w).unwrap();
+                let got = adaptive.grouping_sets(&w).unwrap();
+                assert_eq!(
+                    rows_sorted(&got.table),
+                    rows_sorted(&expect.table),
+                    "mode={mode:?} shards={shards}: adaptive must not change results"
+                );
+                assert!(got.metrics.feedback_observations > 0);
+                assert!(adaptive.feedback_len() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn append_refreshes_sketches_incrementally() {
+        let t = table();
+        let w = Workload::single_columns("r", &t, &["a", "b", "c"]).unwrap();
+        let mut s = Session::builder()
+            .table("r", t)
+            .adaptive(true)
+            .build()
+            .unwrap();
+        s.grouping_sets(&w).unwrap(); // builds the table's sketches
+        s.append("r", table()).unwrap();
+        let after = s.grouping_sets(&w).unwrap();
+        assert!(
+            after.metrics.sketch_refreshes >= 1,
+            "append must fold the delta into the sketches: {:?}",
+            after.metrics
+        );
+    }
+
+    /// The full observe → correct → re-optimize loop. Half the rows
+    /// share one (a, b) pair and the rest are distinct pairs — the
+    /// classic skew that makes a sample-based joint estimate collapse
+    /// (the reservoir is full of the heavy pair), while the per-column
+    /// HLL sketches keep the single-column estimates honest. The
+    /// optimizer merges on the bogus cheap union, execution observes the
+    /// true cardinality, the corrected cost drifts past the threshold,
+    /// the cached plan is invalidated, and the re-planned workload stops
+    /// drifting.
+    #[test]
+    fn observed_drift_invalidates_and_replans() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let heavy_or = |i: i64, rare: i64| if i % 2 == 0 { 0 } else { rare };
+        let t = Table::new(
+            schema,
+            vec![
+                Column::from_i64((0..2000).map(|i| heavy_or(i, i)).collect()),
+                Column::from_i64((0..2000).map(|i| heavy_or(i, i + 10_000)).collect()),
+            ],
+        )
+        .unwrap();
+        let w = Workload::single_columns("u", &t, &["a", "b"]).unwrap();
+        let mut s = Session::builder()
+            .table("u", t)
+            .cost_model(CostModelSpec::SampledCardinality {
+                sample_size: 32,
+                estimator: DistinctEstimator::Hybrid,
+                seed: 7,
+            })
+            .adaptive(true)
+            .plan_cache(4)
+            .build()
+            .unwrap();
+
+        let first = s.grouping_sets(&w).unwrap();
+        assert!(
+            first.metrics.plan_reopts >= 1,
+            "observed cardinalities must invalidate the drifted plan: {:?}",
+            first.metrics
+        );
+        let second = s.grouping_sets(&w).unwrap();
+        assert!(
+            !second.stats.cache_hit,
+            "the invalidated plan must be re-optimized"
+        );
+        assert!(
+            second.metrics.qerror_max_x100 <= first.metrics.qerror_max_x100,
+            "corrected estimates must not get worse: {} -> {}",
+            first.metrics.qerror_max_x100,
+            second.metrics.qerror_max_x100
+        );
+        assert_eq!(
+            second.metrics.plan_reopts, 0,
+            "the corrected plan does not drift again"
+        );
+        let third = s.grouping_sets(&w).unwrap();
+        assert!(third.stats.cache_hit, "the loop converges to a cache hit");
+        assert_eq!(rows_sorted(&second.table), rows_sorted(&first.table));
+        assert_eq!(rows_sorted(&third.table), rows_sorted(&first.table));
+    }
+
+    #[test]
+    fn invalid_reopt_threshold_is_rejected_at_build() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = Session::builder()
+                .table("r", table())
+                .adaptive(true)
+                .reopt_threshold(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidSession(_)), "{bad}");
+        }
     }
 }

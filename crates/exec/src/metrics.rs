@@ -68,6 +68,23 @@ pub struct ExecMetrics {
     /// Appends whose delta pushed shard skew past the resharding
     /// threshold — the signal that `Session::reshard` is worth calling.
     pub reshard_hints: u64,
+    /// Plan nodes whose estimated and observed group counts were both
+    /// available, i.e. nodes contributing to the q-error fields below.
+    pub qerror_nodes: u64,
+    /// Sum of per-node q-errors ×100 (q-error = max(est/obs, obs/est),
+    /// so 100 per node means exact). Divide by `qerror_nodes` for the
+    /// mean q-error of the run.
+    pub qerror_sum_x100: u64,
+    /// Worst per-node q-error ×100 seen (a gauge: `+=` keeps max).
+    pub qerror_max_x100: u64,
+    /// Per-plan-node cardinality observations fed to the feedback store.
+    pub feedback_observations: u64,
+    /// Cached plans invalidated for re-optimization because corrected
+    /// estimates shifted their cost past the adaptive threshold.
+    pub plan_reopts: u64,
+    /// Delta refreshes absorbed by online distinct sketches (each one a
+    /// full re-sample avoided).
+    pub sketch_refreshes: u64,
 }
 
 impl ExecMetrics {
@@ -125,6 +142,12 @@ impl ExecMetrics {
             ("delta_fallbacks", self.delta_fallbacks),
             ("refresh_rows_saved", self.refresh_rows_saved),
             ("reshard_hints", self.reshard_hints),
+            ("qerror_nodes", self.qerror_nodes),
+            ("qerror_sum_x100", self.qerror_sum_x100),
+            ("qerror_max_x100", self.qerror_max_x100),
+            ("feedback_observations", self.feedback_observations),
+            ("plan_reopts", self.plan_reopts),
+            ("sketch_refreshes", self.sketch_refreshes),
         ]
     }
 
@@ -177,6 +200,12 @@ impl ExecMetrics {
                 "delta_fallbacks" => m.delta_fallbacks = value,
                 "refresh_rows_saved" => m.refresh_rows_saved = value,
                 "reshard_hints" => m.reshard_hints = value,
+                "qerror_nodes" => m.qerror_nodes = value,
+                "qerror_sum_x100" => m.qerror_sum_x100 = value,
+                "qerror_max_x100" => m.qerror_max_x100 = value,
+                "feedback_observations" => m.feedback_observations = value,
+                "plan_reopts" => m.plan_reopts = value,
+                "sketch_refreshes" => m.sketch_refreshes = value,
                 _ => {}
             }
         }
@@ -212,6 +241,13 @@ impl AddAssign for ExecMetrics {
         self.delta_fallbacks += rhs.delta_fallbacks;
         self.refresh_rows_saved += rhs.refresh_rows_saved;
         self.reshard_hints += rhs.reshard_hints;
+        self.qerror_nodes += rhs.qerror_nodes;
+        self.qerror_sum_x100 += rhs.qerror_sum_x100;
+        // Worst-case q-error is a gauge like shard_skew.
+        self.qerror_max_x100 = self.qerror_max_x100.max(rhs.qerror_max_x100);
+        self.feedback_observations += rhs.feedback_observations;
+        self.plan_reopts += rhs.plan_reopts;
+        self.sketch_refreshes += rhs.sketch_refreshes;
     }
 }
 
@@ -245,6 +281,12 @@ mod tests {
             delta_fallbacks: 1,
             refresh_rows_saved: 200,
             reshard_hints: 1,
+            qerror_nodes: 3,
+            qerror_sum_x100: 450,
+            qerror_max_x100: 220,
+            feedback_observations: 3,
+            plan_reopts: 1,
+            sketch_refreshes: 2,
         };
         let b = ExecMetrics {
             rows_scanned: 5,
@@ -270,6 +312,12 @@ mod tests {
             delta_fallbacks: 2,
             refresh_rows_saved: 100,
             reshard_hints: 0,
+            qerror_nodes: 2,
+            qerror_sum_x100: 210,
+            qerror_max_x100: 110,
+            feedback_observations: 2,
+            plan_reopts: 0,
+            sketch_refreshes: 1,
         };
         a += b;
         assert_eq!(a.rows_scanned, 15);
@@ -295,6 +343,12 @@ mod tests {
         assert_eq!(a.delta_fallbacks, 3);
         assert_eq!(a.refresh_rows_saved, 300);
         assert_eq!(a.reshard_hints, 1);
+        assert_eq!(a.qerror_nodes, 5);
+        assert_eq!(a.qerror_sum_x100, 660);
+        assert_eq!(a.qerror_max_x100, 220, "worst q-error is a gauge: max");
+        assert_eq!(a.feedback_observations, 5);
+        assert_eq!(a.plan_reopts, 1);
+        assert_eq!(a.sketch_refreshes, 3);
     }
 
     #[test]
@@ -332,12 +386,19 @@ mod tests {
             delta_fallbacks: 21,
             refresh_rows_saved: 22,
             reshard_hints: 23,
+            qerror_nodes: 24,
+            qerror_sum_x100: 25,
+            qerror_max_x100: 26,
+            feedback_observations: 27,
+            plan_reopts: 28,
+            sketch_refreshes: 29,
         };
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"radix_partitions\":7"));
         // fields() enumerates every counter exactly once
-        assert_eq!(m.fields().len(), 23);
+        assert_eq!(m.fields().len(), 29);
+        assert!(json.contains("\"qerror_max_x100\":26"));
         assert!(json.contains("\"delta_refreshes\":20"));
         assert!(json.contains("\"shard_rows\":16"));
         assert!(json.contains("\"matcache_hits\":11"));

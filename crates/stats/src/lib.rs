@@ -16,6 +16,8 @@
 //! * [`column_stats`] — per-column summaries,
 //! * [`store`] — a [`store::StatsStore`] caching per-column-set cardinality
 //!   estimates with creation-cost accounting (experiment §6.7 / Figure 12),
+//! * [`sketch`] — HyperLogLog distinct sketches maintained incrementally
+//!   from appended delta rows (online sketch maintenance),
 //! * [`source`] — the [`source::CardinalitySource`] trait (the what-if API
 //!   analog) with sampled and exact implementations.
 
@@ -27,6 +29,7 @@ pub mod error;
 pub mod freq;
 pub mod histogram;
 pub mod sample;
+pub mod sketch;
 pub mod source;
 pub mod store;
 
@@ -36,5 +39,6 @@ pub use error::{Result, StatsError};
 pub use freq::FrequencyProfile;
 pub use histogram::EquiDepthHistogram;
 pub use sample::reservoir_sample;
+pub use sketch::{DistinctSketch, TableSketches};
 pub use source::{CardinalitySource, ExactSource, SampledSource};
 pub use store::{StatsCreationLog, StatsStore};

@@ -2,6 +2,7 @@
 //! cost of creating statistics (experiment §6.7 / Figure 12).
 
 use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::time::Duration;
 
 /// One statistics-creation event: which column set, and how long building
@@ -38,16 +39,34 @@ impl StatsCreationLog {
 /// The paper amortizes statistics: a statistic is created the first time a
 /// Group By over its columns is encountered and reused afterwards. The
 /// store mirrors that behaviour and records what each creation cost.
+///
+/// With [`StatsStore::with_capacity`] the store is bounded: once full, the
+/// least-recently-used column set is evicted, and re-creating an evicted
+/// statistic re-charges its cost to the creation log (the charge is for
+/// *work done*, not for entries alive).
 #[derive(Debug, Default)]
 pub struct StatsStore {
     cache: FxHashMap<Vec<usize>, f64>,
     log: StatsCreationLog,
+    capacity: Option<usize>,
+    lru: VecDeque<Vec<usize>>,
+    evictions: u64,
 }
 
 impl StatsStore {
-    /// Create an empty store.
+    /// Create an empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty store that holds at most `capacity` column sets,
+    /// evicting the least recently used once full. A capacity of zero
+    /// means unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StatsStore {
+            capacity: (capacity > 0).then_some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Fetch the cached estimate for `cols` (sorted internally), or build it
@@ -55,6 +74,7 @@ impl StatsStore {
     pub fn get_or_create(&mut self, cols: &[usize], build: impl FnOnce() -> f64) -> f64 {
         let key = sorted(cols);
         if let Some(&v) = self.cache.get(&key) {
+            self.touch(&key);
             return v;
         }
         let start = std::time::Instant::now();
@@ -64,7 +84,7 @@ impl StatsStore {
             cols: key.clone(),
             elapsed,
         });
-        self.cache.insert(key, v);
+        self.insert(key, v);
         v
     }
 
@@ -75,7 +95,40 @@ impl StatsStore {
 
     /// Insert or overwrite an estimate without logging a creation.
     pub fn put(&mut self, cols: &[usize], value: f64) {
-        self.cache.insert(sorted(cols), value);
+        self.insert(sorted(cols), value);
+    }
+
+    fn insert(&mut self, key: Vec<usize>, value: f64) {
+        if self.cache.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+        } else {
+            self.lru.push_back(key);
+            if let Some(cap) = self.capacity {
+                while self.cache.len() > cap {
+                    if let Some(victim) = self.lru.pop_front() {
+                        self.cache.remove(&victim);
+                        self.evictions += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn touch(&mut self, key: &[usize]) {
+        if self.capacity.is_none() {
+            return; // unbounded stores never evict; skip the bookkeeping
+        }
+        if let Some(pos) = self.lru.iter().position(|k| k == key) {
+            let k = self.lru.remove(pos).unwrap();
+            self.lru.push_back(k);
+        }
+    }
+
+    /// Number of entries evicted so far (always zero for unbounded stores).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The creation log.
@@ -137,6 +190,57 @@ mod tests {
         assert_eq!(s.get(&[0]), Some(5.0));
         assert_eq!(s.creation_log().count(), 0);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bounded_store_evicts_lru() {
+        let mut s = StatsStore::with_capacity(2);
+        s.get_or_create(&[0], || 1.0);
+        s.get_or_create(&[1], || 2.0);
+        // Touch [0] so [1] becomes the LRU victim.
+        assert_eq!(s.get_or_create(&[0], || panic!("cached")), 1.0);
+        s.get_or_create(&[2], || 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.get(&[0]), Some(1.0));
+        assert_eq!(s.get(&[1]), None); // evicted
+        assert_eq!(s.get(&[2]), Some(3.0));
+    }
+
+    #[test]
+    fn recreation_after_eviction_recharges_cost() {
+        let mut s = StatsStore::with_capacity(1);
+        let mut builds = 0;
+        let mut build = |store: &mut StatsStore, cols: &[usize]| {
+            store.get_or_create(cols, || {
+                builds += 1;
+                builds as f64
+            })
+        };
+        build(&mut s, &[0]); // created: 1 event
+        build(&mut s, &[1]); // evicts [0]: 2 events
+        assert_eq!(s.evictions(), 1);
+        // Re-creating the evicted [0] must run the builder again and log a
+        // fresh creation event — the cost is re-charged, not reused.
+        let v = build(&mut s, &[0]);
+        assert_eq!(v, 3.0, "builder must re-run after eviction");
+        assert_eq!(builds, 3);
+        let log = s.creation_log();
+        assert_eq!(log.count(), 3);
+        assert_eq!(log.events[0].cols, vec![0]);
+        assert_eq!(log.events[2].cols, vec![0]);
+        // Both [0] creations carry their own (non-negative) charge.
+        assert!(log.total() >= log.events[2].elapsed);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let mut s = StatsStore::with_capacity(0);
+        for i in 0..100 {
+            s.get_or_create(&[i], || i as f64);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.evictions(), 0);
     }
 
     #[test]

@@ -913,6 +913,43 @@ mod tests {
         assert_eq!(r.start_row, 1 + 8);
     }
 
+    /// The exact compaction boundary: the log retains precisely
+    /// [`MAX_DELTA_LOG`] descriptors, so the 64th append still resolves
+    /// from the original registration version and the 65th is the first
+    /// that compacts the oldest descriptor away.
+    #[test]
+    fn delta_log_boundary_at_exactly_max_entries() {
+        let mut c = Catalog::new();
+        c.register("t", tiny(2)).unwrap();
+        let v0 = c.table_version("t").unwrap();
+        for _ in 0..MAX_DELTA_LOG {
+            c.append("t", tiny(1)).unwrap();
+        }
+        // exactly at the bound: nothing compacted, the whole history
+        // folds into one contiguous range from the registration version
+        assert_eq!(c.delta_log("t").len(), MAX_DELTA_LOG);
+        let current = c.table_version("t").unwrap();
+        let r = c.delta_chain("t", v0).unwrap();
+        assert_eq!(
+            (r.start_row, r.rows, r.to_version),
+            (2, MAX_DELTA_LOG, current)
+        );
+
+        // one more append crosses the bound: the oldest descriptor is
+        // dropped, so the pre-compaction consumer can no longer catch up
+        // incrementally, while a consumer at the new chain head can
+        let v1 = c.delta_log("t")[0].to_version;
+        c.append("t", tiny(1)).unwrap();
+        assert_eq!(c.delta_log("t").len(), MAX_DELTA_LOG);
+        assert!(
+            c.delta_chain("t", v0).is_none(),
+            "compacted-away chain head must force a recompute"
+        );
+        let r = c.delta_chain("t", v1).unwrap();
+        assert_eq!(r.rows, MAX_DELTA_LOG);
+        assert_eq!(r.start_row, 3, "range starts after base + first delta");
+    }
+
     #[test]
     fn sharded_append_logs_per_shard_deltas() {
         let mut c = Catalog::new();

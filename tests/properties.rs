@@ -5,7 +5,7 @@ use gbmqo_core::schedule::{plan_min_storage, schedule_plan, simulate_peak};
 use gbmqo_core::{optimal_plan, render_sql};
 use gbmqo_cost::CardinalityCostModel;
 use gbmqo_integration::{assert_same_results, col_names, modular_table, session_with};
-use gbmqo_stats::ExactSource;
+use gbmqo_stats::{DistinctEstimator, ExactSource};
 use gbmqo_storage::Table;
 use proptest::prelude::*;
 
@@ -317,6 +317,55 @@ fn rows_by_name(t: &Table) -> Vec<Vec<String>> {
         .collect();
     rows.sort();
     rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adaptive feedback only changes *estimates* — execution over an
+    /// [`AdaptiveCardinalitySource`]-planned session produces results
+    /// identical to static-stats execution in every mode, including the
+    /// second round where feedback-corrected estimates (and possibly a
+    /// re-optimized plan) are in effect.
+    #[test]
+    fn adaptive_execution_matches_static(
+        cards in cards_strategy(),
+        mode in prop::sample::select(vec![
+            ExecutionMode::ClientSide,
+            ExecutionMode::ServerSide,
+            ExecutionMode::Parallel,
+        ]),
+        shards in prop::sample::select(vec![0u32, 4]),
+    ) {
+        let table = modular_table(400, &cards);
+        let w = workload_of(&table, cards.len());
+        let build = |adaptive: bool| {
+            Session::builder()
+                .table("t", table.clone())
+                .cost_model(CostModelSpec::SampledCardinality {
+                    sample_size: 32,
+                    estimator: DistinctEstimator::Hybrid,
+                    seed: 3,
+                })
+                .mode(mode)
+                .shards(shards)
+                .adaptive(adaptive)
+                .build()
+                .unwrap()
+        };
+        let (mut stat, mut adap) = (build(false), build(true));
+        for round in 0..2 {
+            let expect = stat.run_workload(&w, CacheControl::Default).unwrap();
+            let got = adap.run_workload(&w, CacheControl::Default).unwrap();
+            assert_same_results(
+                &w,
+                &expect.report,
+                &got.report,
+                &format!("mode {mode:?} shards {shards} round {round}"),
+            );
+        }
+        prop_assert!(adap.feedback_len() > 0, "feedback store stayed empty");
+    }
 }
 
 /// Non-proptest regression: overlapping (TC-style) workloads also satisfy
